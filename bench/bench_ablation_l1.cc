@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: modelling the private L1s explicitly.
+ *
+ * The default methodology feeds the L2s a post-L1 stream (the
+ * generators' calibrated rates).  This ablation turns the real L1
+ * level on and drives it with the same stream, showing how an L1
+ * filters L2 activity without changing coherence behaviour: snoops
+ * are still counted at the L2 (the coherence point — the inclusive
+ * L1 never needs snooping), so the filtering comparison is
+ * unaffected while L2 pressure and mean access latency drop.
+ */
+
+#include "bench_util.hh"
+
+using namespace vsnoop;
+using namespace vsnoop::bench;
+
+int
+main()
+{
+    quietLogging(true);
+    banner("Ablation: explicit L1 level",
+           "L1 size vs L2 activity and snoop filtering");
+
+    AppProfile app = findApp("specjbb");
+    TextTable table({"L1 size", "policy", "L1 hit %", "L2 activity",
+                     "transactions", "snoops/txn", "runtime"});
+
+    for (std::uint64_t l1_kb : {0ull, 16ull, 32ull}) {
+        for (PolicyKind policy :
+             {PolicyKind::TokenB, PolicyKind::VirtualSnoop}) {
+            SystemConfig cfg = benchConfig(8000);
+            cfg.policy = policy;
+            cfg.l2.l1SizeBytes = l1_kb * 1024;
+            SimSystem sys(cfg, app);
+            sys.run();
+            SystemResults r = sys.results();
+
+            std::uint64_t l1_hits = 0;
+            for (CoreId c = 0; c < 16; ++c)
+                l1_hits +=
+                    sys.coherence().controller(c).l1Hits.value();
+            std::uint64_t l2_activity =
+                sys.coherence().stats.l2Hits.value() + r.transactions;
+
+            table.row()
+                .cell(l1_kb == 0 ? "off" : std::to_string(l1_kb) + " KB")
+                .cell(policy == PolicyKind::TokenB ? "TokenB"
+                                                   : "vsnoop")
+                .cell(r.totalAccesses == 0
+                          ? 0.0
+                          : 100.0 * static_cast<double>(l1_hits) /
+                                static_cast<double>(r.totalAccesses),
+                      1)
+                .cell(l2_activity)
+                .cell(r.transactions)
+                .cell(snoopsPerTxn(r), 2)
+                .cell(r.runtime);
+        }
+    }
+    table.print();
+    std::cout << "\nThe snoops-per-transaction column is unchanged by "
+                 "the L1: filtering happens\nat the coherence point, "
+                 "so the Section V results are L1-independent.\n";
+    return 0;
+}

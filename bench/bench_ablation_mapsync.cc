@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: vCPU-map synchronization cost.  The paper argues the
+ * hypervisor's map-register updates are negligible because
+ * relocation is so much rarer than coherence transactions; this
+ * bench measures the control-message share of total traffic across
+ * shuffle periods.
+ */
+
+#include "migration_bench.hh"
+
+using namespace vsnoop;
+using namespace vsnoop::bench;
+
+int
+main()
+{
+    quietLogging(true);
+    banner("Ablation: vCPU-map sync",
+           "map-update control traffic share vs migration period");
+
+    AppProfile app = scaleWorkingSet(sectionVApp(findApp("ferret")), 8);
+    TextTable table({"period (paper-ms)", "migrations", "map updates",
+                     "control byte-hops", "total byte-hops",
+                     "control share %"});
+    for (double period : {5.0, 1.0, 0.25, 0.05}) {
+        SystemConfig cfg = migBenchConfig(12000);
+        cfg.policy = PolicyKind::VirtualSnoop;
+        cfg.migrationPeriod = 2 * migPaperMs(period);
+        SimSystem sys(cfg, app);
+        sys.run();
+        SystemResults r = sys.results();
+        auto control = sys.network()
+                           .stats()
+                           .byteHops[static_cast<std::size_t>(
+                               MsgClass::Control)]
+                           .value();
+        table.row()
+            .cell(formatFixed(period, 2))
+            .cell(r.migrations)
+            .cell(r.mapAdds + r.mapRemovals)
+            .cell(control)
+            .cell(r.trafficByteHops)
+            .cell(100.0 * static_cast<double>(control) /
+                      static_cast<double>(r.trafficByteHops),
+                  3);
+    }
+    table.print();
+    return 0;
+}

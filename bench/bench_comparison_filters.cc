@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension: virtual snooping vs an idealized region-based filter
+ * (the RegionScout / CGCT / INCF family the paper's Section VII
+ * compares against qualitatively).
+ *
+ * The region filter here is an oracle — perfect instantaneous
+ * knowledge of region sharers, zero tables, zero false positives —
+ * so it upper-bounds what any real region filter can achieve.
+ * Virtual snooping's argument is that the VM boundary captures most
+ * of the private-data filtering opportunity with two PTE bits and a
+ * per-core register; this bench puts a number on that claim.
+ */
+
+#include "bench_util.hh"
+
+using namespace vsnoop;
+using namespace vsnoop::bench;
+
+namespace
+{
+
+double
+snoopCost(PolicyKind policy, const AppProfile &app,
+          std::uint64_t region_bytes = 1024)
+{
+    SystemConfig cfg = benchConfig(6000);
+    cfg.policy = policy;
+    cfg.regionBytes = region_bytes;
+    SystemResults r = runSystem(cfg, app);
+    return snoopsPerTxn(r);
+}
+
+} // namespace
+
+int
+main()
+{
+    quietLogging(true);
+    banner("Comparison: filter families",
+           "snoop lookups per transaction (broadcast = 16, "
+           "pinned-VM ideal = 4)");
+
+    TextTable table({"app", "TokenB", "region 256B", "region 1KB",
+                     "region 4KB", "virtual snooping"});
+    double sums[5] = {};
+    int n = 0;
+    for (const AppProfile &app : coherenceApps()) {
+        double vals[5] = {
+            snoopCost(PolicyKind::TokenB, app),
+            snoopCost(PolicyKind::IdealRegionFilter, app, 256),
+            snoopCost(PolicyKind::IdealRegionFilter, app, 1024),
+            snoopCost(PolicyKind::IdealRegionFilter, app, 4096),
+            snoopCost(PolicyKind::VirtualSnoop, app),
+        };
+        for (int i = 0; i < 5; ++i)
+            sums[i] += vals[i];
+        n++;
+        table.row()
+            .cell(app.name)
+            .cell(vals[0], 2)
+            .cell(vals[1], 2)
+            .cell(vals[2], 2)
+            .cell(vals[3], 2)
+            .cell(vals[4], 2);
+    }
+    table.row()
+        .cell("average")
+        .cell(sums[0] / n, 2)
+        .cell(sums[1] / n, 2)
+        .cell(sums[2] / n, 2)
+        .cell(sums[3] / n, 2)
+        .cell(sums[4] / n, 2);
+    table.print();
+    std::cout
+        << "\nThe oracle region filter beats virtual snooping on pure "
+           "filtering (it sees\nexact sharers), but needs per-region "
+           "tracking state that grows with memory;\nvirtual snooping "
+           "approaches it using only the existing VM boundary\n"
+           "(Section VII of the paper).\n";
+    return 0;
+}

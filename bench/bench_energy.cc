@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Extension: the energy estimate behind the paper's motivation.
+ *
+ * The paper argues the first benefit of snoop filtering is power:
+ * fewer snoop-induced tag lookups and fewer request messages.  This
+ * bench runs TokenB and virtual snooping with pinned VMs and
+ * reports the activity-model energy breakdown, separating the
+ * filterable components (snoop tags, network) from the ones
+ * filtering cannot touch (DRAM, data arrays).
+ */
+
+#include "bench_util.hh"
+
+#include "system/energy.hh"
+
+using namespace vsnoop;
+using namespace vsnoop::bench;
+
+namespace
+{
+
+EnergyBreakdown
+runEnergy(PolicyKind policy, const AppProfile &app)
+{
+    SystemConfig cfg = benchConfig(8000);
+    cfg.policy = policy;
+    SimSystem system(cfg, app);
+    system.run();
+    return computeEnergy(system);
+}
+
+} // namespace
+
+int
+main()
+{
+    quietLogging(true);
+    banner("Energy", "snoop-filtering energy savings "
+                     "(activity model, pinned VMs)");
+
+    TextTable table({"app", "tag energy saved %", "network saved %",
+                     "total saved %", "tag share of TokenB %"});
+    double sums[4] = {};
+    int n = 0;
+    for (const AppProfile &paper_app : coherenceApps()) {
+        AppProfile app = sectionVApp(paper_app);
+        EnergyBreakdown base = runEnergy(PolicyKind::TokenB, app);
+        EnergyBreakdown vs = runEnergy(PolicyKind::VirtualSnoop, app);
+
+        double vals[4] = {
+            100.0 * (1.0 - vs.snoopTagPj / base.snoopTagPj),
+            100.0 * (1.0 - vs.networkPj / base.networkPj),
+            100.0 * (1.0 - vs.totalPj() / base.totalPj()),
+            100.0 * base.snoopTagPj / base.totalPj(),
+        };
+        for (int i = 0; i < 4; ++i)
+            sums[i] += vals[i];
+        n++;
+        table.row()
+            .cell(paper_app.name)
+            .cell(vals[0], 1)
+            .cell(vals[1], 1)
+            .cell(vals[2], 1)
+            .cell(vals[3], 1);
+    }
+    table.row()
+        .cell("average")
+        .cell(sums[0] / n, 1)
+        .cell(sums[1] / n, 1)
+        .cell(sums[2] / n, 1)
+        .cell(sums[3] / n, 1);
+    table.print();
+    std::cout
+        << "\nSnoop-tag energy falls by the snoop-reduction factor "
+           "(~75% with pinned VMs);\nthe total saving depends on how "
+           "much of the budget the filterable components\nrepresent "
+           "— the paper's point that filtering frees power budget "
+           "rather than\ndirectly buying speed.\n";
+    return 0;
+}

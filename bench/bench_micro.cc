@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): raw simulator
+ * throughput of the event queue, the cache tag store, the mesh
+ * router model, the RNG, and end-to-end coherence transactions.
+ * These guard the simulator's own performance, which bounds how
+ * long the experiment benches take.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coherence/policy.hh"
+#include "coherence/system.hh"
+#include "mem/cache.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace vsnoop
+{
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    class Nop : public Event
+    {
+      public:
+        void process() override {}
+    } nop;
+    for (auto _ : state) {
+        eq.schedule(nop, eq.now() + 1);
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventQueueLambdaChurn(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        eq.scheduleFnIn(1, [] {});
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueLambdaChurn);
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    Cache cache(256 * 1024, 8);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        HostAddr addr(i * 64);
+        CacheLine &slot = cache.victimFor(addr);
+        cache.install(slot, addr, 0, PageType::VmPrivate, 1, false,
+                      false);
+    }
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.find(HostAddr((i % 64) * 64)));
+        i++;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_CacheLookupMiss(benchmark::State &state)
+{
+    Cache cache(256 * 1024, 8);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.find(HostAddr(i * 64)));
+        i++;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupMiss);
+
+void
+BM_MeshSend(benchmark::State &state)
+{
+    Mesh mesh{MeshConfig{}};
+    std::uint64_t i = 0;
+    Tick now = 0;
+    for (auto _ : state) {
+        now = mesh.send(static_cast<NodeId>(i % 16),
+                        static_cast<NodeId>((i * 7 + 3) % 16), 72,
+                        MsgClass::Data, now);
+        i++;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshSend);
+
+void
+BM_RngZipf(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.zipf(512, 0.6));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngZipf);
+
+void
+BM_CoherenceReadMissRoundTrip(benchmark::State &state)
+{
+    EventQueue eq;
+    Mesh mesh{MeshConfig{}};
+    TokenBPolicy policy(16);
+    ProtocolConfig pcfg;
+    CacheGeometry geom;
+    geom.sizeBytes = 1 * 1024 * 1024; // avoid evictions
+    CoherenceSystem system(eq, mesh, policy, pcfg, geom, 4);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        MemAccess access;
+        access.addr = HostAddr(addr);
+        access.vm = 0;
+        addr += 64;
+        bool done = false;
+        system.access(static_cast<CoreId>(addr / 64 % 16), access,
+                      [&](Tick, DataSource, bool) { done = true; });
+        eq.run(10000);
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceReadMissRoundTrip);
+
+} // namespace
+
+} // namespace vsnoop
+
+BENCHMARK_MAIN();

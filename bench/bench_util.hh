@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benchmarks.
+ *
+ * Time scaling: the paper simulates seconds of 1 GHz execution on
+ * 256 KB L2s.  To keep every experiment runnable in seconds on one
+ * host core, the benches scale the system down and express
+ * relocation-scale times in *paper milliseconds*:
+ *
+ *   - L2 capacity: 128 KB (2048 lines) instead of 256 KB (4096),
+ *   - 1 paper-ms == 20,000 ticks instead of 1,000,000.
+ *
+ * The dimensionless ratio the relocation results depend on -- the
+ * migration period over the cache drain time -- is preserved: a
+ * 2048-line L2 drains in 1-10 paper-ms worth of ticks at typical
+ * miss rates, the regime of the paper's 4096-line L2 at 1 GHz,
+ * where most core removals complete within ~10 ms (Figure 9).
+ * EXPERIMENTS.md discusses the calibration.
+ *
+ * Set VSNOOP_BENCH_SCALE=<float> to lengthen runs (more accesses
+ * per vCPU) for tighter statistics.
+ */
+
+#ifndef VSNOOP_BENCH_BENCH_UTIL_HH_
+#define VSNOOP_BENCH_BENCH_UTIL_HH_
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/table.hh"
+#include "system/sim_system.hh"
+
+namespace vsnoop::bench
+{
+
+/** Ticks per paper millisecond (see file comment). */
+constexpr Tick kTicksPerPaperMs = 20'000;
+
+/** Convert paper milliseconds to ticks. */
+inline Tick
+paperMs(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kTicksPerPaperMs));
+}
+
+/** Run-length multiplier from VSNOOP_BENCH_SCALE (default 1.0). */
+inline double
+benchScale()
+{
+    const char *env = std::getenv("VSNOOP_BENCH_SCALE");
+    if (env == nullptr)
+        return 1.0;
+    double scale = std::atof(env);
+    return scale > 0.0 ? scale : 1.0;
+}
+
+/** A bench-standard system configuration. */
+inline SystemConfig
+benchConfig(std::uint64_t accesses_per_vcpu = 8000)
+{
+    SystemConfig cfg;
+    cfg.l2.sizeBytes = 128 * 1024;
+    cfg.accessesPerVcpu = static_cast<std::uint64_t>(
+        static_cast<double>(accesses_per_vcpu) * benchScale());
+    // Warm the caches before measuring, so the miss mix reflects
+    // steady state rather than cold-start fills.
+    cfg.warmupAccessesPerVcpu = cfg.accessesPerVcpu / 3;
+    return cfg;
+}
+
+/**
+ * Strip content-shared and hypervisor traffic from a profile, for
+ * the Section V experiments (Tables IV, Figures 6-9): the paper's
+ * Virtual-GEMS runs have no hypervisor and no content sharing, so
+ * every transaction there targets VM-private pages.
+ */
+inline AppProfile
+sectionVApp(const AppProfile &app)
+{
+    AppProfile p = app;
+    p.contentFraction = 0.0;
+    p.hypervisorFraction = 0.0;
+    return p;
+}
+
+/**
+ * Scale a profile's working-set regions down by an integer factor
+ * (used together with a proportionally smaller L2, preserving the
+ * working-set-to-cache ratio that drives miss rates and
+ * residence-counter drain behaviour).
+ */
+inline AppProfile
+scaleWorkingSet(const AppProfile &app, std::uint64_t factor)
+{
+    AppProfile p = app;
+    auto shrink = [factor](std::uint64_t pages) {
+        return std::max<std::uint64_t>(1, pages / factor);
+    };
+    p.privatePagesPerVcpu = shrink(p.privatePagesPerVcpu);
+    p.contentPages = shrink(p.contentPages);
+    p.vmSharedPages = shrink(p.vmSharedPages);
+    return p;
+}
+
+/** Build, run, and collect results for one configuration. */
+inline SystemResults
+runSystem(const SystemConfig &cfg, const AppProfile &app)
+{
+    SimSystem sys(cfg, app);
+    sys.run();
+    return sys.results();
+}
+
+/** Snoop lookups per coherence transaction. */
+inline double
+snoopsPerTxn(const SystemResults &r)
+{
+    if (r.transactions == 0)
+        return 0.0;
+    return static_cast<double>(r.snoopLookups) /
+           static_cast<double>(r.transactions);
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::cout << "\n=== " << id << ": " << what << " ===\n";
+    std::cout << "(shape reproduction; absolute numbers differ from the"
+                 " paper's testbed)\n\n";
+}
+
+} // namespace vsnoop::bench
+
+#endif // VSNOOP_BENCH_BENCH_UTIL_HH_

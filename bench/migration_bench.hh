@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared driver for the Figure 7/8 migration experiments: total
+ * snoops under virtual snooping with periodic cross-VM vCPU
+ * shuffles, normalized to the TokenB broadcast baseline, for the
+ * three relocation mechanisms.
+ *
+ * Two methodology notes, both matching Section V-C:
+ *
+ *  - The paper's "a vCPU is relocated every P ms" counts single
+ *    vCPU relocations; one shuffle exchanges two vCPUs, so shuffles
+ *    fire every 2P (the paper: "for the 5ms configuration, two
+ *    vCPUs ... are exchanged every 10ms").
+ *
+ *  - The TokenB baseline is not re-simulated: under broadcast every
+ *    transaction induces exactly numCores snoop lookups (the
+ *    requester's own tag check plus numCores-1 deliveries), so the
+ *    baseline is 16 * transactions.  Retries are so rare under
+ *    TokenB that the analytic baseline matches a measured one to
+ *    well under a percent, at half the bench cost.
+ */
+
+#ifndef VSNOOP_BENCH_MIGRATION_BENCH_HH_
+#define VSNOOP_BENCH_MIGRATION_BENCH_HH_
+
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace vsnoop::bench
+{
+
+/** Normalized-snoop results for one application at one period. */
+struct MigrationPoint
+{
+    double base = 0.0;
+    double counter = 0.0;
+    double counterThreshold = 0.0;
+};
+
+/**
+ * Run one application through the three virtual snooping relocation
+ * modes at the given per-vCPU relocation period.
+ */
+/**
+ * Migration-experiment time scale.  The relocation results depend
+ * on the ratio of the migration period to the L2 turnover time.
+ * The paper's 4096-line L2 at one miss per few hundred 1 GHz
+ * cycles turns over in roughly 1-2 ms.  The migration benches use
+ * a 16 KB (256-line) L2 with working sets scaled down 8x, which
+ * turns over in roughly 40k ticks -- so 32,000 ticks map to one
+ * paper millisecond here, keeping every period in the same regime
+ * as the paper's sweep.
+ */
+constexpr Tick kMigTicksPerPaperMs = 32'000;
+
+/** Convert paper milliseconds to ticks on the migration scale. */
+inline Tick
+migPaperMs(double ms)
+{
+    return static_cast<Tick>(ms *
+                             static_cast<double>(kMigTicksPerPaperMs));
+}
+
+/** The migration benches' scaled-down system configuration. */
+inline SystemConfig
+migBenchConfig(std::uint64_t accesses)
+{
+    SystemConfig cfg = benchConfig(accesses);
+    cfg.l2.sizeBytes = 16 * 1024;
+    return cfg;
+}
+
+inline MigrationPoint
+runMigrationPoint(const AppProfile &app, Tick relocation_period,
+                  std::uint64_t accesses)
+{
+    auto normalized = [&](RelocationMode mode) {
+        SystemConfig cfg = migBenchConfig(accesses);
+        cfg.policy = PolicyKind::VirtualSnoop;
+        cfg.vsnoop.relocation = mode;
+        // One shuffle relocates two vCPUs.
+        cfg.migrationPeriod = 2 * relocation_period;
+        SystemResults r = runSystem(cfg, app);
+        double baseline = 16.0 * static_cast<double>(r.transactions);
+        return 100.0 * static_cast<double>(r.snoopLookups) / baseline;
+    };
+
+    MigrationPoint point;
+    point.base = normalized(RelocationMode::Base);
+    point.counter = normalized(RelocationMode::Counter);
+    point.counterThreshold = normalized(RelocationMode::CounterThreshold);
+    return point;
+}
+
+/** Print one period's table for every coherence application. */
+inline void
+printMigrationTable(double period_paper_ms, std::uint64_t accesses)
+{
+    std::cout << "-- relocation period: " << period_paper_ms
+              << " paper-ms (ideal filtered level: 25%) --\n\n";
+    TextTable table({"app", "vsnoop-base %", "counter %",
+                     "counter-threshold %"});
+    double sums[3] = {};
+    int n = 0;
+    for (const AppProfile &paper_app : coherenceApps()) {
+        AppProfile app = scaleWorkingSet(sectionVApp(paper_app), 8);
+        MigrationPoint p = runMigrationPoint(
+            app, migPaperMs(period_paper_ms), accesses);
+        sums[0] += p.base;
+        sums[1] += p.counter;
+        sums[2] += p.counterThreshold;
+        n++;
+        table.row()
+            .cell(paper_app.name)
+            .cell(p.base, 1)
+            .cell(p.counter, 1)
+            .cell(p.counterThreshold, 1);
+    }
+    table.row()
+        .cell("average")
+        .cell(sums[0] / n, 1)
+        .cell(sums[1] / n, 1)
+        .cell(sums[2] / n, 1);
+    table.print();
+    std::cout << "\n";
+}
+
+} // namespace vsnoop::bench
+
+#endif // VSNOOP_BENCH_MIGRATION_BENCH_HH_

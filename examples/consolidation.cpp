@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Server-consolidation scenario: four *different* applications, one
+ * per VM, share a 16-core chip while the hypervisor's load
+ * balancing shuffles vCPUs across VM boundaries — the situation the
+ * paper's Sections III-V argue virtual snooping must survive.
+ *
+ * The example runs the consolidated system under the three
+ * relocation mechanisms and shows how each VM's snoop domain
+ * (vCPU map) behaves, per-VM traffic categories, and what the
+ * residence counters recover.
+ */
+
+#include <iostream>
+
+#include "sim/table.hh"
+#include "system/sim_system.hh"
+
+using namespace vsnoop;
+
+namespace
+{
+
+/** A consolidated rack slice: web, analytics, dedup and compute. */
+std::vector<AppProfile>
+consolidatedApps()
+{
+    return {findApp("specjbb"), findApp("canneal"), findApp("dedup"),
+            findApp("blackscholes")};
+}
+
+void
+runMode(RelocationMode mode)
+{
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::VirtualSnoop;
+    cfg.vsnoop.relocation = mode;
+    cfg.accessesPerVcpu = 15000;
+    cfg.warmupAccessesPerVcpu = 4000;
+    cfg.migrationPeriod = 25000; // aggressive load balancing
+
+    SimSystem system(cfg, consolidatedApps());
+    system.run();
+    SystemResults r = system.results();
+
+    std::cout << "-- relocation mode: " << relocationModeName(mode)
+              << " --\n";
+    TextTable table({"metric", "value"});
+    table.row().cell("migrations").cell(r.migrations);
+    table.row().cell("vCPU map additions").cell(r.mapAdds);
+    table.row().cell("vCPU map removals").cell(r.mapRemovals);
+    table.row()
+        .cell("snoop lookups per transaction")
+        .cell(static_cast<double>(r.snoopLookups) /
+                  static_cast<double>(r.transactions),
+              2);
+    table.row()
+        .cell("broadcast share of requests")
+        .cell(formatPercent(
+                  static_cast<double>(
+                      system.vsnoopPolicy()->broadcastRequests.value()) /
+                  static_cast<double>(r.transactions)) +
+              "%");
+    table.print();
+
+    // Final snoop-domain sizes per VM.
+    TextTable domains({"VM", "app", "running on", "vCPU map"});
+    for (VmId vm = 0; vm < 4; ++vm) {
+        domains.row()
+            .cell("VM" + std::to_string(vm))
+            .cell(consolidatedApps()[vm].name)
+            .cell(system.vsnoopPolicy()->runningSet(vm).toString())
+            .cell(system.vsnoopPolicy()->vcpuMap(vm).toString());
+    }
+    domains.print();
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Consolidation study: specjbb + canneal + dedup + "
+                 "blackscholes on 16 cores,\nwith cross-VM vCPU "
+                 "shuffles every 25k ticks.\n\n";
+    runMode(RelocationMode::Base);
+    runMode(RelocationMode::Counter);
+    runMode(RelocationMode::CounterThreshold);
+    std::cout << "Note how vsnoop-base's maps only ever grow, while "
+                 "the counter mechanisms\nprune cores as residence "
+                 "counters drain (Section IV-B of the paper).\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Content-based page sharing walkthrough (Section VI of the paper):
+ * four VMs run the same application; the hypervisor deduplicates
+ * identical pages; the example compares the four RO-shared request
+ * policies and shows where read data actually comes from, plus the
+ * copy-on-write machinery in action.
+ */
+
+#include <iostream>
+
+#include "sim/table.hh"
+#include "system/sim_system.hh"
+
+using namespace vsnoop;
+
+namespace
+{
+
+void
+policyRow(TextTable &table, RoPolicy ro, const AppProfile &app)
+{
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::VirtualSnoop;
+    cfg.vsnoop.roPolicy = ro;
+    cfg.accessesPerVcpu = 15000;
+    cfg.warmupAccessesPerVcpu = 4000;
+
+    SimSystem system(cfg, app);
+    system.run();
+    SystemResults r = system.results();
+
+    std::uint64_t ro_total = 0;
+    for (std::size_t i = 0; i < kNumDataSources; ++i)
+        ro_total += r.roDataFrom[i];
+    auto pct = [&](DataSource s) {
+        if (ro_total == 0)
+            return std::string("-");
+        return formatPercent(
+            static_cast<double>(
+                r.roDataFrom[static_cast<std::size_t>(s)]) /
+            static_cast<double>(ro_total));
+    };
+
+    table.row()
+        .cell(roPolicyName(ro))
+        .cell(static_cast<double>(r.snoopLookups) /
+                  static_cast<double>(r.transactions),
+              2)
+        .cell(r.meanRoMissLatency, 1)
+        .cell(pct(DataSource::CacheIntraVm))
+        .cell(pct(DataSource::CacheFriendVm))
+        .cell(pct(DataSource::CacheOtherVm))
+        .cell(pct(DataSource::Memory));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name = argc > 1 ? argv[1] : "canneal";
+    AppProfile app = findApp(app_name);
+    // Give COW something to do in the demo.
+    app.contentWriteFraction = 0.0002;
+
+    std::cout << "Content-based sharing study: 4 VMs x " << app.name
+              << ", ideal page deduplication.\n\n";
+
+    TextTable table({"RO policy", "snoops/txn", "RO miss latency",
+                     "data: intra-VM", "friend-VM", "other VM",
+                     "memory"});
+    policyRow(table, RoPolicy::Broadcast, app);
+    policyRow(table, RoPolicy::MemoryDirect, app);
+    policyRow(table, RoPolicy::IntraVm, app);
+    policyRow(table, RoPolicy::FriendVm, app);
+    table.print();
+
+    // Show the dedup/COW accounting from one of the runs.
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::VirtualSnoop;
+    cfg.vsnoop.roPolicy = RoPolicy::IntraVm;
+    cfg.accessesPerVcpu = 15000;
+    SimSystem system(cfg, app);
+    system.run();
+    const Hypervisor &hv = system.hypervisor();
+    std::cout << "\nHypervisor page accounting: allocated "
+              << hv.pagesAllocated.value() << ", deduplicated "
+              << hv.pagesDeduplicated.value() << ", COW breaks "
+              << hv.cowBreaks.value() << ".\n";
+    std::cout << "memory-direct snoops least but forfeits "
+                 "cache-to-cache transfers;\nfriend-VM recovers them "
+                 "at a modest snoop cost (Table VI of the paper).\n";
+    return 0;
+}

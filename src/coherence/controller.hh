@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Per-core token-coherence cache controller.
+ *
+ * Each core owns a private L2 (the coherence point, Table II) and a
+ * controller that turns demand accesses into token-coherence
+ * transactions: it multicasts transient snoop requests to the
+ * destination set chosen by the active SnoopTargetPolicy, collects
+ * token/data responses in an MSHR, retries with (policy-driven)
+ * wider destination sets on timeout, and escalates to an arbitrated
+ * persistent request when transient attempts keep failing.
+ *
+ * See protocol.hh for the token rules the controller enforces.
+ */
+
+#ifndef VSNOOP_COHERENCE_CONTROLLER_HH_
+#define VSNOOP_COHERENCE_CONTROLLER_HH_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "coherence/protocol.hh"
+#include "mem/cache.hh"
+#include "mem/residence.hh"
+#include "sim/stats.hh"
+
+namespace vsnoop
+{
+
+class CoherenceSystem;
+
+/**
+ * Completion callback: invoked when the access is globally
+ * performed.
+ *
+ * @param done_at Tick at which the data is usable by the core.
+ * @param source Where the data came from (DataSource::CacheIntraVm
+ *        for plain L2 hits).
+ * @param was_miss True when the access missed in the private L2 and
+ *        required a coherence transaction.
+ */
+using AccessCallback =
+    std::function<void(Tick done_at, DataSource source, bool was_miss)>;
+
+/**
+ * The per-core controller.
+ */
+class CoherenceController
+{
+  public:
+    /**
+     * @param system Owning coherence system (message fabric).
+     * @param core This controller's core id.
+     * @param geometry Private cache geometry (L2 mandatory, L1
+     *        optional).
+     * @param num_vms VMs tracked by the residence counters.
+     */
+    CoherenceController(CoherenceSystem &system, CoreId core,
+                        const CacheGeometry &geometry,
+                        std::size_t num_vms);
+
+    CoherenceController(const CoherenceController &) = delete;
+    CoherenceController &operator=(const CoherenceController &) = delete;
+
+    CoreId core() const { return core_; }
+    Cache &cache() { return cache_; }
+    const Cache &cache() const { return cache_; }
+    /** True when an L1 is modelled in front of the L2. */
+    bool hasL1() const { return l1_.has_value(); }
+    /** The L1 tag store; only valid when hasL1(). */
+    Cache &l1() { return *l1_; }
+    ResidenceCounters &residence() { return residence_; }
+    const ResidenceCounters &residence() const { return residence_; }
+
+    /**
+     * Issue a demand access at the current tick.  At most one
+     * outstanding transaction per line is supported (the in-order
+     * core model blocks on misses, so this never triggers).
+     */
+    void access(const MemAccess &access, AccessCallback callback);
+
+    /** Deliver a snoop request (called by the system at arrival). */
+    void handleSnoop(const SnoopMsg &msg);
+
+    /** Deliver a token/data response (at arrival). */
+    void handleResponse(const ResponseMsg &msg);
+
+    /** The persistent arbiter granted this core's pending request. */
+    void persistentGranted(HostAddr line);
+
+    /** True when a transaction for @p line is outstanding. */
+    bool hasMshr(HostAddr line) const;
+
+    /** Number of outstanding transactions. */
+    std::size_t mshrCount() const { return mshrs_.size(); }
+
+    /**
+     * Sum of tokens (and owner count) currently parked in full-miss
+     * MSHRs, for the system-wide conservation check.
+     */
+    void sumMshrTokens(HostAddr line, std::uint32_t &tokens,
+                       std::uint32_t &owners) const;
+
+    /** Append the line numbers of all outstanding MSHRs. */
+    void collectMshrLines(std::vector<std::uint64_t> &out) const;
+
+    /**
+     * Evict every VM-private line belonging to @p vm (the paper's
+     * "selective flush" alternative, Section IV-B): tokens (and
+     * dirty data) return to memory, the residence counter drains to
+     * zero, and the core becomes removable from the VM's map.
+     * Lines pinned under an outstanding upgrade are skipped.
+     *
+     * @return Number of lines flushed.
+     */
+    std::uint64_t flushVmPrivateLines(VmId vm);
+
+    /** @{ Per-controller statistics. */
+    /** Remote snoop requests looked up in this cache. */
+    Counter snoopsReceived;
+    /** Snoops that found (and acted on) a matching line. */
+    Counter snoopHits;
+    /** Demand accesses absorbed by the L1 (when modelled). */
+    Counter l1Hits;
+    /** @} */
+
+  private:
+    /** In-flight transaction state. */
+    struct Mshr
+    {
+        MemAccess access;
+        AccessCallback callback;
+        SnoopKind kind = SnoopKind::GetS;
+        /** Upgrade: the line is still cached (and pinned). */
+        bool upgrade = false;
+        std::uint32_t attempt = 1;
+        bool persistent = false;
+        bool waitingGrant = false;
+        /** Tokens collected (full-miss mode only). */
+        std::uint32_t tokens = 0;
+        bool owner = false;
+        bool haveData = false;
+        bool dirtyData = false;
+        bool makeProvider = false;
+        DataSource dataSource = DataSource::Memory;
+        Tick issued = 0;
+        /** Generation for ignoring stale timeout events. */
+        std::uint64_t timeoutGen = 0;
+    };
+
+    /** Multicast the current attempt's snoops and arm the timer. */
+    void issueAttempt(Mshr &mshr);
+
+    /** Timer fired for the given generation. */
+    void onTimeout(std::uint64_t line_num, std::uint64_t gen);
+
+    /** Test for and perform completion. */
+    void tryComplete(Mshr &mshr);
+
+    /** Install a completed full-miss line, evicting a victim. */
+    void installLine(Mshr &mshr);
+
+    /** Evict @p victim, returning its tokens (and data) to memory. */
+    void evict(CacheLine &victim);
+
+    /** Respond to a snoop from the cached line @p line. */
+    void respondFromLine(const SnoopMsg &msg, CacheLine &line);
+
+    /**
+     * Remove an L2 line, preserving L1 inclusion (the L1 copy, if
+     * any, is invalidated first).  All L2 removals go through here.
+     */
+    void removeL2(CacheLine &line);
+
+    /** Install/refresh the L1 copy after an L2 hit or fill. */
+    void fillL1(HostAddr line_addr, VmId vm, PageType type);
+
+    CoherenceSystem &system_;
+    CoreId core_;
+    Cache cache_;
+    /** Optional inclusive write-through L1 in front of the L2. */
+    std::optional<Cache> l1_;
+    ResidenceCounters residence_;
+    std::unordered_map<std::uint64_t, Mshr> mshrs_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_COHERENCE_CONTROLLER_HH_

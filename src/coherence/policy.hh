@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Snoop destination-set policies.
+ *
+ * A SnoopTargetPolicy decides, for each transaction attempt, which
+ * remote cores (and whether the memory controller) receive the
+ * snoop.  The broadcast TokenB baseline lives here; the virtual
+ * snooping policy (the paper's contribution) lives in src/core/ and
+ * implements the same interface.
+ */
+
+#ifndef VSNOOP_COHERENCE_POLICY_HH_
+#define VSNOOP_COHERENCE_POLICY_HH_
+
+#include "coherence/protocol.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Destination-set selection interface.
+ */
+class SnoopTargetPolicy
+{
+  public:
+    virtual ~SnoopTargetPolicy() = default;
+
+    /**
+     * Choose the snoop destinations for one attempt.
+     *
+     * @param requester Requesting core.
+     * @param access The access (address, r/w, VM, page type).
+     * @param attempt 1-based transient attempt number; policies may
+     *        widen the set on retries (the counter-threshold scheme
+     *        broadcasts from attempt 3, Section IV-B).
+     * @return The destination set (requester excluded by contract).
+     */
+    virtual SnoopTargets targets(CoreId requester, const MemAccess &access,
+                                 std::uint32_t attempt) = 0;
+
+    /**
+     * Notification that @p vcpu-mapped VM data may now be cached on
+     * @p core: the default implementation ignores it; the virtual
+     * snooping policy uses it to grow vCPU maps on migration.
+     */
+    virtual void noteLineCached(CoreId core, VmId vm) { (void)core;
+                                                        (void)vm; }
+};
+
+/**
+ * TokenB: broadcast every request to all other cores plus memory
+ * (the paper's baseline).
+ */
+class TokenBPolicy : public SnoopTargetPolicy
+{
+  public:
+    explicit TokenBPolicy(std::uint32_t num_cores)
+        : allCores_(CoreSet::firstN(num_cores))
+    {
+    }
+
+    SnoopTargets
+    targets(CoreId requester, const MemAccess &access,
+            std::uint32_t attempt) override
+    {
+        (void)access;
+        (void)attempt;
+        SnoopTargets t;
+        t.cores = allCores_;
+        t.cores.remove(requester);
+        t.memory = true;
+        // Under broadcast, any owner (or provider) may answer
+        // RO-shared reads; match every VM.
+        t.providerMask = ~std::uint32_t{0};
+        return t;
+    }
+
+  private:
+    CoreSet allCores_;
+};
+
+/**
+ * Fixed-set multicast policy, for unit tests: always snoop the
+ * given cores.
+ */
+class StaticPolicy : public SnoopTargetPolicy
+{
+  public:
+    explicit StaticPolicy(CoreSet cores, bool memory = true)
+        : cores_(cores), memory_(memory)
+    {
+    }
+
+    SnoopTargets
+    targets(CoreId requester, const MemAccess &access,
+            std::uint32_t attempt) override
+    {
+        (void)access;
+        (void)attempt;
+        SnoopTargets t;
+        t.cores = cores_;
+        t.cores.remove(requester);
+        t.memory = memory_;
+        t.providerMask = ~std::uint32_t{0};
+        return t;
+    }
+
+  private:
+    CoreSet cores_;
+    bool memory_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_COHERENCE_POLICY_HH_

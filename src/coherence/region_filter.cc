@@ -1,0 +1,62 @@
+#include "coherence/region_filter.hh"
+
+#include "coherence/system.hh"
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+IdealRegionFilterPolicy::IdealRegionFilterPolicy(
+    std::uint32_t num_cores, std::uint64_t region_bytes)
+    : numCores_(num_cores), regionBytes_(region_bytes)
+{
+    vsnoop_assert(region_bytes >= kLineBytes &&
+                      region_bytes % kLineBytes == 0,
+                  "region size must be a whole number of lines");
+}
+
+SnoopTargets
+IdealRegionFilterPolicy::targets(CoreId requester,
+                                 const MemAccess &access,
+                                 std::uint32_t attempt)
+{
+    SnoopTargets t;
+    t.memory = true;
+    t.providerMask = ~std::uint32_t{0};
+
+    if (system_ == nullptr || attempt > 1) {
+        // Unattached, or a retry: fall back to broadcast (tokens
+        // may be in flight, which even the oracle cannot see).
+        t.cores = CoreSet::firstN(numCores_);
+        t.cores.remove(requester);
+        return t;
+    }
+
+    // Oracle lookup: which remote caches hold any line of the
+    // region right now?
+    std::uint64_t region_base =
+        access.addr.raw() & ~(regionBytes_ - 1);
+    std::uint64_t lines = regionBytes_ / kLineBytes;
+    CoreSet sharers;
+    for (CoreId core = 0; core < numCores_; ++core) {
+        if (core == requester)
+            continue;
+        const Cache &cache = system_->controller(core).cache();
+        for (std::uint64_t i = 0; i < lines; ++i) {
+            HostAddr line(region_base + i * kLineBytes);
+            if (cache.find(line) != nullptr) {
+                sharers.add(core);
+                break;
+            }
+        }
+    }
+
+    t.cores = sharers;
+    if (sharers.empty())
+        memoryDirect.inc();
+    else
+        exactMulticast.inc();
+    return t;
+}
+
+} // namespace vsnoop

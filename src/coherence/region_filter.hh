@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Idealized region-based snoop filter, for comparison with virtual
+ * snooping.
+ *
+ * The paper's related work (RegionScout, Coarse-Grain Coherence
+ * Tracking, In-Network Coherence Filtering) filters snoops by
+ * tracking the shared/private state of coarse-grained memory
+ * regions in hardware tables.  This class implements the *idealized*
+ * form of that family: an oracle with perfect, instantaneous
+ * knowledge of which caches hold lines of a region.
+ *
+ *  - If no remote cache holds any line of the request's region, the
+ *    request goes straight to memory (the RegionScout/CGCT fast
+ *    path).
+ *  - Otherwise the request is multicast exactly to the caches that
+ *    hold lines of the region (an upper bound no real table-based
+ *    filter can beat, since real filters suffer false positives
+ *    from evictions and table conflicts).
+ *
+ * Comparing virtual snooping against this oracle quantifies how
+ * much of the region-filter family's headroom the VM-boundary
+ * heuristic captures without any tracking hardware at all — the
+ * paper's central storage-cost argument (Section VII).
+ *
+ * Note the oracle inspects cache contents on every request; it is a
+ * modelling tool, not a buildable design, and is costed accordingly
+ * only in snoop counts.
+ */
+
+#ifndef VSNOOP_COHERENCE_REGION_FILTER_HH_
+#define VSNOOP_COHERENCE_REGION_FILTER_HH_
+
+#include "coherence/policy.hh"
+#include "sim/stats.hh"
+
+namespace vsnoop
+{
+
+class CoherenceSystem;
+
+/**
+ * The oracle region filter.
+ */
+class IdealRegionFilterPolicy : public SnoopTargetPolicy
+{
+  public:
+    /**
+     * @param num_cores Cores in the system.
+     * @param region_bytes Region granularity (RegionScout evaluates
+     *        256 B - 16 KB; CGCT uses 512 B - 4 KB).
+     */
+    IdealRegionFilterPolicy(std::uint32_t num_cores,
+                            std::uint64_t region_bytes = 1024);
+
+    /** Attach to the system whose caches the oracle inspects. */
+    void attach(CoherenceSystem &system) { system_ = &system; }
+
+    SnoopTargets targets(CoreId requester, const MemAccess &access,
+                         std::uint32_t attempt) override;
+
+    /** @{ Statistics. */
+    /** Requests that went memory-direct (region nowhere cached). */
+    Counter memoryDirect;
+    /** Requests multicast to the exact sharer set. */
+    Counter exactMulticast;
+    /** @} */
+
+  private:
+    std::uint32_t numCores_;
+    std::uint64_t regionBytes_;
+    CoherenceSystem *system_ = nullptr;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_COHERENCE_REGION_FILTER_HH_

@@ -1,0 +1,360 @@
+#include "coherence/system.hh"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+CoherenceSystem::CoherenceSystem(EventQueue &eq, Network &network,
+                                 SnoopTargetPolicy &policy,
+                                 const ProtocolConfig &config,
+                                 const CacheGeometry &geometry,
+                                 std::size_t num_vms)
+    : eq_(eq), network_(network), policy_(policy), config_(config),
+      memory_(config.numCores,
+              std::min<std::uint32_t>(4, network.numNodes()),
+              config.memLatency),
+      friendOf_(num_vms, kInvalidVm)
+{
+    vsnoop_assert(config_.numCores <= network.numNodes(),
+                  "more cores (", config_.numCores, ") than network nodes (",
+                  network.numNodes(), ")");
+    vsnoop_assert(config_.numCores <= CoreSet::kMaxCores,
+                  "CoreSet supports at most 64 cores");
+    controllers_.reserve(config_.numCores);
+    for (CoreId c = 0; c < config_.numCores; ++c) {
+        controllers_.push_back(std::make_unique<CoherenceController>(
+            *this, c, geometry, num_vms));
+    }
+    // Memory controllers are spread evenly over the nodes.
+    std::uint32_t mcs = memory_.numControllers();
+    for (std::uint32_t i = 0; i < mcs; ++i)
+        memNodes_.push_back(i * network.numNodes() / mcs);
+}
+
+CoherenceController &
+CoherenceSystem::controller(CoreId core)
+{
+    vsnoop_assert(core < controllers_.size(), "bad core id ", core);
+    return *controllers_[core];
+}
+
+const CoherenceController &
+CoherenceSystem::controller(CoreId core) const
+{
+    vsnoop_assert(core < controllers_.size(), "bad core id ", core);
+    return *controllers_[core];
+}
+
+void
+CoherenceSystem::access(CoreId core, const MemAccess &access,
+                        AccessCallback callback)
+{
+    controller(core).access(access, std::move(callback));
+}
+
+void
+CoherenceSystem::setFriend(VmId vm, VmId friend_vm)
+{
+    vsnoop_assert(vm < friendOf_.size() && friend_vm < friendOf_.size(),
+                  "friend pairing out of range");
+    friendOf_[vm] = friend_vm;
+}
+
+VmId
+CoherenceSystem::friendOf(VmId vm) const
+{
+    if (vm >= friendOf_.size())
+        return kInvalidVm;
+    return friendOf_[vm];
+}
+
+NodeId
+CoherenceSystem::memNodeFor(HostAddr line) const
+{
+    return memNodes_[memory_.controllerFor(line)];
+}
+
+void
+CoherenceSystem::sendSnoops(CoreId from, const SnoopMsg &msg,
+                            const SnoopTargets &targets)
+{
+    Tick now = eq_.now();
+    targets.cores.forEach([&](CoreId target) {
+        vsnoop_assert(target != from, "policy must exclude the requester");
+        Tick arrive = network_.send(from, target, config_.controlBytes,
+                                    MsgClass::Request, now);
+        stats.snoopsDelivered.inc();
+        stats.snoopLookups.inc();
+        eq_.scheduleFn(arrive, [this, target, msg] {
+            controller(target).handleSnoop(msg);
+        });
+    });
+    if (targets.memory) {
+        NodeId mc = memNodeFor(msg.line);
+        Tick arrive = network_.send(from, mc, config_.controlBytes,
+                                    MsgClass::Request, now);
+        stats.memorySnoops.inc();
+        eq_.scheduleFn(arrive, [this, msg] { handleMemorySnoop(msg); });
+    }
+}
+
+void
+CoherenceSystem::sendResponseToCore(NodeId from_node, CoreId to,
+                                    const ResponseMsg &msg, Tick depart)
+{
+    std::uint32_t bytes =
+        msg.hasData ? config_.dataBytes : config_.controlBytes;
+    MsgClass cls = msg.hasData ? MsgClass::Data : MsgClass::Response;
+    inflightAdd(msg.line, msg.tokens, msg.owner);
+    Tick arrive = network_.send(from_node, to, bytes, cls,
+                                std::max(depart, eq_.now()));
+    eq_.scheduleFn(arrive, [this, to, msg] {
+        inflightRemove(msg.line, msg.tokens, msg.owner);
+        controller(to).handleResponse(msg);
+    });
+}
+
+void
+CoherenceSystem::sendTokensToMemory(CoreId from, HostAddr line,
+                                    std::uint32_t tokens, bool owner,
+                                    bool dirty_data)
+{
+    if (tokens == 0 && !owner)
+        return;
+    std::uint32_t bytes =
+        dirty_data ? config_.dataBytes : config_.controlBytes;
+    MsgClass cls = dirty_data ? MsgClass::Data : MsgClass::Response;
+    NodeId mc = memNodeFor(line);
+    inflightAdd(line, tokens, owner);
+    Tick arrive = network_.send(from, mc, bytes, cls, eq_.now());
+    eq_.scheduleFn(arrive, [this, line, tokens, owner, dirty_data] {
+        inflightRemove(line, tokens, owner);
+        memory_.returnTokens(line, tokens, owner);
+        if (dirty_data)
+            memory_.writebacks.inc();
+    });
+}
+
+void
+CoherenceSystem::resetStats()
+{
+    stats = CoherenceStats{};
+    memory_.reads.reset();
+    memory_.writebacks.reset();
+    memory_.dataProvided.reset();
+    for (auto &ctrl : controllers_) {
+        ctrl->snoopsReceived.reset();
+        ctrl->snoopHits.reset();
+        ctrl->l1Hits.reset();
+        Cache &cache = ctrl->cache();
+        cache.hits.reset();
+        cache.misses.reset();
+        cache.evictions.reset();
+        cache.invalidations.reset();
+        if (ctrl->hasL1()) {
+            ctrl->l1().hits.reset();
+            ctrl->l1().misses.reset();
+        }
+    }
+}
+
+void
+CoherenceSystem::sendControl(NodeId from, NodeId to, std::uint32_t bytes)
+{
+    network_.send(from, to, bytes, MsgClass::Control, eq_.now());
+}
+
+void
+CoherenceSystem::handleMemorySnoop(const SnoopMsg &msg)
+{
+    MemLineState st = memory_.state(msg.line);
+    NodeId mc = memNodeFor(msg.line);
+    Tick now = eq_.now();
+    bool is_ro = msg.pageType == PageType::RoShared;
+
+    if (msg.kind == SnoopKind::GetX) {
+        if (st.tokens == 0)
+            return;
+        MemLineState taken =
+            memory_.takeTokens(msg.line, st.tokens, true);
+        ResponseMsg resp;
+        resp.line = msg.line;
+        resp.tokens = taken.tokens;
+        resp.owner = taken.owner;
+        // Memory data is current only when memory held the owner
+        // token; otherwise a dirty cache owner supplies the data.
+        resp.hasData = taken.owner;
+        resp.fromMemory = true;
+        Tick depart =
+            now + (resp.hasData ? config_.memLatency
+                                : config_.memTokenLatency);
+        if (resp.hasData) {
+            memory_.reads.inc();
+            memory_.dataProvided.inc();
+        }
+        sendResponseToCore(mc, msg.requester, resp, depart);
+        return;
+    }
+
+    // GetS.
+    if (is_ro) {
+        // RO-shared lines are clean by construction: memory may
+        // always provide data, and grants a token bundle so the
+        // requester can serve same-VM readers cache-to-cache.
+        if (st.tokens == 0)
+            return; // every token is cached; a retry will broadcast
+        std::uint32_t bundle =
+            std::max<std::uint32_t>(1, msg.roBundle);
+        MemLineState taken = memory_.takeTokens(msg.line, bundle, true);
+        ResponseMsg resp;
+        resp.line = msg.line;
+        resp.tokens = taken.tokens;
+        resp.owner = taken.owner;
+        resp.hasData = true;
+        resp.makeProvider = true;
+        resp.fromMemory = true;
+        memory_.reads.inc();
+        memory_.dataProvided.inc();
+        sendResponseToCore(mc, msg.requester, resp,
+                           now + config_.memLatency);
+        return;
+    }
+
+    if (!st.owner)
+        return; // a cache owner is responsible for the data
+    MemLineState taken = memory_.takeTokens(msg.line, 1, true);
+    vsnoop_assert(taken.tokens >= 1, "owner state without tokens");
+    ResponseMsg resp;
+    resp.line = msg.line;
+    resp.tokens = taken.tokens;
+    resp.owner = taken.owner;
+    resp.hasData = true;
+    resp.fromMemory = true;
+    memory_.reads.inc();
+    memory_.dataProvided.inc();
+    sendResponseToCore(mc, msg.requester, resp, now + config_.memLatency);
+}
+
+void
+CoherenceSystem::requestPersistent(HostAddr line, CoreId core)
+{
+    std::uint64_t key = line.lineAligned().lineNum();
+    auto &queue = persistent_[key];
+    queue.push_back(core);
+    if (queue.size() == 1) {
+        // Line was unowned: grant immediately (next tick, to avoid
+        // re-entering the controller from within its own call).
+        eq_.scheduleFnIn(1, [this, line, core] {
+            controller(core).persistentGranted(line);
+        });
+    }
+}
+
+void
+CoherenceSystem::releasePersistent(HostAddr line, CoreId core)
+{
+    std::uint64_t key = line.lineAligned().lineNum();
+    auto it = persistent_.find(key);
+    vsnoop_assert(it != persistent_.end() && !it->second.empty(),
+                  "release of an unheld persistent grant");
+    vsnoop_assert(it->second.front() == core,
+                  "persistent release out of order");
+    it->second.pop_front();
+    if (it->second.empty()) {
+        persistent_.erase(it);
+        return;
+    }
+    CoreId next = it->second.front();
+    eq_.scheduleFnIn(1, [this, line, next] {
+        controller(next).persistentGranted(line);
+    });
+}
+
+void
+CoherenceSystem::inflightAdd(HostAddr line, std::uint32_t tokens,
+                             bool owner)
+{
+    if (tokens == 0 && !owner)
+        return;
+    InflightState &st = inflight_[line.lineAligned().lineNum()];
+    st.tokens += tokens;
+    if (owner)
+        st.owners += 1;
+}
+
+void
+CoherenceSystem::inflightRemove(HostAddr line, std::uint32_t tokens,
+                                bool owner)
+{
+    if (tokens == 0 && !owner)
+        return;
+    std::uint64_t key = line.lineAligned().lineNum();
+    auto it = inflight_.find(key);
+    vsnoop_assert(it != inflight_.end(), "in-flight ledger underflow");
+    vsnoop_assert(it->second.tokens >= tokens &&
+                  (!owner || it->second.owners >= 1),
+                  "in-flight ledger underflow for line ", line.raw());
+    it->second.tokens -= tokens;
+    if (owner)
+        it->second.owners -= 1;
+    if (it->second.tokens == 0 && it->second.owners == 0)
+        inflight_.erase(it);
+}
+
+void
+CoherenceSystem::checkInvariants() const
+{
+    // Gather every line that deviates anywhere from the
+    // all-at-memory default.
+    std::unordered_set<std::uint64_t> lines;
+    for (const auto &ctrl : controllers_) {
+        ctrl->cache().forEachLine([&](const CacheLine &line) {
+            lines.insert(line.addr.lineNum());
+        });
+        std::vector<std::uint64_t> mshr_lines;
+        ctrl->collectMshrLines(mshr_lines);
+        lines.insert(mshr_lines.begin(), mshr_lines.end());
+    }
+    memory_.forEachLedgerLine(
+        [&](std::uint64_t line_num) { lines.insert(line_num); });
+    for (const auto &[line_num, st] : inflight_)
+        lines.insert(line_num);
+
+    std::uint32_t expect = memory_.tokensPerLine();
+    for (std::uint64_t line_num : lines) {
+        HostAddr addr(line_num << kLineShift);
+        std::uint32_t tokens = 0;
+        std::uint32_t owners = 0;
+        for (const auto &ctrl : controllers_) {
+            const CacheLine *line = ctrl->cache().find(addr);
+            if (line != nullptr) {
+                tokens += line->tokens;
+                if (line->owner)
+                    owners++;
+            }
+            ctrl->sumMshrTokens(addr, tokens, owners);
+        }
+        MemLineState mem = memory_.state(addr);
+        tokens += mem.tokens;
+        if (mem.owner)
+            owners++;
+        auto inflight_it = inflight_.find(line_num);
+        if (inflight_it != inflight_.end()) {
+            tokens += inflight_it->second.tokens;
+            owners += inflight_it->second.owners;
+        }
+        vsnoop_assert(tokens == expect,
+                      "token conservation violated for line ", addr.raw(),
+                      ": ", tokens, " != ", expect);
+        vsnoop_assert(owners == 1,
+                      "owner uniqueness violated for line ", addr.raw(),
+                      ": ", owners, " owners");
+    }
+}
+
+} // namespace vsnoop

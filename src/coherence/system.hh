@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The chip-wide coherence system: controllers, memory, message
+ * fabric, persistent-request arbitration and invariant checking.
+ *
+ * The system is the single place that touches the network: it
+ * converts logical sends (snoop to core X, response to requester,
+ * tokens back to memory) into timed deliveries via EventQueue, and
+ * maintains the in-flight token ledger that makes system-wide token
+ * conservation checkable at any instant — the key safety property
+ * of token coherence.
+ */
+
+#ifndef VSNOOP_COHERENCE_SYSTEM_HH_
+#define VSNOOP_COHERENCE_SYSTEM_HH_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/controller.hh"
+#include "coherence/policy.hh"
+#include "coherence/protocol.hh"
+#include "mem/main_memory.hh"
+#include "noc/network.hh"
+#include "sim/event_queue.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Aggregated protocol statistics.
+ */
+struct CoherenceStats
+{
+    /** Coherence transactions (L2 misses and upgrades). */
+    Counter transactions;
+    Counter readTransactions;
+    Counter writeTransactions;
+    /** L2 demand hits. */
+    Counter l2Hits;
+    /**
+     * Snoop lookups induced system-wide: one per transaction for
+     * the requester's own tag check plus one per remote delivery.
+     * This is the metric normalized in the paper's Figures 7/8.
+     */
+    Counter snoopLookups;
+    /** Snoop requests delivered to remote cores. */
+    Counter snoopsDelivered;
+    /** Snoop requests delivered to memory controllers. */
+    Counter memorySnoops;
+    /** Transient retry attempts beyond the first. */
+    Counter retries;
+    /** Transactions that escalated to persistent requests. */
+    Counter persistentRequests;
+    /** Evictions that wrote dirty data back. */
+    Counter dirtyWritebacks;
+    /** Token messages bounced to memory with no waiting MSHR. */
+    Counter bouncedResponses;
+    /** Completed transactions by data source. */
+    Counter dataFrom[kNumDataSources];
+    /** Same, restricted to RO-shared (content-shared) lines. */
+    Counter roDataFrom[kNumDataSources];
+    /** Miss (transaction) latency in ticks. */
+    Distribution missLatency;
+    /** Miss latency restricted to RO-shared lines. */
+    Distribution roMissLatency;
+};
+
+/**
+ * The coherence system.
+ */
+class CoherenceSystem
+{
+  public:
+    /**
+     * @param eq Simulation event queue.
+     * @param network Interconnect (cores are nodes 0..N-1).
+     * @param policy Snoop destination-set policy.
+     * @param config Protocol timing/size knobs.
+     * @param geometry Private L2 geometry.
+     * @param num_vms VM count for the residence counter banks.
+     */
+    CoherenceSystem(EventQueue &eq, Network &network,
+                    SnoopTargetPolicy &policy,
+                    const ProtocolConfig &config,
+                    const CacheGeometry &geometry, std::size_t num_vms);
+
+    /** Issue a demand access from @p core at the current tick. */
+    void access(CoreId core, const MemAccess &access,
+                AccessCallback callback);
+
+    CoherenceController &controller(CoreId core);
+    const CoherenceController &controller(CoreId core) const;
+
+    MainMemory &memory() { return memory_; }
+    const MainMemory &memory() const { return memory_; }
+    EventQueue &eventQueue() { return eq_; }
+    const ProtocolConfig &config() const { return config_; }
+    SnoopTargetPolicy &policy() { return policy_; }
+    std::uint32_t numCores() const { return config_.numCores; }
+
+    /** Establish the friend-VM pairing used for Table VI / Fig 10. */
+    void setFriend(VmId vm, VmId friend_vm);
+
+    /** Friend of @p vm, or kInvalidVm when none is configured. */
+    VmId friendOf(VmId vm) const;
+
+    /** @{ Message fabric, used by controllers. */
+    void sendSnoops(CoreId from, const SnoopMsg &msg,
+                    const SnoopTargets &targets);
+    void sendResponseToCore(NodeId from_node, CoreId to,
+                            const ResponseMsg &msg, Tick depart);
+    void sendTokensToMemory(CoreId from, HostAddr line,
+                            std::uint32_t tokens, bool owner,
+                            bool dirty_data);
+    /**
+     * Charge a control message (e.g. vCPU-map synchronization) to
+     * the network, without any protocol side effect.
+     */
+    void sendControl(NodeId from, NodeId to, std::uint32_t bytes);
+    /** @} */
+
+    /** @{ Persistent-request arbitration. */
+    void requestPersistent(HostAddr line, CoreId core);
+    void releasePersistent(HostAddr line, CoreId core);
+    /** @} */
+
+    /**
+     * Verify token conservation and owner uniqueness across caches,
+     * memory, MSHRs and in-flight messages.  Panics on violation.
+     */
+    void checkInvariants() const;
+
+    /**
+     * Zero all protocol, memory and per-controller statistics
+     * (warmup boundary).  Protocol state is untouched.
+     */
+    void resetStats();
+
+    /** Mesh node hosting the memory controller for @p line. */
+    NodeId memNodeFor(HostAddr line) const;
+
+    CoherenceStats stats;
+
+  private:
+    friend class CoherenceController;
+
+    /** Deliver a snoop at a memory controller. */
+    void handleMemorySnoop(const SnoopMsg &msg);
+
+    /** In-flight token ledger bookkeeping. */
+    void inflightAdd(HostAddr line, std::uint32_t tokens, bool owner);
+    void inflightRemove(HostAddr line, std::uint32_t tokens, bool owner);
+
+    struct InflightState
+    {
+        std::uint32_t tokens = 0;
+        std::uint32_t owners = 0;
+    };
+
+    EventQueue &eq_;
+    Network &network_;
+    SnoopTargetPolicy &policy_;
+    ProtocolConfig config_;
+    MainMemory memory_;
+    std::vector<std::unique_ptr<CoherenceController>> controllers_;
+    std::vector<NodeId> memNodes_;
+    std::unordered_map<std::uint64_t, InflightState> inflight_;
+    /** Per-line queue of cores waiting for persistent-mode grants. */
+    std::unordered_map<std::uint64_t, std::deque<CoreId>> persistent_;
+    std::vector<VmId> friendOf_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_COHERENCE_SYSTEM_HH_

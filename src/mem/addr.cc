@@ -1,0 +1,20 @@
+#include "mem/addr.hh"
+
+namespace vsnoop
+{
+
+const char *
+pageTypeName(PageType type)
+{
+    switch (type) {
+      case PageType::VmPrivate:
+        return "VM-private";
+      case PageType::RwShared:
+        return "RW-shared";
+      case PageType::RoShared:
+        return "RO-shared";
+    }
+    return "unknown";
+}
+
+} // namespace vsnoop

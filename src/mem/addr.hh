@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Address types and cache/page geometry.
+ *
+ * The simulator distinguishes guest-physical addresses (what a VM's
+ * OS believes is physical memory) from host-physical addresses (real
+ * machine addresses assigned by the hypervisor).  Both are plain
+ * 64-bit values wrapped in strong types so they cannot be mixed up
+ * at compile time.  Caches and the coherence protocol operate on
+ * host-physical line addresses.
+ *
+ * Geometry follows the paper's configuration: 64-byte cache lines
+ * and 4 KB pages.
+ */
+
+#ifndef VSNOOP_MEM_ADDR_HH_
+#define VSNOOP_MEM_ADDR_HH_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace vsnoop
+{
+
+/** Cache line size in bytes (Table II). */
+constexpr std::uint64_t kLineBytes = 64;
+
+/** Page size in bytes. */
+constexpr std::uint64_t kPageBytes = 4096;
+
+/** Cache lines per page. */
+constexpr std::uint64_t kLinesPerPage = kPageBytes / kLineBytes;
+
+/** log2(kLineBytes). */
+constexpr unsigned kLineShift = 6;
+
+/** log2(kPageBytes). */
+constexpr unsigned kPageShift = 12;
+
+/**
+ * Sharing classification of a page, maintained by the hypervisor in
+ * shadow/nested page tables (Section IV-A of the paper).  Two unused
+ * PTE bits encode this in hardware; the simulator carries it on
+ * every memory access.
+ */
+enum class PageType : std::uint8_t
+{
+    /** Used by exactly one VM; snoops stay within the vCPU map. */
+    VmPrivate,
+    /** Writable sharing with the hypervisor or between VMs;
+     *  snoops must broadcast. */
+    RwShared,
+    /** Content-based read-only sharing across VMs; eligible for the
+     *  memory-direct / intra-VM / friend-VM optimizations. */
+    RoShared,
+};
+
+/** Human-readable name for a PageType. */
+const char *pageTypeName(PageType type);
+
+namespace detail
+{
+
+/**
+ * CRTP strong address wrapper: arithmetic-free, comparable,
+ * hashable.  Alignment helpers live here so both address spaces
+ * share them.
+ */
+template <typename Tag>
+class StrongAddr
+{
+  public:
+    constexpr StrongAddr() = default;
+    constexpr explicit StrongAddr(std::uint64_t raw) : raw_(raw) {}
+
+    constexpr std::uint64_t raw() const { return raw_; }
+
+    /** Address of the containing cache line's first byte. */
+    constexpr StrongAddr
+    lineAligned() const
+    {
+        return StrongAddr(raw_ & ~(kLineBytes - 1));
+    }
+
+    /** Address of the containing page's first byte. */
+    constexpr StrongAddr
+    pageAligned() const
+    {
+        return StrongAddr(raw_ & ~(kPageBytes - 1));
+    }
+
+    /** Page number (address >> page shift). */
+    constexpr std::uint64_t pageNum() const { return raw_ >> kPageShift; }
+
+    /** Line number (address >> line shift). */
+    constexpr std::uint64_t lineNum() const { return raw_ >> kLineShift; }
+
+    /** Byte offset within the page. */
+    constexpr std::uint64_t
+    pageOffset() const
+    {
+        return raw_ & (kPageBytes - 1);
+    }
+
+    /** Line index within the page. */
+    constexpr std::uint64_t
+    lineInPage() const
+    {
+        return pageOffset() >> kLineShift;
+    }
+
+    constexpr auto operator<=>(const StrongAddr &) const = default;
+
+  private:
+    std::uint64_t raw_ = 0;
+};
+
+} // namespace detail
+
+/** Guest-physical address: a VM's view of "physical" memory. */
+class GuestAddr : public detail::StrongAddr<GuestAddr>
+{
+  public:
+    using StrongAddr::StrongAddr;
+    constexpr GuestAddr(StrongAddr base) : StrongAddr(base) {}
+};
+
+/** Host-physical address: the real machine address. */
+class HostAddr : public detail::StrongAddr<HostAddr>
+{
+  public:
+    using StrongAddr::StrongAddr;
+    constexpr HostAddr(StrongAddr base) : StrongAddr(base) {}
+};
+
+/** Build a guest-physical address from a page number and offset. */
+constexpr GuestAddr
+makeGuestAddr(std::uint64_t page_num, std::uint64_t offset = 0)
+{
+    return GuestAddr((page_num << kPageShift) | offset);
+}
+
+/** Build a host-physical address from a page number and offset. */
+constexpr HostAddr
+makeHostAddr(std::uint64_t page_num, std::uint64_t offset = 0)
+{
+    return HostAddr((page_num << kPageShift) | offset);
+}
+
+} // namespace vsnoop
+
+namespace std
+{
+
+template <>
+struct hash<vsnoop::GuestAddr>
+{
+    size_t
+    operator()(const vsnoop::GuestAddr &a) const noexcept
+    {
+        return std::hash<std::uint64_t>()(a.raw());
+    }
+};
+
+template <>
+struct hash<vsnoop::HostAddr>
+{
+    size_t
+    operator()(const vsnoop::HostAddr &a) const noexcept
+    {
+        return std::hash<std::uint64_t>()(a.raw());
+    }
+};
+
+} // namespace std
+
+#endif // VSNOOP_MEM_ADDR_HH_

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Set-associative cache with token-coherence line metadata.
+ *
+ * The coherence protocol keeps its per-line state (token count,
+ * owner token, dirty flag) directly in the cache line, as a real
+ * MOESI token-coherence L2 would.  Each line also carries the id of
+ * the VM that allocated it and the page sharing type, which the
+ * virtual-snooping residence counters and the RO-shared provider
+ * designation need (Sections IV-B and VI-B of the paper).
+ *
+ * The cache is a passive tag store: all protocol decisions (what to
+ * do with an evicted owner line, when to invalidate on a snoop) are
+ * made by the CoherenceController that owns the cache.
+ */
+
+#ifndef VSNOOP_MEM_CACHE_HH_
+#define VSNOOP_MEM_CACHE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vsnoop
+{
+
+/**
+ * One cache line's tag and coherence state.
+ *
+ * Token-coherence invariant: a line is valid iff it holds at least
+ * one token.  The owner token implies responsibility for providing
+ * data and for writing dirty data back on eviction.
+ */
+struct CacheLine
+{
+    /** Line-aligned host-physical address (the tag). */
+    HostAddr addr{0};
+    /** True when the entry holds a line. */
+    bool valid = false;
+    /** Tokens held; valid implies tokens >= 1. */
+    std::uint32_t tokens = 0;
+    /** Holds the owner token. */
+    bool owner = false;
+    /** Data differs from memory (meaningful only with owner). */
+    bool dirty = false;
+    /** VM that allocated the line (kInvalidVm for hypervisor). */
+    VmId vm = kInvalidVm;
+    /** Page sharing type at allocation time. */
+    PageType pageType = PageType::VmPrivate;
+    /**
+     * For RO-shared lines: bitmask of VM ids for which this copy is
+     * the designated per-VM provider (Section VI-B).  Bit i set
+     * means VM i's intra-VM read requests are answered by this copy.
+     */
+    std::uint32_t providerVms = 0;
+    /** LRU timestamp (monotonic access sequence number). */
+    std::uint64_t lastUse = 0;
+    /**
+     * Excluded from victim selection while an in-flight upgrade
+     * transaction counts this line's tokens toward its goal.
+     */
+    bool pinned = false;
+};
+
+/**
+ * Observer informed when lines enter or leave the cache; the
+ * virtual-snooping residence counters hook in here.
+ */
+class CacheObserver
+{
+  public:
+    virtual ~CacheObserver() = default;
+
+    /** A line for @p vm with type @p type was allocated. */
+    virtual void onLineInserted(VmId vm, PageType type) = 0;
+
+    /** A line for @p vm was evicted or invalidated. */
+    virtual void onLineRemoved(VmId vm, PageType type) = 0;
+};
+
+/**
+ * Replacement policy selector.
+ */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru,
+    Random,
+};
+
+/**
+ * A set-associative tag store.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity; must be a multiple of
+     *        line size times associativity.
+     * @param ways Associativity.
+     * @param policy Victim selection policy.
+     */
+    Cache(std::uint64_t size_bytes, std::uint32_t ways,
+          ReplacementPolicy policy = ReplacementPolicy::Lru);
+
+    /** Attach an observer for insert/remove notifications. */
+    void setObserver(CacheObserver *observer) { observer_ = observer; }
+
+    std::uint32_t numSets() const { return sets_; }
+    std::uint32_t numWays() const { return ways_; }
+    std::uint64_t capacityLines() const { return lines_.size(); }
+
+    /**
+     * Look up a line by address.  Does not update LRU state; use
+     * touch() for demand accesses.
+     *
+     * @return Pointer into the tag store, or nullptr on miss.  The
+     *         pointer is invalidated by the next insert().
+     */
+    CacheLine *find(HostAddr line_addr);
+    const CacheLine *find(HostAddr line_addr) const;
+
+    /** Record a demand access for replacement purposes. */
+    void touch(CacheLine &line) { line.lastUse = ++accessSeq_; }
+
+    /**
+     * Choose a victim way for @p line_addr without modifying
+     * anything.  Prefers an invalid way; otherwise applies the
+     * replacement policy.
+     *
+     * @return Reference to the victim slot (may be valid, in which
+     *         case the caller must handle its eviction first).
+     */
+    CacheLine &victimFor(HostAddr line_addr);
+
+    /**
+     * Install a new line in @p slot (obtained from victimFor, which
+     * the caller must already have emptied).
+     *
+     * @return Reference to the installed line.
+     */
+    CacheLine &install(CacheLine &slot, HostAddr line_addr, VmId vm,
+                       PageType type, std::uint32_t tokens, bool owner,
+                       bool dirty);
+
+    /**
+     * Remove a valid line from the cache (snoop invalidation or
+     * eviction).  Notifies the observer and clears the slot.
+     */
+    void remove(CacheLine &line);
+
+    /** Number of valid lines currently belonging to @p vm. */
+    std::uint64_t linesForVm(VmId vm) const;
+
+    /** Total valid lines. */
+    std::uint64_t validLines() const;
+
+    /**
+     * Visit every valid line (e.g. for invariant checks or
+     * selective flushes).  The visitor must not insert or remove.
+     */
+    void forEachLine(const std::function<void(const CacheLine &)> &fn) const;
+
+    /**
+     * Collect pointers to valid lines matching a predicate, for a
+     * caller that will subsequently remove them (selective flush).
+     */
+    std::vector<CacheLine *>
+    collectLines(const std::function<bool(const CacheLine &)> &pred);
+
+    /** @{ Access statistics maintained by the owner via these. */
+    Counter hits;
+    Counter misses;
+    Counter evictions;
+    Counter invalidations;
+    /** @} */
+
+  private:
+    std::uint32_t setIndex(HostAddr line_addr) const;
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    ReplacementPolicy policy_;
+    std::vector<CacheLine> lines_;
+    CacheObserver *observer_ = nullptr;
+    std::uint64_t accessSeq_ = 0;
+    std::uint64_t randState_ = 0x9e3779b97f4a7c15ULL;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_MEM_CACHE_HH_

@@ -1,0 +1,114 @@
+#include "mem/main_memory.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+MainMemory::MainMemory(std::uint32_t tokens_per_line,
+                       std::uint32_t num_controllers, Tick latency)
+    : tokensPerLine_(tokens_per_line), numControllers_(num_controllers),
+      latency_(latency)
+{
+    vsnoop_assert(tokens_per_line >= 1, "need at least one token per line");
+    vsnoop_assert(num_controllers >= 1, "need at least one controller");
+}
+
+std::uint32_t
+MainMemory::controllerFor(HostAddr line_addr) const
+{
+    return static_cast<std::uint32_t>(line_addr.lineNum() % numControllers_);
+}
+
+MemLineState
+MainMemory::state(HostAddr line_addr) const
+{
+    auto it = ledger_.find(line_addr.lineAligned().lineNum());
+    if (it == ledger_.end())
+        return MemLineState{tokensPerLine_, true};
+    return it->second;
+}
+
+MemLineState
+MainMemory::takeTokens(HostAddr line_addr, std::uint32_t want,
+                       bool may_take_owner)
+{
+    std::uint64_t key = line_addr.lineAligned().lineNum();
+    auto it = ledger_.find(key);
+    MemLineState cur = (it == ledger_.end())
+        ? MemLineState{tokensPerLine_, true}
+        : it->second;
+
+    MemLineState taken;
+    if (cur.tokens == 0)
+        return taken;
+
+    std::uint32_t plain = cur.tokens - (cur.owner ? 1 : 0);
+    std::uint32_t give_plain = std::min(want, plain);
+    taken.tokens = give_plain;
+    cur.tokens -= give_plain;
+    want -= give_plain;
+
+    if (want > 0 && cur.owner && may_take_owner) {
+        taken.tokens += 1;
+        taken.owner = true;
+        cur.tokens -= 1;
+        cur.owner = false;
+    }
+
+    if (cur.tokens == tokensPerLine_ && cur.owner) {
+        // Back at the default state: drop the ledger entry.
+        if (it != ledger_.end())
+            ledger_.erase(it);
+    } else if (it != ledger_.end()) {
+        it->second = cur;
+    } else {
+        ledger_.emplace(key, cur);
+    }
+    return taken;
+}
+
+void
+MainMemory::returnTokens(HostAddr line_addr, std::uint32_t tokens,
+                         bool owner)
+{
+    if (tokens == 0 && !owner)
+        return;
+    std::uint64_t key = line_addr.lineAligned().lineNum();
+    auto it = ledger_.find(key);
+    MemLineState cur = (it == ledger_.end())
+        ? MemLineState{tokensPerLine_, true}
+        : it->second;
+
+    cur.tokens += tokens;
+    if (owner) {
+        vsnoop_assert(!cur.owner,
+                      "owner token returned while memory already owns line ",
+                      line_addr.raw());
+        cur.owner = true;
+    }
+    vsnoop_assert(cur.tokens <= tokensPerLine_,
+                  "token overflow at memory for line ", line_addr.raw(),
+                  ": ", cur.tokens, " > ", tokensPerLine_);
+
+    if (cur.tokens == tokensPerLine_ && cur.owner) {
+        if (it != ledger_.end())
+            ledger_.erase(it);
+    } else if (it != ledger_.end()) {
+        it->second = cur;
+    } else {
+        ledger_.emplace(key, cur);
+    }
+}
+
+bool
+MainMemory::canProvideData(HostAddr line_addr, bool line_is_ro_shared) const
+{
+    if (line_is_ro_shared)
+        return true;
+    return state(line_addr).owner;
+}
+
+} // namespace vsnoop

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Memory-side token ledger and latency model.
+ *
+ * In token coherence the memory is a first-class token holder: a
+ * line whose tokens are nowhere cached has all of them (including
+ * the owner token) at memory.  The ledger stores only lines that
+ * deviate from that default, so its footprint tracks the number of
+ * lines with cached copies rather than the address space.
+ *
+ * The chip has several memory controllers attached to mesh nodes;
+ * lines interleave across them by line number.  The ledger itself
+ * is global (one token ledger per line regardless of controller).
+ */
+
+#ifndef VSNOOP_MEM_MAIN_MEMORY_HH_
+#define VSNOOP_MEM_MAIN_MEMORY_HH_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Token state held at memory for one line.
+ */
+struct MemLineState
+{
+    std::uint32_t tokens = 0;
+    bool owner = false;
+};
+
+/**
+ * The memory system: token ledger plus access latency.
+ */
+class MainMemory
+{
+  public:
+    /**
+     * @param tokens_per_line Total tokens T per line (== number of
+     *        cores in the paper's protocol).
+     * @param num_controllers How many memory controllers share the
+     *        address space.
+     * @param latency DRAM access latency in ticks.
+     */
+    MainMemory(std::uint32_t tokens_per_line,
+               std::uint32_t num_controllers, Tick latency);
+
+    std::uint32_t tokensPerLine() const { return tokensPerLine_; }
+    std::uint32_t numControllers() const { return numControllers_; }
+    Tick latency() const { return latency_; }
+
+    /** Controller index that owns @p line_addr (line interleave). */
+    std::uint32_t controllerFor(HostAddr line_addr) const;
+
+    /** Tokens currently held at memory for @p line_addr. */
+    MemLineState state(HostAddr line_addr) const;
+
+    /**
+     * Take up to @p want tokens from memory for a read/write
+     * request.  The owner token is surrendered only when
+     * @p may_take_owner is set (reads prefer to leave ownership at
+     * memory when plain tokens are available).
+     *
+     * @return The tokens removed and whether the owner token is
+     *         among them.
+     */
+    MemLineState takeTokens(HostAddr line_addr, std::uint32_t want,
+                            bool may_take_owner);
+
+    /**
+     * Return tokens to memory (eviction, writeback, or persistent
+     * deactivation).
+     *
+     * @param line_addr The line.
+     * @param tokens Plain token count being returned (including the
+     *        owner token if @p owner).
+     * @param owner True when the owner token is returned.
+     */
+    void returnTokens(HostAddr line_addr, std::uint32_t tokens, bool owner);
+
+    /**
+     * True when memory can supply data for a read of @p line_addr:
+     * it holds the owner token (so its copy is current), or the
+     * line is clean-by-construction (RO-shared pages are flushed
+     * when marked, so memory data is always current for them).
+     */
+    bool canProvideData(HostAddr line_addr, bool line_is_ro_shared) const;
+
+    /** Number of lines whose tokens are (partially) cached. */
+    std::size_t ledgerSize() const { return ledger_.size(); }
+
+    /**
+     * Visit the line number of every ledger entry (lines deviating
+     * from the all-tokens-at-memory default), for invariant checks.
+     */
+    template <typename Fn>
+    void
+    forEachLedgerLine(Fn &&fn) const
+    {
+        for (const auto &[line_num, state] : ledger_)
+            fn(line_num);
+    }
+
+    /** @{ Statistics. */
+    Counter reads;
+    Counter writebacks;
+    Counter dataProvided;
+    /** @} */
+
+  private:
+    std::uint32_t tokensPerLine_;
+    std::uint32_t numControllers_;
+    Tick latency_;
+    /** Lines deviating from the all-tokens-at-memory default. */
+    std::unordered_map<std::uint64_t, MemLineState> ledger_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_MEM_MAIN_MEMORY_HH_

@@ -1,0 +1,43 @@
+#include "mem/residence.hh"
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+ResidenceCounters::ResidenceCounters(std::size_t num_vms)
+    : counts_(num_vms, 0)
+{
+}
+
+std::uint64_t
+ResidenceCounters::count(VmId vm) const
+{
+    if (vm >= counts_.size())
+        return 0;
+    return counts_[vm];
+}
+
+void
+ResidenceCounters::onLineInserted(VmId vm, PageType type)
+{
+    if (type != PageType::VmPrivate || vm >= counts_.size())
+        return;
+    counts_[vm]++;
+    if (callback_)
+        callback_(vm, counts_[vm]);
+}
+
+void
+ResidenceCounters::onLineRemoved(VmId vm, PageType type)
+{
+    if (type != PageType::VmPrivate || vm >= counts_.size())
+        return;
+    vsnoop_assert(counts_[vm] > 0,
+                  "residence counter underflow for VM ", vm);
+    counts_[vm]--;
+    if (callback_)
+        callback_(vm, counts_[vm]);
+}
+
+} // namespace vsnoop

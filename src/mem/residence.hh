@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-VM cache residence counters (Section IV-B of the paper).
+ *
+ * Each cache keeps one counter per VM recording how many VM-private
+ * blocks of that VM it currently holds.  When a block is allocated
+ * the counter for the allocating VM is incremented; on eviction or
+ * invalidation it is decremented.  When a counter reaches zero the
+ * core can safely be removed from that VM's vCPU map; the
+ * counter-threshold variant removes the core speculatively as soon
+ * as the counter drops below a small threshold.
+ *
+ * The unit implements CacheObserver so it can be attached directly
+ * to a Cache.  Only VM-private lines are counted: RW-shared and
+ * RO-shared lines never constrain the vCPU map, because requests to
+ * those pages are not filtered by the map alone.
+ */
+
+#ifndef VSNOOP_MEM_RESIDENCE_HH_
+#define VSNOOP_MEM_RESIDENCE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sim/types.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Residence counter bank for one cache.
+ */
+class ResidenceCounters : public CacheObserver
+{
+  public:
+    /**
+     * Callback invoked whenever a counter changes.
+     *
+     * @param vm The VM whose counter moved.
+     * @param count The new counter value.
+     */
+    using ChangeCallback = std::function<void(VmId vm, std::uint64_t count)>;
+
+    /** @param num_vms Number of VMs the bank can track. */
+    explicit ResidenceCounters(std::size_t num_vms);
+
+    /** Register the change callback (the vsnoop policy hooks here). */
+    void setCallback(ChangeCallback cb) { callback_ = std::move(cb); }
+
+    /** Current count of VM-private lines for @p vm. */
+    std::uint64_t count(VmId vm) const;
+
+    /** True when the cache holds no private lines of @p vm. */
+    bool empty(VmId vm) const { return count(vm) == 0; }
+
+    void onLineInserted(VmId vm, PageType type) override;
+    void onLineRemoved(VmId vm, PageType type) override;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    ChangeCallback callback_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_MEM_RESIDENCE_HH_

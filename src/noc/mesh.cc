@@ -1,0 +1,132 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+Mesh::Mesh(const MeshConfig &config)
+    : width_(config.width), height_(config.height),
+      linkBytes_(config.linkBytes), routerPipeline_(config.routerPipeline),
+      linkLatency_(config.linkLatency), localLatency_(config.localLatency)
+{
+    vsnoop_assert(width_ >= 1 && height_ >= 1, "degenerate mesh");
+    vsnoop_assert(linkBytes_ >= 1, "link width must be positive");
+    linkFree_.assign(static_cast<std::size_t>(numNodes()) * 4, 0);
+}
+
+std::size_t
+Mesh::linkIndex(NodeId from, Direction dir) const
+{
+    return static_cast<std::size_t>(from) * 4 + dir;
+}
+
+std::uint32_t
+Mesh::flitsFor(std::uint32_t bytes) const
+{
+    return std::max<std::uint32_t>(1, (bytes + linkBytes_ - 1) / linkBytes_);
+}
+
+std::uint32_t
+Mesh::hopCount(NodeId src, NodeId dst) const
+{
+    auto dx = static_cast<std::int32_t>(nodeX(dst)) -
+              static_cast<std::int32_t>(nodeX(src));
+    auto dy = static_cast<std::int32_t>(nodeY(dst)) -
+              static_cast<std::int32_t>(nodeY(src));
+    return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
+}
+
+Tick
+Mesh::unloadedLatency(NodeId src, NodeId dst, std::uint32_t bytes) const
+{
+    if (src == dst)
+        return localLatency_;
+    std::uint32_t hops = hopCount(src, dst);
+    std::uint32_t flits = flitsFor(bytes);
+    // Wormhole: head flit pays the full pipeline per hop; the tail
+    // follows one link cycle per extra flit.
+    return hops * (routerPipeline_ + linkLatency_) +
+           (flits - 1) * linkLatency_;
+}
+
+Tick
+Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, MsgClass cls,
+           Tick now)
+{
+    vsnoop_assert(src < numNodes() && dst < numNodes(),
+                  "node out of range: src=", src, " dst=", dst);
+
+    auto ci = static_cast<std::size_t>(cls);
+    std::uint32_t hops = hopCount(src, dst);
+    std::uint32_t flits = flitsFor(bytes);
+    stats_.messages[ci].inc();
+    stats_.bytes[ci].inc(bytes);
+    stats_.byteHops[ci].inc(static_cast<std::uint64_t>(flits) *
+                            linkBytes_ *
+                            std::max<std::uint32_t>(hops, 1));
+
+    if (src == dst)
+        return now + localLatency_;
+    Tick occupancy = static_cast<Tick>(flits) * linkLatency_;
+
+    // Walk the XY path, reserving each directed link for the
+    // message's serialization time.  The head's arrival at the next
+    // router is delayed by both the pipeline and any link backlog.
+    std::uint32_t x = nodeX(src);
+    std::uint32_t y = nodeY(src);
+    std::uint32_t dst_x = nodeX(dst);
+    std::uint32_t dst_y = nodeY(dst);
+    Tick head = now;
+    while (x != dst_x || y != dst_y) {
+        Direction dir;
+        NodeId here = nodeAt(x, y);
+        if (x < dst_x) {
+            dir = East;
+            x++;
+        } else if (x > dst_x) {
+            dir = West;
+            x--;
+        } else if (y < dst_y) {
+            dir = North;
+            y++;
+        } else {
+            dir = South;
+            y--;
+        }
+        Tick &free = linkFree_[linkIndex(here, dir)];
+        Tick start = std::max(head + routerPipeline_, free);
+        free = start + occupancy;
+        head = start + linkLatency_;
+    }
+    // Tail flits trail the head on the final link.
+    return head + (flits - 1) * linkLatency_;
+}
+
+IdealCrossbar::IdealCrossbar(std::uint32_t num_nodes, Tick latency,
+                             std::uint32_t link_bytes)
+    : numNodes_(num_nodes), latency_(latency), linkBytes_(link_bytes)
+{
+    vsnoop_assert(num_nodes >= 1, "crossbar needs at least one node");
+}
+
+Tick
+IdealCrossbar::send(NodeId src, NodeId dst, std::uint32_t bytes,
+                    MsgClass cls, Tick now)
+{
+    vsnoop_assert(src < numNodes_ && dst < numNodes_,
+                  "node out of range: src=", src, " dst=", dst);
+    auto ci = static_cast<std::size_t>(cls);
+    std::uint32_t flits =
+        std::max<std::uint32_t>(1, (bytes + linkBytes_ - 1) / linkBytes_);
+    stats_.messages[ci].inc();
+    stats_.bytes[ci].inc(bytes);
+    // A crossbar is a single hop regardless of endpoints.
+    stats_.byteHops[ci].inc(static_cast<std::uint64_t>(flits) *
+                            linkBytes_);
+    return now + latency_ + (flits - 1);
+}
+
+} // namespace vsnoop

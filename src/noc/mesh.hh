@@ -1,0 +1,120 @@
+/**
+ * @file
+ * 2D mesh network with XY routing and link contention.
+ *
+ * Models the paper's interconnect (Table II): a 4x4 mesh with
+ * 16-byte links and a 4-cycle router pipeline.  Messages are
+ * wormhole-routed: latency is hops * (router pipeline + link
+ * traversal) plus serialization of the remaining flits, and each
+ * traversed link is occupied for one cycle per flit.  Contention is
+ * modelled by per-link busy-until times: a message departing while
+ * a link on its path is busy waits for the link to free.
+ *
+ * This is deliberately lighter than a flit-level Garnet model, but
+ * it preserves the two quantities the paper's evaluation depends
+ * on: per-message latency as a function of distance and load, and
+ * exact byte-hop traffic accounting.
+ */
+
+#ifndef VSNOOP_NOC_MESH_HH_
+#define VSNOOP_NOC_MESH_HH_
+
+#include <vector>
+
+#include "noc/network.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Mesh configuration knobs.
+ */
+struct MeshConfig
+{
+    std::uint32_t width = 4;
+    std::uint32_t height = 4;
+    /** Link width in bytes (flit size). */
+    std::uint32_t linkBytes = 16;
+    /** Router pipeline depth in cycles. */
+    Tick routerPipeline = 4;
+    /** Cycles for a flit to traverse one link. */
+    Tick linkLatency = 1;
+    /** Latency for node-local delivery (src == dst). */
+    Tick localLatency = 1;
+};
+
+/**
+ * The 2D mesh.
+ */
+class Mesh : public Network
+{
+  public:
+    explicit Mesh(const MeshConfig &config);
+
+    Tick send(NodeId src, NodeId dst, std::uint32_t bytes,
+              MsgClass cls, Tick now) override;
+
+    std::uint32_t numNodes() const override { return width_ * height_; }
+
+    std::uint32_t width() const { return width_; }
+    std::uint32_t height() const { return height_; }
+
+    /** Manhattan hop count between two nodes under XY routing. */
+    std::uint32_t hopCount(NodeId src, NodeId dst) const;
+
+    /**
+     * Unloaded latency of a message (no contention), for tests and
+     * analytic checks.
+     */
+    Tick unloadedLatency(NodeId src, NodeId dst, std::uint32_t bytes) const;
+
+  private:
+    /** Directed link index from @p node toward +x / -x / +y / -y. */
+    enum Direction : std::uint8_t { East, West, North, South };
+
+    std::uint32_t nodeX(NodeId n) const { return n % width_; }
+    std::uint32_t nodeY(NodeId n) const { return n / width_; }
+    NodeId nodeAt(std::uint32_t x, std::uint32_t y) const {
+        return y * width_ + x;
+    }
+
+    std::size_t linkIndex(NodeId from, Direction dir) const;
+
+    /** Flits needed for a message of @p bytes. */
+    std::uint32_t flitsFor(std::uint32_t bytes) const;
+
+    std::uint32_t width_;
+    std::uint32_t height_;
+    std::uint32_t linkBytes_;
+    Tick routerPipeline_;
+    Tick linkLatency_;
+    Tick localLatency_;
+    /** Earliest tick each directed link is free. */
+    std::vector<Tick> linkFree_;
+};
+
+/**
+ * Idealized contention-free crossbar: fixed latency between any two
+ * nodes.  Used by the network ablation benchmark to separate
+ * protocol effects from topology effects.
+ */
+class IdealCrossbar : public Network
+{
+  public:
+    IdealCrossbar(std::uint32_t num_nodes, Tick latency,
+                  std::uint32_t link_bytes = 16);
+
+    Tick send(NodeId src, NodeId dst, std::uint32_t bytes,
+              MsgClass cls, Tick now) override;
+
+    std::uint32_t numNodes() const override { return numNodes_; }
+
+  private:
+    std::uint32_t numNodes_;
+    Tick latency_;
+    std::uint32_t linkBytes_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_NOC_MESH_HH_

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Abstract on-chip network interface.
+ *
+ * The coherence layer talks to the network purely in terms of
+ * "deliver this many bytes from node A to node B, tell me when it
+ * arrives".  Two implementations exist: the 4x4 2D mesh matching
+ * the paper's Garnet configuration (Table II), and an idealized
+ * crossbar used for the network-sensitivity ablation.
+ *
+ * Traffic accounting matches the paper's Table IV metric: the total
+ * amount of data transferred through the network, i.e. message
+ * bytes multiplied by the number of links each message traverses.
+ */
+
+#ifndef VSNOOP_NOC_NETWORK_HH_
+#define VSNOOP_NOC_NETWORK_HH_
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vsnoop
+{
+
+/** Node index on the network (cores and memory controllers). */
+using NodeId = std::uint32_t;
+
+/**
+ * Message classes, for per-class traffic accounting.
+ */
+enum class MsgClass : std::uint8_t
+{
+    /** Coherence request (transient / persistent snoop). */
+    Request,
+    /** Token or ack response without data. */
+    Response,
+    /** Data-bearing response or writeback. */
+    Data,
+    /** vCPU map synchronization and other control traffic. */
+    Control,
+};
+
+/** Number of MsgClass values. */
+constexpr std::size_t kNumMsgClasses = 4;
+
+/**
+ * Per-class and aggregate traffic statistics.
+ */
+struct NetworkStats
+{
+    Counter messages[kNumMsgClasses];
+    Counter bytes[kNumMsgClasses];
+    /**
+     * Link occupancy weighted by hop count: flits * link width *
+     * hops.  This is the Table IV traffic metric — what the wires
+     * actually carry, including flit padding of small messages.
+     */
+    Counter byteHops[kNumMsgClasses];
+
+    std::uint64_t
+    totalMessages() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &c : messages)
+            sum += c.value();
+        return sum;
+    }
+
+    std::uint64_t
+    totalByteHops() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &c : byteHops)
+            sum += c.value();
+        return sum;
+    }
+};
+
+/**
+ * Network interface.
+ */
+class Network
+{
+  public:
+    virtual ~Network() = default;
+
+    /**
+     * Send @p bytes from @p src to @p dst, departing at @p now.
+     *
+     * @return Tick at which the last flit arrives at @p dst.
+     */
+    virtual Tick send(NodeId src, NodeId dst, std::uint32_t bytes,
+                      MsgClass cls, Tick now) = 0;
+
+    /** Number of network nodes. */
+    virtual std::uint32_t numNodes() const = 0;
+
+    /** Traffic statistics (accumulated across all sends). */
+    const NetworkStats &stats() const { return stats_; }
+
+    /** Reset traffic statistics (e.g. after warmup). */
+    void resetStats() { stats_ = NetworkStats{}; }
+
+  protected:
+    NetworkStats stats_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_NOC_NETWORK_HH_

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * A compact set of core ids, used for vCPU maps and snoop
+ * destination sets.
+ *
+ * The paper's vCPU map register is an n-bit vector for n cores
+ * (Section IV-A); CoreSet is exactly that, backed by a 64-bit word,
+ * which covers the largest configuration the paper studies (64
+ * cores, Figure 2).
+ */
+
+#ifndef VSNOOP_SIM_CORE_SET_HH_
+#define VSNOOP_SIM_CORE_SET_HH_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Value-type bitset of core ids (up to 64 cores).
+ */
+class CoreSet
+{
+  public:
+    /** Maximum number of cores representable. */
+    static constexpr std::size_t kMaxCores = 64;
+
+    constexpr CoreSet() = default;
+
+    /** Build from a raw bitmask. */
+    static constexpr CoreSet
+    fromMask(std::uint64_t mask)
+    {
+        CoreSet s;
+        s.bits_ = mask;
+        return s;
+    }
+
+    /** The set {0, 1, ..., n-1}. */
+    static CoreSet
+    firstN(std::size_t n)
+    {
+        vsnoop_assert(n <= kMaxCores, "CoreSet supports at most 64 cores");
+        if (n == kMaxCores)
+            return fromMask(~std::uint64_t{0});
+        return fromMask((std::uint64_t{1} << n) - 1);
+    }
+
+    /** A singleton set. */
+    static CoreSet
+    single(CoreId core)
+    {
+        CoreSet s;
+        s.add(core);
+        return s;
+    }
+
+    constexpr std::uint64_t mask() const { return bits_; }
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr std::size_t count() const { return std::popcount(bits_); }
+
+    bool
+    contains(CoreId core) const
+    {
+        vsnoop_assert(core < kMaxCores, "core id out of range: ", core);
+        return (bits_ >> core) & 1U;
+    }
+
+    void
+    add(CoreId core)
+    {
+        vsnoop_assert(core < kMaxCores, "core id out of range: ", core);
+        bits_ |= std::uint64_t{1} << core;
+    }
+
+    void
+    remove(CoreId core)
+    {
+        vsnoop_assert(core < kMaxCores, "core id out of range: ", core);
+        bits_ &= ~(std::uint64_t{1} << core);
+    }
+
+    constexpr CoreSet
+    operator|(const CoreSet &other) const
+    {
+        return fromMask(bits_ | other.bits_);
+    }
+
+    constexpr CoreSet
+    operator&(const CoreSet &other) const
+    {
+        return fromMask(bits_ & other.bits_);
+    }
+
+    /** Set difference: cores in this set but not in @p other. */
+    constexpr CoreSet
+    minus(const CoreSet &other) const
+    {
+        return fromMask(bits_ & ~other.bits_);
+    }
+
+    CoreSet &operator|=(const CoreSet &other)
+    {
+        bits_ |= other.bits_;
+        return *this;
+    }
+
+    constexpr bool operator==(const CoreSet &) const = default;
+
+    /** Lowest core id in the set (undefined on empty sets). */
+    CoreId
+    first() const
+    {
+        vsnoop_assert(!empty(), "first() on empty CoreSet");
+        return static_cast<CoreId>(std::countr_zero(bits_));
+    }
+
+    /** Invoke @p fn for each member, in increasing core id order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::uint64_t rest = bits_;
+        while (rest != 0) {
+            auto core = static_cast<CoreId>(std::countr_zero(rest));
+            rest &= rest - 1;
+            fn(core);
+        }
+    }
+
+    /** Render as e.g. "{0,1,5}". */
+    std::string
+    toString() const
+    {
+        std::string out = "{";
+        bool sep = false;
+        forEach([&](CoreId c) {
+            if (sep)
+                out += ",";
+            out += std::to_string(c);
+            sep = true;
+        });
+        out += "}";
+        return out;
+    }
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_CORE_SET_HH_

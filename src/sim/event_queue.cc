@@ -1,0 +1,124 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+void
+EventQueue::schedule(Event &event, Tick when)
+{
+    vsnoop_assert(when >= now_,
+                  "scheduling into the past: when=", when, " now=", now_);
+    if (event.scheduled_) {
+        // Invalidate the previous heap entry; it will be skipped on
+        // pop because the tokens no longer match.
+        live_--;
+    }
+    event.scheduled_ = true;
+    event.when_ = when;
+    event.token_ = nextToken_++;
+    heap_.push(HeapEntry{when, seq_++, &event, event.token_});
+    live_++;
+}
+
+void
+EventQueue::deschedule(Event &event)
+{
+    if (!event.scheduled_)
+        return;
+    event.scheduled_ = false;
+    event.token_ = 0;
+    live_--;
+}
+
+void
+EventQueue::scheduleFn(Tick when, std::function<void()> fn)
+{
+    owned_.push_back(std::make_unique<LambdaEvent>(std::move(fn)));
+    schedule(*owned_.back(), when);
+}
+
+void
+EventQueue::reapOwned()
+{
+    // Amortize the sweep: clean up only after the wrapper pool has
+    // grown by a full batch since the last sweep.  Gating on growth
+    // (rather than absolute size) keeps the sweep O(1) amortized
+    // even when more than a batch of callbacks is legitimately
+    // pending far in the future.
+    if (owned_.size() < lastReapSize_ + 1024)
+        return;
+    std::erase_if(owned_, [](const std::unique_ptr<LambdaEvent> &ev) {
+        return !ev->scheduled();
+    });
+    lastReapSize_ = owned_.size();
+}
+
+bool
+EventQueue::popNext(HeapEntry &out)
+{
+    while (!heap_.empty()) {
+        HeapEntry top = heap_.top();
+        heap_.pop();
+        if (top.event->scheduled_ && top.event->token_ == top.token) {
+            out = top;
+            return true;
+        }
+        // Stale entry: event was descheduled or rescheduled.
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t dispatched = 0;
+    HeapEntry entry;
+    while (dispatched < limit && popNext(entry)) {
+        now_ = entry.when;
+        entry.event->scheduled_ = false;
+        entry.event->token_ = 0;
+        live_--;
+        processed_++;
+        dispatched++;
+        entry.event->process();
+        reapOwned();
+    }
+    return dispatched;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t dispatched = 0;
+    HeapEntry entry;
+    while (popNext(entry)) {
+        if (entry.when > until) {
+            // Put it back: simplest is to re-push the same entry;
+            // the token still matches so it stays valid.
+            heap_.push(entry);
+            break;
+        }
+        now_ = entry.when;
+        entry.event->scheduled_ = false;
+        entry.event->token_ = 0;
+        live_--;
+        processed_++;
+        dispatched++;
+        entry.event->process();
+        reapOwned();
+    }
+    now_ = std::max(now_, until);
+    return dispatched;
+}
+
+bool
+EventQueue::step()
+{
+    return run(1) == 1;
+}
+
+} // namespace vsnoop

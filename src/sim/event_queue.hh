@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * An EventQueue orders Events by tick; ties are broken by schedule
+ * order (FIFO among same-tick events) so runs are deterministic.
+ * Components own their recurring Event objects and schedule them
+ * against the queue; one-shot callbacks can be scheduled directly
+ * and are owned by the queue.
+ *
+ * Descheduling and rescheduling are supported via generation
+ * counters: every schedule() stamps the event with a fresh token and
+ * stale heap entries are discarded lazily when popped.
+ */
+
+#ifndef VSNOOP_SIM_EVENT_QUEUE_HH_
+#define VSNOOP_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vsnoop
+{
+
+class EventQueue;
+
+/**
+ * Base class for anything that can be scheduled on an EventQueue.
+ */
+class Event
+{
+  public:
+    virtual ~Event() = default;
+
+    /** Invoked by the queue when simulated time reaches the event. */
+    virtual void process() = 0;
+
+    /** True while the event sits in a queue awaiting dispatch. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick the event is currently scheduled for (kMaxTick if none). */
+    Tick when() const { return scheduled_ ? when_ : kMaxTick; }
+
+  private:
+    friend class EventQueue;
+
+    bool scheduled_ = false;
+    Tick when_ = kMaxTick;
+    std::uint64_t token_ = 0;
+};
+
+/**
+ * An Event wrapping a std::function, for one-shot callbacks.
+ */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn) : fn_(std::move(fn)) {}
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * The simulation clock and pending-event heap.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events dispatched since construction. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+    /** True when no events remain pending. */
+    bool empty() const { return live_ == 0; }
+
+    /**
+     * Schedule a component-owned event at an absolute tick.
+     * Rescheduling an already-scheduled event moves it.
+     *
+     * @param event Event to dispatch; must outlive dispatch.
+     * @param when Absolute tick, not before now().
+     */
+    void schedule(Event &event, Tick when);
+
+    /** Schedule a component-owned event @p delay ticks from now. */
+    void scheduleIn(Event &event, Tick delay) {
+        schedule(event, now_ + delay);
+    }
+
+    /** Remove a pending event from the queue (no-op if idle). */
+    void deschedule(Event &event);
+
+    /**
+     * Schedule a one-shot callback at an absolute tick.  The queue
+     * owns the wrapper and frees it after dispatch.
+     */
+    void scheduleFn(Tick when, std::function<void()> fn);
+
+    /** Schedule a one-shot callback @p delay ticks from now. */
+    void scheduleFnIn(Tick delay, std::function<void()> fn) {
+        scheduleFn(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Dispatch pending events in order until the queue drains or
+     * the limit is hit.
+     *
+     * @param limit Maximum events to dispatch (guards against
+     *        accidental infinite event chains).
+     * @return Number of events dispatched.
+     */
+    std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+    /**
+     * Dispatch events with tick <= until, then set now() to
+     * @p until even if the queue drained early.
+     *
+     * @return Number of events dispatched.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Dispatch exactly one event if any is pending. */
+    bool step();
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Event *event;
+        std::uint64_t token;
+
+        bool
+        operator>(const HeapEntry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    /** Pop the next valid entry, discarding stale ones. */
+    bool popNext(HeapEntry &out);
+
+    /** Free dispatched one-shot callbacks, amortized. */
+    void reapOwned();
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> heap_;
+    std::vector<std::unique_ptr<LambdaEvent>> owned_;
+    std::size_t lastReapSize_ = 0;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t nextToken_ = 1;
+    std::uint64_t processed_ = 0;
+    std::uint64_t live_ = 0;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_EVENT_QUEUE_HH_

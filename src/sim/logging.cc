@@ -1,0 +1,61 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace vsnoop
+{
+
+namespace
+{
+bool quietFlag = false;
+} // namespace
+
+bool
+loggingQuiet()
+{
+    return quietFlag;
+}
+
+void
+quietLogging(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace vsnoop

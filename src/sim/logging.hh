@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  - an internal invariant was violated (simulator bug);
+ *            aborts so the failure can be caught in a debugger.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration); exits with status 1.
+ * warn()   - something is modelled approximately; the run continues.
+ * inform() - plain status output.
+ */
+
+#ifndef VSNOOP_SIM_LOGGING_HH_
+#define VSNOOP_SIM_LOGGING_HH_
+
+#include <sstream>
+#include <string>
+
+namespace vsnoop
+{
+
+namespace detail
+{
+
+/** Terminate with an "internal error" banner; never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a "user error" banner; never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning banner to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** True once quietLogging() has been called (suppresses warn/inform). */
+bool loggingQuiet();
+
+/** Suppress warn()/inform() output, e.g. inside benchmarks. */
+void quietLogging(bool quiet);
+
+} // namespace vsnoop
+
+#define vsnoop_panic(...)                                                  \
+    ::vsnoop::detail::panicImpl(__FILE__, __LINE__,                        \
+                                ::vsnoop::detail::concat(__VA_ARGS__))
+
+#define vsnoop_fatal(...)                                                  \
+    ::vsnoop::detail::fatalImpl(__FILE__, __LINE__,                        \
+                                ::vsnoop::detail::concat(__VA_ARGS__))
+
+#define vsnoop_warn(...)                                                   \
+    ::vsnoop::detail::warnImpl(::vsnoop::detail::concat(__VA_ARGS__))
+
+#define vsnoop_inform(...)                                                 \
+    ::vsnoop::detail::informImpl(::vsnoop::detail::concat(__VA_ARGS__))
+
+/** Assert a simulator invariant; compiled in all build types. */
+#define vsnoop_assert(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            vsnoop_panic("assertion failed: " #cond " ", __VA_ARGS__);     \
+        }                                                                  \
+    } while (0)
+
+#endif // VSNOOP_SIM_LOGGING_HH_

@@ -1,0 +1,52 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace vsnoop
+{
+
+std::uint64_t
+Rng::geometric(double success_probability)
+{
+    if (success_probability >= 1.0)
+        return 0;
+    if (success_probability <= 0.0)
+        return std::numeric_limits<std::uint64_t>::max();
+    // Inverse transform sampling: floor(ln(U) / ln(1-p)).
+    double u = uniform();
+    // Guard against u == 0, where log would be -inf.
+    if (u <= 0.0)
+        u = 1e-12;
+    double draws = std::log(u) / std::log1p(-success_probability);
+    if (draws >= 1e18)
+        return static_cast<std::uint64_t>(1e18);
+    return static_cast<std::uint64_t>(draws);
+}
+
+std::uint32_t
+Rng::zipf(std::uint32_t n, double skew)
+{
+    vsnoop_assert(n > 0, "Rng::zipf requires a nonempty range");
+    if (n == 1)
+        return 0;
+    if (skew <= 0.0)
+        return below(n);
+    // Inverse-CDF approximation for a continuous power-law on
+    // [1, n+1): X = ((n+1)^(1-s) - 1) * U + 1, then invert.  For
+    // s == 1 the CDF is logarithmic instead.
+    double u = uniform();
+    double x;
+    if (std::abs(skew - 1.0) < 1e-9) {
+        x = std::pow(static_cast<double>(n) + 1.0, u);
+    } else {
+        double one_minus_s = 1.0 - skew;
+        double top = std::pow(static_cast<double>(n) + 1.0, one_minus_s);
+        x = std::pow(u * (top - 1.0) + 1.0, 1.0 / one_minus_s);
+    }
+    auto idx = static_cast<std::uint32_t>(x - 1.0);
+    if (idx >= n)
+        idx = n - 1;
+    return idx;
+}
+
+} // namespace vsnoop

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the simulator (workload generators,
+ * the scheduler's victim selection, replacement tie-breaks) draws
+ * from an explicitly seeded Rng so that runs are bit-reproducible.
+ * The generator is PCG32 (O'Neill, 2014): a 64-bit LCG state with an
+ * output permutation; small, fast, and statistically solid for
+ * simulation purposes.
+ */
+
+#ifndef VSNOOP_SIM_RNG_HH_
+#define VSNOOP_SIM_RNG_HH_
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+/**
+ * PCG32 pseudo-random generator with convenience draw helpers.
+ */
+class Rng
+{
+  public:
+    /**
+     * Construct a generator.
+     *
+     * @param seed Initial state seed.
+     * @param stream Stream selector; generators with different
+     *        streams produce uncorrelated sequences even when the
+     *        seed matches.
+     */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        reseed(seed, stream);
+    }
+
+    /** Re-initialize the state, as if freshly constructed. */
+    void
+    reseed(std::uint64_t seed, std::uint64_t stream = 1)
+    {
+        state_ = 0;
+        inc_ = (stream << 1U) | 1U;
+        next32();
+        state_ += seed;
+        next32();
+    }
+
+    /** Draw 32 uniformly distributed bits. */
+    std::uint32_t
+    next32()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+        auto rot = static_cast<std::uint32_t>(old >> 59U);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31U));
+    }
+
+    /** Draw 64 uniformly distributed bits. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next32()) << 32U) | next32();
+    }
+
+    /**
+     * Draw an integer uniformly from [0, bound).
+     *
+     * Uses Lemire's multiply-then-reject method to avoid modulo bias.
+     * @param bound Exclusive upper bound; must be nonzero.
+     */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        vsnoop_assert(bound > 0, "Rng::below requires a positive bound");
+        std::uint64_t m =
+            static_cast<std::uint64_t>(next32()) * bound;
+        auto low = static_cast<std::uint32_t>(m);
+        if (low < bound) {
+            std::uint32_t threshold = -bound % bound;
+            while (low < threshold) {
+                m = static_cast<std::uint64_t>(next32()) * bound;
+                low = static_cast<std::uint32_t>(m);
+            }
+        }
+        return static_cast<std::uint32_t>(m >> 32U);
+    }
+
+    /** Draw an integer uniformly from [lo, hi] inclusive. */
+    std::uint32_t
+    between(std::uint32_t lo, std::uint32_t hi)
+    {
+        vsnoop_assert(lo <= hi, "Rng::between requires lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Draw a double uniformly from [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next32()) * (1.0 / 4294967296.0);
+    }
+
+    /** Return true with the given probability (clamped to [0,1]). */
+    bool
+    chance(double probability)
+    {
+        if (probability <= 0.0)
+            return false;
+        if (probability >= 1.0)
+            return true;
+        return uniform() < probability;
+    }
+
+    /**
+     * Draw from a geometric distribution: the number of failures
+     * before the first success with the given per-trial probability.
+     * Used to fast-forward over cache-hit runs.
+     */
+    std::uint64_t
+    geometric(double success_probability);
+
+    /**
+     * Draw from an approximately Zipf-like distribution over
+     * [0, n): item 0 is the hottest.  Implemented by rejection over
+     * a bounded harmonic weight; used to give workload working sets
+     * realistic reuse skew.
+     *
+     * @param n Number of items.
+     * @param skew Exponent; 0 gives uniform, larger values
+     *        concentrate mass on low indices.
+     */
+    std::uint32_t
+    zipf(std::uint32_t n, double skew);
+
+  private:
+    std::uint64_t state_ = 0;
+    std::uint64_t inc_ = 0;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_RNG_HH_

@@ -1,0 +1,153 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+void
+Distribution::sample(double value)
+{
+    count_++;
+    sum_ += value;
+    sumSq_ += value * value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution();
+}
+
+double
+Distribution::variance() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double m = mean();
+    double var = sumSq_ / count_ - m * m;
+    return var > 0.0 ? var : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : bucketWidth_(bucket_width), buckets_(bucket_count, 0)
+{
+    vsnoop_assert(bucket_width > 0.0, "histogram bucket width must be > 0");
+    vsnoop_assert(bucket_count > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double value)
+{
+    count_++;
+    if (value < 0.0)
+        value = 0.0;
+    auto idx = static_cast<std::size_t>(value / bucketWidth_);
+    if (idx >= buckets_.size()) {
+        overflow_++;
+    } else {
+        buckets_[idx]++;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+}
+
+double
+Histogram::cdfAt(double value) const
+{
+    if (count_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double upper = bucketWidth_ * static_cast<double>(i + 1);
+        if (upper > value)
+            break;
+        acc += buckets_[i];
+    }
+    return static_cast<double>(acc) / static_cast<double>(count_);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    auto need = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        acc += buckets_[i];
+        if (acc >= need)
+            return bucketWidth_ * static_cast<double>(i + 1);
+    }
+    // Quantile lies in the overflow bucket.
+    return bucketWidth_ * static_cast<double>(buckets_.size());
+}
+
+std::vector<std::pair<double, double>>
+Histogram::cdfPoints() const
+{
+    std::vector<std::pair<double, double>> points;
+    if (count_ == 0)
+        return points;
+    std::uint64_t acc = 0;
+    bool seen = false;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        acc += buckets_[i];
+        if (buckets_[i] > 0)
+            seen = true;
+        if (seen) {
+            points.emplace_back(
+                bucketWidth_ * static_cast<double>(i + 1),
+                static_cast<double>(acc) / static_cast<double>(count_));
+        }
+    }
+    if (overflow_ > 0)
+        points.emplace_back(std::numeric_limits<double>::infinity(), 1.0);
+    return points;
+}
+
+void
+StatSet::add(const std::string &name, const Counter &counter)
+{
+    counters_[name] = &counter;
+}
+
+void
+StatSet::add(const std::string &name, const Distribution &dist)
+{
+    dists_[name] = &dist;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, counter] : counters_)
+        os << name << " " << counter->value() << "\n";
+    for (const auto &[name, dist] : dists_) {
+        os << name << ".mean " << dist->mean() << "\n"
+           << name << ".count " << dist->count() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vsnoop

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Components declare Counter / Distribution / Histogram members and
+ * optionally register them with a StatSet for uniform dumping.  The
+ * classes are deliberately simple: plain accumulation, no
+ * thread-safety (the simulator is single-threaded), and cheap
+ * increments on hot paths.
+ */
+
+#ifndef VSNOOP_SIM_STATS_HH_
+#define VSNOOP_SIM_STATS_HH_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vsnoop
+{
+
+/**
+ * A monotonically increasing event count.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    Counter &operator++() { value_++; return *this; }
+    Counter &operator+=(std::uint64_t by) { value_ += by; return *this; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Mean / min / max / count over a stream of samples.
+ */
+class Distribution
+{
+  public:
+    void sample(double value);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width bucketed histogram over [0, bucketWidth * bucketCount);
+ * samples beyond the top land in an overflow bucket.  Supports
+ * quantile queries and cumulative-distribution dumps (used for the
+ * paper's Figure 9 core-removal-period CDF).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket, > 0.
+     * @param bucket_count Number of regular buckets, > 0.
+     */
+    Histogram(double bucket_width, std::size_t bucket_count);
+
+    void sample(double value);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double bucketWidth() const { return bucketWidth_; }
+    std::size_t bucketCount() const { return buckets_.size(); }
+    std::uint64_t bucketHits(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t overflowHits() const { return overflow_; }
+
+    /**
+     * Fraction of samples <= value (linear interpolation inside the
+     * containing bucket is not applied; the CDF is a step function
+     * at bucket upper edges).
+     */
+    double cdfAt(double value) const;
+
+    /** Smallest bucket upper edge whose CDF reaches q in [0,1]. */
+    double quantile(double q) const;
+
+    /**
+     * Dump the CDF as (upper_edge, cumulative_fraction) points,
+     * skipping empty leading buckets.
+     */
+    std::vector<std::pair<double, double>> cdfPoints() const;
+
+  private:
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A named registry of counters for uniform text dumps.  Components
+ * register references; the StatSet never owns the stats.
+ */
+class StatSet
+{
+  public:
+    void add(const std::string &name, const Counter &counter);
+    void add(const std::string &name, const Distribution &dist);
+
+    /** Render "name value" lines, sorted by name. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Distribution *> dists_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_STATS_HH_

@@ -1,0 +1,111 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+std::string
+formatFixed(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+formatPercent(double ratio, int decimals)
+{
+    return formatFixed(ratio * 100.0, decimals);
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    vsnoop_assert(!headers_.empty(), "a table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    vsnoop_assert(cells.size() == headers_.size(),
+                  "row width ", cells.size(), " != header width ",
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &value)
+{
+    vsnoop_assert(!rows_.empty(), "cell() before row()");
+    vsnoop_assert(rows_.back().size() < headers_.size(),
+                  "too many cells in row");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int decimals)
+{
+    return cell(formatFixed(value, decimals));
+}
+
+TextTable &
+TextTable::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            std::string text = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << text;
+            if (c + 1 < headers_.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::cout << render() << std::flush;
+}
+
+} // namespace vsnoop

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark and example output.
+ *
+ * The benchmark harness reproduces the paper's tables and figures as
+ * aligned text tables; TextTable handles column sizing, alignment
+ * and numeric formatting so every bench prints consistently.
+ */
+
+#ifndef VSNOOP_SIM_TABLE_HH_
+#define VSNOOP_SIM_TABLE_HH_
+
+#include <string>
+#include <vector>
+
+namespace vsnoop
+{
+
+/**
+ * A simple column-aligned text table.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Begin building a row cell by cell. */
+    TextTable &row();
+
+    /** Append a string cell to the row under construction. */
+    TextTable &cell(const std::string &value);
+
+    /** Append a numeric cell with fixed decimals. */
+    TextTable &cell(double value, int decimals = 2);
+
+    /** Append an integer cell. */
+    TextTable &cell(std::uint64_t value);
+
+    /** Render the table, including a separator under the header. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed decimal places. */
+std::string formatFixed(double value, int decimals = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.638 -> "63.8". */
+std::string formatPercent(double ratio, int decimals = 1);
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_TABLE_HH_

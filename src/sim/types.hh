@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every vsnoop library.
+ *
+ * The simulator measures time in integer ticks (one tick == one core
+ * clock cycle).  Identifiers for cores, virtual machines and virtual
+ * CPUs are small integers; the invalid sentinel for each is the
+ * maximum value of the underlying type so that a default-initialized
+ * id is never mistaken for a real one.
+ */
+
+#ifndef VSNOOP_SIM_TYPES_HH_
+#define VSNOOP_SIM_TYPES_HH_
+
+#include <cstdint>
+#include <limits>
+
+namespace vsnoop
+{
+
+/** Simulated time in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Physical core index within the simulated chip. */
+using CoreId = std::uint16_t;
+
+/** Virtual machine identifier assigned by the hypervisor. */
+using VmId = std::uint16_t;
+
+/** Virtual CPU index, unique within the whole system. */
+using VCpuId = std::uint16_t;
+
+/** Sentinel core id: "no core". */
+constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+
+/** Sentinel VM id: "no VM"; also used for hypervisor-owned pages. */
+constexpr VmId kInvalidVm = std::numeric_limits<VmId>::max();
+
+/** Sentinel vCPU id. */
+constexpr VCpuId kInvalidVCpu = std::numeric_limits<VCpuId>::max();
+
+/** Number of ticks in one simulated millisecond (1 GHz clock). */
+constexpr Tick kTicksPerMs = 1'000'000;
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_TYPES_HH_

@@ -1,0 +1,38 @@
+#include "system/energy.hh"
+
+namespace vsnoop
+{
+
+EnergyBreakdown
+computeEnergy(const SystemResults &results, std::uint64_t memory_reads,
+              std::uint64_t memory_writebacks, const EnergyParams &params)
+{
+    EnergyBreakdown e;
+    // Every snoop lookup is one remote (or local) tag-array probe.
+    e.snoopTagPj =
+        static_cast<double>(results.snoopLookups) * params.tagLookupPj;
+    // Byte-hops are already link-occupancy (flits * width * hops).
+    e.networkPj = static_cast<double>(results.trafficByteHops) /
+                  params.linkBytes * params.flitHopPj;
+    e.dramPj = static_cast<double>(memory_reads + memory_writebacks) *
+               params.dramAccessPj;
+    // Cache data-array activity: every access either hits a local
+    // data array (L1 or L2) or triggers a fill; both are charged
+    // the same per-event constant.  (When L1s are modelled, their
+    // cheaper arrays are conservatively charged at the L2 rate.)
+    e.l2DataPj = static_cast<double>(results.totalAccesses -
+                                     results.totalMisses +
+                                     results.transactions) *
+                 params.l2DataPj;
+    return e;
+}
+
+EnergyBreakdown
+computeEnergy(SimSystem &system, const EnergyParams &params)
+{
+    const MainMemory &memory = system.coherence().memory();
+    return computeEnergy(system.results(), memory.reads.value(),
+                         memory.writebacks.value(), params);
+}
+
+} // namespace vsnoop

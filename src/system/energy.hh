@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Snoop-energy model.
+ *
+ * The paper's first-order motivation is power: "the first goal of
+ * snoop filtering is to reduce the power consumption for snoop tag
+ * lookups and snoop message transfers" (Section V-B, citing
+ * Moshovos et al.'s JETTY).  This model turns the simulator's event
+ * counts into an energy estimate so the benches can report the
+ * quantity the paper argues about but does not measure.
+ *
+ * The model is an activity-count model: every counted event is
+ * charged a fixed per-event energy.  Default constants are
+ * CACTI-flavoured relative magnitudes for a ~45 nm node (the
+ * paper's era); they are knobs, not gospel — what matters for the
+ * reproduction is the *relative* energy of filtered vs broadcast
+ * runs, which is dominated by event counts.
+ */
+
+#ifndef VSNOOP_SYSTEM_ENERGY_HH_
+#define VSNOOP_SYSTEM_ENERGY_HH_
+
+#include "system/sim_system.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Per-event energy constants, in picojoules.
+ */
+struct EnergyParams
+{
+    /** One snoop tag lookup in a remote L2 (or the requester's). */
+    double tagLookupPj = 12.0;
+    /** One flit traversing one link (wires + router switching). */
+    double flitHopPj = 6.0;
+    /** One DRAM data access (read or writeback). */
+    double dramAccessPj = 2200.0;
+    /** One L2 data-array access (hit, fill, or provide). */
+    double l2DataPj = 40.0;
+    /** Link width used to convert byte-hops to flit-hops. */
+    double linkBytes = 16.0;
+};
+
+/**
+ * An energy estimate decomposed by source.
+ */
+struct EnergyBreakdown
+{
+    double snoopTagPj = 0.0;
+    double networkPj = 0.0;
+    double dramPj = 0.0;
+    double l2DataPj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return snoopTagPj + networkPj + dramPj + l2DataPj;
+    }
+};
+
+/**
+ * Compute the energy breakdown for a finished run.
+ *
+ * @param results The run's results (event counts).
+ * @param memory_reads DRAM data reads (MainMemory::reads).
+ * @param memory_writebacks DRAM writebacks.
+ * @param params Energy constants.
+ */
+EnergyBreakdown computeEnergy(const SystemResults &results,
+                              std::uint64_t memory_reads,
+                              std::uint64_t memory_writebacks,
+                              const EnergyParams &params = {});
+
+/** Convenience overload pulling the memory counters from a system. */
+EnergyBreakdown computeEnergy(SimSystem &system,
+                              const EnergyParams &params = {});
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SYSTEM_ENERGY_HH_

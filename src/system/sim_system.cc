@@ -1,0 +1,258 @@
+#include "system/sim_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+SimSystem::SimSystem(const SystemConfig &config, const AppProfile &app)
+    : SimSystem(config,
+                std::vector<AppProfile>(config.numVms, app))
+{
+}
+
+SimSystem::SimSystem(const SystemConfig &config,
+                     const std::vector<AppProfile> &apps)
+    : config_(config), hypervisor_(config.hypervisor),
+      mapping_(config.numCores())
+{
+    build(apps);
+}
+
+void
+SimSystem::build(const std::vector<AppProfile> &apps)
+{
+    vsnoop_assert(apps.size() == config_.numVms,
+                  "need one application profile per VM");
+    std::uint32_t cores = config_.numCores();
+    std::uint32_t vcpus = config_.numVms * config_.vcpusPerVm;
+    vsnoop_assert(vcpus <= cores,
+                  "the simulator does not model overcommitted coherence "
+                  "runs (", vcpus, " vCPUs > ", cores, " cores); see the "
+                  "scheduler simulation for overcommitted studies");
+
+    if (config_.idealNetwork) {
+        network_ = std::make_unique<IdealCrossbar>(
+            cores, config_.crossbarLatency, config_.mesh.linkBytes);
+    } else {
+        network_ = std::make_unique<Mesh>(config_.mesh);
+    }
+
+    ProtocolConfig protocol = config_.protocol;
+    protocol.numCores = cores;
+
+    IdealRegionFilterPolicy *region_policy = nullptr;
+    if (config_.policy == PolicyKind::VirtualSnoop) {
+        auto policy = std::make_unique<VirtualSnoopPolicy>(
+            cores, config_.numVms, config_.vsnoop);
+        vsnoopPolicy_ = policy.get();
+        policy_ = std::move(policy);
+    } else if (config_.policy == PolicyKind::IdealRegionFilter) {
+        auto policy = std::make_unique<IdealRegionFilterPolicy>(
+            cores, config_.regionBytes);
+        region_policy = policy.get();
+        policy_ = std::move(policy);
+    } else {
+        policy_ = std::make_unique<TokenBPolicy>(cores);
+    }
+
+    coherence_ = std::make_unique<CoherenceSystem>(
+        eq_, *network_, *policy_, protocol, config_.l2, config_.numVms);
+
+    if (vsnoopPolicy_ != nullptr) {
+        vsnoopPolicy_->attach(*coherence_);
+        mapping_.addListener(vsnoopPolicy_);
+    }
+    if (region_policy != nullptr)
+        region_policy->attach(*coherence_);
+
+    // Friend pairing: VM 2k <-> VM 2k+1.  Used by the friend-VM
+    // policy and by Table VI data-source classification.
+    for (VmId vm = 0; vm + 1u < config_.numVms; vm += 2) {
+        coherence_->setFriend(vm, vm + 1);
+        coherence_->setFriend(vm + 1, vm);
+        if (vsnoopPolicy_ != nullptr) {
+            vsnoopPolicy_->setFriend(vm, vm + 1);
+            vsnoopPolicy_->setFriend(vm + 1, vm);
+        }
+    }
+
+    // Guest VMs, content declarations and the ideal dedup scan.
+    for (VmId vm = 0; vm < config_.numVms; ++vm) {
+        VmId id = hypervisor_.createVm(config_.vcpusPerVm);
+        vsnoop_assert(id == vm, "unexpected VM id");
+        declareContentPages(hypervisor_, vm, apps[vm]);
+    }
+    if (config_.contentScan)
+        hypervisor_.runContentScan();
+    if (config_.contentScanPeriod > 0)
+        scheduleContentScan();
+
+    // vCPUs, initial one-to-one placement (VM k on the contiguous
+    // quad of cores starting at k * vcpusPerVm), workloads, drivers.
+    // When a scheduler trace drives the placement, the trace's own
+    // events establish the mapping instead.
+    bool default_placement = config_.placementTrace == nullptr;
+    for (VmId vm = 0; vm < config_.numVms; ++vm) {
+        for (std::uint32_t i = 0; i < config_.vcpusPerVm; ++i) {
+            VCpuId vcpu = mapping_.addVcpu(vm);
+            if (default_placement) {
+                mapping_.place(vcpu, static_cast<CoreId>(
+                                         vm * config_.vcpusPerVm + i));
+            }
+            VcpuWorkload workload(hypervisor_, vm, i, apps[vm],
+                                  config_.seed);
+            drivers_.push_back(std::make_unique<VcpuDriver>(
+                eq_, *coherence_, mapping_, vcpu, std::move(workload),
+                config_.warmupAccessesPerVcpu + config_.accessesPerVcpu,
+                config_.warmupAccessesPerVcpu));
+        }
+    }
+
+    if (config_.placementTrace != nullptr) {
+        traceMigrator_ = std::make_unique<TraceMigrator>(
+            eq_, mapping_, *config_.placementTrace,
+            config_.traceTicksPerMs);
+    } else if (config_.migrationPeriod > 0) {
+        migrator_ = std::make_unique<ShuffleMigrator>(
+            eq_, mapping_, config_.migrationPeriod, config_.seed);
+    }
+}
+
+void
+SimSystem::scheduleContentScan()
+{
+    // Periodic re-scan: models the hypervisor's continuous page
+    // hashing, re-merging pages whose content classes are declared
+    // anew after a COW divergence.
+    eq_.scheduleFnIn(config_.contentScanPeriod, [this] {
+        if (stopAux_)
+            return;
+        hypervisor_.runContentScan();
+        scheduleContentScan();
+    });
+}
+
+void
+SimSystem::resetAllStats()
+{
+    // Drivers reset themselves at their own warmup boundary (so
+    // per-driver counters cover exactly the measurement quota);
+    // this resets only the global collectors.
+    coherence_->resetStats();
+    network_->resetStats();
+    if (vsnoopPolicy_ != nullptr)
+        vsnoopPolicy_->resetStats();
+    if (migrator_)
+        migrator_->migrations.reset();
+    if (traceMigrator_)
+        traceMigrator_->migrations.reset();
+}
+
+void
+SimSystem::run()
+{
+    for (auto &driver : drivers_)
+        driver->start();
+    if (migrator_)
+        migrator_->start();
+    if (traceMigrator_)
+        traceMigrator_->start();
+
+    auto all_done = [this] {
+        return std::all_of(drivers_.begin(), drivers_.end(),
+                           [](const auto &d) { return d->done(); });
+    };
+
+    if (config_.warmupAccessesPerVcpu > 0) {
+        auto warmed = [this] {
+            return std::all_of(drivers_.begin(), drivers_.end(),
+                               [this](const auto &d) {
+                                   return d->issued() >=
+                                          config_.warmupAccessesPerVcpu;
+                               });
+        };
+        while (!warmed() && !all_done()) {
+            vsnoop_assert(!eq_.empty(),
+                          "event queue drained during warmup");
+            eq_.runUntil(eq_.now() + 10000);
+        }
+        resetAllStats();
+        warmupEnd_ = eq_.now();
+    }
+
+    std::uint64_t last_check = 0;
+    while (!all_done()) {
+        vsnoop_assert(!eq_.empty(),
+                      "event queue drained before the drivers finished");
+        // Advance in bounded slices of simulated time so completion
+        // is detected promptly; a count-based chunk would keep
+        // dispatching the self-rescheduling migrator long after the
+        // drivers finish.
+        eq_.runUntil(eq_.now() + 10000);
+        if (config_.invariantCheckPeriod > 0 &&
+            eq_.eventsProcessed() - last_check >=
+                config_.invariantCheckPeriod) {
+            last_check = eq_.eventsProcessed();
+            coherence_->checkInvariants();
+        }
+    }
+
+    stopAux_ = true;
+    if (migrator_)
+        migrator_->stop();
+    if (traceMigrator_)
+        traceMigrator_->stop();
+    // Drain any still-queued responses so tokens settle (keeps the
+    // final invariant check meaningful).
+    eq_.run(1000000);
+    if (config_.invariantCheckPeriod > 0)
+        coherence_->checkInvariants();
+}
+
+SystemResults
+SimSystem::results() const
+{
+    SystemResults r;
+    const CoherenceStats &cs = coherence_->stats;
+    r.transactions = cs.transactions.value();
+    r.snoopLookups = cs.snoopLookups.value();
+    r.retries = cs.retries.value();
+    r.persistentRequests = cs.persistentRequests.value();
+    r.dirtyWritebacks = cs.dirtyWritebacks.value();
+    r.trafficByteHops = network_->stats().totalByteHops();
+    r.meanMissLatency = cs.missLatency.mean();
+    r.meanRoMissLatency = cs.roMissLatency.mean();
+    for (std::size_t i = 0; i < kNumDataSources; ++i) {
+        r.dataFrom[i] = cs.dataFrom[i].value();
+        r.roDataFrom[i] = cs.roDataFrom[i].value();
+    }
+    Tick finish = 0;
+    for (const auto &driver : drivers_) {
+        finish = std::max(finish, driver->finishedAt());
+        r.totalMisses += driver->totalMisses.value();
+        const VcpuWorkload &w = driver->workload();
+        r.totalAccesses += w.totalAccesses.value();
+        for (std::size_t c = 0; c < kNumAccessCategories; ++c) {
+            r.accessesByCategory[c] +=
+                w.accessesByCategory[c].value();
+            r.missesByCategory[c] +=
+                driver->missesByCategory[c].value();
+        }
+    }
+    // Runtime covers the measurement phase only.
+    r.runtime = finish > warmupEnd_ ? finish - warmupEnd_ : finish;
+    if (vsnoopPolicy_ != nullptr) {
+        r.mapAdds = vsnoopPolicy_->mapAdds.value();
+        r.mapRemovals = vsnoopPolicy_->mapRemovals.value();
+    }
+    if (migrator_)
+        r.migrations = migrator_->migrations.value();
+    if (traceMigrator_)
+        r.migrations = traceMigrator_->migrations.value();
+    return r;
+}
+
+} // namespace vsnoop

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Top-level system builder: wires cores, caches, the mesh, token
+ * coherence, the hypervisor, workloads and the snoop policy into a
+ * runnable simulation.
+ *
+ * The defaults reproduce the paper's configuration (Tables II/III):
+ * 16 in-order cores with private 256 KB L2s over a 4x4 mesh, Token
+ * Coherence, four VMs with four vCPUs each, the same application in
+ * every VM.
+ */
+
+#ifndef VSNOOP_SYSTEM_SIM_SYSTEM_HH_
+#define VSNOOP_SYSTEM_SIM_SYSTEM_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/region_filter.hh"
+#include "coherence/system.hh"
+#include "core/vsnoop.hh"
+#include "noc/mesh.hh"
+#include "system/driver.hh"
+#include "virt/hypervisor.hh"
+#include "virt/vcpu_map.hh"
+#include "workload/app_profile.hh"
+#include "workload/generator.hh"
+
+namespace vsnoop
+{
+
+/** Which snoop destination-set policy to instantiate. */
+enum class PolicyKind : std::uint8_t
+{
+    /** Broadcast TokenB baseline. */
+    TokenB,
+    /** Virtual snooping (the paper's proposal). */
+    VirtualSnoop,
+    /** Idealized region filter (RegionScout/CGCT upper bound). */
+    IdealRegionFilter,
+};
+
+/**
+ * Full-system configuration.
+ */
+struct SystemConfig
+{
+    std::uint32_t numVms = 4;
+    std::uint32_t vcpusPerVm = 4;
+    /** Mesh geometry; numCores = width * height. */
+    MeshConfig mesh;
+    /** Use an ideal crossbar instead of the mesh (ablation). */
+    bool idealNetwork = false;
+    Tick crossbarLatency = 8;
+    ProtocolConfig protocol;
+    CacheGeometry l2;
+    PolicyKind policy = PolicyKind::VirtualSnoop;
+    VsnoopConfig vsnoop;
+    /** Region granularity for the ideal region filter. */
+    std::uint64_t regionBytes = 1024;
+    HypervisorConfig hypervisor;
+    /** vCPU shuffle period in ticks; 0 pins VMs (no relocation). */
+    Tick migrationPeriod = 0;
+    /**
+     * Optional credit-scheduler placement trace to replay instead
+     * of random shuffles (overrides migrationPeriod and the default
+     * one-to-one placement).  Record one with
+     * SchedConfig::recordTrace.
+     */
+    std::shared_ptr<const std::vector<PlacementEvent>> placementTrace;
+    /** Trace time scale: simulation ticks per trace millisecond. */
+    double traceTicksPerMs = 20000.0;
+    /** Accesses each vCPU performs in the measurement phase. */
+    std::uint64_t accessesPerVcpu = 50000;
+    /**
+     * Warmup accesses per vCPU before statistics are reset; keeps
+     * cold misses out of the measured miss mix (the paper's runs
+     * are long enough that cold misses are negligible).
+     */
+    std::uint64_t warmupAccessesPerVcpu = 0;
+    /** Run the ideal content scan before measurement. */
+    bool contentScan = true;
+    /** Re-run the content scan after this many ticks (0 = never);
+     *  models the hypervisor's periodic hashing. */
+    Tick contentScanPeriod = 0;
+    /** Check token conservation every N dispatched events
+     *  (0 = never); used by integration tests. */
+    std::uint64_t invariantCheckPeriod = 0;
+    std::uint64_t seed = 1;
+
+    std::uint32_t numCores() const { return mesh.width * mesh.height; }
+};
+
+/**
+ * Aggregated results of one run.
+ */
+struct SystemResults
+{
+    /** Tick at which the last vCPU finished its quota. */
+    Tick runtime = 0;
+    /** Coherence transactions (L2 misses + upgrades). */
+    std::uint64_t transactions = 0;
+    /** Snoop lookups induced (the Figures 7/8 metric). */
+    std::uint64_t snoopLookups = 0;
+    /** Total network traffic in byte-hops (the Table IV metric). */
+    std::uint64_t trafficByteHops = 0;
+    /** Transient retries and persistent escalations. */
+    std::uint64_t retries = 0;
+    std::uint64_t persistentRequests = 0;
+    /** Evictions that wrote dirty data back to memory. */
+    std::uint64_t dirtyWritebacks = 0;
+    /** Completed-transaction data sources (all / RO-only). */
+    std::uint64_t dataFrom[kNumDataSources] = {};
+    std::uint64_t roDataFrom[kNumDataSources] = {};
+    /** Accesses and misses by generated category (summed). */
+    std::uint64_t accessesByCategory[kNumAccessCategories] = {};
+    std::uint64_t missesByCategory[kNumAccessCategories] = {};
+    std::uint64_t totalAccesses = 0;
+    std::uint64_t totalMisses = 0;
+    /** Mean transaction latency (ticks). */
+    double meanMissLatency = 0.0;
+    /** Mean RO-shared transaction latency (ticks). */
+    double meanRoMissLatency = 0.0;
+    /** vCPU map maintenance (VirtualSnoop only). */
+    std::uint64_t mapAdds = 0;
+    std::uint64_t mapRemovals = 0;
+    std::uint64_t migrations = 0;
+};
+
+/**
+ * The assembled simulation.
+ */
+class SimSystem
+{
+  public:
+    /**
+     * Build a system running @p app in every VM (the paper's
+     * methodology: N instances of the same application).
+     */
+    SimSystem(const SystemConfig &config, const AppProfile &app);
+
+    /** Build a system with one profile per VM. */
+    SimSystem(const SystemConfig &config,
+              const std::vector<AppProfile> &apps);
+
+    /** Run until every vCPU reaches its access quota. */
+    void run();
+
+    /** Collected results (valid after run()). */
+    SystemResults results() const;
+
+    /** @{ Component access for tests and detailed benches. */
+    EventQueue &eventQueue() { return eq_; }
+    CoherenceSystem &coherence() { return *coherence_; }
+    Hypervisor &hypervisor() { return hypervisor_; }
+    VcpuMapping &mapping() { return mapping_; }
+    Network &network() { return *network_; }
+    /** Null when the TokenB policy is active. */
+    VirtualSnoopPolicy *vsnoopPolicy() { return vsnoopPolicy_; }
+    const SystemConfig &config() const { return config_; }
+    VcpuDriver &driver(VCpuId vcpu) { return *drivers_.at(vcpu); }
+    std::size_t numDrivers() const { return drivers_.size(); }
+    /** @} */
+
+  private:
+    void build(const std::vector<AppProfile> &apps);
+
+    /** Arm the next periodic content scan. */
+    void scheduleContentScan();
+
+    /** Zero every statistic at the warmup boundary. */
+    void resetAllStats();
+
+    SystemConfig config_;
+    EventQueue eq_;
+    std::unique_ptr<Network> network_;
+    std::unique_ptr<SnoopTargetPolicy> policy_;
+    VirtualSnoopPolicy *vsnoopPolicy_ = nullptr;
+    std::unique_ptr<CoherenceSystem> coherence_;
+    Hypervisor hypervisor_;
+    VcpuMapping mapping_;
+    std::vector<std::unique_ptr<VcpuDriver>> drivers_;
+    std::unique_ptr<ShuffleMigrator> migrator_;
+    std::unique_ptr<TraceMigrator> traceMigrator_;
+    /** Stops auxiliary event chains (periodic scans) at run end. */
+    bool stopAux_ = false;
+    /** Tick at which warmup ended and measurement began. */
+    Tick warmupEnd_ = 0;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SYSTEM_SIM_SYSTEM_HH_

@@ -1,0 +1,249 @@
+#include "virt/hypervisor.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+Hypervisor::Hypervisor(const HypervisorConfig &config) : config_(config)
+{
+    // Reserve the hypervisor's globally shared region up front.
+    hypervisorBase_ = nextHostPage_;
+    nextHostPage_ += config_.hypervisorPages;
+}
+
+VmId
+Hypervisor::createVm(std::uint32_t num_vcpus)
+{
+    vsnoop_assert(num_vcpus > 0, "a VM needs at least one vCPU");
+    vsnoop_assert(vms_.size() < 32,
+                  "provider bitmasks support at most 32 VMs");
+    auto id = static_cast<VmId>(vms_.size());
+    vms_.emplace_back();
+    vms_.back().numVcpus = num_vcpus;
+    return id;
+}
+
+std::uint32_t
+Hypervisor::numVcpus(VmId vm) const
+{
+    return vmState(vm).numVcpus;
+}
+
+const PageTable &
+Hypervisor::pageTable(VmId vm) const
+{
+    return vmState(vm).table;
+}
+
+Hypervisor::VmState &
+Hypervisor::vmState(VmId vm)
+{
+    vsnoop_assert(vm < vms_.size(), "bad VM id ", vm);
+    return vms_[vm];
+}
+
+const Hypervisor::VmState &
+Hypervisor::vmState(VmId vm) const
+{
+    vsnoop_assert(vm < vms_.size(), "bad VM id ", vm);
+    return vms_[vm];
+}
+
+std::uint64_t
+Hypervisor::allocHostPage()
+{
+    pagesAllocated.inc();
+    return nextHostPage_++;
+}
+
+Translation
+Hypervisor::translateData(VmId vm, GuestAddr addr, bool is_write)
+{
+    VmState &state = vmState(vm);
+    std::uint64_t guest_page = addr.pageNum();
+    auto entry = state.table.lookup(guest_page);
+
+    if (!entry) {
+        // First touch: allocate a private host page.
+        std::uint64_t host_page = allocHostPage();
+        state.table.map(guest_page, host_page, PageType::VmPrivate);
+        generation_++;
+        entry = state.table.lookup(guest_page);
+    }
+
+    Translation t;
+    t.type = entry->type;
+
+    if (is_write && entry->type == PageType::RoShared) {
+        // Copy-on-write: the writer gets a fresh private page; the
+        // other mappers keep reading the shared copy.
+        std::uint64_t host_page = allocHostPage();
+        auto shared_it = shared_.find(entry->hostPage);
+        if (shared_it != shared_.end()) {
+            auto &mappers = shared_it->second.mappers;
+            std::erase(mappers, std::make_pair(vm, guest_page));
+            if (mappers.empty())
+                shared_.erase(shared_it);
+        }
+        state.table.map(guest_page, host_page, PageType::VmPrivate);
+        // The page's content diverged: it no longer belongs to its
+        // declared content class.
+        state.contentClass.erase(guest_page);
+        generation_++;
+        cowBreaks.inc();
+        t.type = PageType::VmPrivate;
+        t.cowBroke = true;
+        t.addr = HostAddr((host_page << kPageShift) | addr.pageOffset());
+        return t;
+    }
+
+    t.addr = HostAddr((entry->hostPage << kPageShift) | addr.pageOffset());
+    return t;
+}
+
+Translation
+Hypervisor::hypervisorAddr(std::uint64_t page_idx,
+                           std::uint64_t offset) const
+{
+    vsnoop_assert(page_idx < config_.hypervisorPages,
+                  "hypervisor page index out of range: ", page_idx);
+    vsnoop_assert(offset < kPageBytes, "offset beyond page: ", offset);
+    Translation t;
+    t.addr =
+        HostAddr(((hypervisorBase_ + page_idx) << kPageShift) | offset);
+    t.type = PageType::RwShared;
+    return t;
+}
+
+Translation
+Hypervisor::vmSharedAddr(VmId vm, std::uint64_t page_idx,
+                         std::uint64_t offset)
+{
+    vsnoop_assert(vm < vms_.size(), "bad VM id ", vm);
+    vsnoop_assert(page_idx < config_.perVmSharedPages,
+                  "per-VM shared page index out of range: ", page_idx);
+    vsnoop_assert(offset < kPageBytes, "offset beyond page: ", offset);
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(vm) << 32) | page_idx;
+    auto it = vmShared_.find(key);
+    std::uint64_t host_page;
+    if (it == vmShared_.end()) {
+        host_page = allocHostPage();
+        vmShared_.emplace(key, host_page);
+    } else {
+        host_page = it->second;
+    }
+    Translation t;
+    t.addr = HostAddr((host_page << kPageShift) | offset);
+    t.type = PageType::RwShared;
+    return t;
+}
+
+Translation
+Hypervisor::channelAddr(VmId a, VmId b, std::uint64_t page_idx,
+                        std::uint64_t offset)
+{
+    vsnoop_assert(a < vms_.size() && b < vms_.size(),
+                  "bad VM id in channel: ", a, ", ", b);
+    vsnoop_assert(a != b, "a channel connects two distinct VMs");
+    vsnoop_assert(page_idx < config_.channelPages,
+                  "channel page index out of range: ", page_idx);
+    vsnoop_assert(offset < kPageBytes, "offset beyond page: ", offset);
+    VmId lo = std::min(a, b);
+    VmId hi = std::max(a, b);
+    std::uint64_t key = (static_cast<std::uint64_t>(lo) << 40) |
+                        (static_cast<std::uint64_t>(hi) << 16) |
+                        page_idx;
+    auto it = channels_.find(key);
+    std::uint64_t host_page;
+    if (it == channels_.end()) {
+        host_page = allocHostPage();
+        channels_.emplace(key, host_page);
+    } else {
+        host_page = it->second;
+    }
+    Translation t;
+    t.addr = HostAddr((host_page << kPageShift) | offset);
+    t.type = PageType::RwShared;
+    return t;
+}
+
+void
+Hypervisor::declareContent(VmId vm, std::uint64_t guest_page,
+                           std::uint64_t content_class)
+{
+    VmState &state = vmState(vm);
+    if (content_class == 0) {
+        state.contentClass.erase(guest_page);
+        return;
+    }
+    state.contentClass[guest_page] = content_class;
+}
+
+std::uint64_t
+Hypervisor::runContentScan()
+{
+    // Pass 1: group declared pages by content class.  Only classes
+    // with at least two pages are shareable; a unique page must
+    // never be marked RO-shared (it would needlessly widen its
+    // snoop destination set).
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<VmId, std::uint64_t>>>
+        groups;
+    for (VmId vm = 0; vm < vms_.size(); ++vm) {
+        for (const auto &[guest_page, cls] : vms_[vm].contentClass)
+            groups[cls].emplace_back(vm, guest_page);
+    }
+
+    // Pass 2: merge each shareable group onto its canonical page.
+    std::uint64_t merged = 0;
+    for (auto &[cls, pages] : groups) {
+        bool already_canonical = canonical_.contains(cls);
+        if (pages.size() < 2 && !already_canonical)
+            continue;
+        auto cit = canonical_.find(cls);
+        std::uint64_t canon;
+        if (cit != canonical_.end()) {
+            canon = cit->second;
+        } else {
+            // Prefer reusing an existing mapped page as canonical.
+            canon = 0;
+            for (const auto &[vm, guest_page] : pages) {
+                auto entry = vms_[vm].table.lookup(guest_page);
+                if (entry) {
+                    canon = entry->hostPage;
+                    break;
+                }
+            }
+            if (canon == 0)
+                canon = allocHostPage();
+            canonical_.emplace(cls, canon);
+        }
+        SharedHostPage &info = shared_[canon];
+        for (const auto &[vm, guest_page] : pages) {
+            VmState &state = vms_[vm];
+            auto entry = state.table.lookup(guest_page);
+            bool had_own_page = entry && entry->hostPage != canon;
+            if (!entry || entry->hostPage != canon ||
+                entry->type != PageType::RoShared) {
+                state.table.map(guest_page, canon, PageType::RoShared);
+                generation_++;
+            }
+            auto pair = std::make_pair(vm, guest_page);
+            if (std::find(info.mappers.begin(), info.mappers.end(),
+                          pair) == info.mappers.end()) {
+                info.mappers.push_back(pair);
+            }
+            if (had_own_page) {
+                pagesDeduplicated.inc();
+                merged++;
+            }
+        }
+    }
+    return merged;
+}
+
+} // namespace vsnoop

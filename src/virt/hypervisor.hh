@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The hypervisor model: VM lifecycle, memory virtualization,
+ * hypervisor-shared regions, and content-based page sharing.
+ *
+ * Responsibilities mirror Sections II and VI of the paper:
+ *
+ *  - allocate host-physical pages to VMs on first touch and record
+ *    the guest-to-host mapping per VM;
+ *  - expose RW-shared pages: the hypervisor's own globally shared
+ *    region, and per-VM communication pages (I/O rings) shared
+ *    between one VM and the hypervisor — requests to either must be
+ *    broadcast;
+ *  - deduplicate identical pages across VMs (content-based page
+ *    sharing): pages carrying the same declared content class merge
+ *    onto one RO-shared host page; a write to an RO-shared page
+ *    triggers copy-on-write, giving the writer a fresh VM-private
+ *    page.
+ *
+ * Page contents are modelled by content-class ids rather than byte
+ * arrays: the workload declares which pages are content-identical
+ * across VMs (same class id), which corresponds to the paper's
+ * idealized continuous hash-based scan.
+ */
+
+#ifndef VSNOOP_VIRT_HYPERVISOR_HH_
+#define VSNOOP_VIRT_HYPERVISOR_HH_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "virt/page_table.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Hypervisor configuration.
+ */
+struct HypervisorConfig
+{
+    /** Pages in the hypervisor's globally shared region. */
+    std::uint64_t hypervisorPages = 64;
+    /** Per-VM pages shared with the hypervisor (I/O rings etc.). */
+    std::uint64_t perVmSharedPages = 16;
+    /** Pages per direct inter-VM communication channel. */
+    std::uint64_t channelPages = 8;
+};
+
+/**
+ * Result of an address translation.
+ */
+struct Translation
+{
+    HostAddr addr{0};
+    PageType type = PageType::VmPrivate;
+    /** True when this access triggered a copy-on-write break. */
+    bool cowBroke = false;
+};
+
+/**
+ * The hypervisor.
+ */
+class Hypervisor
+{
+  public:
+    explicit Hypervisor(const HypervisorConfig &config = {});
+
+    /** Create a VM with @p num_vcpus virtual CPUs. */
+    VmId createVm(std::uint32_t num_vcpus);
+
+    /** The configuration this hypervisor was built with. */
+    const HypervisorConfig &config() const { return config_; }
+
+    std::uint32_t numVms() const {
+        return static_cast<std::uint32_t>(vms_.size());
+    }
+    std::uint32_t numVcpus(VmId vm) const;
+
+    /** The VM's nested page table (read-only outside the class). */
+    const PageTable &pageTable(VmId vm) const;
+
+    /**
+     * Translate a guest data access, allocating the page on first
+     * touch and breaking content sharing on writes (COW).
+     */
+    Translation translateData(VmId vm, GuestAddr addr, bool is_write);
+
+    /**
+     * Address of a page in the hypervisor's globally shared region.
+     * Always RW-shared: any VM may have pulled it into any cache.
+     */
+    Translation hypervisorAddr(std::uint64_t page_idx,
+                               std::uint64_t offset = 0) const;
+
+    /**
+     * Address of a page shared between @p vm and the hypervisor
+     * (e.g. an I/O ring).  RW-shared.
+     */
+    Translation vmSharedAddr(VmId vm, std::uint64_t page_idx,
+                             std::uint64_t offset = 0);
+
+    /**
+     * Address of a page in a direct inter-VM communication channel
+     * between @p a and @p b (Section II-B's third sharing source:
+     * shared-memory networking between co-located VMs).  RW-shared:
+     * either VM may write, so snoops on these pages must broadcast.
+     * The channel is symmetric: (a, b) and (b, a) name the same
+     * pages.
+     */
+    Translation channelAddr(VmId a, VmId b, std::uint64_t page_idx,
+                            std::uint64_t offset = 0);
+
+    /**
+     * Declare the content class of a guest page.  Pages with equal
+     * nonzero classes (across any VMs) are candidates for
+     * content-based sharing; class 0 means "unique content".
+     */
+    void declareContent(VmId vm, std::uint64_t guest_page,
+                        std::uint64_t content_class);
+
+    /**
+     * Run one content scan: merge every same-class page group onto
+     * a single RO-shared host page.  Corresponds to the paper's
+     * idealized continuous scan when called before measurement.
+     *
+     * @return Number of pages newly merged (freed).
+     */
+    std::uint64_t runContentScan();
+
+    /** Combined mapping generation over all VMs (TLB revalidation). */
+    std::uint64_t mappingGeneration() const { return generation_; }
+
+    /** @{ Statistics. */
+    Counter pagesAllocated;
+    Counter pagesDeduplicated;
+    Counter cowBreaks;
+    /** @} */
+
+  private:
+    struct VmState
+    {
+        std::uint32_t numVcpus = 0;
+        PageTable table;
+        /** Declared content class per guest page (nonzero only). */
+        std::unordered_map<std::uint64_t, std::uint64_t> contentClass;
+    };
+
+    /** Reverse info for a host page under content sharing. */
+    struct SharedHostPage
+    {
+        /** (vm, guest_page) pairs currently mapping this page. */
+        std::vector<std::pair<VmId, std::uint64_t>> mappers;
+    };
+
+    std::uint64_t allocHostPage();
+    VmState &vmState(VmId vm);
+    const VmState &vmState(VmId vm) const;
+
+    HypervisorConfig config_;
+    std::vector<VmState> vms_;
+    std::uint64_t nextHostPage_ = 1; // page 0 reserved
+    std::uint64_t hypervisorBase_ = 0;
+    std::uint64_t generation_ = 0;
+    /** content class -> canonical host page. */
+    std::unordered_map<std::uint64_t, std::uint64_t> canonical_;
+    /** host page -> sharing info (content-shared pages only). */
+    std::unordered_map<std::uint64_t, SharedHostPage> shared_;
+    /** (vm, idx) -> host page for per-VM hypervisor-shared pages. */
+    std::unordered_map<std::uint64_t, std::uint64_t> vmShared_;
+    /** (min vm, max vm, idx) -> host page for inter-VM channels. */
+    std::unordered_map<std::uint64_t, std::uint64_t> channels_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_VIRT_HYPERVISOR_HH_

@@ -1,0 +1,51 @@
+#include "virt/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+std::optional<PageTableEntry>
+PageTable::lookup(std::uint64_t guest_page) const
+{
+    auto it = entries_.find(guest_page);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+PageTable::map(std::uint64_t guest_page, std::uint64_t host_page,
+               PageType type)
+{
+    entries_[guest_page] = PageTableEntry{host_page, type};
+    generation_++;
+}
+
+void
+PageTable::setType(std::uint64_t guest_page, PageType type)
+{
+    auto it = entries_.find(guest_page);
+    vsnoop_assert(it != entries_.end(),
+                  "setType on unmapped guest page ", guest_page);
+    it->second.type = type;
+    generation_++;
+}
+
+void
+PageTable::unmap(std::uint64_t guest_page)
+{
+    entries_.erase(guest_page);
+    generation_++;
+}
+
+void
+PageTable::forEach(const std::function<void(std::uint64_t,
+                                            const PageTableEntry &)> &fn)
+    const
+{
+    for (const auto &[guest_page, entry] : entries_)
+        fn(guest_page, entry);
+}
+
+} // namespace vsnoop

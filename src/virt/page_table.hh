@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-VM guest-physical to host-physical page table.
+ *
+ * The hypervisor maintains one of these per VM (the paper's nested /
+ * shadow mapping table, Section II-A).  Each entry carries the page
+ * sharing type in what would be two unused PTE bits (Section IV-A);
+ * the TLB model simply reads the type out of the entry on every
+ * translation.
+ */
+
+#ifndef VSNOOP_VIRT_PAGE_TABLE_HH_
+#define VSNOOP_VIRT_PAGE_TABLE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+
+namespace vsnoop
+{
+
+/**
+ * One page-table entry.
+ */
+struct PageTableEntry
+{
+    /** Host-physical page number. */
+    std::uint64_t hostPage = 0;
+    /** Sharing type (the two extra PTE bits). */
+    PageType type = PageType::VmPrivate;
+};
+
+/**
+ * Guest-physical to host-physical mapping for one VM.
+ */
+class PageTable
+{
+  public:
+    /** Look up a guest page; nullopt when unmapped. */
+    std::optional<PageTableEntry> lookup(std::uint64_t guest_page) const;
+
+    /** Install or replace a mapping.  Only the hypervisor calls this. */
+    void map(std::uint64_t guest_page, std::uint64_t host_page,
+             PageType type);
+
+    /** Change only the sharing type of an existing mapping. */
+    void setType(std::uint64_t guest_page, PageType type);
+
+    /** Remove a mapping. */
+    void unmap(std::uint64_t guest_page);
+
+    /** Number of mapped pages. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Visit every (guest_page, entry) pair. */
+    void forEach(const std::function<void(std::uint64_t,
+                                          const PageTableEntry &)> &fn) const;
+
+    /**
+     * Mapping generation: incremented on every map/setType/unmap.
+     * TLB-style consumers may cache translations and revalidate
+     * against this, mirroring a TLB shootdown.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+  private:
+    std::unordered_map<std::uint64_t, PageTableEntry> entries_;
+    std::uint64_t generation_ = 0;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_VIRT_PAGE_TABLE_HH_

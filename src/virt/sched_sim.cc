@@ -1,0 +1,354 @@
+#include "virt/sched_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+SchedulerSim::SchedulerSim(const SchedConfig &config,
+                           const SchedProfile &profile,
+                           std::uint32_t num_vms,
+                           std::uint32_t vcpus_per_vm)
+    : config_(config), profile_(profile), numVms_(num_vms),
+      vcpusPerVm_(vcpus_per_vm), cores_(config.numCores),
+      rng_(config.seed, 0x5c4edu)
+{
+}
+
+bool
+SchedulerSim::canRun(const VcpuState &v) const
+{
+    return v.runnable && !v.done && !v.atBarrier;
+}
+
+void
+SchedulerSim::vacate(VCpuId v)
+{
+    VcpuState &vcpu = vcpus_[v];
+    if (vcpu.core == kInvalidCore)
+        return;
+    cores_[vcpu.core].vcpu = kInvalidVCpu;
+    vcpu.core = kInvalidCore;
+    if (config_.recordTrace)
+        trace_.push_back({nowMs_, v, kInvalidCore});
+}
+
+void
+SchedulerSim::placeOn(VCpuId v, CoreId c, double now)
+{
+    VcpuState &vcpu = vcpus_[v];
+    vsnoop_assert(vcpu.core == kInvalidCore, "vCPU already placed");
+    vsnoop_assert(cores_[c].vcpu == kInvalidVCpu, "core occupied");
+    vcpu.core = c;
+    cores_[c].vcpu = v;
+    vcpu.justWoke = false;
+    vcpu.sliceEndMs = now + config_.sliceMs;
+    if (vcpu.lastCore != kInvalidCore && vcpu.lastCore != c) {
+        vcpu.mappingChanges++;
+        vcpu.coldUntilMs = now + config_.migrationColdMs;
+    }
+    vcpu.lastCore = c;
+    if (config_.recordTrace)
+        trace_.push_back({now, v, c});
+}
+
+SchedResult
+SchedulerSim::run()
+{
+    // Build the vCPU population.
+    vcpus_.clear();
+    for (std::uint32_t vm = 0; vm < numVms_; ++vm) {
+        for (std::uint32_t i = 0; i < vcpusPerVm_; ++i) {
+            VcpuState v;
+            v.vm = static_cast<VmId>(vm);
+            v.runnable = true;
+            v.nextToggleMs =
+                profile_.meanRunMs > 0
+                    ? profile_.meanRunMs * -std::log(1.0 - rng_.uniform())
+                    : config_.maxSimMs;
+            v.creditMs = config_.sliceMs;
+            if (config_.pinned) {
+                v.pinnedCore = static_cast<CoreId>(
+                    vcpus_.size() % config_.numCores);
+            }
+            vcpus_.push_back(v);
+        }
+    }
+
+    SchedResult result;
+    result.vmFinishMs.assign(numVms_, 0.0);
+    std::vector<std::uint32_t> vmRemaining(numVms_, vcpusPerVm_);
+
+    double now = 0.0;
+    double next_accounting = config_.accountingMs;
+    std::uint32_t vms_done = 0;
+    double step = config_.stepMs;
+    // Total dom0 wakeup rate scales with the number of VMs doing
+    // I/O, converted to a per-step probability.
+    double dom0_prob =
+        profile_.dom0WakeupsPerSec * numVms_ * step / 1000.0;
+
+    auto exp_draw = [&](double mean) {
+        double u = rng_.uniform();
+        if (u >= 1.0)
+            u = 0.999999;
+        return mean * -std::log(1.0 - u);
+    };
+
+    while (vms_done < numVms_ && now < config_.maxSimMs) {
+        now += step;
+        nowMs_ = now;
+
+        // Credit accounting.
+        if (now >= next_accounting) {
+            next_accounting += config_.accountingMs;
+            std::uint32_t active = 0;
+            for (const auto &v : vcpus_) {
+                if (!v.done)
+                    active++;
+            }
+            if (active > 0) {
+                double fair = config_.accountingMs * config_.numCores /
+                              static_cast<double>(active);
+                for (auto &v : vcpus_) {
+                    if (!v.done) {
+                        v.creditMs = std::min(v.creditMs + fair,
+                                              2.0 * config_.sliceMs);
+                    }
+                }
+            }
+        }
+
+        // domain0 bursts: short I/O-handling work that grabs (and
+        // if necessary preempts) a random core.  domain0 runs with
+        // boosted priority in Xen.
+        if (dom0_prob > 0 && rng_.chance(std::min(dom0_prob, 1.0))) {
+            auto c = static_cast<CoreId>(rng_.below(config_.numCores));
+            if (cores_[c].vcpu != kInvalidVCpu)
+                vacate(cores_[c].vcpu);
+            cores_[c].dom0UntilMs =
+                std::max(cores_[c].dom0UntilMs, now) +
+                profile_.dom0BurstMs;
+        }
+
+        // Runnable/blocked phase transitions.
+        for (VCpuId i = 0; i < vcpus_.size(); ++i) {
+            VcpuState &v = vcpus_[i];
+            if (v.done || now < v.nextToggleMs)
+                continue;
+            v.runnable = !v.runnable;
+            v.nextToggleMs = now + exp_draw(v.runnable
+                                                ? profile_.meanRunMs
+                                                : profile_.meanBlockMs);
+            if (!v.runnable && v.core != kInvalidCore)
+                vacate(i);
+            if (v.runnable)
+                v.justWoke = true;
+        }
+
+        // Count how many waiting vCPUs could use a core, for the
+        // preempt-on-contention decisions below.
+        std::uint32_t waiting_with_credit = 0;
+        for (VCpuId i = 0; i < vcpus_.size(); ++i) {
+            const VcpuState &v = vcpus_[i];
+            if (canRun(v) && v.core == kInvalidCore && v.creditMs > 0)
+                waiting_with_credit++;
+        }
+
+        // Execute one step on each core.
+        for (CoreId c = 0; c < cores_.size(); ++c) {
+            CoreState &core = cores_[c];
+            if (core.dom0UntilMs > now) {
+                if (core.vcpu != kInvalidVCpu)
+                    vacate(core.vcpu);
+                continue;
+            }
+            if (core.vcpu == kInvalidVCpu)
+                continue;
+            VCpuId vid = core.vcpu;
+            VcpuState &v = vcpus_[vid];
+            if (!canRun(v)) {
+                vacate(vid);
+                continue;
+            }
+            bool contended = waiting_with_credit > 0;
+            if (contended &&
+                (now >= v.sliceEndMs || v.creditMs <= 0)) {
+                vacate(vid);
+                continue;
+            }
+            double speed =
+                now < v.coldUntilMs ? config_.coldSpeed : 1.0;
+            v.workDoneMs += step * speed;
+            v.phaseWorkMs += step * speed;
+            v.creditMs -= step;
+            core.busyMs += step;
+            if (v.workDoneMs >= profile_.workMsPerVcpu) {
+                v.done = true;
+                vacate(vid);
+                VmId vm = v.vm;
+                if (--vmRemaining[vm] == 0) {
+                    result.vmFinishMs[vm] = now;
+                    vms_done++;
+                }
+            } else if (profile_.phaseWorkMs > 0 &&
+                       v.phaseWorkMs >= profile_.phaseWorkMs) {
+                // Parallel phase complete: park at the barrier
+                // until the VM's siblings arrive.
+                v.atBarrier = true;
+                v.phaseWorkMs = 0.0;
+                vacate(vid);
+            }
+        }
+
+        // Barrier release: once every live vCPU of a VM has
+        // arrived, the whole gang wakes (an event-driven wake).
+        if (profile_.phaseWorkMs > 0) {
+            for (VmId vm = 0; vm < numVms_; ++vm) {
+                bool all_arrived = vmRemaining[vm] > 0;
+                for (const auto &v : vcpus_) {
+                    if (v.vm == vm && !v.done && !v.atBarrier) {
+                        all_arrived = false;
+                        break;
+                    }
+                }
+                if (!all_arrived)
+                    continue;
+                for (auto &v : vcpus_) {
+                    if (v.vm == vm && !v.done) {
+                        v.atBarrier = false;
+                        v.justWoke = true;
+                    }
+                }
+            }
+        }
+
+        // Dispatch waiting vCPUs onto idle cores.
+        if (config_.pinned) {
+            for (CoreId c = 0; c < cores_.size(); ++c) {
+                if (cores_[c].dom0UntilMs > now ||
+                    cores_[c].vcpu != kInvalidVCpu) {
+                    continue;
+                }
+                // Choose the pinned waiting vCPU with most credits.
+                VCpuId best = kInvalidVCpu;
+                for (VCpuId i = 0; i < vcpus_.size(); ++i) {
+                    const VcpuState &v = vcpus_[i];
+                    if (v.pinnedCore != c || !canRun(v) ||
+                        v.core != kInvalidCore) {
+                        continue;
+                    }
+                    if (best == kInvalidVCpu ||
+                        v.creditMs > vcpus_[best].creditMs) {
+                        best = i;
+                    }
+                }
+                if (best != kInvalidVCpu)
+                    placeOn(best, c, now);
+            }
+        } else {
+            // Full-migration dispatch: waiting vCPUs (most credits
+            // first, Xen's UNDER priority) grab free cores.  A
+            // waking vCPU prefers its previous core unless the
+            // event-driven wake placement sends it elsewhere.
+            std::vector<CoreId> free_cores;
+            for (CoreId c = 0; c < cores_.size(); ++c) {
+                if (cores_[c].dom0UntilMs <= now &&
+                    cores_[c].vcpu == kInvalidVCpu) {
+                    free_cores.push_back(c);
+                }
+            }
+            std::vector<VCpuId> waiting;
+            for (VCpuId i = 0; i < vcpus_.size(); ++i) {
+                const VcpuState &v = vcpus_[i];
+                if (canRun(v) && v.core == kInvalidCore)
+                    waiting.push_back(i);
+            }
+            std::sort(waiting.begin(), waiting.end(),
+                      [&](VCpuId a, VCpuId b) {
+                          return vcpus_[a].creditMs > vcpus_[b].creditMs;
+                      });
+            for (VCpuId vid : waiting) {
+                VcpuState &v = vcpus_[vid];
+                if (!free_cores.empty()) {
+                    auto last_it =
+                        std::find(free_cores.begin(), free_cores.end(),
+                                  v.lastCore);
+                    std::size_t pick_idx;
+                    // Event-driven wake placement can land anywhere;
+                    // a vCPU merely descheduled (slice expiry, dom0
+                    // displacement) returns to its previous core
+                    // when that core is free.
+                    bool stray = v.justWoke &&
+                                 rng_.chance(profile_.wakeMigrateProb);
+                    if (last_it != free_cores.end() && !stray) {
+                        pick_idx = static_cast<std::size_t>(
+                            last_it - free_cores.begin());
+                    } else {
+                        pick_idx = rng_.below(static_cast<std::uint32_t>(
+                            free_cores.size()));
+                    }
+                    CoreId target = free_cores[pick_idx];
+                    free_cores.erase(
+                        free_cores.begin() +
+                        static_cast<std::ptrdiff_t>(pick_idx));
+                    placeOn(vid, target, now);
+                    continue;
+                }
+                // No core is free: Xen's BOOST behaviour lets a
+                // freshly runnable vCPU with credits preempt a
+                // running vCPU that is deeper into its credits.
+                if (v.creditMs <= 0)
+                    continue;
+                CoreId victim_core = kInvalidCore;
+                double victim_credit = v.creditMs - config_.sliceMs / 3;
+                for (CoreId c = 0; c < cores_.size(); ++c) {
+                    if (cores_[c].dom0UntilMs > now ||
+                        cores_[c].vcpu == kInvalidVCpu) {
+                        continue;
+                    }
+                    double running_credit =
+                        vcpus_[cores_[c].vcpu].creditMs;
+                    if (running_credit < victim_credit) {
+                        victim_credit = running_credit;
+                        victim_core = c;
+                    }
+                }
+                if (victim_core != kInvalidCore) {
+                    vacate(cores_[victim_core].vcpu);
+                    placeOn(vid, victim_core, now);
+                }
+            }
+        }
+    }
+
+    result.timedOut = vms_done < numVms_;
+    result.makespanMs = now;
+    double busy = 0.0;
+    for (const auto &core : cores_)
+        busy += core.busyMs;
+    result.coreUtilization =
+        now > 0 ? busy / (config_.numCores * now) : 0.0;
+
+    std::uint64_t changes = 0;
+    double vcpu_time = 0.0;
+    for (const auto &v : vcpus_) {
+        changes += v.mappingChanges;
+        double finish =
+            v.done ? result.vmFinishMs[v.vm] : now;
+        if (finish <= 0)
+            finish = now;
+        vcpu_time += finish;
+    }
+    result.migrations = changes;
+    result.avgRelocationPeriodMs =
+        changes > 0 ? vcpu_time / static_cast<double>(changes)
+                    : vcpu_time;
+    result.trace = std::move(trace_);
+    return result;
+}
+
+} // namespace vsnoop

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Credit-scheduler simulation (Section III-B of the paper).
+ *
+ * A self-contained model of Xen's credit scheduler used to
+ * reproduce Figure 3 (pinned vs. migrating vCPUs, under- and
+ * overcommitted) and Table I (average vCPU relocation periods).
+ * This model runs above the cache simulator: it deals in
+ * milliseconds of CPU time, not memory accesses.
+ *
+ * Modelled behaviour:
+ *  - each vCPU alternates runnable/blocked phases (exponentially
+ *    distributed, per-application means) and must accumulate a
+ *    fixed amount of CPU work;
+ *  - cores run one vCPU at a time for up to a 30 ms slice; credits
+ *    are refilled each accounting period and a vCPU that exhausted
+ *    its credits yields to one that has credits left;
+ *  - in "full migration" mode an idle core steals a waiting
+ *    runnable vCPU from anywhere (Xen's load balancing); in
+ *    "no migration" mode vCPUs are pinned one-to-one (or
+ *    round-robin when overcommitted) to physical cores;
+ *  - domain0 wakes up for short I/O-handling bursts at an
+ *    application-dependent rate, displacing guest vCPUs; this is
+ *    what makes even undercommitted systems migrate (Table I);
+ *  - a migrated vCPU runs below full speed for a short cold-cache
+ *    window, which is why pinning wins when cores are plentiful.
+ */
+
+#ifndef VSNOOP_VIRT_SCHED_SIM_HH_
+#define VSNOOP_VIRT_SCHED_SIM_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Scheduling behaviour of one application (one VM's workload).
+ */
+struct SchedProfile
+{
+    /** Mean runnable-phase length per vCPU (ms). */
+    double meanRunMs = 50.0;
+    /** Mean blocked-phase length per vCPU (ms). */
+    double meanBlockMs = 5.0;
+    /** domain0 wakeups per second caused by this VM's I/O. */
+    double dom0WakeupsPerSec = 10.0;
+    /** Length of each domain0 burst (ms). */
+    double dom0BurstMs = 0.3;
+    /**
+     * Probability that a waking vCPU is placed on a different free
+     * core even when its previous core is available (interrupt- and
+     * event-channel-driven wake placement in Xen).
+     */
+    double wakeMigrateProb = 0.8;
+    /** CPU work each vCPU must complete (ms of CPU time). */
+    double workMsPerVcpu = 3000.0;
+    /**
+     * Barrier granularity: work (ms) each vCPU completes per
+     * parallel phase before waiting for its VM siblings.  Zero
+     * disables barrier coupling.  Fine-grained phases make pinning
+     * expensive when cores are overcommitted: a straggler vCPU
+     * stalls its whole VM while sibling cores idle (Figure 3b).
+     */
+    double phaseWorkMs = 0.0;
+};
+
+/**
+ * Scheduler configuration.
+ */
+struct SchedConfig
+{
+    std::uint32_t numCores = 8;
+    /** Scheduler time slice (Xen credit default: 30 ms). */
+    double sliceMs = 30.0;
+    /** Credit accounting period (ms). */
+    double accountingMs = 30.0;
+    /** Simulation step (ms). */
+    double stepMs = 0.1;
+    /** Pin vCPUs to fixed cores instead of load balancing. */
+    bool pinned = false;
+    /** Cold-cache window after a migration (ms). */
+    double migrationColdMs = 1.0;
+    /** Relative execution speed inside the cold window. */
+    double coldSpeed = 0.5;
+    /** RNG seed. */
+    std::uint64_t seed = 42;
+    /** Give up after this much simulated time (ms). */
+    double maxSimMs = 600000.0;
+    /** Record every placement change into SchedResult::trace. */
+    bool recordTrace = false;
+};
+
+/**
+ * One vCPU placement change, recorded for replay into the
+ * coherence-level simulation (the paper's future-work coupling of
+ * scheduler policy and snoop filtering).
+ */
+struct PlacementEvent
+{
+    /** Simulated time of the change (ms). */
+    double timeMs = 0.0;
+    VCpuId vcpu = kInvalidVCpu;
+    /** New core, or kInvalidCore when the vCPU is descheduled. */
+    CoreId core = kInvalidCore;
+};
+
+/**
+ * Results of one scheduler run.
+ */
+struct SchedResult
+{
+    /** Completion time of each VM (ms). */
+    std::vector<double> vmFinishMs;
+    /** Time the last VM finished (ms). */
+    double makespanMs = 0.0;
+    /** Total vCPU-to-core mapping changes (guest vCPUs only). */
+    std::uint64_t migrations = 0;
+    /**
+     * Average relocation period (ms): guest vCPU-time divided by
+     * mapping changes — Table I's metric.
+     */
+    double avgRelocationPeriodMs = 0.0;
+    /** Fraction of core-time spent running guest vCPUs. */
+    double coreUtilization = 0.0;
+    /** True when the run hit maxSimMs before completing. */
+    bool timedOut = false;
+    /** Placement trace (only when SchedConfig::recordTrace). */
+    std::vector<PlacementEvent> trace;
+};
+
+/**
+ * The scheduler simulator.
+ */
+class SchedulerSim
+{
+  public:
+    /**
+     * @param config Scheduler configuration.
+     * @param profile Application behaviour (same app in every VM,
+     *        as in the paper's experiments).
+     * @param num_vms Guest VMs.
+     * @param vcpus_per_vm vCPUs per guest VM.
+     */
+    SchedulerSim(const SchedConfig &config, const SchedProfile &profile,
+                 std::uint32_t num_vms, std::uint32_t vcpus_per_vm);
+
+    /** Run to completion (or maxSimMs). */
+    SchedResult run();
+
+  private:
+    struct VcpuState
+    {
+        VmId vm = 0;
+        bool runnable = true;
+        bool done = false;
+        /** Parked at a barrier until every VM sibling arrives. */
+        bool atBarrier = false;
+        /** Became runnable this step via a wake event (event-driven
+         *  placement applies); cleared on placement. */
+        bool justWoke = false;
+        double nextToggleMs = 0.0;
+        double creditMs = 0.0;
+        double workDoneMs = 0.0;
+        /** Work accumulated in the current parallel phase. */
+        double phaseWorkMs = 0.0;
+        double sliceEndMs = 0.0;
+        double coldUntilMs = 0.0;
+        CoreId core = kInvalidCore;
+        CoreId lastCore = kInvalidCore;
+        CoreId pinnedCore = kInvalidCore;
+        std::uint64_t mappingChanges = 0;
+    };
+
+    struct CoreState
+    {
+        /** Guest vCPU currently running (kInvalidVCpu if none). */
+        VCpuId vcpu = kInvalidVCpu;
+        /** Busy with a domain0 burst until this time. */
+        double dom0UntilMs = 0.0;
+        double busyMs = 0.0;
+    };
+
+    void vacate(VCpuId v);
+    void placeOn(VCpuId v, CoreId c, double now);
+    bool canRun(const VcpuState &v) const;
+
+    SchedConfig config_;
+    SchedProfile profile_;
+    std::uint32_t numVms_;
+    std::uint32_t vcpusPerVm_;
+    std::vector<VcpuState> vcpus_;
+    std::vector<CoreState> cores_;
+    /** Current simulated time, for trace recording. */
+    double nowMs_ = 0.0;
+    /** Placement trace (filled when config_.recordTrace). */
+    std::vector<PlacementEvent> trace_;
+    Rng rng_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_VIRT_SCHED_SIM_HH_

@@ -1,0 +1,259 @@
+#include "workload/app_profile.hh"
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+namespace
+{
+
+/**
+ * Helper assembling a coherence-study profile.  The calibration
+ * targets quoted in comments are the paper's measurements:
+ * Table V (content-shared access / L2-miss percentages) and
+ * Figure 1 (hypervisor + domain0 L2-miss shares).
+ */
+AppProfile
+coherenceProfile(const std::string &name, std::uint64_t priv_pages,
+                 double priv_skew, std::uint64_t content_pages,
+                 double content_fraction, double content_skew,
+                 double hv_fraction, double vm_shared_fraction,
+                 double write_fraction)
+{
+    AppProfile p;
+    p.name = name;
+    p.privatePagesPerVcpu = priv_pages;
+    p.privateSkew = priv_skew;
+    p.contentPages = content_pages;
+    p.contentFraction = content_fraction;
+    p.contentSkew = content_skew;
+    p.hypervisorFraction = hv_fraction;
+    p.vmSharedFraction = vm_shared_fraction;
+    p.writeFraction = write_fraction;
+    p.vmSharedPages = 8;
+    return p;
+}
+
+/** Helper assembling a scheduler-study profile (Fig 3, Table I). */
+SchedProfile
+schedProfile(double run_ms, double block_ms, double dom0_rate,
+             double wake_migrate, double phase_ms = 0.0)
+{
+    SchedProfile s;
+    s.meanRunMs = run_ms;
+    s.meanBlockMs = block_ms;
+    s.dom0WakeupsPerSec = dom0_rate;
+    s.wakeMigrateProb = wake_migrate;
+    s.phaseWorkMs = phase_ms;
+    return s;
+}
+
+std::vector<AppProfile>
+buildCoherenceApps()
+{
+    std::vector<AppProfile> apps;
+
+    // SPLASH-2 cholesky.  Table V: 1.45% content accesses, 2.66% of
+    // L2 misses.  Resident private set, modest cool content region.
+    apps.push_back(coherenceProfile("cholesky", 100, 0.6, 96, 0.0145,
+                                    0.1, 0.004, 0.04, 0.25));
+    // SPLASH-2 fft.  Table V: 5.43% / 30.64% — a hot private set
+    // with a large, poorly-reused content region (bit-reversed
+    // twiddle tables shared across the identical VMs).
+    apps.push_back(coherenceProfile("fft", 20, 0.85, 256, 0.0543, 0.05,
+                                    0.004, 0.03, 0.30));
+    // SPLASH-2 lu.  Table V: 0.43% / 8.87% — tiny content access
+    // share but the content region always misses while the private
+    // blocks stay resident.
+    apps.push_back(coherenceProfile("lu", 10, 0.95, 160, 0.0043, 0.0,
+                                    0.003, 0.04, 0.30));
+    // SPLASH-2 ocean.  Table V: 0.40% / 0.83% — private grids
+    // stream (high private miss rate); the rarely-touched content
+    // region misses but is a tiny share.
+    apps.push_back(coherenceProfile("ocean", 400, 0.2, 48, 0.004, 0.0,
+                                    0.003, 0.05, 0.30));
+    // SPLASH-2 radix.  Table V: 20.47% / 0.96% — a hot, tiny
+    // content region (shared radix tables) that caches perfectly,
+    // while the private key arrays stream.
+    apps.push_back(coherenceProfile("radix", 500, 0.1, 1, 0.2047, 0.0,
+                                    0.004, 0.03, 0.35));
+    // PARSEC blackscholes.  Table V: 46.16% / 41.10% — a small
+    // working set overall (Section V-C notes the residence counters
+    // never drain), with nearly half the accesses on the shared
+    // option-pricing tables.
+    apps.push_back(coherenceProfile("blackscholes", 16, 0.4, 14, 0.4616,
+                                    0.3, 0.002, 0.02, 0.15));
+    // PARSEC canneal.  Table V: 25.16% / 51.49% — random walks over
+    // a large content-shared netlist; the private state has decent
+    // locality, so content misses dominate.
+    apps.push_back(coherenceProfile("canneal", 22, 0.85, 400, 0.2516,
+                                    0.0, 0.003, 0.03, 0.20));
+    // PARSEC dedup (Table IV / Fig 6 only; not in Table V).
+    // Figure 1: the highest hypervisor share of the PARSEC set
+    // (11%), from pipeline I/O through domain0.
+    apps.push_back(coherenceProfile("dedup", 200, 0.45, 32, 0.03, 0.3,
+                                    0.012, 0.08, 0.30));
+    // PARSEC ferret.  Table V: 3.64% / 5.13%.
+    apps.push_back(coherenceProfile("ferret", 250, 0.4, 96, 0.0364, 0.2,
+                                    0.007, 0.06, 0.25));
+    // SPECjbb2k.  Table V: 9.48% / 37.74% — large shared code and
+    // class-data footprint across the identical JVMs.
+    apps.push_back(coherenceProfile("specjbb", 22, 0.9, 300, 0.0948,
+                                    0.15, 0.006, 0.05, 0.30));
+
+    // Scheduler parameters for the subset that also appears in the
+    // scheduler study.
+    for (auto &app : apps) {
+        if (app.name == "blackscholes")
+            app.sched = schedProfile(4500, 100, 0.5, 0.8, 4600);
+        else if (app.name == "canneal")
+            app.sched = schedProfile(40, 5, 5, 0.8, 45);
+        else if (app.name == "dedup")
+            app.sched = schedProfile(15, 2.5, 50, 0.8, 17.5);
+        else if (app.name == "ferret")
+            app.sched = schedProfile(560, 40, 20, 0.8, 600);
+    }
+    return apps;
+}
+
+std::vector<AppProfile>
+buildSchedulerApps()
+{
+    // Calibration targets: Table I undercommitted relocation
+    // periods (ms): blackscholes 2880.6, bodytrack 26.1, canneal
+    // 28.4, dedup 10.8, facesim 30.0, ferret 375.9, fluidanimate
+    // 46.6, freqmine 1968.0, raytrace 528.8, streamcluster 36.2,
+    // swaptions 2203.1, vips 18.3, x264 29.2.  Relocations are
+    // driven by event-channel wakes (blocking frequency), barrier
+    // releases (phase granularity) and domain0 displacement, each
+    // landing the vCPU on a new core with wakeMigrateProb.
+    struct Row
+    {
+        const char *name;
+        double run, block, dom0, phase;
+    };
+    const Row rows[] = {
+        {"blackscholes", 10600, 230, 0.2, 10800},
+        {"bodytrack", 27, 4.5, 15, 31},
+        {"canneal", 29, 3.6, 5, 33},
+        {"dedup", 10, 1.7, 50, 12},
+        {"facesim", 31, 4.4, 10, 35},
+        {"ferret", 1800, 130, 8, 1900},
+        {"fluidanimate", 52, 8, 8, 60},
+        {"freqmine", 1150, 700, 1, 1850},
+        {"raytrace", 1450, 90, 2, 1500},
+        {"streamcluster", 37, 6, 6, 43},
+        {"swaptions", 7300, 215, 0.3, 7500},
+        {"vips", 17.5, 3, 30, 20},
+        {"x264", 30, 4.5, 12, 35},
+    };
+    std::vector<AppProfile> apps;
+    for (const Row &row : rows) {
+        AppProfile p;
+        p.name = row.name;
+        p.sched =
+            schedProfile(row.run, row.block, row.dom0, 0.8, row.phase);
+        // Memory-side parameters are irrelevant for the scheduler
+        // study but kept reasonable for completeness.
+        p.privatePagesPerVcpu = 200;
+        p.hypervisorFraction = 0.004;
+        apps.push_back(p);
+    }
+    return apps;
+}
+
+std::vector<AppProfile>
+buildHypervisorStudyApps()
+{
+    // Figure 1 targets (hypervisor + domain0 share of L2 misses):
+    // PARSEC < 5% except dedup 11%, freqmine 8%, raytrace 7%;
+    // OLTP 15%; SPECweb 19%.  The hypervisorFraction values below
+    // are access-level fractions chosen so that, combined with the
+    // near-certain miss behaviour of RW-shared lines, the measured
+    // miss shares land near the targets.
+    std::vector<AppProfile> apps = buildSchedulerApps();
+    auto set_hv = [&](const std::string &name, double fraction,
+                      std::uint64_t priv_pages) {
+        for (auto &a : apps) {
+            if (a.name == name) {
+                a.hypervisorFraction = fraction;
+                a.privatePagesPerVcpu = priv_pages;
+                return;
+            }
+        }
+        vsnoop_panic("unknown app ", name);
+    };
+    set_hv("blackscholes", 0.006, 16);
+    set_hv("bodytrack", 0.024, 180);
+    set_hv("canneal", 0.026, 300);
+    set_hv("dedup", 0.10, 200);
+    set_hv("facesim", 0.025, 250);
+    set_hv("ferret", 0.033, 250);
+    set_hv("fluidanimate", 0.025, 220);
+    set_hv("freqmine", 0.072, 180);
+    set_hv("raytrace", 0.060, 200);
+    set_hv("streamcluster", 0.033, 300);
+    set_hv("swaptions", 0.013, 60);
+    set_hv("vips", 0.033, 220);
+    set_hv("x264", 0.032, 200);
+
+    AppProfile oltp;
+    oltp.name = "OLTP";
+    oltp.privatePagesPerVcpu = 220;
+    oltp.privateSkew = 0.6;
+    oltp.hypervisorFraction = 0.14;
+    oltp.vmSharedFraction = 0.10;
+    oltp.writeFraction = 0.35;
+    oltp.sched = schedProfile(10, 4, 80, 0.8);
+    apps.push_back(oltp);
+
+    AppProfile specweb;
+    specweb.name = "SPECweb";
+    specweb.privatePagesPerVcpu = 200;
+    specweb.privateSkew = 0.6;
+    specweb.hypervisorFraction = 0.19;
+    specweb.vmSharedFraction = 0.10;
+    specweb.writeFraction = 0.30;
+    specweb.sched = schedProfile(8, 4, 100, 0.8);
+    apps.push_back(specweb);
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+coherenceApps()
+{
+    static const std::vector<AppProfile> apps = buildCoherenceApps();
+    return apps;
+}
+
+const std::vector<AppProfile> &
+schedulerApps()
+{
+    static const std::vector<AppProfile> apps = buildSchedulerApps();
+    return apps;
+}
+
+const std::vector<AppProfile> &
+hypervisorStudyApps()
+{
+    static const std::vector<AppProfile> apps = buildHypervisorStudyApps();
+    return apps;
+}
+
+const AppProfile &
+findApp(const std::string &name)
+{
+    for (const auto &catalog :
+         {&coherenceApps(), &schedulerApps(), &hypervisorStudyApps()}) {
+        for (const auto &app : *catalog) {
+            if (app.name == name)
+                return app;
+        }
+    }
+    vsnoop_fatal("unknown application profile: ", name);
+}
+
+} // namespace vsnoop

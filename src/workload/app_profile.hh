@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-application workload profiles.
+ *
+ * The paper evaluates SPLASH-2, PARSEC, SPECjbb, OLTP and SPECweb
+ * binaries on Virtual-GEMS and a real Xen host.  This repository
+ * replaces the binaries with synthetic generators parameterized per
+ * application.  Each profile captures the address-stream properties
+ * that the paper's results actually depend on:
+ *
+ *  - the size and reuse skew of the VM-private working set (drives
+ *    L2 miss rates and residence-counter drain times, Figure 9);
+ *  - the fraction of accesses touching content-shared pages and the
+ *    size of that region (Table V);
+ *  - the fraction of accesses involving the hypervisor or domain0
+ *    (Figure 1);
+ *  - true sharing among a VM's vCPUs (cache-to-cache transfers);
+ *  - scheduler-level behaviour: runnable/blocked phase lengths and
+ *    domain0 I/O activity (Figure 3, Table I).
+ *
+ * The numeric calibration targets are quoted from the paper next to
+ * each profile in app_profile.cc.
+ */
+
+#ifndef VSNOOP_WORKLOAD_APP_PROFILE_HH_
+#define VSNOOP_WORKLOAD_APP_PROFILE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "virt/sched_sim.hh"
+
+namespace vsnoop
+{
+
+/**
+ * A synthetic application description.
+ */
+struct AppProfile
+{
+    std::string name;
+
+    /** @{ Memory behaviour (drives the coherence simulations). */
+    /** Private working-set pages per vCPU. */
+    std::uint64_t privatePagesPerVcpu = 256;
+    /** Zipf skew of private-region reuse (0 = uniform). */
+    double privateSkew = 0.6;
+    /** Pages shared (read/write) among the vCPUs of one VM. */
+    std::uint64_t vmSharedPages = 32;
+    /** Fraction of accesses to the VM-shared region. */
+    double vmSharedFraction = 0.05;
+    /** Content-identical pages per VM (dedup candidates). */
+    std::uint64_t contentPages = 64;
+    /** Fraction of accesses to content-shared pages (Table V). */
+    double contentFraction = 0.05;
+    /** Zipf skew of the content region. */
+    double contentSkew = 0.3;
+    /** Fraction of accesses that trap to the hypervisor or touch
+     *  domain0-shared pages (Figure 1). */
+    double hypervisorFraction = 0.01;
+    /** Fraction of accesses to direct inter-VM communication
+     *  channels with the partner (friend) VM — Section II-B's third
+     *  sharing source.  RW-shared, so these always broadcast. */
+    double channelFraction = 0.0;
+    /** Write probability for private / VM-shared accesses. */
+    double writeFraction = 0.25;
+    /** Write probability on content-shared pages (triggers COW). */
+    double contentWriteFraction = 0.0005;
+    /** Mean ticks between post-L1 (L2-level) accesses per vCPU. */
+    double meanAccessGap = 15.0;
+    /** @} */
+
+    /** Scheduler-level behaviour (Figure 3, Table I). */
+    SchedProfile sched;
+};
+
+/**
+ * The ten applications of the coherence evaluation (Tables III-VI,
+ * Figures 6-10): SPLASH-2 cholesky/fft/lu/ocean/radix, PARSEC
+ * blackscholes/canneal/dedup/ferret, and SPECjbb.
+ */
+const std::vector<AppProfile> &coherenceApps();
+
+/**
+ * The thirteen PARSEC applications of the real-system scheduler
+ * study (Figure 3, Table I).
+ */
+const std::vector<AppProfile> &schedulerApps();
+
+/**
+ * The Figure 1 set: schedulerApps() plus the OLTP and SPECweb
+ * server workloads.
+ */
+const std::vector<AppProfile> &hypervisorStudyApps();
+
+/** Find a profile by name in any of the catalogs; fatal if absent. */
+const AppProfile &findApp(const std::string &name);
+
+} // namespace vsnoop
+
+#endif // VSNOOP_WORKLOAD_APP_PROFILE_HH_

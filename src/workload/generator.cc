@@ -1,0 +1,170 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+const char *
+accessCategoryName(AccessCategory c)
+{
+    switch (c) {
+      case AccessCategory::Private:
+        return "private";
+      case AccessCategory::VmShared:
+        return "vm-shared";
+      case AccessCategory::ContentShared:
+        return "content-shared";
+      case AccessCategory::Hypervisor:
+        return "hypervisor";
+      case AccessCategory::Domain0:
+        return "domain0";
+      case AccessCategory::Channel:
+        return "inter-VM channel";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Stable content-class namespace per application. */
+std::uint64_t
+contentClassBase(const AppProfile &profile)
+{
+    // Same application => same classes across VMs; different
+    // applications never collide (hash-partitioned namespace).
+    return (std::hash<std::string>{}(profile.name) | 1ULL) << 20;
+}
+
+} // namespace
+
+void
+declareContentPages(Hypervisor &hypervisor, VmId vm,
+                    const AppProfile &profile)
+{
+    std::uint64_t base = contentClassBase(profile);
+    for (std::uint64_t i = 0; i < profile.contentPages; ++i) {
+        hypervisor.declareContent(vm, kContentBase + i, base + i + 1);
+    }
+}
+
+VcpuWorkload::VcpuWorkload(Hypervisor &hypervisor, VmId vm,
+                           std::uint32_t vcpu_index,
+                           const AppProfile &profile, std::uint64_t seed)
+    : hypervisor_(hypervisor), vm_(vm), vcpuIndex_(vcpu_index),
+      profile_(profile), hvConfig_(hypervisor.config()),
+      rng_(seed, (static_cast<std::uint64_t>(vm) << 16) | vcpu_index)
+{
+    if (profile_.channelFraction > 0.0 && hypervisor.numVms() >= 2) {
+        // Channels pair adjacent VMs (the friend-VM pairing).
+        partner_ = static_cast<VmId>(vm ^ 1U);
+        if (partner_ >= hypervisor.numVms())
+            partner_ = kInvalidVm;
+    }
+}
+
+VcpuWorkload::Step
+VcpuWorkload::next()
+{
+    Step step;
+    totalAccesses.inc();
+
+    double r = rng_.uniform();
+    std::uint64_t line_off =
+        rng_.below(static_cast<std::uint32_t>(kLinesPerPage)) * kLineBytes;
+
+    double hv = profile_.hypervisorFraction;
+    double channel =
+        partner_ != kInvalidVm ? profile_.channelFraction : 0.0;
+    double content = profile_.contentFraction;
+    double vm_shared = profile_.vmSharedFraction;
+
+    bool write = false;
+    Translation t;
+
+    if (r < channel) {
+        // Direct inter-VM communication with the partner VM over
+        // shared ring pages: both sides read and write.
+        auto page =
+            rng_.below(static_cast<std::uint32_t>(
+                std::max<std::uint64_t>(1, hvConfig_.channelPages)));
+        write = rng_.chance(0.5);
+        t = hypervisor_.channelAddr(vm_, partner_, page, line_off);
+        step.category = AccessCategory::Channel;
+    } else if (r < channel + hv) {
+        // A trap into the hypervisor or an I/O interaction with
+        // domain0 through shared ring pages.  Both are RW-shared.
+        bool dom0 = rng_.chance(0.6);
+        write = rng_.chance(0.3);
+        if (dom0) {
+            auto page = rng_.below(static_cast<std::uint32_t>(
+                hvConfig_.perVmSharedPages));
+            t = hypervisor_.vmSharedAddr(vm_, page, line_off);
+            step.category = AccessCategory::Domain0;
+        } else {
+            auto page = rng_.below(static_cast<std::uint32_t>(
+                hvConfig_.hypervisorPages));
+            t = hypervisor_.hypervisorAddr(page, line_off);
+            step.category = AccessCategory::Hypervisor;
+        }
+    } else if (r < channel + hv + content && profile_.contentPages > 0) {
+        std::uint64_t page =
+            kContentBase +
+            rng_.zipf(static_cast<std::uint32_t>(profile_.contentPages),
+                      profile_.contentSkew);
+        write = rng_.chance(profile_.contentWriteFraction);
+        t = hypervisor_.translateData(
+            vm_, makeGuestAddr(page, line_off), write);
+        step.category = AccessCategory::ContentShared;
+        if (t.cowBroke) {
+            cowBreaks.inc();
+            step.cowBroke = true;
+        }
+    } else if (r < channel + hv + content + vm_shared &&
+               profile_.vmSharedPages > 0) {
+        std::uint64_t page =
+            kVmSharedBase +
+            rng_.below(static_cast<std::uint32_t>(profile_.vmSharedPages));
+        write = rng_.chance(profile_.writeFraction);
+        t = hypervisor_.translateData(
+            vm_, makeGuestAddr(page, line_off), write);
+        step.category = AccessCategory::VmShared;
+    } else {
+        std::uint64_t page =
+            kPrivateBase +
+            static_cast<std::uint64_t>(vcpuIndex_) *
+                profile_.privatePagesPerVcpu +
+            rng_.zipf(
+                static_cast<std::uint32_t>(profile_.privatePagesPerVcpu),
+                profile_.privateSkew);
+        write = rng_.chance(profile_.writeFraction);
+        t = hypervisor_.translateData(
+            vm_, makeGuestAddr(page, line_off), write);
+        step.category = AccessCategory::Private;
+    }
+
+    accessesByCategory[static_cast<std::size_t>(step.category)].inc();
+    if (write)
+        writes.inc();
+
+    step.access.addr = t.addr;
+    step.access.isWrite = write;
+    step.access.vm = vm_;
+    step.access.pageType = t.type;
+
+    // Think time between L2-level accesses: geometric around the
+    // profile mean, at least one cycle.
+    double mean = profile_.meanAccessGap;
+    if (mean <= 1.0) {
+        step.gap = 1;
+    } else {
+        step.gap = 1 + rng_.geometric(1.0 / mean);
+    }
+    return step;
+}
+
+} // namespace vsnoop

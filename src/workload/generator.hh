@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Synthetic per-vCPU memory access generation.
+ *
+ * A VcpuWorkload produces the post-L1 (L2-level) access stream of
+ * one vCPU according to its application profile: a Zipf-reused
+ * private working set, a region truly shared among the VM's vCPUs,
+ * a content-shared region (identical across VMs running the same
+ * application, deduplicated by the hypervisor), and occasional
+ * hypervisor/domain0 interactions on RW-shared pages.
+ *
+ * Every access is translated through the hypervisor's nested page
+ * table, so the sharing type the coherence layer sees is exactly
+ * what the page table says — including COW breaks when a VM writes
+ * to a content-shared page.
+ */
+
+#ifndef VSNOOP_WORKLOAD_GENERATOR_HH_
+#define VSNOOP_WORKLOAD_GENERATOR_HH_
+
+#include <cstdint>
+
+#include "coherence/protocol.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "virt/hypervisor.hh"
+#include "workload/app_profile.hh"
+
+namespace vsnoop
+{
+
+/** Guest-page layout of the synthetic address space. */
+constexpr std::uint64_t kPrivateBase = 0x100000;
+constexpr std::uint64_t kVmSharedBase = 0x200000;
+constexpr std::uint64_t kContentBase = 0x300000;
+
+/** Classification of a generated access, for Table V / Figure 1. */
+enum class AccessCategory : std::uint8_t
+{
+    Private,
+    VmShared,
+    ContentShared,
+    /** Hypervisor (Xen) global data. */
+    Hypervisor,
+    /** domain0 I/O ring pages. */
+    Domain0,
+    /** Direct inter-VM communication channel pages. */
+    Channel,
+};
+
+/** Number of AccessCategory values. */
+constexpr std::size_t kNumAccessCategories = 6;
+
+/** Human-readable category name. */
+const char *accessCategoryName(AccessCategory c);
+
+/**
+ * Declare the VM's content-shared candidate pages with the
+ * hypervisor.  Must be called once per VM before the content scan;
+ * VMs running the same application declare the same classes and
+ * therefore merge.
+ */
+void declareContentPages(Hypervisor &hypervisor, VmId vm,
+                         const AppProfile &profile);
+
+/**
+ * The per-vCPU access stream.
+ */
+class VcpuWorkload
+{
+  public:
+    /** One generated access plus the think gap that precedes it. */
+    struct Step
+    {
+        MemAccess access;
+        AccessCategory category = AccessCategory::Private;
+        /** Ticks between the previous completion and this issue. */
+        Tick gap = 1;
+        /** This access broke content sharing via COW. */
+        bool cowBroke = false;
+    };
+
+    /**
+     * @param hypervisor The hypervisor for address translation.
+     * @param vm Owning VM.
+     * @param vcpu_index Index of this vCPU within the VM (selects
+     *        the private sub-region).
+     * @param profile Application behaviour.
+     * @param seed Deterministic per-vCPU RNG seed.
+     */
+    VcpuWorkload(Hypervisor &hypervisor, VmId vm,
+                 std::uint32_t vcpu_index, const AppProfile &profile,
+                 std::uint64_t seed);
+
+    /** Generate the next access. */
+    Step next();
+
+    VmId vm() const { return vm_; }
+    const AppProfile &profile() const { return profile_; }
+
+    /** Zero the generation statistics. */
+    void
+    resetStats()
+    {
+        for (auto &counter : accessesByCategory)
+            counter.reset();
+        totalAccesses.reset();
+        writes.reset();
+        cowBreaks.reset();
+    }
+
+    /** @{ Generation statistics (access level, i.e. Table V's
+     *     "Access" column granularity). */
+    Counter accessesByCategory[kNumAccessCategories];
+    Counter totalAccesses;
+    Counter writes;
+    Counter cowBreaks;
+    /** @} */
+
+  private:
+    Hypervisor &hypervisor_;
+    VmId vm_;
+    std::uint32_t vcpuIndex_;
+    AppProfile profile_;
+    HypervisorConfig hvConfig_;
+    /** Channel partner (kInvalidVm when channels are unused). */
+    VmId partner_ = kInvalidVm;
+    Rng rng_;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_WORKLOAD_GENERATOR_HH_

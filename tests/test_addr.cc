@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for address types and geometry helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+
+namespace vsnoop::test
+{
+
+TEST(Addr, GeometryConstantsAreConsistent)
+{
+    EXPECT_EQ(kLineBytes, 64u);
+    EXPECT_EQ(kPageBytes, 4096u);
+    EXPECT_EQ(kLinesPerPage, 64u);
+    EXPECT_EQ(1u << kLineShift, kLineBytes);
+    EXPECT_EQ(1u << kPageShift, kPageBytes);
+}
+
+TEST(Addr, AlignmentHelpers)
+{
+    HostAddr a(0x12345);
+    EXPECT_EQ(a.lineAligned().raw(), 0x12340u);
+    EXPECT_EQ(a.pageAligned().raw(), 0x12000u);
+    EXPECT_EQ(a.pageNum(), 0x12u);
+    EXPECT_EQ(a.lineNum(), 0x12345u >> 6);
+    EXPECT_EQ(a.pageOffset(), 0x345u);
+    EXPECT_EQ(a.lineInPage(), 0x345u >> 6);
+}
+
+TEST(Addr, MakeAddrComposes)
+{
+    GuestAddr g = makeGuestAddr(7, 0x123);
+    EXPECT_EQ(g.pageNum(), 7u);
+    EXPECT_EQ(g.pageOffset(), 0x123u);
+    HostAddr h = makeHostAddr(9);
+    EXPECT_EQ(h.raw(), 9u << kPageShift);
+}
+
+TEST(Addr, ComparisonAndHash)
+{
+    HostAddr a(100), b(100), c(200);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(std::hash<HostAddr>{}(a), std::hash<HostAddr>{}(b));
+}
+
+TEST(Addr, PageTypeNames)
+{
+    EXPECT_STREQ(pageTypeName(PageType::VmPrivate), "VM-private");
+    EXPECT_STREQ(pageTypeName(PageType::RwShared), "RW-shared");
+    EXPECT_STREQ(pageTypeName(PageType::RoShared), "RO-shared");
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the application profile catalogs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/app_profile.hh"
+
+namespace vsnoop::test
+{
+
+TEST(AppProfile, CoherenceCatalogMatchesPaperTableIII)
+{
+    const auto &apps = coherenceApps();
+    ASSERT_EQ(apps.size(), 10u);
+    std::vector<std::string> expected = {
+        "cholesky", "fft",     "lu",     "ocean",  "radix",
+        "blackscholes", "canneal", "dedup", "ferret", "specjbb"};
+    for (const auto &name : expected) {
+        bool found = false;
+        for (const auto &app : apps)
+            found |= app.name == name;
+        EXPECT_TRUE(found) << name;
+    }
+}
+
+TEST(AppProfile, SchedulerCatalogHasThirteenParsecApps)
+{
+    EXPECT_EQ(schedulerApps().size(), 13u);
+}
+
+TEST(AppProfile, HypervisorCatalogAddsServerWorkloads)
+{
+    const auto &apps = hypervisorStudyApps();
+    EXPECT_EQ(apps.size(), 15u);
+    EXPECT_EQ(apps[13].name, "OLTP");
+    EXPECT_EQ(apps[14].name, "SPECweb");
+    // Server workloads have the highest hypervisor involvement
+    // (Figure 1: OLTP 15%, SPECweb 19% of L2 misses).
+    for (std::size_t i = 0; i < 13; ++i) {
+        EXPECT_LT(apps[i].hypervisorFraction,
+                  apps[14].hypervisorFraction)
+            << apps[i].name;
+    }
+}
+
+TEST(AppProfile, ContentFractionsMatchTableV)
+{
+    // Spot-check the Table V access-percentage calibration.
+    EXPECT_NEAR(findApp("blackscholes").contentFraction, 0.4616, 1e-9);
+    EXPECT_NEAR(findApp("radix").contentFraction, 0.2047, 1e-9);
+    EXPECT_NEAR(findApp("canneal").contentFraction, 0.2516, 1e-9);
+    EXPECT_NEAR(findApp("lu").contentFraction, 0.0043, 1e-9);
+}
+
+TEST(AppProfile, BlackscholesHasSmallWorkingSet)
+{
+    // Section V-C: blackscholes' residence counters never reach
+    // zero because its working set is far below the L2 capacity
+    // (64 pages).
+    const AppProfile &bs = findApp("blackscholes");
+    EXPECT_LT(bs.privatePagesPerVcpu + bs.contentPages, 40u);
+}
+
+TEST(AppProfile, SchedCalibrationOrdersRelocationRates)
+{
+    // Table I: dedup relocates most often, blackscholes least.
+    const AppProfile &dedup = findApp("dedup");
+    const AppProfile &bs = findApp("blackscholes");
+    EXPECT_LT(dedup.sched.meanRunMs, bs.sched.meanRunMs);
+}
+
+TEST(AppProfile, AllProfilesAreSane)
+{
+    for (const auto *catalog :
+         {&coherenceApps(), &schedulerApps(), &hypervisorStudyApps()}) {
+        for (const auto &app : *catalog) {
+            EXPECT_FALSE(app.name.empty());
+            EXPECT_GT(app.privatePagesPerVcpu, 0u);
+            EXPECT_GE(app.contentFraction, 0.0);
+            EXPECT_LE(app.contentFraction + app.vmSharedFraction +
+                          app.hypervisorFraction,
+                      1.0)
+                << app.name;
+            EXPECT_GT(app.meanAccessGap, 0.0);
+            EXPECT_GT(app.sched.meanRunMs, 0.0);
+            EXPECT_GT(app.sched.workMsPerVcpu, 0.0);
+        }
+    }
+}
+
+TEST(AppProfileDeath, UnknownAppIsFatal)
+{
+    EXPECT_DEATH(findApp("no-such-app"), "unknown application");
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace vsnoop::test
+{
+
+namespace
+{
+
+class CountingObserver : public CacheObserver
+{
+  public:
+    void
+    onLineInserted(VmId vm, PageType type) override
+    {
+        inserts++;
+        lastVm = vm;
+        lastType = type;
+    }
+
+    void
+    onLineRemoved(VmId vm, PageType type) override
+    {
+        removes++;
+        lastVm = vm;
+        lastType = type;
+    }
+
+    int inserts = 0;
+    int removes = 0;
+    VmId lastVm = kInvalidVm;
+    PageType lastType = PageType::VmPrivate;
+};
+
+CacheLine &
+fill(Cache &cache, std::uint64_t addr, VmId vm = 0,
+     PageType type = PageType::VmPrivate, std::uint32_t tokens = 1,
+     bool owner = false, bool dirty = false)
+{
+    CacheLine &victim = cache.victimFor(HostAddr(addr));
+    if (victim.valid)
+        cache.remove(victim);
+    return cache.install(victim, HostAddr(addr), vm, type, tokens, owner,
+                         dirty);
+}
+
+} // namespace
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache cache(16 * 1024, 4);
+    EXPECT_EQ(cache.capacityLines(), 256u);
+    EXPECT_EQ(cache.numWays(), 4u);
+    EXPECT_EQ(cache.numSets(), 64u);
+}
+
+TEST(Cache, InstallAndFind)
+{
+    Cache cache(4 * 1024, 4);
+    fill(cache, 0x1000, 3, PageType::RwShared, 5, true, true);
+    CacheLine *line = cache.find(HostAddr(0x1010)); // same line
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->addr.raw(), 0x1000u);
+    EXPECT_EQ(line->vm, 3);
+    EXPECT_EQ(line->tokens, 5u);
+    EXPECT_TRUE(line->owner);
+    EXPECT_TRUE(line->dirty);
+    EXPECT_EQ(cache.find(HostAddr(0x2000)), nullptr);
+}
+
+TEST(Cache, VictimPrefersInvalidWays)
+{
+    Cache cache(4 * 1024, 4);
+    fill(cache, 0x0);
+    CacheLine &victim = cache.victimFor(HostAddr(0x0));
+    EXPECT_FALSE(victim.valid);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache cache(1024, 2); // 8 sets, 2 ways
+    std::uint64_t set_stride = 8 * 64;
+    fill(cache, 0 * set_stride);
+    fill(cache, 1 * set_stride);
+    // Touch the first line so the second becomes LRU.
+    cache.touch(*cache.find(HostAddr(0)));
+    CacheLine &victim = cache.victimFor(HostAddr(2 * set_stride));
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.addr.raw(), 1 * set_stride);
+}
+
+TEST(Cache, PinnedLinesAreNotVictims)
+{
+    Cache cache(1024, 2);
+    std::uint64_t set_stride = 8 * 64;
+    CacheLine &a = fill(cache, 0 * set_stride);
+    fill(cache, 1 * set_stride);
+    a.pinned = true;
+    cache.touch(*cache.find(HostAddr(1 * set_stride)));
+    // a is older but pinned; the victim must be the other way.
+    CacheLine &victim = cache.victimFor(HostAddr(2 * set_stride));
+    EXPECT_EQ(victim.addr.raw(), 1 * set_stride);
+}
+
+TEST(Cache, RemoveClearsState)
+{
+    Cache cache(1024, 2);
+    CacheLine &line = fill(cache, 0x40, 2, PageType::RoShared, 3, true,
+                           true);
+    line.providerVms = 0x4;
+    line.pinned = true;
+    cache.remove(line);
+    EXPECT_FALSE(line.valid);
+    EXPECT_EQ(line.tokens, 0u);
+    EXPECT_FALSE(line.owner);
+    EXPECT_FALSE(line.dirty);
+    EXPECT_FALSE(line.pinned);
+    EXPECT_EQ(line.providerVms, 0u);
+    EXPECT_EQ(cache.find(HostAddr(0x40)), nullptr);
+}
+
+TEST(Cache, ObserverSeesInsertsAndRemoves)
+{
+    Cache cache(1024, 2);
+    CountingObserver obs;
+    cache.setObserver(&obs);
+    CacheLine &line = fill(cache, 0x80, 5, PageType::VmPrivate);
+    EXPECT_EQ(obs.inserts, 1);
+    EXPECT_EQ(obs.lastVm, 5);
+    cache.remove(line);
+    EXPECT_EQ(obs.removes, 1);
+}
+
+TEST(Cache, LinesForVmCounts)
+{
+    Cache cache(4 * 1024, 4);
+    fill(cache, 0x000, 1);
+    fill(cache, 0x040, 1);
+    fill(cache, 0x080, 2);
+    EXPECT_EQ(cache.linesForVm(1), 2u);
+    EXPECT_EQ(cache.linesForVm(2), 1u);
+    EXPECT_EQ(cache.linesForVm(3), 0u);
+    EXPECT_EQ(cache.validLines(), 3u);
+}
+
+TEST(Cache, ForEachAndCollect)
+{
+    Cache cache(4 * 1024, 4);
+    fill(cache, 0x000, 1);
+    fill(cache, 0x040, 2);
+    int seen = 0;
+    cache.forEachLine([&](const CacheLine &) { seen++; });
+    EXPECT_EQ(seen, 2);
+    auto vm2 = cache.collectLines(
+        [](const CacheLine &l) { return l.vm == 2; });
+    ASSERT_EQ(vm2.size(), 1u);
+    EXPECT_EQ(vm2[0]->addr.raw(), 0x40u);
+}
+
+TEST(Cache, RandomPolicySelectsUnpinned)
+{
+    Cache cache(1024, 2, ReplacementPolicy::Random);
+    std::uint64_t set_stride = 8 * 64;
+    CacheLine &a = fill(cache, 0 * set_stride);
+    fill(cache, 1 * set_stride);
+    a.pinned = true;
+    for (int i = 0; i < 20; ++i) {
+        CacheLine &victim = cache.victimFor(HostAddr(2 * set_stride));
+        EXPECT_FALSE(victim.pinned);
+    }
+}
+
+TEST(CacheDeath, InstallRequiresTokens)
+{
+    Cache cache(1024, 2);
+    CacheLine &victim = cache.victimFor(HostAddr(0));
+    EXPECT_DEATH(cache.install(victim, HostAddr(0), 0,
+                               PageType::VmPrivate, 0, false, false),
+                 "token");
+}
+
+TEST(CacheDeath, InstallIntoOccupiedSlotPanics)
+{
+    Cache cache(1024, 2);
+    CacheLine &line = fill(cache, 0x40);
+    EXPECT_DEATH(cache.install(line, HostAddr(0x80), 0,
+                               PageType::VmPrivate, 1, false, false),
+                 "occupied");
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for direct inter-VM communication channels (the third
+ * sharing source of Section II-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "system/sim_system.hh"
+#include "virt/hypervisor.hh"
+#include "workload/generator.hh"
+
+namespace vsnoop::test
+{
+
+TEST(Channels, SymmetricAndStable)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    Translation ab = hv.channelAddr(a, b, 0);
+    Translation ba = hv.channelAddr(b, a, 0);
+    EXPECT_EQ(ab.addr.pageNum(), ba.addr.pageNum());
+    EXPECT_EQ(ab.type, PageType::RwShared);
+    // Different page index, different host page.
+    EXPECT_NE(hv.channelAddr(a, b, 1).addr.pageNum(),
+              ab.addr.pageNum());
+}
+
+TEST(Channels, DistinctPairsGetDistinctPages)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    VmId c = hv.createVm(1);
+    EXPECT_NE(hv.channelAddr(a, b, 0).addr.pageNum(),
+              hv.channelAddr(a, c, 0).addr.pageNum());
+    EXPECT_NE(hv.channelAddr(a, b, 0).addr.pageNum(),
+              hv.channelAddr(b, c, 0).addr.pageNum());
+}
+
+TEST(ChannelsDeath, SelfChannelPanics)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    EXPECT_DEATH(hv.channelAddr(a, a, 0), "distinct");
+}
+
+TEST(Channels, GeneratorEmitsChannelAccesses)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    hv.createVm(1);
+    AppProfile profile = findApp("ferret");
+    profile.channelFraction = 0.2;
+    VcpuWorkload w(hv, a, 0, profile, 9);
+    int channel_accesses = 0;
+    for (int i = 0; i < 20000; ++i) {
+        VcpuWorkload::Step s = w.next();
+        if (s.category == AccessCategory::Channel) {
+            channel_accesses++;
+            EXPECT_EQ(s.access.pageType, PageType::RwShared);
+        }
+    }
+    EXPECT_NEAR(channel_accesses / 20000.0, 0.2, 0.02);
+}
+
+TEST(Channels, PartnersShareTheSamePages)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    AppProfile profile = findApp("ferret");
+    profile.channelFraction = 1.0;
+    profile.hypervisorFraction = 0.0;
+    profile.contentFraction = 0.0;
+    profile.vmSharedFraction = 0.0;
+    VcpuWorkload wa(hv, a, 0, profile, 1);
+    VcpuWorkload wb(hv, b, 0, profile, 2);
+    std::set<std::uint64_t> pages_a, pages_b;
+    for (int i = 0; i < 2000; ++i) {
+        pages_a.insert(wa.next().access.addr.pageNum());
+        pages_b.insert(wb.next().access.addr.pageNum());
+    }
+    EXPECT_EQ(pages_a, pages_b);
+}
+
+TEST(Channels, SingleVmDisablesChannels)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    AppProfile profile = findApp("ferret");
+    profile.channelFraction = 0.5;
+    VcpuWorkload w(hv, a, 0, profile, 3);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_NE(w.next().category, AccessCategory::Channel);
+}
+
+TEST(Channels, ChannelMissesBroadcastUnderVsnoop)
+{
+    AppProfile app = findApp("ferret");
+    app.channelFraction = 0.1;
+    app.contentFraction = 0.0;
+    app.hypervisorFraction = 0.0;
+
+    SystemConfig cfg;
+    cfg.accessesPerVcpu = 3000;
+    cfg.l2.sizeBytes = 32 * 1024;
+    cfg.policy = PolicyKind::VirtualSnoop;
+    SimSystem sys(cfg, app);
+    sys.run();
+    SystemResults r = sys.results();
+
+    auto channel =
+        static_cast<std::size_t>(AccessCategory::Channel);
+    EXPECT_GT(r.accessesByCategory[channel], 0u);
+    // Channel misses force broadcasts.
+    ASSERT_NE(sys.vsnoopPolicy(), nullptr);
+    EXPECT_GT(sys.vsnoopPolicy()->broadcastRequests.value(), 0u);
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for CoreSet (the vCPU map register value type).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_set.hh"
+
+namespace vsnoop::test
+{
+
+TEST(CoreSet, StartsEmpty)
+{
+    CoreSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_FALSE(s.contains(0));
+}
+
+TEST(CoreSet, AddRemoveContains)
+{
+    CoreSet s;
+    s.add(3);
+    s.add(7);
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_FALSE(s.contains(4));
+    EXPECT_EQ(s.count(), 2u);
+    s.remove(3);
+    EXPECT_FALSE(s.contains(3));
+    s.remove(3); // idempotent
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(CoreSet, FirstN)
+{
+    CoreSet s = CoreSet::firstN(4);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_FALSE(s.contains(4));
+    EXPECT_EQ(CoreSet::firstN(64).count(), 64u);
+    EXPECT_EQ(CoreSet::firstN(0).count(), 0u);
+}
+
+TEST(CoreSet, SetAlgebra)
+{
+    CoreSet a = CoreSet::fromMask(0b1100);
+    CoreSet b = CoreSet::fromMask(0b1010);
+    EXPECT_EQ((a | b).mask(), 0b1110u);
+    EXPECT_EQ((a & b).mask(), 0b1000u);
+    EXPECT_EQ(a.minus(b).mask(), 0b0100u);
+    a |= b;
+    EXPECT_EQ(a.mask(), 0b1110u);
+}
+
+TEST(CoreSet, FirstAndForEachOrder)
+{
+    CoreSet s = CoreSet::fromMask(0b101000);
+    EXPECT_EQ(s.first(), 3);
+    std::vector<CoreId> order;
+    s.forEach([&](CoreId c) { order.push_back(c); });
+    EXPECT_EQ(order, (std::vector<CoreId>{3, 5}));
+}
+
+TEST(CoreSet, SingleAndToString)
+{
+    CoreSet s = CoreSet::single(9);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.toString(), "{9}");
+    s.add(1);
+    EXPECT_EQ(s.toString(), "{1,9}");
+    EXPECT_EQ(CoreSet{}.toString(), "{}");
+}
+
+TEST(CoreSet, EqualityIsValueBased)
+{
+    EXPECT_EQ(CoreSet::fromMask(5), CoreSet::fromMask(5));
+    EXPECT_NE(CoreSet::fromMask(5), CoreSet::fromMask(4));
+}
+
+TEST(CoreSetDeath, OutOfRangePanics)
+{
+    CoreSet s;
+    EXPECT_DEATH(s.add(64), "out of range");
+    EXPECT_DEATH(s.contains(200), "out of range");
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace vsnoop::test
+{
+
+namespace
+{
+
+class RecordingEvent : public Event
+{
+  public:
+    explicit RecordingEvent(std::vector<int> &log, int id)
+        : log_(log), id_(id)
+    {
+    }
+
+    void process() override { log_.push_back(id_); }
+
+  private:
+    std::vector<int> &log_;
+    int id_;
+};
+
+} // namespace
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(a, 30);
+    eq.schedule(b, 10);
+    eq.schedule(c, 20);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 3, 1}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(a, 5);
+    eq.schedule(b, 5);
+    eq.schedule(c, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(a, 5);
+    eq.schedule(b, 6);
+    eq.deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(a, 5);
+    eq.schedule(b, 10);
+    eq.schedule(a, 20); // move a after b
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(a, 5);
+    eq.schedule(b, 50);
+    std::uint64_t n = eq.runUntil(10);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_TRUE(b.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, LambdaEventsFire)
+{
+    EventQueue eq;
+    int hits = 0;
+    eq.scheduleFn(7, [&] { hits++; });
+    eq.scheduleFnIn(3, [&] { hits += 10; });
+    eq.run();
+    EXPECT_EQ(hits, 11);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleFnIn(10, chain);
+    };
+    eq.scheduleFn(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunLimitBoundsDispatch)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> forever = [&] {
+        count++;
+        eq.scheduleFnIn(1, forever);
+    };
+    eq.scheduleFn(0, forever);
+    std::uint64_t n = eq.run(100);
+    EXPECT_EQ(n, 100u);
+    EXPECT_EQ(count, 100);
+    EXPECT_FALSE(eq.empty());
+}
+
+TEST(EventQueue, EmptyReflectsLiveEvents)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    std::vector<int> log;
+    RecordingEvent b(log, 2);
+    eq.schedule(b, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.deschedule(b);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ManyOwnedCallbacksAreReaped)
+{
+    EventQueue eq;
+    std::uint64_t hits = 0;
+    for (int i = 0; i < 5000; ++i)
+        eq.scheduleFn(static_cast<Tick>(i), [&] { hits++; });
+    eq.run();
+    EXPECT_EQ(hits, 5000u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.scheduleFn(100, [] {});
+    eq.run();
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    EXPECT_DEATH(eq.schedule(a, 50), "past");
+}
+
+} // namespace vsnoop::test

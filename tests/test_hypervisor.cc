@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the hypervisor: allocation, translation,
+ * hypervisor-shared regions, content-based sharing and COW.
+ */
+
+#include <gtest/gtest.h>
+
+#include "virt/hypervisor.hh"
+
+namespace vsnoop::test
+{
+
+TEST(Hypervisor, CreateVmsAssignsSequentialIds)
+{
+    Hypervisor hv;
+    EXPECT_EQ(hv.createVm(4), 0);
+    EXPECT_EQ(hv.createVm(2), 1);
+    EXPECT_EQ(hv.numVms(), 2u);
+    EXPECT_EQ(hv.numVcpus(0), 4u);
+    EXPECT_EQ(hv.numVcpus(1), 2u);
+}
+
+TEST(Hypervisor, FirstTouchAllocatesPrivatePage)
+{
+    Hypervisor hv;
+    VmId vm = hv.createVm(1);
+    Translation t = hv.translateData(vm, makeGuestAddr(100, 0x40), false);
+    EXPECT_EQ(t.type, PageType::VmPrivate);
+    EXPECT_EQ(t.addr.pageOffset(), 0x40u);
+    EXPECT_EQ(hv.pagesAllocated.value(), 1u);
+
+    // Second touch reuses the mapping.
+    Translation t2 = hv.translateData(vm, makeGuestAddr(100, 0x80), true);
+    EXPECT_EQ(t2.addr.pageNum(), t.addr.pageNum());
+    EXPECT_EQ(hv.pagesAllocated.value(), 1u);
+}
+
+TEST(Hypervisor, DistinctVmsGetDistinctHostPages)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    Translation ta = hv.translateData(a, makeGuestAddr(5), false);
+    Translation tb = hv.translateData(b, makeGuestAddr(5), false);
+    EXPECT_NE(ta.addr.pageNum(), tb.addr.pageNum());
+}
+
+TEST(Hypervisor, HypervisorRegionIsRwShared)
+{
+    Hypervisor hv;
+    Translation t = hv.hypervisorAddr(3, 0x100);
+    EXPECT_EQ(t.type, PageType::RwShared);
+    // Stable across calls.
+    EXPECT_EQ(hv.hypervisorAddr(3).addr.pageNum(), t.addr.pageNum());
+    // Different pages differ.
+    EXPECT_NE(hv.hypervisorAddr(4).addr.pageNum(), t.addr.pageNum());
+}
+
+TEST(Hypervisor, VmSharedPagesAreStablePerVm)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    Translation ta = hv.vmSharedAddr(a, 0);
+    Translation tb = hv.vmSharedAddr(b, 0);
+    EXPECT_EQ(ta.type, PageType::RwShared);
+    EXPECT_NE(ta.addr.pageNum(), tb.addr.pageNum());
+    EXPECT_EQ(hv.vmSharedAddr(a, 0).addr.pageNum(), ta.addr.pageNum());
+}
+
+TEST(Hypervisor, ContentScanMergesIdenticalPages)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    // Both VMs touch their page first (distinct host pages).
+    Translation ta = hv.translateData(a, makeGuestAddr(10), false);
+    Translation tb = hv.translateData(b, makeGuestAddr(10), false);
+    EXPECT_NE(ta.addr.pageNum(), tb.addr.pageNum());
+
+    hv.declareContent(a, 10, 777);
+    hv.declareContent(b, 10, 777);
+    std::uint64_t merged = hv.runContentScan();
+    EXPECT_GE(merged, 1u);
+
+    Translation ta2 = hv.translateData(a, makeGuestAddr(10), false);
+    Translation tb2 = hv.translateData(b, makeGuestAddr(10), false);
+    EXPECT_EQ(ta2.addr.pageNum(), tb2.addr.pageNum());
+    EXPECT_EQ(ta2.type, PageType::RoShared);
+    EXPECT_EQ(tb2.type, PageType::RoShared);
+}
+
+TEST(Hypervisor, UniqueContentIsNotShared)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    hv.translateData(a, makeGuestAddr(10), false);
+    hv.declareContent(a, 10, 999); // nobody else has class 999
+    hv.runContentScan();
+    Translation t = hv.translateData(a, makeGuestAddr(10), false);
+    EXPECT_EQ(t.type, PageType::VmPrivate);
+}
+
+TEST(Hypervisor, UntouchedDeclaredPagesMapToCanonical)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    hv.declareContent(a, 20, 55);
+    hv.declareContent(b, 20, 55);
+    hv.runContentScan();
+    Translation ta = hv.translateData(a, makeGuestAddr(20), false);
+    Translation tb = hv.translateData(b, makeGuestAddr(20), false);
+    EXPECT_EQ(ta.addr.pageNum(), tb.addr.pageNum());
+    EXPECT_EQ(ta.type, PageType::RoShared);
+}
+
+TEST(Hypervisor, CowBreaksSharingForWriterOnly)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    hv.declareContent(a, 10, 777);
+    hv.declareContent(b, 10, 777);
+    hv.runContentScan();
+
+    Translation tw = hv.translateData(a, makeGuestAddr(10, 0x8), true);
+    EXPECT_TRUE(tw.cowBroke);
+    EXPECT_EQ(tw.type, PageType::VmPrivate);
+    EXPECT_EQ(hv.cowBreaks.value(), 1u);
+
+    // The writer now has a private copy; the reader still shares.
+    Translation ta = hv.translateData(a, makeGuestAddr(10), false);
+    Translation tb = hv.translateData(b, makeGuestAddr(10), false);
+    EXPECT_EQ(ta.type, PageType::VmPrivate);
+    EXPECT_EQ(tb.type, PageType::RoShared);
+    EXPECT_NE(ta.addr.pageNum(), tb.addr.pageNum());
+
+    // A second write by the same VM is a plain private write.
+    Translation tw2 = hv.translateData(a, makeGuestAddr(10), true);
+    EXPECT_FALSE(tw2.cowBroke);
+}
+
+TEST(Hypervisor, RescanAfterCowDoesNotResurrectWriter)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    hv.declareContent(a, 10, 777);
+    hv.declareContent(b, 10, 777);
+    hv.runContentScan();
+    hv.translateData(a, makeGuestAddr(10), true); // COW
+    hv.runContentScan();
+    // The writer's copy diverged: it must stay private.
+    EXPECT_EQ(hv.translateData(a, makeGuestAddr(10), false).type,
+              PageType::VmPrivate);
+    EXPECT_EQ(hv.translateData(b, makeGuestAddr(10), false).type,
+              PageType::RoShared);
+}
+
+TEST(Hypervisor, MappingGenerationAdvances)
+{
+    Hypervisor hv;
+    VmId a = hv.createVm(1);
+    std::uint64_t g0 = hv.mappingGeneration();
+    hv.translateData(a, makeGuestAddr(1), false);
+    EXPECT_GT(hv.mappingGeneration(), g0);
+}
+
+TEST(Hypervisor, ThreeWaySharing)
+{
+    Hypervisor hv;
+    VmId vms[3];
+    for (auto &vm : vms)
+        vm = hv.createVm(1);
+    for (VmId vm : vms) {
+        hv.translateData(vm, makeGuestAddr(4), false);
+        hv.declareContent(vm, 4, 42);
+    }
+    EXPECT_EQ(hv.runContentScan(), 2u); // two pages freed
+    std::uint64_t canonical =
+        hv.translateData(vms[0], makeGuestAddr(4), false).addr.pageNum();
+    for (VmId vm : vms) {
+        EXPECT_EQ(hv.translateData(vm, makeGuestAddr(4), false)
+                      .addr.pageNum(),
+                  canonical);
+    }
+    EXPECT_EQ(hv.pagesDeduplicated.value(), 2u);
+}
+
+TEST(HypervisorDeath, BadVmPanics)
+{
+    Hypervisor hv;
+    EXPECT_DEATH(hv.translateData(5, makeGuestAddr(1), false), "bad VM");
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the 2D mesh and the ideal crossbar.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+
+namespace vsnoop::test
+{
+
+namespace
+{
+MeshConfig
+defaultConfig()
+{
+    return MeshConfig{}; // 4x4, 16B links, 4-cycle routers
+}
+} // namespace
+
+TEST(Mesh, HopCountIsManhattan)
+{
+    Mesh mesh(defaultConfig());
+    EXPECT_EQ(mesh.hopCount(0, 0), 0u);
+    EXPECT_EQ(mesh.hopCount(0, 3), 3u);   // same row
+    EXPECT_EQ(mesh.hopCount(0, 12), 3u);  // same column
+    EXPECT_EQ(mesh.hopCount(0, 15), 6u);  // corner to corner
+    EXPECT_EQ(mesh.hopCount(5, 10), 2u);
+    EXPECT_EQ(mesh.hopCount(10, 5), 2u);
+}
+
+TEST(Mesh, UnloadedLatencyFormula)
+{
+    Mesh mesh(defaultConfig());
+    // 1 hop, 1 flit: pipeline(4) + link(1) = 5.
+    EXPECT_EQ(mesh.unloadedLatency(0, 1, 8), 5u);
+    // 1 hop, data message 72B = 5 flits: + 4 extra link cycles.
+    EXPECT_EQ(mesh.unloadedLatency(0, 1, 72), 9u);
+    // 6 hops, 1 flit.
+    EXPECT_EQ(mesh.unloadedLatency(0, 15, 8), 30u);
+    // Local delivery.
+    EXPECT_EQ(mesh.unloadedLatency(3, 3, 72), 1u);
+}
+
+TEST(Mesh, SendMatchesUnloadedLatencyWhenIdle)
+{
+    Mesh mesh(defaultConfig());
+    Tick arrive = mesh.send(0, 15, 72, MsgClass::Data, 100);
+    EXPECT_EQ(arrive, 100 + mesh.unloadedLatency(0, 15, 72));
+}
+
+TEST(Mesh, ContentionDelaysSecondMessage)
+{
+    Mesh mesh(defaultConfig());
+    Tick first = mesh.send(0, 1, 72, MsgClass::Data, 0);
+    Tick second = mesh.send(0, 1, 72, MsgClass::Data, 0);
+    EXPECT_GT(second, first);
+}
+
+TEST(Mesh, DisjointPathsDoNotInterfere)
+{
+    Mesh mesh(defaultConfig());
+    Tick a = mesh.send(0, 1, 72, MsgClass::Data, 0);
+    Tick b = mesh.send(14, 15, 72, MsgClass::Data, 0);
+    EXPECT_EQ(a, mesh.unloadedLatency(0, 1, 72));
+    EXPECT_EQ(b, mesh.unloadedLatency(14, 15, 72));
+}
+
+TEST(Mesh, TrafficAccountingCountsLinkOccupancy)
+{
+    Mesh mesh(defaultConfig());
+    mesh.send(0, 3, 8, MsgClass::Request, 0);   // 3 hops, 1 flit
+    mesh.send(0, 0, 8, MsgClass::Request, 0);   // local: 1 hop min
+    mesh.send(0, 15, 72, MsgClass::Data, 0);    // 6 hops, 5 flits
+    const NetworkStats &stats = mesh.stats();
+    auto req = static_cast<std::size_t>(MsgClass::Request);
+    auto dat = static_cast<std::size_t>(MsgClass::Data);
+    EXPECT_EQ(stats.messages[req].value(), 2u);
+    EXPECT_EQ(stats.bytes[req].value(), 16u);
+    // Occupancy: flits (1) * link width (16) * hops.
+    EXPECT_EQ(stats.byteHops[req].value(), 16u * 3 + 16u * 1);
+    EXPECT_EQ(stats.byteHops[dat].value(), 5u * 16 * 6);
+    EXPECT_EQ(stats.totalMessages(), 3u);
+    EXPECT_EQ(stats.totalByteHops(), 16u * 4 + 5u * 16 * 6);
+}
+
+TEST(Mesh, ResetStatsClears)
+{
+    Mesh mesh(defaultConfig());
+    mesh.send(0, 1, 8, MsgClass::Request, 0);
+    mesh.resetStats();
+    EXPECT_EQ(mesh.stats().totalMessages(), 0u);
+}
+
+TEST(Mesh, NonSquareGeometry)
+{
+    MeshConfig cfg;
+    cfg.width = 8;
+    cfg.height = 2;
+    Mesh mesh(cfg);
+    EXPECT_EQ(mesh.numNodes(), 16u);
+    EXPECT_EQ(mesh.hopCount(0, 15), 8u); // 7 east + 1 north
+}
+
+TEST(MeshDeath, NodeOutOfRangePanics)
+{
+    Mesh mesh(defaultConfig());
+    EXPECT_DEATH(mesh.send(0, 99, 8, MsgClass::Request, 0),
+                 "out of range");
+}
+
+TEST(IdealCrossbar, FixedLatencyAnyPair)
+{
+    IdealCrossbar xbar(16, 8);
+    EXPECT_EQ(xbar.send(0, 15, 8, MsgClass::Request, 10), 18u);
+    EXPECT_EQ(xbar.send(3, 4, 8, MsgClass::Request, 10), 18u);
+    // Multi-flit serialization still counts.
+    EXPECT_EQ(xbar.send(0, 1, 72, MsgClass::Data, 0), 8u + 4);
+}
+
+TEST(IdealCrossbar, TrafficIsSingleHop)
+{
+    IdealCrossbar xbar(16, 8);
+    xbar.send(0, 15, 72, MsgClass::Data, 0);
+    auto dat = static_cast<std::size_t>(MsgClass::Data);
+    EXPECT_EQ(xbar.stats().byteHops[dat].value(), 5u * 16);
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the per-VM page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "virt/page_table.hh"
+
+namespace vsnoop::test
+{
+
+TEST(PageTable, LookupMissIsNullopt)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.lookup(42).has_value());
+    EXPECT_EQ(pt.size(), 0u);
+}
+
+TEST(PageTable, MapAndLookup)
+{
+    PageTable pt;
+    pt.map(42, 1000, PageType::VmPrivate);
+    auto entry = pt.lookup(42);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->hostPage, 1000u);
+    EXPECT_EQ(entry->type, PageType::VmPrivate);
+}
+
+TEST(PageTable, RemapReplaces)
+{
+    PageTable pt;
+    pt.map(42, 1000, PageType::VmPrivate);
+    pt.map(42, 2000, PageType::RoShared);
+    auto entry = pt.lookup(42);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->hostPage, 2000u);
+    EXPECT_EQ(entry->type, PageType::RoShared);
+    EXPECT_EQ(pt.size(), 1u);
+}
+
+TEST(PageTable, SetTypeKeepsHostPage)
+{
+    PageTable pt;
+    pt.map(7, 500, PageType::VmPrivate);
+    pt.setType(7, PageType::RoShared);
+    auto entry = pt.lookup(7);
+    EXPECT_EQ(entry->hostPage, 500u);
+    EXPECT_EQ(entry->type, PageType::RoShared);
+}
+
+TEST(PageTable, UnmapRemoves)
+{
+    PageTable pt;
+    pt.map(7, 500, PageType::VmPrivate);
+    pt.unmap(7);
+    EXPECT_FALSE(pt.lookup(7).has_value());
+}
+
+TEST(PageTable, GenerationBumpsOnEveryMutation)
+{
+    PageTable pt;
+    std::uint64_t g0 = pt.generation();
+    pt.map(1, 10, PageType::VmPrivate);
+    std::uint64_t g1 = pt.generation();
+    EXPECT_GT(g1, g0);
+    pt.setType(1, PageType::RwShared);
+    std::uint64_t g2 = pt.generation();
+    EXPECT_GT(g2, g1);
+    pt.unmap(1);
+    EXPECT_GT(pt.generation(), g2);
+}
+
+TEST(PageTable, ForEachVisitsAll)
+{
+    PageTable pt;
+    pt.map(1, 10, PageType::VmPrivate);
+    pt.map(2, 20, PageType::RoShared);
+    int count = 0;
+    std::uint64_t host_sum = 0;
+    pt.forEach([&](std::uint64_t, const PageTableEntry &e) {
+        count++;
+        host_sum += e.hostPage;
+    });
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(host_sum, 30u);
+}
+
+TEST(PageTableDeath, SetTypeOnUnmappedPanics)
+{
+    PageTable pt;
+    EXPECT_DEATH(pt.setType(3, PageType::RoShared), "unmapped");
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Persistent-request arbitration: grants are FIFO per line,
+ * starvation resolves, and completed transactions hand grants back
+ * even when queued behind others.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence_harness.hh"
+
+namespace vsnoop::test
+{
+
+namespace
+{
+constexpr std::uint64_t kAddr = 0xA0000;
+} // namespace
+
+TEST(PersistentArbiter, AllStarvedWritersEventuallyWin)
+{
+    // Nobody is snooped transiently, so every writer must go
+    // persistent; the arbiter serializes them.
+    auto policy = std::make_unique<StaticPolicy>(CoreSet{}, false);
+    CoherenceHarness h(std::move(policy));
+
+    std::vector<std::shared_ptr<CoherenceHarness::Outcome>> outcomes;
+    for (CoreId c = 0; c < 8; ++c)
+        outcomes.push_back(h.issue(c, kAddr, true));
+    h.drain(50'000'000);
+    for (const auto &o : outcomes)
+        EXPECT_TRUE(o->fired);
+    EXPECT_GE(h.system->stats.persistentRequests.value(), 8u);
+}
+
+TEST(PersistentArbiter, GrantsAreOrderedPerLine)
+{
+    // Two independent lines starve simultaneously: grants on one
+    // line never block the other.
+    auto policy = std::make_unique<StaticPolicy>(CoreSet{}, false);
+    CoherenceHarness h(std::move(policy));
+    auto a = h.issue(0, kAddr, true);
+    auto b = h.issue(1, kAddr + 64, true);
+    h.drain(20'000'000);
+    EXPECT_TRUE(a->fired);
+    EXPECT_TRUE(b->fired);
+}
+
+TEST(PersistentArbiter, PersistentReadGetsDataAndToken)
+{
+    auto policy = std::make_unique<StaticPolicy>(CoreSet{}, false);
+    CoherenceHarness h(std::move(policy));
+    auto outcome = h.access(3, kAddr, false);
+    EXPECT_TRUE(outcome.fired);
+    const CacheLine *line = h.line(3, kAddr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_GE(line->tokens, 1u);
+}
+
+TEST(PersistentArbiter, PersistentSnoopDrainsCompetingMshr)
+{
+    // Core 0 collects partial tokens transiently (policy reaches
+    // memory only); core 1 escalates to persistent and must pull
+    // the tokens parked in core 0's MSHR.
+    auto policy = std::make_unique<StaticPolicy>(CoreSet{}, true);
+    CoherenceHarness h(std::move(policy));
+    // Prime: some tokens live in caches out of the policy's reach.
+    // Give core 5 a shared copy via a direct snoopable setup: write
+    // from core 5 using a one-off broadcast-capable policy is not
+    // available, so instead rely on memory: core 0 reads (gets
+    // tokens from memory), then core 1 writes.  Core 1's write can
+    // see memory (policy) but core 0 only via persistent broadcast.
+    auto r0 = h.issue(0, kAddr, false);
+    h.drain();
+    EXPECT_TRUE(r0->fired);
+    auto w1 = h.issue(1, kAddr, true);
+    h.drain(20'000'000);
+    EXPECT_TRUE(w1->fired);
+    const CacheLine *line = h.line(1, kAddr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->tokens, 16u);
+    EXPECT_EQ(h.line(0, kAddr), nullptr);
+}
+
+TEST(PersistentArbiter, HeavyContentionConvergesWithinBoundedEvents)
+{
+    auto policy = std::make_unique<StaticPolicy>(CoreSet{}, false);
+    CoherenceHarness h(std::move(policy));
+    for (int round = 0; round < 3; ++round) {
+        std::vector<std::shared_ptr<CoherenceHarness::Outcome>> batch;
+        for (CoreId c = 0; c < 16; ++c)
+            batch.push_back(h.issue(c, kAddr, true));
+        h.drain(100'000'000);
+        for (const auto &o : batch)
+            ASSERT_TRUE(o->fired) << "round " << round;
+    }
+}
+
+} // namespace vsnoop::test

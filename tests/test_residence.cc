@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for the per-VM cache residence counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/residence.hh"
+
+namespace vsnoop::test
+{
+
+TEST(Residence, CountsPrivateLinesOnly)
+{
+    ResidenceCounters rc(4);
+    rc.onLineInserted(1, PageType::VmPrivate);
+    rc.onLineInserted(1, PageType::VmPrivate);
+    rc.onLineInserted(1, PageType::RwShared);
+    rc.onLineInserted(1, PageType::RoShared);
+    EXPECT_EQ(rc.count(1), 2u);
+    EXPECT_EQ(rc.count(0), 0u);
+}
+
+TEST(Residence, DecrementOnRemove)
+{
+    ResidenceCounters rc(4);
+    rc.onLineInserted(2, PageType::VmPrivate);
+    rc.onLineRemoved(2, PageType::VmPrivate);
+    EXPECT_TRUE(rc.empty(2));
+    // Non-private removals don't touch the counter.
+    rc.onLineInserted(2, PageType::VmPrivate);
+    rc.onLineRemoved(2, PageType::RoShared);
+    EXPECT_EQ(rc.count(2), 1u);
+}
+
+TEST(Residence, CallbackFiresOnEveryChange)
+{
+    ResidenceCounters rc(4);
+    std::vector<std::pair<VmId, std::uint64_t>> log;
+    rc.setCallback([&](VmId vm, std::uint64_t count) {
+        log.emplace_back(vm, count);
+    });
+    rc.onLineInserted(3, PageType::VmPrivate);
+    rc.onLineInserted(3, PageType::VmPrivate);
+    rc.onLineRemoved(3, PageType::VmPrivate);
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0], (std::pair<VmId, std::uint64_t>{3, 1}));
+    EXPECT_EQ(log[1], (std::pair<VmId, std::uint64_t>{3, 2}));
+    EXPECT_EQ(log[2], (std::pair<VmId, std::uint64_t>{3, 1}));
+}
+
+TEST(Residence, HypervisorLinesAreIgnored)
+{
+    ResidenceCounters rc(4);
+    rc.onLineInserted(kInvalidVm, PageType::VmPrivate);
+    for (VmId vm = 0; vm < 4; ++vm)
+        EXPECT_EQ(rc.count(vm), 0u);
+    EXPECT_EQ(rc.count(kInvalidVm), 0u);
+}
+
+TEST(ResidenceDeath, UnderflowPanics)
+{
+    ResidenceCounters rc(4);
+    EXPECT_DEATH(rc.onLineRemoved(0, PageType::VmPrivate), "underflow");
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the deterministic PCG32 generator and its draw
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace vsnoop::test
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123, 7), b(123, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Rng, DifferentStreamsDiverge)
+{
+    Rng a(123, 1), b(123, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next32() == b.next32())
+            same++;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(9, 4);
+    std::uint32_t first = a.next32();
+    a.next32();
+    a.reseed(9, 4);
+    EXPECT_EQ(a.next32(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr std::uint32_t buckets = 8;
+    constexpr int draws = 80000;
+    int counts[buckets] = {};
+    for (int i = 0; i < draws; ++i)
+        counts[rng.below(buckets)]++;
+    for (std::uint32_t b = 0; b < buckets; ++b) {
+        EXPECT_NEAR(counts[b], draws / buckets, draws / buckets * 0.1);
+    }
+}
+
+TEST(Rng, BetweenIsInclusive)
+{
+    Rng rng(2);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        std::uint32_t v = rng.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(4);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(6);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(8);
+    double p = 0.05;
+    double sum = 0;
+    constexpr int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean failures before success = (1-p)/p = 19.
+    EXPECT_NEAR(sum / draws, (1 - p) / p, 1.0);
+}
+
+TEST(Rng, GeometricDegenerateProbabilities)
+{
+    Rng rng(9);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+    EXPECT_EQ(rng.geometric(1.5), 0u);
+    EXPECT_GT(rng.geometric(0.0), 1'000'000'000ull);
+}
+
+TEST(Rng, ZipfStaysInRange)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.zipf(50, 0.8), 50u);
+}
+
+TEST(Rng, ZipfSkewConcentratesMass)
+{
+    Rng rng(12);
+    constexpr int draws = 40000;
+    int low_uniform = 0, low_skewed = 0;
+    for (int i = 0; i < draws; ++i) {
+        if (rng.zipf(100, 0.0) < 10)
+            low_uniform++;
+        if (rng.zipf(100, 1.2) < 10)
+            low_skewed++;
+    }
+    // Uniform puts ~10% in the first decile; a skew of 1.2 puts far
+    // more.
+    EXPECT_NEAR(low_uniform / static_cast<double>(draws), 0.1, 0.02);
+    EXPECT_GT(low_skewed / static_cast<double>(draws), 0.4);
+}
+
+TEST(Rng, ZipfSingleton)
+{
+    Rng rng(13);
+    EXPECT_EQ(rng.zipf(1, 2.0), 0u);
+}
+
+} // namespace vsnoop::test

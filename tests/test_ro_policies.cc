@@ -1,0 +1,171 @@
+/**
+ * @file
+ * End-to-end tests for the content-shared (RO-shared) request
+ * policies of Section VI-B: broadcast, memory-direct, intra-VM and
+ * friend-VM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsnoop_harness.hh"
+
+namespace vsnoop::test
+{
+
+namespace
+{
+constexpr std::uint64_t kRoLine = 0x700000;
+} // namespace
+
+TEST(RoPolicies, MemoryDirectAlwaysFetchesFromMemory)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::MemoryDirect;
+    VsnoopHarness h(cfg);
+    // Prime a copy in VM0.
+    h.access(0, kRoLine, false, 0, PageType::RoShared);
+    auto before = h.system->stats.snoopsDelivered.value();
+    // A read from the same VM still goes memory-direct: no core
+    // snoops at all.
+    auto outcome = h.access(1, kRoLine, false, 0, PageType::RoShared);
+    EXPECT_EQ(outcome.source, DataSource::Memory);
+    EXPECT_EQ(h.system->stats.snoopsDelivered.value(), before);
+}
+
+TEST(RoPolicies, IntraVmServesCacheToCache)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::IntraVm;
+    VsnoopHarness h(cfg);
+    h.access(0, kRoLine, false, 0, PageType::RoShared);
+    auto outcome = h.access(1, kRoLine, false, 0, PageType::RoShared);
+    EXPECT_EQ(outcome.source, DataSource::CacheIntraVm);
+}
+
+TEST(RoPolicies, IntraVmDoesNotSeeOtherVmsCopies)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::IntraVm;
+    VsnoopHarness h(cfg);
+    // VM2 (cores 8-11) holds a copy.
+    h.access(8, kRoLine, false, 2, PageType::RoShared);
+    // VM0 reads: its snoops stay within VM0's map, so the data can
+    // only come from memory.
+    auto outcome = h.access(0, kRoLine, false, 0, PageType::RoShared);
+    EXPECT_EQ(outcome.source, DataSource::Memory);
+}
+
+TEST(RoPolicies, FriendVmFindsFriendCopy)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::FriendVm;
+    VsnoopHarness h(cfg);
+    // VM1 (friend of VM0, cores 4-7) holds the only cached copy.
+    h.access(4, kRoLine, false, 1, PageType::RoShared);
+    auto outcome = h.access(0, kRoLine, false, 0, PageType::RoShared);
+    EXPECT_EQ(outcome.source, DataSource::CacheFriendVm);
+}
+
+TEST(RoPolicies, FriendVmMissesNonFriendCopies)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::FriendVm;
+    VsnoopHarness h(cfg);
+    // VM2 is not VM0's friend.
+    h.access(8, kRoLine, false, 2, PageType::RoShared);
+    auto outcome = h.access(0, kRoLine, false, 0, PageType::RoShared);
+    EXPECT_EQ(outcome.source, DataSource::Memory);
+}
+
+TEST(RoPolicies, SnoopCostOrdering)
+{
+    // memory-direct < intra-VM < friend-VM < broadcast, in snoop
+    // lookups for the same access pattern (Figure 10's ordering,
+    // modulo broadcast).
+    auto run = [](RoPolicy ro) {
+        VsnoopConfig cfg;
+        cfg.roPolicy = ro;
+        VsnoopHarness h(cfg);
+        for (CoreId c = 0; c < 16; ++c) {
+            h.access(c, kRoLine + (c / 4) * 0 /* same line */, false,
+                     static_cast<VmId>(c / 4), PageType::RoShared);
+        }
+        return h.system->stats.snoopLookups.value();
+    };
+    auto direct = run(RoPolicy::MemoryDirect);
+    auto intra = run(RoPolicy::IntraVm);
+    auto friendly = run(RoPolicy::FriendVm);
+    auto bcast = run(RoPolicy::Broadcast);
+    EXPECT_LT(direct, intra);
+    EXPECT_LT(intra, friendly);
+    EXPECT_LT(friendly, bcast);
+}
+
+TEST(RoPolicies, ProviderChainWithinVm)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::IntraVm;
+    VsnoopHarness h(cfg);
+    // All four VM0 cores read the line in turn: the first becomes
+    // the provider; later readers hit cache-to-cache while the
+    // provider's token bundle lasts.
+    h.access(0, kRoLine, false, 0, PageType::RoShared);
+    auto second = h.access(1, kRoLine, false, 0, PageType::RoShared);
+    auto third = h.access(2, kRoLine, false, 0, PageType::RoShared);
+    EXPECT_EQ(second.source, DataSource::CacheIntraVm);
+    EXPECT_EQ(third.source, DataSource::CacheIntraVm);
+
+    const CacheLine *provider = h.line(0, kRoLine);
+    ASSERT_NE(provider, nullptr);
+    EXPECT_TRUE(provider->providerVms & 1u);
+}
+
+TEST(RoPolicies, TokenBundleExhaustionFallsBackToMemory)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::IntraVm;
+    VsnoopHarness h(cfg);
+    // Provider takes a 4-token bundle; two intra-VM readers drain
+    // it to 2, then 1; the fourth reader finds no sparable token at
+    // the provider and completes via memory.
+    h.access(0, kRoLine, false, 0, PageType::RoShared);
+    h.access(1, kRoLine, false, 0, PageType::RoShared);
+    h.access(2, kRoLine, false, 0, PageType::RoShared);
+    auto fourth = h.access(3, kRoLine, false, 0, PageType::RoShared);
+    EXPECT_TRUE(fourth.fired);
+    // All four cores of VM0 now hold the line.
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_NE(h.line(c, kRoLine), nullptr);
+}
+
+TEST(RoPolicies, EveryVmGetsItsOwnProvider)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::IntraVm;
+    VsnoopHarness h(cfg);
+    for (VmId vm = 0; vm < 4; ++vm)
+        h.access(static_cast<CoreId>(vm * 4), kRoLine, false, vm,
+                 PageType::RoShared);
+    for (VmId vm = 0; vm < 4; ++vm) {
+        const CacheLine *line =
+            h.line(static_cast<CoreId>(vm * 4), kRoLine);
+        ASSERT_NE(line, nullptr) << "vm " << vm;
+        EXPECT_TRUE(line->providerVms & (1u << vm)) << "vm " << vm;
+    }
+}
+
+TEST(RoPolicies, MemoryDirectRecoversWhenMemoryHasNoTokens)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::MemoryDirect;
+    VsnoopHarness h(cfg);
+    for (VmId vm = 0; vm < 4; ++vm)
+        h.access(static_cast<CoreId>(vm * 4), kRoLine, false, vm,
+                 PageType::RoShared);
+    // Memory may be out of tokens now; the next reader must still
+    // complete (via the attempt-2 broadcast fallback).
+    auto outcome = h.access(1, kRoLine, false, 0, PageType::RoShared);
+    EXPECT_TRUE(outcome.fired);
+}
+
+} // namespace vsnoop::test

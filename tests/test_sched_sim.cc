@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the credit-scheduler simulation (the Figure 3 /
+ * Table I substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "virt/sched_sim.hh"
+
+namespace vsnoop::test
+{
+
+namespace
+{
+
+SchedProfile
+computeBound()
+{
+    SchedProfile p;
+    p.meanRunMs = 1000.0;
+    p.meanBlockMs = 5.0;
+    p.dom0WakeupsPerSec = 1.0;
+    p.wakeMigrateProb = 0.8;
+    p.workMsPerVcpu = 500.0;
+    return p;
+}
+
+SchedProfile
+pipelineApp()
+{
+    SchedProfile p;
+    p.meanRunMs = 10.0;
+    p.meanBlockMs = 3.0;
+    p.dom0WakeupsPerSec = 30.0;
+    p.wakeMigrateProb = 0.8;
+    p.workMsPerVcpu = 500.0;
+    return p;
+}
+
+} // namespace
+
+TEST(SchedulerSim, CompletesAndReportsFinishTimes)
+{
+    SchedConfig cfg;
+    cfg.numCores = 8;
+    SchedulerSim sim(cfg, computeBound(), 2, 4);
+    SchedResult r = sim.run();
+    EXPECT_FALSE(r.timedOut);
+    ASSERT_EQ(r.vmFinishMs.size(), 2u);
+    for (double f : r.vmFinishMs)
+        EXPECT_GT(f, 0.0);
+    EXPECT_GE(r.makespanMs, r.vmFinishMs[0]);
+}
+
+TEST(SchedulerSim, UndercommittedFinishesNearWorkTime)
+{
+    // 8 vCPUs on 8 cores, compute-bound: completion should be close
+    // to the pure work time (500 ms) plus blocking overhead.
+    SchedConfig cfg;
+    cfg.numCores = 8;
+    SchedulerSim sim(cfg, computeBound(), 2, 4);
+    SchedResult r = sim.run();
+    EXPECT_LT(r.makespanMs, 900.0);
+    EXPECT_GE(r.makespanMs, 500.0);
+}
+
+TEST(SchedulerSim, OvercommitTakesProportionallyLonger)
+{
+    SchedConfig cfg;
+    cfg.numCores = 8;
+    SchedulerSim under(cfg, computeBound(), 2, 4);
+    SchedulerSim over(cfg, computeBound(), 4, 4);
+    double t_under = under.run().makespanMs;
+    double t_over = over.run().makespanMs;
+    // Twice the vCPUs on the same cores: roughly twice the time.
+    EXPECT_GT(t_over, 1.5 * t_under);
+}
+
+TEST(SchedulerSim, PinnedWinsWhenUndercommitted)
+{
+    // Figure 3(a): with one core per vCPU, pinning avoids cold
+    // caches and is at least as fast as full migration.  Single
+    // runs are noisy (exponential phase draws), so compare means
+    // over several seeds.
+    SchedProfile app = pipelineApp();
+    double sum_pinned = 0, sum_migr = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        SchedConfig cfg;
+        cfg.numCores = 8;
+        cfg.seed = seed;
+        cfg.migrationColdMs = 3.0;
+        cfg.coldSpeed = 0.4;
+        cfg.pinned = true;
+        sum_pinned += SchedulerSim(cfg, app, 2, 4).run().makespanMs;
+        cfg.pinned = false;
+        sum_migr += SchedulerSim(cfg, app, 2, 4).run().makespanMs;
+    }
+    EXPECT_LE(sum_pinned, sum_migr * 1.02);
+}
+
+TEST(SchedulerSim, MigrationWinsWhenOvercommitted)
+{
+    // Figure 3(b): with 16 vCPUs on 8 cores, pinning strands
+    // runnable vCPUs behind blocked ones while other cores idle.
+    SchedConfig pinned_cfg;
+    pinned_cfg.numCores = 8;
+    pinned_cfg.pinned = true;
+    SchedConfig migrate_cfg = pinned_cfg;
+    migrate_cfg.pinned = false;
+
+    SchedProfile app = pipelineApp();
+    double t_pinned = SchedulerSim(pinned_cfg, app, 4, 4).run().makespanMs;
+    double t_migr =
+        SchedulerSim(migrate_cfg, app, 4, 4).run().makespanMs;
+    EXPECT_LT(t_migr, t_pinned);
+}
+
+TEST(SchedulerSim, OvercommitMigratesMoreOften)
+{
+    // Table I: overcommitted relocation periods are much shorter.
+    SchedConfig cfg;
+    cfg.numCores = 8;
+    SchedProfile app = pipelineApp();
+    SchedResult under = SchedulerSim(cfg, app, 2, 4).run();
+    SchedResult over = SchedulerSim(cfg, app, 4, 4).run();
+    EXPECT_GT(under.avgRelocationPeriodMs, over.avgRelocationPeriodMs);
+}
+
+TEST(SchedulerSim, ComputeBoundMigratesRarely)
+{
+    SchedConfig cfg;
+    cfg.numCores = 8;
+    SchedResult compute = SchedulerSim(cfg, computeBound(), 2, 4).run();
+    SchedResult pipeline = SchedulerSim(cfg, pipelineApp(), 2, 4).run();
+    EXPECT_GT(compute.avgRelocationPeriodMs,
+              5.0 * pipeline.avgRelocationPeriodMs);
+}
+
+TEST(SchedulerSim, PinnedModeNeverMigrates)
+{
+    SchedConfig cfg;
+    cfg.numCores = 8;
+    cfg.pinned = true;
+    SchedResult r = SchedulerSim(cfg, pipelineApp(), 2, 4).run();
+    EXPECT_EQ(r.migrations, 0u);
+}
+
+TEST(SchedulerSim, DeterministicPerSeed)
+{
+    SchedConfig cfg;
+    cfg.numCores = 8;
+    double a = SchedulerSim(cfg, pipelineApp(), 2, 4).run().makespanMs;
+    double b = SchedulerSim(cfg, pipelineApp(), 2, 4).run().makespanMs;
+    EXPECT_DOUBLE_EQ(a, b);
+    cfg.seed = 77;
+    double c = SchedulerSim(cfg, pipelineApp(), 2, 4).run().makespanMs;
+    EXPECT_NE(a, c);
+}
+
+TEST(SchedulerSim, UtilizationIsSane)
+{
+    SchedConfig cfg;
+    cfg.numCores = 8;
+    SchedResult r = SchedulerSim(cfg, computeBound(), 4, 4).run();
+    EXPECT_GT(r.coreUtilization, 0.5);
+    EXPECT_LE(r.coreUtilization, 1.0);
+}
+
+TEST(SchedulerSim, TimeoutPathReported)
+{
+    SchedConfig cfg;
+    cfg.numCores = 1;
+    cfg.maxSimMs = 50.0;
+    SchedProfile p = computeBound();
+    p.workMsPerVcpu = 100000.0;
+    SchedResult r = SchedulerSim(cfg, p, 1, 1).run();
+    EXPECT_TRUE(r.timedOut);
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace vsnoop::test
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 16u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, MomentsAreCorrect)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+    EXPECT_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(5.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(1.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(1.0, 10);
+    h.sample(0.5);
+    h.sample(1.5);
+    h.sample(1.6);
+    h.sample(25.0); // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucketHits(0), 1u);
+    EXPECT_EQ(h.bucketHits(1), 2u);
+    EXPECT_EQ(h.overflowHits(), 1u);
+}
+
+TEST(Histogram, NegativeSamplesClampToFirstBucket)
+{
+    Histogram h(1.0, 4);
+    h.sample(-3.0);
+    EXPECT_EQ(h.bucketHits(0), 1u);
+}
+
+TEST(Histogram, CdfIsMonotone)
+{
+    Histogram h(1.0, 10);
+    for (double v : {0.5, 1.5, 2.5, 3.5, 8.5})
+        h.sample(v);
+    double prev = 0.0;
+    for (double x = 1.0; x <= 10.0; x += 1.0) {
+        double c = h.cdfAt(x);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(h.cdfAt(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(2.0), 0.4);
+}
+
+TEST(Histogram, QuantileFindsBucketEdge)
+{
+    Histogram h(2.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(static_cast<double>(i)); // buckets 0..4
+    EXPECT_DOUBLE_EQ(h.quantile(0.2), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileInOverflow)
+{
+    Histogram h(1.0, 2);
+    h.sample(100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(Histogram, CdfPointsSkipLeadingEmpties)
+{
+    Histogram h(1.0, 10);
+    h.sample(5.5);
+    h.sample(6.5);
+    auto points = h.cdfPoints();
+    ASSERT_FALSE(points.empty());
+    EXPECT_DOUBLE_EQ(points.front().first, 6.0);
+    EXPECT_DOUBLE_EQ(points.front().second, 0.5);
+    EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(Histogram, EmptyCdf)
+{
+    Histogram h(1.0, 4);
+    EXPECT_EQ(h.cdfAt(2.0), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_TRUE(h.cdfPoints().empty());
+}
+
+TEST(StatSet, DumpsSortedNames)
+{
+    StatSet set;
+    Counter b, a;
+    a.inc(3);
+    b.inc(7);
+    set.add("zeta", b);
+    set.add("alpha", a);
+    std::string dump = set.dump();
+    EXPECT_NE(dump.find("alpha 3"), std::string::npos);
+    EXPECT_NE(dump.find("zeta 7"), std::string::npos);
+    EXPECT_LT(dump.find("alpha"), dump.find("zeta"));
+}
+
+TEST(StatSet, IncludesDistributions)
+{
+    StatSet set;
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    set.add("lat", d);
+    std::string dump = set.dump();
+    EXPECT_NE(dump.find("lat.mean 3"), std::string::npos);
+    EXPECT_NE(dump.find("lat.count 2"), std::string::npos);
+}
+
+} // namespace vsnoop::test

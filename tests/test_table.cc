@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the text table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/table.hh"
+
+namespace vsnoop::test
+{
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"app", "value"});
+    t.row().cell("fft").cell(1.5);
+    t.row().cell("blackscholes").cell(23.25);
+    std::string out = t.render();
+    EXPECT_NE(out.find("app"), std::string::npos);
+    EXPECT_NE(out.find("blackscholes"), std::string::npos);
+    EXPECT_NE(out.find("23.25"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, AddRowChecksWidth)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TextTable, CellOverflowPanics)
+{
+    TextTable t({"a"});
+    t.row().cell("x");
+    EXPECT_DEATH(t.cell("y"), "too many cells");
+}
+
+TEST(TextTable, IntegerCells)
+{
+    TextTable t({"n"});
+    t.row().cell(std::uint64_t{42});
+    EXPECT_NE(t.render().find("42"), std::string::npos);
+}
+
+TEST(Format, FixedAndPercent)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+    EXPECT_EQ(formatPercent(0.638, 1), "63.8");
+    EXPECT_EQ(formatPercent(1.0, 0), "100");
+}
+
+} // namespace vsnoop::test

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for destination-set selection and vCPU map register
+ * maintenance in VirtualSnoopPolicy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vsnoop_harness.hh"
+
+namespace vsnoop::test
+{
+
+namespace
+{
+
+MemAccess
+makeAccess(std::uint64_t addr, bool write, VmId vm, PageType type)
+{
+    MemAccess a;
+    a.addr = HostAddr(addr);
+    a.isWrite = write;
+    a.vm = vm;
+    a.pageType = type;
+    return a;
+}
+
+} // namespace
+
+TEST(VsnoopPolicy, InitialMapsMatchPlacement)
+{
+    VsnoopHarness h;
+    for (VmId vm = 0; vm < 4; ++vm) {
+        CoreSet map = h.policy.vcpuMap(vm);
+        EXPECT_EQ(map.count(), 4u) << "vm " << vm;
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(map.contains(static_cast<CoreId>(vm * 4 + i)));
+    }
+    EXPECT_EQ(h.policy.mapAdds.value(), 16u);
+}
+
+TEST(VsnoopPolicy, PrivatePagesMulticastWithinMap)
+{
+    VsnoopHarness h;
+    SnoopTargets t = h.policy.targets(
+        1, makeAccess(0x1000, false, 0, PageType::VmPrivate), 1);
+    EXPECT_EQ(t.cores.count(), 3u); // the map minus the requester
+    EXPECT_TRUE(t.cores.contains(0));
+    EXPECT_TRUE(t.cores.contains(2));
+    EXPECT_TRUE(t.cores.contains(3));
+    EXPECT_TRUE(t.memory);
+    EXPECT_EQ(h.policy.filteredRequests.value(), 1u);
+}
+
+TEST(VsnoopPolicy, RwSharedBroadcasts)
+{
+    VsnoopHarness h;
+    SnoopTargets t = h.policy.targets(
+        1, makeAccess(0x1000, true, 0, PageType::RwShared), 1);
+    EXPECT_EQ(t.cores.count(), 15u);
+    EXPECT_FALSE(t.cores.contains(1));
+    EXPECT_EQ(h.policy.broadcastRequests.value(), 1u);
+}
+
+TEST(VsnoopPolicy, HypervisorAccessBroadcasts)
+{
+    VsnoopHarness h;
+    SnoopTargets t = h.policy.targets(
+        5, makeAccess(0x1000, false, kInvalidVm, PageType::VmPrivate), 1);
+    EXPECT_EQ(t.cores.count(), 15u);
+}
+
+TEST(VsnoopPolicy, CounterThresholdBroadcastsOnLateAttempts)
+{
+    VsnoopConfig cfg;
+    cfg.relocation = RelocationMode::CounterThreshold;
+    cfg.broadcastAttempt = 3;
+    VsnoopHarness h(cfg);
+    MemAccess a = makeAccess(0x1000, true, 0, PageType::VmPrivate);
+    EXPECT_EQ(h.policy.targets(0, a, 1).cores.count(), 3u);
+    EXPECT_EQ(h.policy.targets(0, a, 2).cores.count(), 3u);
+    EXPECT_EQ(h.policy.targets(0, a, 3).cores.count(), 15u);
+}
+
+TEST(VsnoopPolicy, RoBroadcastPolicy)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::Broadcast;
+    VsnoopHarness h(cfg);
+    SnoopTargets t = h.policy.targets(
+        0, makeAccess(0x1000, false, 0, PageType::RoShared), 1);
+    EXPECT_EQ(t.cores.count(), 15u);
+}
+
+TEST(VsnoopPolicy, RoMemoryDirectPolicy)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::MemoryDirect;
+    VsnoopHarness h(cfg);
+    MemAccess a = makeAccess(0x1000, false, 0, PageType::RoShared);
+    SnoopTargets t = h.policy.targets(0, a, 1);
+    EXPECT_TRUE(t.cores.empty());
+    EXPECT_TRUE(t.memory);
+    EXPECT_EQ(h.policy.memoryDirectRequests.value(), 1u);
+    // Attempt 2 falls back to broadcast (memory had no token).
+    EXPECT_EQ(h.policy.targets(0, a, 2).cores.count(), 15u);
+}
+
+TEST(VsnoopPolicy, RoIntraVmPolicy)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::IntraVm;
+    VsnoopHarness h(cfg);
+    SnoopTargets t = h.policy.targets(
+        4, makeAccess(0x1000, false, 1, PageType::RoShared), 1);
+    EXPECT_EQ(t.cores.count(), 3u);
+    EXPECT_TRUE(t.cores.contains(5));
+    EXPECT_EQ(t.providerMask, 1u << 1);
+}
+
+TEST(VsnoopPolicy, RoFriendVmPolicyUnionsMaps)
+{
+    VsnoopConfig cfg;
+    cfg.roPolicy = RoPolicy::FriendVm;
+    VsnoopHarness h(cfg);
+    // VM 0's friend is VM 1 (cores 4-7).
+    SnoopTargets t = h.policy.targets(
+        0, makeAccess(0x1000, false, 0, PageType::RoShared), 1);
+    EXPECT_EQ(t.cores.count(), 7u); // 3 own + 4 friend
+    EXPECT_TRUE(t.cores.contains(4));
+    EXPECT_TRUE(t.cores.contains(7));
+    EXPECT_EQ(t.providerMask, (1u << 0) | (1u << 1));
+}
+
+TEST(VsnoopPolicy, MigrationGrowsMap)
+{
+    VsnoopHarness h;
+    // VM0 caches a line on core 0 so the old core cannot be
+    // dropped, then a VM0 vCPU swaps with a VM2 vCPU.
+    h.access(0, 0x100000, false, 0);
+    h.mapping.swap(0, 8);
+    CoreSet map0 = h.policy.vcpuMap(0);
+    // VM0 now runs on cores {8,1,2,3} but core 0 still holds its
+    // data: the map keeps the old core.
+    EXPECT_TRUE(map0.contains(8));
+    EXPECT_TRUE(map0.contains(0));
+    EXPECT_EQ(map0.count(), 5u);
+}
+
+TEST(VsnoopPolicy, BaseModeNeverShrinks)
+{
+    VsnoopConfig cfg;
+    cfg.relocation = RelocationMode::Base;
+    VsnoopHarness h(cfg);
+    h.mapping.swap(0, 8);
+    h.mapping.swap(0, 12);
+    EXPECT_EQ(h.policy.mapRemovals.value(), 0u);
+    EXPECT_GE(h.policy.vcpuMap(0).count(), 5u);
+}
+
+TEST(VsnoopPolicy, CleanCoreIsRemovedImmediatelyOnDeparture)
+{
+    VsnoopHarness h;
+    // Core 0 has no cached lines for VM 0 (no accesses yet): when
+    // the vCPU leaves, the counter is already zero and the core
+    // drops out of the map at once.
+    h.mapping.swap(0, 8);
+    // After the swap both sides re-place; VM0's map should have
+    // dropped core 0 (count was zero) but gained core 8.
+    CoreSet map0 = h.policy.vcpuMap(0);
+    EXPECT_FALSE(map0.contains(0));
+    EXPECT_TRUE(map0.contains(8));
+    EXPECT_EQ(map0.count(), 4u);
+    EXPECT_GE(h.policy.mapRemovals.value(), 1u);
+}
+
+TEST(VsnoopPolicy, RunningSetTracksPlacementOnly)
+{
+    VsnoopHarness h;
+    h.mapping.swap(0, 8);
+    CoreSet running = h.policy.runningSet(0);
+    EXPECT_TRUE(running.contains(8));
+    EXPECT_FALSE(running.contains(0));
+    EXPECT_EQ(running.count(), 4u);
+}
+
+TEST(VsnoopPolicy, FilteredRequestsActuallyReduceSnoops)
+{
+    VsnoopHarness h;
+    h.access(0, 0x100000, false, 0);
+    // 3 remote deliveries + 1 self lookup.
+    EXPECT_EQ(h.system->stats.snoopsDelivered.value(), 3u);
+    EXPECT_EQ(h.system->stats.snoopLookups.value(), 4u);
+}
+
+TEST(VsnoopPolicy, NamesAreStable)
+{
+    EXPECT_STREQ(relocationModeName(RelocationMode::Base),
+                 "vsnoop-base");
+    EXPECT_STREQ(relocationModeName(RelocationMode::Counter), "counter");
+    EXPECT_STREQ(relocationModeName(RelocationMode::CounterThreshold),
+                 "counter-threshold");
+    EXPECT_STREQ(roPolicyName(RoPolicy::MemoryDirect), "memory-direct");
+    EXPECT_STREQ(roPolicyName(RoPolicy::IntraVm), "intra-VM");
+    EXPECT_STREQ(roPolicyName(RoPolicy::FriendVm), "friend-VM");
+}
+
+} // namespace vsnoop::test

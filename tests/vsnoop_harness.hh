@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Test harness for the virtual snooping policy: a 16-core system
+ * with four 4-vCPU VMs, the VirtualSnoopPolicy attached, and a
+ * vCPU mapping whose changes drive the vCPU map registers.
+ */
+
+#ifndef VSNOOP_TESTS_VSNOOP_HARNESS_HH_
+#define VSNOOP_TESTS_VSNOOP_HARNESS_HH_
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "coherence/system.hh"
+#include "core/vsnoop.hh"
+#include "noc/mesh.hh"
+#include "virt/vcpu_map.hh"
+
+namespace vsnoop::test
+{
+
+class VsnoopHarness
+{
+  public:
+    struct Outcome
+    {
+        bool fired = false;
+        Tick doneAt = 0;
+        DataSource source = DataSource::Memory;
+        bool wasMiss = false;
+    };
+
+    explicit VsnoopHarness(VsnoopConfig cfg = {},
+                           std::uint64_t l2_bytes = 16 * 1024,
+                           bool place = true)
+        : mesh(MeshConfig{}), policy(16, 4, cfg), mapping(16)
+    {
+        CacheGeometry geom;
+        geom.sizeBytes = l2_bytes;
+        geom.ways = 4;
+        ProtocolConfig pcfg;
+        pcfg.numCores = 16;
+        system = std::make_unique<CoherenceSystem>(eq, mesh, policy,
+                                                   pcfg, geom, 4);
+        policy.attach(*system);
+        mapping.addListener(&policy);
+        for (VmId vm = 0; vm + 1 < 4; vm += 2) {
+            system->setFriend(vm, vm + 1);
+            system->setFriend(vm + 1, vm);
+            policy.setFriend(vm, vm + 1);
+            policy.setFriend(vm + 1, vm);
+        }
+        for (VmId vm = 0; vm < 4; ++vm) {
+            for (int i = 0; i < 4; ++i) {
+                VCpuId v = mapping.addVcpu(vm);
+                if (place)
+                    mapping.place(v, static_cast<CoreId>(vm * 4 + i));
+            }
+        }
+    }
+
+    std::shared_ptr<Outcome>
+    issue(CoreId core, std::uint64_t addr, bool write, VmId vm,
+          PageType type = PageType::VmPrivate)
+    {
+        auto outcome = std::make_shared<Outcome>();
+        MemAccess access;
+        access.addr = HostAddr(addr);
+        access.isWrite = write;
+        access.vm = vm;
+        access.pageType = type;
+        system->access(core, access,
+                       [outcome](Tick done, DataSource src, bool miss) {
+                           outcome->fired = true;
+                           outcome->doneAt = done;
+                           outcome->source = src;
+                           outcome->wasMiss = miss;
+                       });
+        return outcome;
+    }
+
+    void
+    drain(std::uint64_t limit = 5'000'000)
+    {
+        eq.run(limit);
+        system->checkInvariants();
+    }
+
+    Outcome
+    access(CoreId core, std::uint64_t addr, bool write, VmId vm,
+           PageType type = PageType::VmPrivate)
+    {
+        auto outcome = issue(core, addr, write, vm, type);
+        drain();
+        EXPECT_TRUE(outcome->fired)
+            << "access to " << addr << " from core " << core
+            << " never completed";
+        return *outcome;
+    }
+
+    const CacheLine *
+    line(CoreId core, std::uint64_t addr)
+    {
+        return system->controller(core).cache().find(HostAddr(addr));
+    }
+
+    EventQueue eq;
+    Mesh mesh;
+    VirtualSnoopPolicy policy;
+    VcpuMapping mapping;
+    std::unique_ptr<CoherenceSystem> system;
+};
+
+} // namespace vsnoop::test
+
+#endif // VSNOOP_TESTS_VSNOOP_HARNESS_HH_

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * vsnoopsim — command-line front end for the simulator.
+ *
+ * Runs one configuration end to end and prints the full result set
+ * (coherence, network, policy, memory, and energy statistics).
+ * Everything the SystemConfig exposes is reachable from flags, so
+ * the tool doubles as the scripting interface for custom
+ * experiments:
+ *
+ *   vsnoopsim --app canneal --policy vsnoop --relocation counter \
+ *             --migration-period 50000 --accesses 20000
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/table.hh"
+#include "system/energy.hh"
+#include "system/sim_system.hh"
+
+using namespace vsnoop;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "vsnoopsim — virtual snooping simulator\n"
+        "\n"
+        "usage: vsnoopsim [flags]\n"
+        "\n"
+        "workload:\n"
+        "  --app NAME            application profile (default ferret);\n"
+        "                        one of: cholesky fft lu ocean radix\n"
+        "                        blackscholes canneal dedup ferret\n"
+        "                        specjbb, plus the scheduler-study set\n"
+        "  --accesses N          accesses per vCPU (default 20000)\n"
+        "  --warmup N            warmup accesses per vCPU (default\n"
+        "                        accesses/4)\n"
+        "  --seed N              RNG seed (default 1)\n"
+        "\n"
+        "system:\n"
+        "  --mesh WxH            mesh geometry (default 4x4)\n"
+        "  --vms N               virtual machines (default 4)\n"
+        "  --vcpus N             vCPUs per VM (default 4)\n"
+        "  --l2-kb N             private L2 size in KB (default 256)\n"
+        "  --l1-kb N             model private L1s of N KB (default\n"
+        "                        off; generators emit post-L1 streams)\n"
+        "  --ideal-network       use a contention-free crossbar\n"
+        "\n"
+        "policy:\n"
+        "  --policy P            tokenb | vsnoop | region (default\n"
+        "                        vsnoop)\n"
+        "  --relocation M        base | counter | counter-threshold |\n"
+        "                        counter-flush (default counter)\n"
+        "  --ro-policy P         broadcast | memory-direct | intra-vm |\n"
+        "                        friend-vm (default broadcast)\n"
+        "  --threshold N         counter threshold (default 10)\n"
+        "  --region-bytes N      region filter granularity (default\n"
+        "                        1024)\n"
+        "\n"
+        "relocation:\n"
+        "  --migration-period T  ticks between vCPU shuffles (default\n"
+        "                        0 = pinned)\n"
+        "\n"
+        "output:\n"
+        "  --energy              include the energy estimate\n"
+        "  --help                this text\n";
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::cerr << "vsnoopsim: " << msg << "\n";
+    std::exit(2);
+}
+
+std::uint64_t
+parseUint(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    std::uint64_t parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        die(flag + " expects a non-negative integer, got '" +
+            value + "'");
+    return parsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name = "ferret";
+    SystemConfig cfg;
+    cfg.accessesPerVcpu = 20000;
+    bool warmup_set = false;
+    bool want_energy = false;
+
+    auto next_value = [&](int &i, const std::string &flag) {
+        if (i + 1 >= argc)
+            die(flag + " requires a value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") {
+            usage();
+            return 0;
+        } else if (flag == "--app") {
+            app_name = next_value(i, flag);
+        } else if (flag == "--accesses") {
+            cfg.accessesPerVcpu = parseUint(flag, next_value(i, flag));
+        } else if (flag == "--warmup") {
+            cfg.warmupAccessesPerVcpu =
+                parseUint(flag, next_value(i, flag));
+            warmup_set = true;
+        } else if (flag == "--seed") {
+            cfg.seed = parseUint(flag, next_value(i, flag));
+        } else if (flag == "--mesh") {
+            std::string value = next_value(i, flag);
+            auto x = value.find('x');
+            if (x == std::string::npos)
+                die("--mesh expects WxH, e.g. 4x4");
+            cfg.mesh.width = static_cast<std::uint32_t>(
+                parseUint(flag, value.substr(0, x).c_str()));
+            cfg.mesh.height = static_cast<std::uint32_t>(
+                parseUint(flag, value.substr(x + 1).c_str()));
+        } else if (flag == "--vms") {
+            cfg.numVms = static_cast<std::uint32_t>(
+                parseUint(flag, next_value(i, flag)));
+        } else if (flag == "--vcpus") {
+            cfg.vcpusPerVm = static_cast<std::uint32_t>(
+                parseUint(flag, next_value(i, flag)));
+        } else if (flag == "--l2-kb") {
+            cfg.l2.sizeBytes =
+                parseUint(flag, next_value(i, flag)) * 1024;
+        } else if (flag == "--l1-kb") {
+            cfg.l2.l1SizeBytes =
+                parseUint(flag, next_value(i, flag)) * 1024;
+        } else if (flag == "--ideal-network") {
+            cfg.idealNetwork = true;
+        } else if (flag == "--policy") {
+            std::string value = next_value(i, flag);
+            if (value == "tokenb")
+                cfg.policy = PolicyKind::TokenB;
+            else if (value == "vsnoop")
+                cfg.policy = PolicyKind::VirtualSnoop;
+            else if (value == "region")
+                cfg.policy = PolicyKind::IdealRegionFilter;
+            else
+                die("unknown --policy '" + value + "'");
+        } else if (flag == "--relocation") {
+            std::string value = next_value(i, flag);
+            if (value == "base")
+                cfg.vsnoop.relocation = RelocationMode::Base;
+            else if (value == "counter")
+                cfg.vsnoop.relocation = RelocationMode::Counter;
+            else if (value == "counter-threshold")
+                cfg.vsnoop.relocation = RelocationMode::CounterThreshold;
+            else if (value == "counter-flush")
+                cfg.vsnoop.relocation = RelocationMode::CounterFlush;
+            else
+                die("unknown --relocation '" + value + "'");
+        } else if (flag == "--ro-policy") {
+            std::string value = next_value(i, flag);
+            if (value == "broadcast")
+                cfg.vsnoop.roPolicy = RoPolicy::Broadcast;
+            else if (value == "memory-direct")
+                cfg.vsnoop.roPolicy = RoPolicy::MemoryDirect;
+            else if (value == "intra-vm")
+                cfg.vsnoop.roPolicy = RoPolicy::IntraVm;
+            else if (value == "friend-vm")
+                cfg.vsnoop.roPolicy = RoPolicy::FriendVm;
+            else
+                die("unknown --ro-policy '" + value + "'");
+        } else if (flag == "--threshold") {
+            cfg.vsnoop.counterThreshold =
+                parseUint(flag, next_value(i, flag));
+        } else if (flag == "--region-bytes") {
+            cfg.regionBytes = parseUint(flag, next_value(i, flag));
+        } else if (flag == "--migration-period") {
+            cfg.migrationPeriod = parseUint(flag, next_value(i, flag));
+        } else if (flag == "--energy") {
+            want_energy = true;
+        } else {
+            die("unknown flag '" + flag + "' (try --help)");
+        }
+    }
+    if (!warmup_set)
+        cfg.warmupAccessesPerVcpu = cfg.accessesPerVcpu / 4;
+
+    quietLogging(true);
+    const AppProfile &app = findApp(app_name);
+    SimSystem system(cfg, app);
+    system.run();
+    SystemResults r = system.results();
+
+    std::cout << "vsnoopsim: " << app.name << " on "
+              << cfg.mesh.width << "x" << cfg.mesh.height << " mesh, "
+              << cfg.numVms << " VMs x " << cfg.vcpusPerVm
+              << " vCPUs\n\n";
+
+    TextTable table({"metric", "value"});
+    table.row().cell("runtime (ticks)").cell(r.runtime);
+    table.row().cell("accesses").cell(r.totalAccesses);
+    table.row().cell("L2 misses (transactions)").cell(r.transactions);
+    table.row().cell("snoop lookups").cell(r.snoopLookups);
+    table.row()
+        .cell("snoop lookups / transaction")
+        .cell(static_cast<double>(r.snoopLookups) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, r.transactions)),
+              2);
+    table.row().cell("traffic (byte-hops)").cell(r.trafficByteHops);
+    table.row().cell("mean miss latency (ticks)")
+        .cell(r.meanMissLatency, 1);
+    table.row().cell("retries").cell(r.retries);
+    table.row().cell("persistent requests").cell(r.persistentRequests);
+    table.row().cell("dirty writebacks").cell(r.dirtyWritebacks);
+    table.row().cell("migrations").cell(r.migrations);
+    table.row().cell("vCPU map adds / removals")
+        .cell(std::to_string(r.mapAdds) + " / " +
+              std::to_string(r.mapRemovals));
+    table.print();
+
+    std::cout << "\nL2 misses by access category:\n";
+    TextTable cats({"category", "misses", "share %"});
+    for (std::size_t c = 0; c < kNumAccessCategories; ++c) {
+        if (r.missesByCategory[c] == 0)
+            continue;
+        cats.row()
+            .cell(accessCategoryName(static_cast<AccessCategory>(c)))
+            .cell(r.missesByCategory[c])
+            .cell(100.0 * static_cast<double>(r.missesByCategory[c]) /
+                      static_cast<double>(
+                          std::max<std::uint64_t>(1, r.totalMisses)),
+                  1);
+    }
+    cats.print();
+
+    if (want_energy) {
+        EnergyBreakdown e = computeEnergy(system);
+        std::cout << "\nEnergy estimate:\n";
+        TextTable energy({"component", "uJ", "share %"});
+        auto row = [&](const char *name, double pj) {
+            energy.row().cell(name).cell(pj / 1e6, 2).cell(
+                100.0 * pj / e.totalPj(), 1);
+        };
+        row("snoop tag lookups", e.snoopTagPj);
+        row("network", e.networkPj);
+        row("DRAM", e.dramPj);
+        row("L2 data arrays", e.l2DataPj);
+        energy.row().cell("total").cell(e.totalPj() / 1e6, 2).cell(
+            "100.0");
+        energy.print();
+    }
+    return 0;
+}
