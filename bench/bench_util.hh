@@ -28,9 +28,12 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/table.hh"
 #include "system/sim_system.hh"
+#include "system/sweep.hh"
 
 namespace vsnoop::bench
 {
@@ -111,6 +114,28 @@ runSystem(const SystemConfig &cfg, const AppProfile &app)
     SimSystem sys(cfg, app);
     sys.run();
     return sys.results();
+}
+
+/** A (configuration, application) pair awaiting execution. */
+using BenchRun = std::pair<SystemConfig, AppProfile>;
+
+/**
+ * Run a batch of independent configurations on the sweep runner's
+ * worker pool (one SimSystem per thread; see system/sweep.hh) and
+ * return results in input order.  Results are identical to calling
+ * runSystem() serially — benches collect first, then print, so
+ * tables stay deterministic.
+ *
+ * @param jobs Worker threads; 0 = hardware concurrency.
+ */
+inline std::vector<SystemResults>
+runSystems(const std::vector<BenchRun> &runs, unsigned jobs = 0)
+{
+    std::vector<SystemResults> results(runs.size());
+    runIndexed(runs.size(), jobs, [&](std::size_t i) {
+        results[i] = runSystem(runs[i].first, runs[i].second);
+    });
+    return results;
 }
 
 /** Snoop lookups per coherence transaction. */

@@ -1,0 +1,190 @@
+#include "sim/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beginElement()
+{
+    if (stack_.empty())
+        return;
+    if (stack_.back() == Frame::Object) {
+        vsnoop_assert(keyPending_,
+                      "JSON object member needs a key() first");
+        keyPending_ = false;
+        return;
+    }
+    if (counts_.back() > 0)
+        out_ += ',';
+    counts_.back()++;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beginElement();
+    out_ += '{';
+    stack_.push_back(Frame::Object);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    vsnoop_assert(!stack_.empty() && stack_.back() == Frame::Object,
+                  "endObject() without a matching beginObject()");
+    vsnoop_assert(!keyPending_, "dangling key() at endObject()");
+    out_ += '}';
+    stack_.pop_back();
+    counts_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beginElement();
+    out_ += '[';
+    stack_.push_back(Frame::Array);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    vsnoop_assert(!stack_.empty() && stack_.back() == Frame::Array,
+                  "endArray() without a matching beginArray()");
+    out_ += ']';
+    stack_.pop_back();
+    counts_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    vsnoop_assert(!stack_.empty() && stack_.back() == Frame::Object,
+                  "key() is only valid inside an object");
+    vsnoop_assert(!keyPending_, "two key() calls in a row");
+    if (counts_.back() > 0)
+        out_ += ',';
+    counts_.back()++;
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    beginElement();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    if (!std::isfinite(d))
+        return null();
+    beginElement();
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    vsnoop_assert(ec == std::errc(), "double formatting failed");
+    out_.append(buf, end);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beginElement();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t u)
+{
+    beginElement();
+    char buf[24];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), u);
+    vsnoop_assert(ec == std::errc(), "integer formatting failed");
+    out_.append(buf, end);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t i)
+{
+    beginElement();
+    char buf[24];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), i);
+    vsnoop_assert(ec == std::errc(), "integer formatting failed");
+    out_.append(buf, end);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beginElement();
+    out_ += "null";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    vsnoop_assert(stack_.empty(),
+                  "JsonWriter::str() with ", stack_.size(),
+                  " unclosed container(s)");
+    return out_;
+}
+
+} // namespace vsnoop

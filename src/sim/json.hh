@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal deterministic JSON writer.
+ *
+ * The sweep runner and the stats layer emit machine-readable
+ * results as JSON; this writer is the single place that defines the
+ * encoding so every producer is byte-identical for identical
+ * values:
+ *
+ *  - no insignificant whitespace;
+ *  - doubles use shortest-round-trip formatting (std::to_chars), so
+ *    equal doubles always print the same bytes;
+ *  - non-finite doubles (JSON has no representation) encode as
+ *    null;
+ *  - object members appear in insertion order — callers are
+ *    responsible for iterating sorted containers when they need
+ *    name-sorted output.
+ *
+ * Usage:
+ *   JsonWriter json;
+ *   json.beginObject().key("runtime").value(t).endObject();
+ *   std::string line = json.str();
+ *
+ * Structural misuse (a value without a key inside an object, str()
+ * with open containers) is asserted on.
+ */
+
+#ifndef VSNOOP_SIM_JSON_HH_
+#define VSNOOP_SIM_JSON_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vsnoop
+{
+
+/** Escape a string for embedding in a JSON document (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON document builder with automatic comma placement.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit a member name; must be inside an object. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double d);
+    JsonWriter &value(bool b);
+    JsonWriter &value(std::uint64_t u);
+    JsonWriter &value(std::int64_t i);
+    JsonWriter &value(std::uint32_t u) {
+        return value(static_cast<std::uint64_t>(u));
+    }
+    JsonWriter &value(int i) { return value(static_cast<std::int64_t>(i)); }
+    JsonWriter &null();
+
+    /** The finished document; asserts all containers are closed. */
+    std::string str() const;
+
+  private:
+    enum class Frame : std::uint8_t { Object, Array };
+
+    /** Prefix a comma if needed and account for the new element. */
+    void beginElement();
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    /** Elements emitted in the innermost container. */
+    std::vector<std::size_t> counts_;
+    /** A key was just written; the next value completes the member. */
+    bool keyPending_ = false;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_JSON_HH_

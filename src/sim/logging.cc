@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -8,52 +9,60 @@ namespace vsnoop
 
 namespace
 {
-bool quietFlag = false;
+// Atomic so sweep worker threads can log while another thread
+// toggles quiet mode; relaxed ordering suffices for a flag.
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 bool
 loggingQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 void
 quietLogging(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 namespace detail
 {
 
+// Each message is composed into one string and written with a
+// single stream insertion: stderr writes from concurrent sweep
+// workers may interleave between messages but never inside one.
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    std::cerr << ("panic: " + msg + "\n  at " + file + ":" +
+                  std::to_string(line) + "\n")
+              << std::flush;
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    std::cerr << ("fatal: " + msg + "\n  at " + file + ":" +
+                  std::to_string(line) + "\n")
+              << std::flush;
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!quietFlag)
-        std::cerr << "warn: " << msg << std::endl;
+    if (!loggingQuiet())
+        std::cerr << ("warn: " + msg + "\n") << std::flush;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quietFlag)
-        std::cerr << "info: " << msg << std::endl;
+    if (!loggingQuiet())
+        std::cerr << ("info: " + msg + "\n") << std::flush;
 }
 
 } // namespace detail

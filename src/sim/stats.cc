@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace vsnoop
@@ -14,7 +15,11 @@ Distribution::sample(double value)
 {
     count_++;
     sum_ += value;
-    sumSq_ += value * value;
+    // Welford's online update: numerically stable for samples with
+    // a large common offset, unlike sum-of-squares accumulation.
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
 }
@@ -30,8 +35,7 @@ Distribution::variance() const
 {
     if (count_ == 0)
         return 0.0;
-    double m = mean();
-    double var = sumSq_ / count_ - m * m;
+    double var = m2_ / static_cast<double>(count_);
     return var > 0.0 ? var : 0.0;
 }
 
@@ -51,9 +55,11 @@ Histogram::Histogram(double bucket_width, std::size_t bucket_count)
 void
 Histogram::sample(double value)
 {
+    vsnoop_assert(value >= 0.0,
+                  "negative histogram sample ", value,
+                  " (sampled quantities are non-negative by "
+                  "construction; fix the caller's accounting)");
     count_++;
-    if (value < 0.0)
-        value = 0.0;
     auto idx = static_cast<std::size_t>(value / bucketWidth_);
     if (idx >= buckets_.size()) {
         overflow_++;
@@ -88,18 +94,26 @@ Histogram::cdfAt(double value) const
 double
 Histogram::quantile(double q) const
 {
+    vsnoop_assert(q >= 0.0 && q <= 1.0, "quantile ", q, " outside [0,1]");
     if (count_ == 0)
         return 0.0;
     auto need = static_cast<std::uint64_t>(
         std::ceil(q * static_cast<double>(count_)));
+    // q == 0 would otherwise satisfy "acc >= 0" at bucket 0 even
+    // when that bucket is empty; the 0th quantile is the smallest
+    // sample, i.e. the first *populated* bucket.
+    if (need == 0)
+        need = 1;
     std::uint64_t acc = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         acc += buckets_[i];
         if (acc >= need)
             return bucketWidth_ * static_cast<double>(i + 1);
     }
-    // Quantile lies in the overflow bucket.
-    return bucketWidth_ * static_cast<double>(buckets_.size());
+    // Quantile lies in the overflow bucket: the histogram only
+    // knows the value exceeds the top edge, so say so explicitly
+    // instead of returning the (finite) top edge.
+    return std::numeric_limits<double>::infinity();
 }
 
 std::vector<std::pair<double, double>>
@@ -128,12 +142,16 @@ Histogram::cdfPoints() const
 void
 StatSet::add(const std::string &name, const Counter &counter)
 {
+    vsnoop_assert(counters_.count(name) == 0 && dists_.count(name) == 0,
+                  "duplicate stat name '", name, "'");
     counters_[name] = &counter;
 }
 
 void
 StatSet::add(const std::string &name, const Distribution &dist)
 {
+    vsnoop_assert(counters_.count(name) == 0 && dists_.count(name) == 0,
+                  "duplicate stat name '", name, "'");
     dists_[name] = &dist;
 }
 
@@ -144,10 +162,33 @@ StatSet::dump() const
     for (const auto &[name, counter] : counters_)
         os << name << " " << counter->value() << "\n";
     for (const auto &[name, dist] : dists_) {
-        os << name << ".mean " << dist->mean() << "\n"
-           << name << ".count " << dist->count() << "\n";
+        os << name << ".count " << dist->count() << "\n"
+           << name << ".mean " << dist->mean() << "\n"
+           << name << ".stddev " << dist->stddev() << "\n"
+           << name << ".min " << dist->min() << "\n"
+           << name << ".max " << dist->max() << "\n";
     }
     return os.str();
+}
+
+std::string
+StatSet::dumpJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    for (const auto &[name, counter] : counters_)
+        json.key(name).value(counter->value());
+    for (const auto &[name, dist] : dists_) {
+        json.key(name).beginObject();
+        json.key("count").value(dist->count());
+        json.key("mean").value(dist->mean());
+        json.key("stddev").value(dist->stddev());
+        json.key("min").value(dist->min());
+        json.key("max").value(dist->max());
+        json.endObject();
+    }
+    json.endObject();
+    return json.str();
 }
 
 } // namespace vsnoop

@@ -5,8 +5,10 @@
  * Components declare Counter / Distribution / Histogram members and
  * optionally register them with a StatSet for uniform dumping.  The
  * classes are deliberately simple: plain accumulation, no
- * thread-safety (the simulator is single-threaded), and cheap
- * increments on hot paths.
+ * thread-safety, and cheap increments on hot paths.  Every stat is
+ * owned by the components of one SimSystem; under the sweep
+ * runner's "one SimSystem per thread" contract (see
+ * system/sim_system.hh) no stat is ever touched from two threads.
  */
 
 #ifndef VSNOOP_SIM_STATS_HH_
@@ -42,6 +44,12 @@ class Counter
 
 /**
  * Mean / min / max / count over a stream of samples.
+ *
+ * Second moments use Welford's online algorithm: the naive
+ * sum-of-squares formula catastrophically cancels for
+ * large-magnitude samples (e.g. tick timestamps late in a long
+ * run), producing variances off by orders of magnitude or clamped
+ * negative results.
  */
 class Distribution
 {
@@ -51,7 +59,7 @@ class Distribution
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     /** Population variance. */
@@ -61,7 +69,9 @@ class Distribution
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
-    double sumSq_ = 0.0;
+    /** Welford running mean and sum of squared deviations. */
+    double mean_ = 0.0;
+    double m2_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };
@@ -81,6 +91,12 @@ class Histogram
      */
     Histogram(double bucket_width, std::size_t bucket_count);
 
+    /**
+     * Record one sample.  Sampled quantities (ticks, counts) are
+     * non-negative by construction; a negative sample indicates an
+     * upstream accounting bug and is asserted on rather than
+     * silently clamped into bucket 0.
+     */
     void sample(double value);
     void reset();
 
@@ -97,7 +113,15 @@ class Histogram
      */
     double cdfAt(double value) const;
 
-    /** Smallest bucket upper edge whose CDF reaches q in [0,1]. */
+    /**
+     * Smallest bucket upper edge whose CDF reaches q in [0,1].
+     *
+     * quantile(0) returns the upper edge of the smallest populated
+     * bucket (the minimum's bucket), not the first bucket edge.
+     * When the requested quantile lies in the overflow bucket the
+     * result is +infinity, so it cannot be confused with a
+     * legitimate top-edge answer.
+     */
     double quantile(double q) const;
 
     /**
@@ -114,8 +138,11 @@ class Histogram
 };
 
 /**
- * A named registry of counters for uniform text dumps.  Components
- * register references; the StatSet never owns the stats.
+ * A named registry of counters for uniform text and JSON dumps.
+ * Components register references; the StatSet never owns the
+ * stats.  Names are unique across both kinds — registering the
+ * same name twice (even once as a counter and once as a
+ * distribution) is asserted on.
  */
 class StatSet
 {
@@ -123,8 +150,18 @@ class StatSet
     void add(const std::string &name, const Counter &counter);
     void add(const std::string &name, const Distribution &dist);
 
-    /** Render "name value" lines, sorted by name. */
+    /**
+     * Render "name value" lines, sorted by name.  Distributions
+     * emit their full summary: count, mean, stddev, min, max.
+     */
     std::string dump() const;
+
+    /**
+     * Render one JSON object: counters as integer members,
+     * distributions as nested {count, mean, stddev, min, max}
+     * objects.  Deterministic (sorted by name).
+     */
+    std::string dumpJson() const;
 
   private:
     std::map<std::string, const Counter *> counters_;

@@ -1,0 +1,168 @@
+#include "system/run_result.hh"
+
+#include <algorithm>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::TokenB: return "tokenb";
+      case PolicyKind::VirtualSnoop: return "vsnoop";
+      case PolicyKind::IdealRegionFilter: return "region";
+    }
+    vsnoop_panic("unknown PolicyKind ", static_cast<int>(kind));
+}
+
+const char *
+dataSourceName(DataSource source)
+{
+    switch (source) {
+      case DataSource::CacheIntraVm: return "cache_intra_vm";
+      case DataSource::CacheFriendVm: return "cache_friend_vm";
+      case DataSource::CacheOtherVm: return "cache_other_vm";
+      case DataSource::Memory: return "memory";
+    }
+    vsnoop_panic("unknown DataSource ", static_cast<int>(source));
+}
+
+const char *
+relocationModeToken(RelocationMode mode)
+{
+    switch (mode) {
+      case RelocationMode::Base: return "base";
+      case RelocationMode::Counter: return "counter";
+      case RelocationMode::CounterThreshold: return "counter-threshold";
+      case RelocationMode::CounterFlush: return "counter-flush";
+    }
+    vsnoop_panic("unknown RelocationMode ", static_cast<int>(mode));
+}
+
+const char *
+roPolicyToken(RoPolicy policy)
+{
+    switch (policy) {
+      case RoPolicy::Broadcast: return "broadcast";
+      case RoPolicy::MemoryDirect: return "memory-direct";
+      case RoPolicy::IntraVm: return "intra-vm";
+      case RoPolicy::FriendVm: return "friend-vm";
+    }
+    vsnoop_panic("unknown RoPolicy ", static_cast<int>(policy));
+}
+
+void
+RunResult::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("app").value(app);
+    json.key("policy").value(policyKindName(config.policy));
+    json.key("relocation")
+        .value(relocationModeToken(config.vsnoop.relocation));
+    json.key("ro_policy").value(roPolicyToken(config.vsnoop.roPolicy));
+    json.key("seed").value(config.seed);
+
+    json.key("config").beginObject();
+    json.key("mesh_width").value(config.mesh.width);
+    json.key("mesh_height").value(config.mesh.height);
+    json.key("ideal_network").value(config.idealNetwork);
+    json.key("vms").value(config.numVms);
+    json.key("vcpus_per_vm").value(config.vcpusPerVm);
+    json.key("l2_bytes").value(config.l2.sizeBytes);
+    json.key("l1_bytes").value(config.l2.l1SizeBytes);
+    json.key("accesses_per_vcpu").value(config.accessesPerVcpu);
+    json.key("warmup_accesses_per_vcpu")
+        .value(config.warmupAccessesPerVcpu);
+    json.key("migration_period").value(config.migrationPeriod);
+    json.key("counter_threshold").value(config.vsnoop.counterThreshold);
+    json.key("region_bytes").value(config.regionBytes);
+    json.endObject();
+
+    const SystemResults &r = results;
+    json.key("results").beginObject();
+    json.key("runtime").value(r.runtime);
+    json.key("accesses").value(r.totalAccesses);
+    json.key("misses").value(r.totalMisses);
+    json.key("transactions").value(r.transactions);
+    json.key("snoop_lookups").value(r.snoopLookups);
+    json.key("snoops_per_transaction")
+        .value(static_cast<double>(r.snoopLookups) /
+               static_cast<double>(
+                   std::max<std::uint64_t>(1, r.transactions)));
+    json.key("traffic_byte_hops").value(r.trafficByteHops);
+    json.key("mean_miss_latency").value(r.meanMissLatency);
+    json.key("mean_ro_miss_latency").value(r.meanRoMissLatency);
+    json.key("retries").value(r.retries);
+    json.key("persistent_requests").value(r.persistentRequests);
+    json.key("dirty_writebacks").value(r.dirtyWritebacks);
+    json.key("migrations").value(r.migrations);
+    json.key("map_adds").value(r.mapAdds);
+    json.key("map_removals").value(r.mapRemovals);
+    json.key("data_from").beginObject();
+    for (std::size_t i = 0; i < kNumDataSources; ++i)
+        json.key(dataSourceName(static_cast<DataSource>(i)))
+            .value(r.dataFrom[i]);
+    json.endObject();
+    json.key("ro_data_from").beginObject();
+    for (std::size_t i = 0; i < kNumDataSources; ++i)
+        json.key(dataSourceName(static_cast<DataSource>(i)))
+            .value(r.roDataFrom[i]);
+    json.endObject();
+    json.key("accesses_by_category").beginObject();
+    for (std::size_t c = 0; c < kNumAccessCategories; ++c)
+        json.key(accessCategoryName(static_cast<AccessCategory>(c)))
+            .value(r.accessesByCategory[c]);
+    json.endObject();
+    json.key("misses_by_category").beginObject();
+    for (std::size_t c = 0; c < kNumAccessCategories; ++c)
+        json.key(accessCategoryName(static_cast<AccessCategory>(c)))
+            .value(r.missesByCategory[c]);
+    json.endObject();
+    json.endObject();
+
+    json.key("memory").beginObject();
+    json.key("reads").value(memoryReads);
+    json.key("writebacks").value(memoryWritebacks);
+    json.endObject();
+
+    json.key("energy").beginObject();
+    json.key("snoop_tag_pj").value(energy.snoopTagPj);
+    json.key("network_pj").value(energy.networkPj);
+    json.key("dram_pj").value(energy.dramPj);
+    json.key("l2_data_pj").value(energy.l2DataPj);
+    json.key("total_pj").value(energy.totalPj());
+    json.endObject();
+
+    json.endObject();
+}
+
+std::string
+RunResult::toJson() const
+{
+    JsonWriter json;
+    writeJson(json);
+    return json.str();
+}
+
+RunResult
+collectRun(const SystemConfig &config, const AppProfile &app)
+{
+    RunResult out;
+    out.app = app.name;
+    out.config = config;
+    SimSystem system(config, app);
+    system.run();
+    out.results = system.results();
+    const MainMemory &memory = system.coherence().memory();
+    out.memoryReads = memory.reads.value();
+    out.memoryWritebacks = memory.writebacks.value();
+    out.energy = computeEnergy(out.results, out.memoryReads,
+                               out.memoryWritebacks);
+    return out;
+}
+
+} // namespace vsnoop

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine-readable results for one simulation run.
+ *
+ * RunResult bundles everything a finished SimSystem can report —
+ * coherence, network, policy, memory, and energy statistics plus
+ * the identifying configuration — and serializes it as one JSON
+ * object (one line per run in sweep output), so benches and
+ * external tooling consume structured data instead of scraping
+ * text tables.
+ *
+ * The encoding is deterministic (see sim/json.hh): two runs with
+ * identical configurations and seeds serialize to identical bytes
+ * regardless of which thread executed them.
+ */
+
+#ifndef VSNOOP_SYSTEM_RUN_RESULT_HH_
+#define VSNOOP_SYSTEM_RUN_RESULT_HH_
+
+#include <string>
+
+#include "system/energy.hh"
+#include "system/sim_system.hh"
+
+namespace vsnoop
+{
+
+class JsonWriter;
+
+/** Human-readable name of a PolicyKind ("tokenb", "vsnoop", ...). */
+const char *policyKindName(PolicyKind kind);
+
+/** Human-readable name of a DataSource ("cache_intra_vm", ...). */
+const char *dataSourceName(DataSource source);
+
+/**
+ * @{ Machine tokens for the JSON schema: identical to the CLI flag
+ * values ("base", "counter-threshold", "intra-vm", ...), unlike
+ * the mixed-case display names in core/vsnoop.hh, so sweep output
+ * round-trips into sweep flags.
+ */
+const char *relocationModeToken(RelocationMode mode);
+const char *roPolicyToken(RoPolicy policy);
+/** @} */
+
+/**
+ * One run's complete, self-describing result record.
+ */
+struct RunResult
+{
+    /** Application profile name. */
+    std::string app;
+    /** The configuration the run executed. */
+    SystemConfig config;
+    /** Aggregated simulation results. */
+    SystemResults results;
+    /** DRAM activity (for the energy model and Table IV). */
+    std::uint64_t memoryReads = 0;
+    std::uint64_t memoryWritebacks = 0;
+    /** Energy estimate derived from the counts above. */
+    EnergyBreakdown energy;
+
+    /** Serialize as a single JSON object (no trailing newline). */
+    std::string toJson() const;
+
+    /** Append this record to an open JsonWriter. */
+    void writeJson(JsonWriter &json) const;
+};
+
+/**
+ * Run one configuration to completion and collect a RunResult.
+ * Builds the SimSystem on the calling thread; safe to invoke
+ * concurrently from many threads (one system per call).
+ */
+RunResult collectRun(const SystemConfig &config, const AppProfile &app);
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SYSTEM_RUN_RESULT_HH_

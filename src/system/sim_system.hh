@@ -8,6 +8,17 @@
  * 16 in-order cores with private 256 KB L2s over a 4x4 mesh, Token
  * Coherence, four VMs with four vCPUs each, the same application in
  * every VM.
+ *
+ * Concurrency contract — "one SimSystem per thread": a SimSystem
+ * and every component it owns (event queue, caches, network,
+ * policies, drivers, stats) are confined to the thread that built
+ * it; none of them are internally synchronized.  Distinct
+ * SimSystem instances share no mutable state — the only globals
+ * they touch are the logging quiet flag (atomic, see
+ * sim/logging.hh) and the const application catalogs
+ * (thread-safe-initialized function statics) — so any number of
+ * systems may be built and run concurrently on distinct threads.
+ * The sweep runner (system/sweep.hh) relies on exactly this.
  */
 
 #ifndef VSNOOP_SYSTEM_SIM_SYSTEM_HH_

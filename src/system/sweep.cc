@@ -1,0 +1,98 @@
+#include "system/sweep.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+std::size_t
+SweepMatrix::runCount() const
+{
+    return apps.size() * policies.size() * relocations.size() *
+           roPolicies.size() * seeds.size();
+}
+
+std::vector<SweepPoint>
+SweepMatrix::expand() const
+{
+    vsnoop_assert(!apps.empty() && !policies.empty() &&
+                      !relocations.empty() && !roPolicies.empty() &&
+                      !seeds.empty(),
+                  "every sweep axis needs at least one value");
+    std::vector<SweepPoint> points;
+    points.reserve(runCount());
+    for (const std::string &app : apps)
+        for (PolicyKind policy : policies)
+            for (RelocationMode relocation : relocations)
+                for (RoPolicy ro : roPolicies)
+                    for (std::uint64_t seed : seeds)
+                        points.push_back(
+                            {app, policy, relocation, ro, seed});
+    return points;
+}
+
+SystemConfig
+SweepMatrix::configFor(const SweepPoint &point) const
+{
+    SystemConfig cfg = base;
+    cfg.policy = point.policy;
+    cfg.vsnoop.relocation = point.relocation;
+    cfg.vsnoop.roPolicy = point.roPolicy;
+    cfg.seed = point.seed;
+    return cfg;
+}
+
+void
+runIndexed(std::size_t count, unsigned jobs,
+           const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, count));
+    if (jobs == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1);
+             i < count;
+             i = next.fetch_add(1)) {
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+std::vector<RunResult>
+runSweep(const SweepMatrix &matrix, unsigned jobs)
+{
+    std::vector<SweepPoint> points = matrix.expand();
+    // Resolve profiles up front: findApp() is fatal on a bad name,
+    // and failing before the pool spins up gives a clean error.
+    std::vector<const AppProfile *> profiles;
+    profiles.reserve(points.size());
+    for (const SweepPoint &p : points)
+        profiles.push_back(&findApp(p.app));
+
+    std::vector<RunResult> results(points.size());
+    runIndexed(points.size(), jobs, [&](std::size_t i) {
+        results[i] =
+            collectRun(matrix.configFor(points[i]), *profiles[i]);
+    });
+    return results;
+}
+
+} // namespace vsnoop

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the deterministic JSON writer.
+ */
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+
+namespace vsnoop::test
+{
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(jsonEscape(std::string("ctl\x01") + "x"), "ctl\\u0001x");
+}
+
+TEST(Json, BuildsNestedDocument)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("name").value("run");
+    json.key("count").value(std::uint64_t{3});
+    json.key("ok").value(true);
+    json.key("inner").beginObject();
+    json.key("ratio").value(0.5);
+    json.endObject();
+    json.key("list").beginArray();
+    json.value(1).value(2).value(3);
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(json.str(),
+              "{\"name\":\"run\",\"count\":3,\"ok\":true,"
+              "\"inner\":{\"ratio\":0.5},\"list\":[1,2,3]}");
+}
+
+TEST(Json, DoublesRoundTripShortest)
+{
+    JsonWriter json;
+    json.beginArray();
+    json.value(0.1);
+    json.value(1.0);
+    json.value(1e300);
+    json.value(-2.5);
+    json.endArray();
+    EXPECT_EQ(json.str(), "[0.1,1,1e+300,-2.5]");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter json;
+    json.beginArray();
+    json.value(std::numeric_limits<double>::infinity());
+    json.value(std::numeric_limits<double>::quiet_NaN());
+    json.endArray();
+    EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(Json, EmptyContainers)
+{
+    JsonWriter obj;
+    obj.beginObject().endObject();
+    EXPECT_EQ(obj.str(), "{}");
+    JsonWriter arr;
+    arr.beginArray().endArray();
+    EXPECT_EQ(arr.str(), "[]");
+}
+
+TEST(Json, MisuseAsserts)
+{
+    EXPECT_DEATH(
+        {
+            JsonWriter json;
+            json.beginObject();
+            json.value(1); // member without a key
+        },
+        "needs a key");
+    EXPECT_DEATH(
+        {
+            JsonWriter json;
+            json.beginObject();
+            json.str(); // unclosed container
+        },
+        "unclosed");
+    EXPECT_DEATH(
+        {
+            JsonWriter json;
+            json.beginArray();
+            json.key("k"); // keys are object-only
+        },
+        "inside an object");
+}
+
+} // namespace vsnoop::test

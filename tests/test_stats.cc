@@ -3,6 +3,8 @@
  * Unit tests for the statistics primitives.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "sim/stats.hh"
@@ -51,8 +53,48 @@ TEST(Distribution, ResetClears)
     d.sample(5.0);
     d.reset();
     EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.variance(), 0.0);
     d.sample(1.0);
     EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 1.0);
+}
+
+TEST(Distribution, VarianceSurvivesLargeOffset)
+{
+    // The sum-of-squares formula catastrophically cancels here:
+    // sumSq ~ 1e24 while the true variance is 2/3, far below the
+    // resolution of doubles near 1e24.  Welford's update keeps
+    // full precision.  Samples like these are exactly what a
+    // latency distribution sees late in a long run, when tick
+    // timestamps are large.
+    Distribution d;
+    const double offset = 1e12;
+    for (double v : {offset + 1.0, offset + 2.0, offset + 3.0})
+        d.sample(v);
+    EXPECT_NEAR(d.mean(), offset + 2.0, 1e-3);
+    EXPECT_NEAR(d.variance(), 2.0 / 3.0, 1e-6);
+    EXPECT_NEAR(d.stddev(), std::sqrt(2.0 / 3.0), 1e-6);
+    EXPECT_DOUBLE_EQ(d.min(), offset + 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), offset + 3.0);
+}
+
+TEST(Distribution, VarianceMatchesTwoPassOnManySamples)
+{
+    Distribution d;
+    double sum = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        double v = 5e9 + static_cast<double>(i % 7);
+        d.sample(v);
+        sum += v;
+    }
+    double mean = sum / 1000.0;
+    double m2 = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        double v = 5e9 + static_cast<double>(i % 7);
+        m2 += (v - mean) * (v - mean);
+    }
+    EXPECT_NEAR(d.variance(), m2 / 1000.0, 1e-6);
 }
 
 TEST(Histogram, BucketsAndOverflow)
@@ -68,11 +110,13 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.overflowHits(), 1u);
 }
 
-TEST(Histogram, NegativeSamplesClampToFirstBucket)
+TEST(Histogram, NegativeSamplesAreAnAccountingBug)
 {
+    // Sampled quantities (ticks, counts) are non-negative by
+    // construction; silently clamping a negative sample into
+    // bucket 0 would hide the upstream error.
     Histogram h(1.0, 4);
-    h.sample(-3.0);
-    EXPECT_EQ(h.bucketHits(0), 1u);
+    EXPECT_DEATH(h.sample(-3.0), "negative histogram sample");
 }
 
 TEST(Histogram, CdfIsMonotone)
@@ -99,11 +143,36 @@ TEST(Histogram, QuantileFindsBucketEdge)
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
 }
 
-TEST(Histogram, QuantileInOverflow)
+TEST(Histogram, QuantileZeroIsSmallestPopulatedEdge)
+{
+    // quantile(0) used to satisfy "acc >= ceil(0) = 0" at bucket 0
+    // even when that bucket was empty, reporting the first bucket
+    // edge instead of the minimum's bucket.
+    Histogram h(1.0, 10);
+    h.sample(5.5);
+    h.sample(7.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 6.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(Histogram, QuantileInOverflowIsDistinguishable)
+{
+    // A quantile that lies in the overflow bucket reports
+    // +infinity; a legitimate top-edge result stays finite, so the
+    // two cases cannot be confused.
+    Histogram h(1.0, 2);
+    h.sample(1.5); // top regular bucket
+    h.sample(100.0); // overflow
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+    EXPECT_TRUE(std::isinf(h.quantile(1.0)));
+}
+
+TEST(Histogram, QuantileRejectsOutOfRange)
 {
     Histogram h(1.0, 2);
-    h.sample(100.0);
-    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+    h.sample(0.5);
+    EXPECT_DEATH(h.quantile(-0.1), "outside");
+    EXPECT_DEATH(h.quantile(1.5), "outside");
 }
 
 TEST(Histogram, CdfPointsSkipLeadingEmpties)
@@ -150,6 +219,48 @@ TEST(StatSet, IncludesDistributions)
     std::string dump = set.dump();
     EXPECT_NE(dump.find("lat.mean 3"), std::string::npos);
     EXPECT_NE(dump.find("lat.count 2"), std::string::npos);
+}
+
+TEST(StatSet, DumpsFullDistributionSummary)
+{
+    StatSet set;
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    set.add("lat", d);
+    std::string dump = set.dump();
+    EXPECT_NE(dump.find("lat.min 2"), std::string::npos);
+    EXPECT_NE(dump.find("lat.max 4"), std::string::npos);
+    EXPECT_NE(dump.find("lat.stddev 1"), std::string::npos);
+}
+
+TEST(StatSet, DuplicateNamesAssert)
+{
+    StatSet set;
+    Counter a, b;
+    Distribution d;
+    set.add("snoops", a);
+    EXPECT_DEATH(set.add("snoops", b), "duplicate stat name");
+    // A distribution may not shadow a counter either.
+    EXPECT_DEATH(set.add("snoops", d), "duplicate stat name");
+    set.add("latency", d);
+    EXPECT_DEATH(set.add("latency", a), "duplicate stat name");
+}
+
+TEST(StatSet, DumpJsonIsStructured)
+{
+    StatSet set;
+    Counter c;
+    c.inc(7);
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    set.add("snoops", c);
+    set.add("lat", d);
+    EXPECT_EQ(set.dumpJson(),
+              "{\"snoops\":7,"
+              "\"lat\":{\"count\":2,\"mean\":3,\"stddev\":1,"
+              "\"min\":2,\"max\":4}}");
 }
 
 } // namespace vsnoop::test

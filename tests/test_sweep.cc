@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: deterministic matrix
+ * expansion, the worker pool, and — the load-bearing property —
+ * byte-identical JSON output regardless of the worker count.
+ */
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "system/sweep.hh"
+
+namespace vsnoop::test
+{
+
+TEST(SweepMatrix, ExpandsInDeterministicOrder)
+{
+    SweepMatrix m;
+    m.apps = {"ferret", "canneal"};
+    m.policies = {PolicyKind::TokenB, PolicyKind::VirtualSnoop};
+    m.seeds = {1, 2};
+    auto points = m.expand();
+    ASSERT_EQ(points.size(), 8u);
+    EXPECT_EQ(m.runCount(), 8u);
+    // App-major, then policy, then seed.
+    EXPECT_EQ(points[0].app, "ferret");
+    EXPECT_EQ(points[0].policy, PolicyKind::TokenB);
+    EXPECT_EQ(points[0].seed, 1u);
+    EXPECT_EQ(points[1].seed, 2u);
+    EXPECT_EQ(points[2].policy, PolicyKind::VirtualSnoop);
+    EXPECT_EQ(points[4].app, "canneal");
+    EXPECT_EQ(points[7].app, "canneal");
+    EXPECT_EQ(points[7].policy, PolicyKind::VirtualSnoop);
+    EXPECT_EQ(points[7].seed, 2u);
+}
+
+TEST(SweepMatrix, ConfigForAppliesPointOverrides)
+{
+    SweepMatrix m;
+    m.base.numVms = 2;
+    m.base.vcpusPerVm = 2;
+    SweepPoint p;
+    p.policy = PolicyKind::TokenB;
+    p.relocation = RelocationMode::CounterThreshold;
+    p.roPolicy = RoPolicy::IntraVm;
+    p.seed = 42;
+    SystemConfig cfg = m.configFor(p);
+    EXPECT_EQ(cfg.policy, PolicyKind::TokenB);
+    EXPECT_EQ(cfg.vsnoop.relocation, RelocationMode::CounterThreshold);
+    EXPECT_EQ(cfg.vsnoop.roPolicy, RoPolicy::IntraVm);
+    EXPECT_EQ(cfg.seed, 42u);
+    EXPECT_EQ(cfg.numVms, 2u);
+}
+
+TEST(SweepMatrix, EmptyAxisAsserts)
+{
+    SweepMatrix m;
+    m.apps = {};
+    EXPECT_DEATH(m.expand(), "at least one value");
+}
+
+TEST(RunIndexed, InvokesEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kCount = 100;
+    std::vector<std::atomic<int>> hits(kCount);
+    runIndexed(kCount, 7, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(RunIndexed, ZeroCountIsANoOp)
+{
+    bool called = false;
+    runIndexed(0, 4, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+namespace
+{
+
+/** A small but real 8-run matrix (2 apps x 2 policies x 2 seeds). */
+SweepMatrix
+smallMatrix()
+{
+    SweepMatrix m;
+    m.apps = {"ferret", "blackscholes"};
+    m.policies = {PolicyKind::TokenB, PolicyKind::VirtualSnoop};
+    m.seeds = {1, 2};
+    m.base.mesh.width = 2;
+    m.base.mesh.height = 2;
+    m.base.numVms = 2;
+    m.base.vcpusPerVm = 2;
+    m.base.l2.sizeBytes = 32 * 1024;
+    m.base.accessesPerVcpu = 400;
+    m.base.warmupAccessesPerVcpu = 100;
+    return m;
+}
+
+std::vector<std::string>
+jsonLines(const std::vector<RunResult> &results)
+{
+    std::vector<std::string> lines;
+    lines.reserve(results.size());
+    for (const RunResult &r : results)
+        lines.push_back(r.toJson());
+    return lines;
+}
+
+} // namespace
+
+TEST(RunSweep, ParallelOutputMatchesSerialByteForByte)
+{
+    SweepMatrix m = smallMatrix();
+    auto serial = jsonLines(runSweep(m, 1));
+    auto parallel = jsonLines(runSweep(m, 4));
+    ASSERT_EQ(serial.size(), 8u);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "run " << i;
+}
+
+TEST(RunSweep, RecordsCarryTheirPointIdentity)
+{
+    SweepMatrix m = smallMatrix();
+    auto results = runSweep(m, 4);
+    auto points = m.expand();
+    ASSERT_EQ(results.size(), points.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].app, points[i].app);
+        EXPECT_EQ(results[i].config.policy, points[i].policy);
+        EXPECT_EQ(results[i].config.seed, points[i].seed);
+        EXPECT_GT(results[i].results.totalAccesses, 0u);
+        // The JSON line is non-empty, parseable-looking output.
+        std::string json = results[i].toJson();
+        EXPECT_EQ(json.front(), '{');
+        EXPECT_EQ(json.back(), '}');
+        EXPECT_NE(json.find("\"app\":\"" + points[i].app + "\""),
+                  std::string::npos);
+    }
+}
+
+} // namespace vsnoop::test

@@ -22,6 +22,7 @@
 
 #include "sim/table.hh"
 #include "system/energy.hh"
+#include "system/run_result.hh"
 #include "system/sim_system.hh"
 
 using namespace vsnoop;
@@ -73,6 +74,9 @@ usage()
         "\n"
         "output:\n"
         "  --energy              include the energy estimate\n"
+        "  --json                print one JSON object (the full\n"
+        "                        result record, energy included)\n"
+        "                        instead of the text tables\n"
         "  --help                this text\n";
 }
 
@@ -104,6 +108,7 @@ main(int argc, char **argv)
     cfg.accessesPerVcpu = 20000;
     bool warmup_set = false;
     bool want_energy = false;
+    bool want_json = false;
 
     auto next_value = [&](int &i, const std::string &flag) {
         if (i + 1 >= argc)
@@ -192,6 +197,8 @@ main(int argc, char **argv)
             cfg.migrationPeriod = parseUint(flag, next_value(i, flag));
         } else if (flag == "--energy") {
             want_energy = true;
+        } else if (flag == "--json") {
+            want_json = true;
         } else {
             die("unknown flag '" + flag + "' (try --help)");
         }
@@ -201,6 +208,15 @@ main(int argc, char **argv)
 
     quietLogging(true);
     const AppProfile &app = findApp(app_name);
+
+    if (want_json) {
+        // The structured record covers everything the text tables
+        // print (energy included), so the machine-readable path
+        // shares the sweep runner's serialization.
+        std::cout << collectRun(cfg, app).toJson() << "\n";
+        return 0;
+    }
+
     SimSystem system(cfg, app);
     system.run();
     SystemResults r = system.results();

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * vsnoopsweep — parallel multi-configuration sweep runner.
+ *
+ * Expands a cross-product of sweep axes (apps x policies x
+ * relocation modes x RO policies x seeds) over a shared base
+ * configuration and executes every resulting run on a worker pool.
+ * Output is JSON lines — one self-describing object per run (see
+ * system/run_result.hh) — in deterministic matrix order:
+ * byte-identical for any --jobs value.
+ *
+ *   vsnoopsweep --apps ferret,canneal --policies tokenb,vsnoop \
+ *               --relocations base,counter --seeds 1,2 --jobs 8
+ *
+ * reproduces a 16-run paper-style comparison on 8 cores.  Run with
+ * --help for the full flag list.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "system/sweep.hh"
+
+using namespace vsnoop;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "vsnoopsweep — parallel configuration-sweep runner\n"
+        "\n"
+        "usage: vsnoopsweep [flags]\n"
+        "\n"
+        "Expands the cross-product of the sweep axes below into\n"
+        "independent runs, executes them on a worker pool, and\n"
+        "prints one JSON object per run (JSON lines) in a fixed\n"
+        "matrix order: app-major, then policy, relocation,\n"
+        "ro-policy, seed.  Output bytes do not depend on --jobs.\n"
+        "\n"
+        "sweep axes (comma-separated lists):\n"
+        "  --apps A,B,...        application profiles (default\n"
+        "                        ferret); 'coherence' expands to the\n"
+        "                        paper's ten-app evaluation set\n"
+        "  --policies P,...      tokenb | vsnoop | region (default\n"
+        "                        vsnoop)\n"
+        "  --relocations M,...   base | counter | counter-threshold |\n"
+        "                        counter-flush (default counter)\n"
+        "  --ro-policies P,...   broadcast | memory-direct | intra-vm |\n"
+        "                        friend-vm (default broadcast)\n"
+        "  --seeds S,...         RNG seeds, one run per seed\n"
+        "                        (default 1)\n"
+        "\n"
+        "base configuration (applied to every run):\n"
+        "  --accesses N          accesses per vCPU (default 20000)\n"
+        "  --warmup N            warmup accesses per vCPU (default\n"
+        "                        accesses/4)\n"
+        "  --mesh WxH            mesh geometry (default 4x4)\n"
+        "  --vms N               virtual machines (default 4)\n"
+        "  --vcpus N             vCPUs per VM (default 4)\n"
+        "  --l2-kb N             private L2 size in KB (default 256)\n"
+        "  --l1-kb N             model private L1s of N KB\n"
+        "  --ideal-network       contention-free crossbar\n"
+        "  --threshold N         counter threshold (default 10)\n"
+        "  --region-bytes N      region filter granularity (default\n"
+        "                        1024)\n"
+        "  --migration-period T  ticks between vCPU shuffles (default\n"
+        "                        0 = pinned)\n"
+        "\n"
+        "execution:\n"
+        "  --jobs N              worker threads (default hardware\n"
+        "                        concurrency)\n"
+        "  --out FILE            write JSON lines to FILE instead of\n"
+        "                        stdout\n"
+        "  --list                print the expanded matrix and exit\n"
+        "                        without running\n"
+        "  --help                this text\n";
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::cerr << "vsnoopsweep: " << msg << "\n";
+    std::exit(2);
+}
+
+std::uint64_t
+parseUint(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        die(flag + " expects a non-negative integer, got '" +
+            value + "'");
+    return parsed;
+}
+
+std::vector<std::string>
+splitList(const std::string &flag, const std::string &value)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos)
+            comma = value.size();
+        std::string item = value.substr(start, comma - start);
+        if (item.empty())
+            die(flag + " has an empty list element in '" + value + "'");
+        items.push_back(std::move(item));
+        start = comma + 1;
+        if (comma == value.size())
+            break;
+    }
+    if (items.empty())
+        die(flag + " expects a non-empty comma-separated list");
+    return items;
+}
+
+PolicyKind
+parsePolicy(const std::string &name)
+{
+    if (name == "tokenb")
+        return PolicyKind::TokenB;
+    if (name == "vsnoop")
+        return PolicyKind::VirtualSnoop;
+    if (name == "region")
+        return PolicyKind::IdealRegionFilter;
+    die("unknown policy '" + name + "'");
+}
+
+RelocationMode
+parseRelocation(const std::string &name)
+{
+    if (name == "base")
+        return RelocationMode::Base;
+    if (name == "counter")
+        return RelocationMode::Counter;
+    if (name == "counter-threshold")
+        return RelocationMode::CounterThreshold;
+    if (name == "counter-flush")
+        return RelocationMode::CounterFlush;
+    die("unknown relocation mode '" + name + "'");
+}
+
+RoPolicy
+parseRoPolicy(const std::string &name)
+{
+    if (name == "broadcast")
+        return RoPolicy::Broadcast;
+    if (name == "memory-direct")
+        return RoPolicy::MemoryDirect;
+    if (name == "intra-vm")
+        return RoPolicy::IntraVm;
+    if (name == "friend-vm")
+        return RoPolicy::FriendVm;
+    die("unknown RO policy '" + name + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepMatrix matrix;
+    matrix.apps = {"ferret"};
+    matrix.base.accessesPerVcpu = 20000;
+    bool warmup_set = false;
+    bool list_only = false;
+    unsigned jobs = 0;
+    std::string out_path;
+
+    auto next_value = [&](int &i, const std::string &flag) {
+        if (i + 1 >= argc)
+            die(flag + " requires a value");
+        return std::string(argv[++i]);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") {
+            usage();
+            return 0;
+        } else if (flag == "--apps") {
+            matrix.apps.clear();
+            for (const std::string &name :
+                 splitList(flag, next_value(i, flag))) {
+                if (name == "coherence") {
+                    for (const AppProfile &app : coherenceApps())
+                        matrix.apps.push_back(app.name);
+                } else {
+                    matrix.apps.push_back(name);
+                }
+            }
+        } else if (flag == "--policies") {
+            matrix.policies.clear();
+            for (const std::string &name :
+                 splitList(flag, next_value(i, flag)))
+                matrix.policies.push_back(parsePolicy(name));
+        } else if (flag == "--relocations") {
+            matrix.relocations.clear();
+            for (const std::string &name :
+                 splitList(flag, next_value(i, flag)))
+                matrix.relocations.push_back(parseRelocation(name));
+        } else if (flag == "--ro-policies") {
+            matrix.roPolicies.clear();
+            for (const std::string &name :
+                 splitList(flag, next_value(i, flag)))
+                matrix.roPolicies.push_back(parseRoPolicy(name));
+        } else if (flag == "--seeds") {
+            matrix.seeds.clear();
+            for (const std::string &seed :
+                 splitList(flag, next_value(i, flag)))
+                matrix.seeds.push_back(parseUint(flag, seed));
+        } else if (flag == "--accesses") {
+            matrix.base.accessesPerVcpu =
+                parseUint(flag, next_value(i, flag));
+        } else if (flag == "--warmup") {
+            matrix.base.warmupAccessesPerVcpu =
+                parseUint(flag, next_value(i, flag));
+            warmup_set = true;
+        } else if (flag == "--mesh") {
+            std::string value = next_value(i, flag);
+            auto x = value.find('x');
+            if (x == std::string::npos)
+                die("--mesh expects WxH, e.g. 4x4");
+            matrix.base.mesh.width = static_cast<std::uint32_t>(
+                parseUint(flag, value.substr(0, x)));
+            matrix.base.mesh.height = static_cast<std::uint32_t>(
+                parseUint(flag, value.substr(x + 1)));
+        } else if (flag == "--vms") {
+            matrix.base.numVms = static_cast<std::uint32_t>(
+                parseUint(flag, next_value(i, flag)));
+        } else if (flag == "--vcpus") {
+            matrix.base.vcpusPerVm = static_cast<std::uint32_t>(
+                parseUint(flag, next_value(i, flag)));
+        } else if (flag == "--l2-kb") {
+            matrix.base.l2.sizeBytes =
+                parseUint(flag, next_value(i, flag)) * 1024;
+        } else if (flag == "--l1-kb") {
+            matrix.base.l2.l1SizeBytes =
+                parseUint(flag, next_value(i, flag)) * 1024;
+        } else if (flag == "--ideal-network") {
+            matrix.base.idealNetwork = true;
+        } else if (flag == "--threshold") {
+            matrix.base.vsnoop.counterThreshold =
+                parseUint(flag, next_value(i, flag));
+        } else if (flag == "--region-bytes") {
+            matrix.base.regionBytes =
+                parseUint(flag, next_value(i, flag));
+        } else if (flag == "--migration-period") {
+            matrix.base.migrationPeriod =
+                parseUint(flag, next_value(i, flag));
+        } else if (flag == "--jobs") {
+            jobs = static_cast<unsigned>(
+                parseUint(flag, next_value(i, flag)));
+        } else if (flag == "--out") {
+            out_path = next_value(i, flag);
+        } else if (flag == "--list") {
+            list_only = true;
+        } else {
+            die("unknown flag '" + flag + "' (try --help)");
+        }
+    }
+    if (!warmup_set)
+        matrix.base.warmupAccessesPerVcpu =
+            matrix.base.accessesPerVcpu / 4;
+
+    // Fail on unknown app names before doing any work.
+    for (const std::string &name : matrix.apps)
+        findApp(name);
+
+    std::vector<SweepPoint> points = matrix.expand();
+    if (list_only) {
+        for (const SweepPoint &p : points) {
+            std::cout << p.app << " " << policyKindName(p.policy)
+                      << " " << relocationModeToken(p.relocation) << " "
+                      << roPolicyToken(p.roPolicy) << " seed=" << p.seed
+                      << "\n";
+        }
+        std::cerr << "vsnoopsweep: " << points.size() << " runs\n";
+        return 0;
+    }
+
+    quietLogging(true);
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<RunResult> results = runSweep(matrix, jobs);
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+    std::ofstream file;
+    if (!out_path.empty()) {
+        file.open(out_path);
+        if (!file)
+            die("cannot open --out file '" + out_path + "'");
+    }
+    std::ostream &out = out_path.empty() ? std::cout : file;
+    for (const RunResult &r : results)
+        out << r.toJson() << "\n";
+
+    std::cerr << "vsnoopsweep: " << results.size() << " runs in "
+              << elapsed << " s\n";
+    return 0;
+}
