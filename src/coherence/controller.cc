@@ -1,10 +1,34 @@
 #include "coherence/controller.hh"
 
+#include <algorithm>
+
 #include "coherence/system.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace vsnoop
 {
+
+namespace
+{
+
+/** Trace record pre-filled with one transaction's identity. */
+TraceRecord
+traceBase(TraceEventKind kind, Tick tick, CoreId core,
+          const MemAccess &access, SnoopKind snoop_kind)
+{
+    TraceRecord r;
+    r.kind = kind;
+    r.tick = tick;
+    r.core = core;
+    r.vm = access.vm;
+    r.pageType = access.pageType;
+    r.snoopKind = snoop_kind;
+    r.line = access.addr.lineAligned().lineNum();
+    return r;
+}
+
+} // namespace
 
 CoherenceController::CoherenceController(CoherenceSystem &system,
                                          CoreId core,
@@ -169,6 +193,10 @@ CoherenceController::access(const MemAccess &access,
         line->pinned = true;
         cache_.touch(*line);
     }
+    if (TraceSink *t = system_.trace()) {
+        t->record(traceBase(TraceEventKind::RequestIssue, eq.now(),
+                            core_, mshr.access, mshr.kind));
+    }
     auto [it, inserted] =
         mshrs_.emplace(line_addr.lineNum(), std::move(mshr));
     vsnoop_assert(inserted, "duplicate MSHR");
@@ -191,11 +219,26 @@ CoherenceController::issueAttempt(Mshr &mshr)
         targets.memory = true;
         targets.providerMask = ~std::uint32_t{0};
         targets.roBundle = 1;
+        targets.reason = FilterReason::Persistent;
     } else {
         targets = system_.policy().targets(core_, mshr.access,
                                            mshr.attempt);
     }
     targets.cores.remove(core_);
+
+    if (TraceSink *t = system_.trace()) {
+        TraceRecord r = traceBase(TraceEventKind::FilterDecision,
+                                  eq.now(), core_, mshr.access,
+                                  mshr.kind);
+        r.reason = targets.reason;
+        r.targets = targets.cores.mask();
+        r.memory = targets.memory;
+        r.broadcast = targets.cores.count() + 1 >= cfg.numCores;
+        r.attempt = static_cast<std::uint8_t>(
+            std::min<std::uint32_t>(mshr.attempt, 255));
+        r.persistent = mshr.persistent;
+        t->record(r);
+    }
 
     SnoopMsg msg;
     msg.kind = mshr.kind;
@@ -244,8 +287,26 @@ CoherenceController::onTimeout(std::uint64_t line_num, std::uint64_t gen)
         // persistent requests until the tokens arrive.
         mshr.waitingGrant = true;
         system_.stats.persistentRequests.inc();
+        if (TraceSink *t = system_.trace()) {
+            TraceRecord r =
+                traceBase(TraceEventKind::PersistentEscalation,
+                          system_.eventQueue().now(), core_,
+                          mshr.access, mshr.kind);
+            r.attempt = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(mshr.attempt, 255));
+            r.persistent = true;
+            t->record(r);
+        }
         system_.requestPersistent(mshr.access.addr, core_);
         return;
+    }
+    if (TraceSink *t = system_.trace()) {
+        TraceRecord r = traceBase(TraceEventKind::Retry,
+                                  system_.eventQueue().now(), core_,
+                                  mshr.access, mshr.kind);
+        r.attempt = static_cast<std::uint8_t>(
+            std::min<std::uint32_t>(mshr.attempt, 255));
+        t->record(r);
     }
     issueAttempt(mshr);
 }
@@ -448,6 +509,15 @@ CoherenceController::handleResponse(const ResponseMsg &msg)
         if (msg.makeProvider)
             mshr.makeProvider = true;
     }
+    if (TraceSink *t = system_.trace()) {
+        TraceRecord r = traceBase(TraceEventKind::TokenCollect,
+                                  system_.eventQueue().now(), core_,
+                                  mshr.access, mshr.kind);
+        r.tokens = msg.tokens;
+        r.owner = msg.owner;
+        r.memory = msg.fromMemory;
+        t->record(r);
+    }
     tryComplete(mshr);
 }
 
@@ -492,6 +562,15 @@ CoherenceController::tryComplete(Mshr &mshr)
             static_cast<double>(done - mshr.issued));
         system_.stats
             .roDataFrom[static_cast<std::size_t>(mshr.dataSource)].inc();
+    }
+
+    if (TraceSink *t = system_.trace()) {
+        TraceRecord r = traceBase(TraceEventKind::Completion, done,
+                                  core_, mshr.access, mshr.kind);
+        r.dataSource = mshr.dataSource;
+        r.persistent = mshr.persistent;
+        r.value = done - mshr.issued;
+        t->record(r);
     }
 
     AccessCallback callback = std::move(mshr.callback);

@@ -128,6 +128,31 @@ struct ResponseMsg
 };
 
 /**
+ * Why a snoop-target policy chose the destination set it did.
+ * Carried on SnoopTargets so the tracing layer can attribute every
+ * broadcast-vs-multicast decision without re-deriving policy state
+ * (see trace/trace.hh).
+ */
+enum class FilterReason : std::uint8_t
+{
+    /** Non-filtering policy (TokenB baseline, test policies). */
+    Baseline,
+    /** Hypervisor access or RW-shared page: must broadcast. */
+    HypervisorShared,
+    /** VM-private page: multicast within the requester's vCPU map. */
+    VmPrivate,
+    /** RO-shared (content-shared) page, per the active RoPolicy. */
+    RoShared,
+    /** A filtered request fell back to broadcast on a late retry. */
+    RetryFallback,
+    /** Persistent-mode request: unconditional broadcast. */
+    Persistent,
+};
+
+/** Number of FilterReason values. */
+constexpr std::size_t kNumFilterReasons = 6;
+
+/**
  * Destination set chosen by a snoop-target policy for one request
  * attempt.
  */
@@ -141,6 +166,8 @@ struct SnoopTargets
     std::uint32_t providerMask = 0;
     /** RO-shared token bundle hint forwarded to memory. */
     std::uint32_t roBundle = 4;
+    /** Policy attribution for tracing (no protocol effect). */
+    FilterReason reason = FilterReason::Baseline;
 };
 
 /**

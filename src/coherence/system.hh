@@ -29,6 +29,8 @@
 namespace vsnoop
 {
 
+class TraceSink;
+
 /**
  * Aggregated protocol statistics.
  */
@@ -128,6 +130,17 @@ class CoherenceSystem
     /** @} */
 
     /**
+     * Attach (or detach, with nullptr) a transaction trace sink.
+     * Controllers and policies emit lifecycle records through
+     * trace(); the branch-on-null makes the hooks free when
+     * tracing is off.  The sink must outlive the system.
+     */
+    void setTrace(TraceSink *sink) { trace_ = sink; }
+
+    /** The active trace sink, or nullptr when tracing is off. */
+    TraceSink *trace() const { return trace_; }
+
+    /**
      * Verify token conservation and owner uniqueness across caches,
      * memory, MSHRs and in-flight messages.  Panics on violation.
      */
@@ -162,6 +175,7 @@ class CoherenceSystem
 
     EventQueue &eq_;
     Network &network_;
+    TraceSink *trace_ = nullptr;
     SnoopTargetPolicy &policy_;
     ProtocolConfig config_;
     MainMemory memory_;

@@ -2,6 +2,7 @@
 
 #include "coherence/system.hh"
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace vsnoop
 {
@@ -112,6 +113,7 @@ VirtualSnoopPolicy::targets(CoreId requester, const MemAccess &access,
     if (access.vm == kInvalidVm || access.vm >= numVms_ ||
         access.pageType == PageType::RwShared) {
         broadcast();
+        t.reason = FilterReason::HypervisorShared;
         if (attempt == 1)
             broadcastRequests.inc();
         return t;
@@ -123,11 +125,13 @@ VirtualSnoopPolicy::targets(CoreId requester, const MemAccess &access,
         // (the paper's safe-retry fallback).
         if (attempt >= config_.broadcastAttempt) {
             broadcast();
+            t.reason = FilterReason::RetryFallback;
             return t;
         }
         t.cores = map_[access.vm];
         t.cores.remove(requester);
         t.providerMask = 1U << access.vm;
+        t.reason = FilterReason::VmPrivate;
         if (attempt == 1)
             filteredRequests.inc();
         return t;
@@ -136,6 +140,7 @@ VirtualSnoopPolicy::targets(CoreId requester, const MemAccess &access,
     // RO-shared (content-shared) pages.
     vsnoop_assert(!access.isWrite,
                   "RO-shared write must take the COW path");
+    t.reason = FilterReason::RoShared;
     switch (config_.roPolicy) {
       case RoPolicy::Broadcast:
         broadcast();
@@ -147,6 +152,7 @@ VirtualSnoopPolicy::targets(CoreId requester, const MemAccess &access,
             // Memory had no free token (every copy cached): fall
             // back to a broadcast that can reach the cached copies.
             broadcast();
+            t.reason = FilterReason::RetryFallback;
             return t;
         }
         t.cores = CoreSet{};
@@ -159,6 +165,7 @@ VirtualSnoopPolicy::targets(CoreId requester, const MemAccess &access,
       case RoPolicy::IntraVm:
         if (attempt >= config_.broadcastAttempt) {
             broadcast();
+            t.reason = FilterReason::RetryFallback;
             return t;
         }
         t.cores = map_[access.vm];
@@ -171,6 +178,7 @@ VirtualSnoopPolicy::targets(CoreId requester, const MemAccess &access,
       case RoPolicy::FriendVm: {
         if (attempt >= config_.broadcastAttempt) {
             broadcast();
+            t.reason = FilterReason::RetryFallback;
             return t;
         }
         t.cores = map_[access.vm];
@@ -275,10 +283,30 @@ VirtualSnoopPolicy::maybeRemove(CoreId core, VmId vm, std::uint64_t count)
 }
 
 void
+VirtualSnoopPolicy::traceMapChange(TraceEventKind kind, VmId vm,
+                                   CoreId core) const
+{
+    if (system_ == nullptr)
+        return;
+    TraceSink *t = system_->trace();
+    if (t == nullptr)
+        return;
+    TraceRecord r;
+    r.kind = kind;
+    r.tick = system_->eventQueue().now();
+    r.core = core;
+    r.vm = vm;
+    r.targets = map_[vm].mask();
+    r.value = system_->controller(core).residence().count(vm);
+    t->record(r);
+}
+
+void
 VirtualSnoopPolicy::addToMap(VmId vm, CoreId core)
 {
     map_[vm].add(core);
     mapAdds.inc();
+    traceMapChange(TraceEventKind::MapAdd, vm, core);
     accountMapSync(vm);
 }
 
@@ -287,6 +315,7 @@ VirtualSnoopPolicy::removeFromMap(VmId vm, CoreId core)
 {
     map_[vm].remove(core);
     mapRemovals.inc();
+    traceMapChange(TraceEventKind::MapRemove, vm, core);
     accountMapSync(vm);
     auto idx = static_cast<std::size_t>(core) * numVms_ + vm;
     Tick since = pendingRemovalSince_[idx];

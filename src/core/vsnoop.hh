@@ -43,6 +43,7 @@ namespace vsnoop
 {
 
 class CoherenceSystem;
+enum class TraceEventKind : std::uint8_t;
 
 /** Relocation (vCPU map maintenance) modes, Section IV-B. */
 enum class RelocationMode : std::uint8_t
@@ -190,6 +191,9 @@ class VirtualSnoopPolicy : public SnoopTargetPolicy,
 
     /** Called by the residence counter banks. */
     void onResidenceChange(CoreId core, VmId vm, std::uint64_t count);
+
+    /** Emit a MapAdd/MapRemove trace record when tracing is on. */
+    void traceMapChange(TraceEventKind kind, VmId vm, CoreId core) const;
 
     /** Evaluate removal eligibility for (core, vm). */
     void maybeRemove(CoreId core, VmId vm, std::uint64_t count);

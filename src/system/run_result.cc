@@ -1,9 +1,12 @@
 #include "system/run_result.hh"
 
 #include <algorithm>
+#include <fstream>
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/trace.hh"
 
 namespace vsnoop
 {
@@ -17,18 +20,6 @@ policyKindName(PolicyKind kind)
       case PolicyKind::IdealRegionFilter: return "region";
     }
     vsnoop_panic("unknown PolicyKind ", static_cast<int>(kind));
-}
-
-const char *
-dataSourceName(DataSource source)
-{
-    switch (source) {
-      case DataSource::CacheIntraVm: return "cache_intra_vm";
-      case DataSource::CacheFriendVm: return "cache_friend_vm";
-      case DataSource::CacheOtherVm: return "cache_other_vm";
-      case DataSource::Memory: return "memory";
-    }
-    vsnoop_panic("unknown DataSource ", static_cast<int>(source));
 }
 
 const char *
@@ -124,6 +115,11 @@ RunResult::writeJson(JsonWriter &json) const
     json.endObject();
     json.endObject();
 
+    if (r.series.enabled()) {
+        json.key("timeseries");
+        r.series.writeJson(json);
+    }
+
     json.key("memory").beginObject();
     json.key("reads").value(memoryReads);
     json.key("writebacks").value(memoryWritebacks);
@@ -162,6 +158,24 @@ collectRun(const SystemConfig &config, const AppProfile &app)
     out.memoryWritebacks = memory.writebacks.value();
     out.energy = computeEnergy(out.results, out.memoryReads,
                                out.memoryWritebacks);
+
+    if (!config.tracePath.empty()) {
+        const TraceSink *sink = system.trace();
+        vsnoop_assert(sink != nullptr,
+                      "tracePath set but no sink was attached");
+        std::ofstream os(config.tracePath);
+        if (!os) {
+            vsnoop_fatal("cannot open trace file ", config.tracePath);
+        }
+        ChromeTraceMeta meta;
+        meta.numCores = config.numCores();
+        meta.numVms = config.numVms;
+        writeChromeTrace(os, *sink,
+                         out.results.series.enabled()
+                             ? &out.results.series
+                             : nullptr,
+                         meta);
+    }
     return out;
 }
 

@@ -30,9 +30,6 @@ class JsonWriter;
 /** Human-readable name of a PolicyKind ("tokenb", "vsnoop", ...). */
 const char *policyKindName(PolicyKind kind);
 
-/** Human-readable name of a DataSource ("cache_intra_vm", ...). */
-const char *dataSourceName(DataSource source);
-
 /**
  * @{ Machine tokens for the JSON schema: identical to the CLI flag
  * values ("base", "counter-threshold", "intra-vm", ...), unlike

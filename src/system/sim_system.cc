@@ -119,6 +119,41 @@ SimSystem::build(const std::vector<AppProfile> &apps)
         migrator_ = std::make_unique<ShuffleMigrator>(
             eq_, mapping_, config_.migrationPeriod, config_.seed);
     }
+
+    if (config_.captureTrace || !config_.tracePath.empty()) {
+        trace_ = std::make_unique<TraceSink>(
+            std::max<std::size_t>(1, config_.traceLimit));
+        coherence_->setTrace(trace_.get());
+    }
+
+    if (config_.timeseriesInterval > 0) {
+        sampler_ = std::make_unique<IntervalSampler>(
+            eq_, config_.timeseriesInterval,
+            [this, cores](TimeSeriesSample &s) {
+                const CoherenceStats &cs = coherence_->stats;
+                s.transactions = cs.transactions.value();
+                s.snoopLookups = cs.snoopLookups.value();
+                s.snoopsDelivered = cs.snoopsDelivered.value();
+                s.retries = cs.retries.value();
+                s.persistentRequests = cs.persistentRequests.value();
+                if (vsnoopPolicy_ != nullptr) {
+                    s.filteredRequests =
+                        vsnoopPolicy_->filteredRequests.value();
+                    s.broadcastRequests =
+                        vsnoopPolicy_->broadcastRequests.value();
+                }
+                const NetworkStats &ns = network_->stats();
+                for (std::size_t c = 0; c < kNumMsgClasses; ++c)
+                    s.byteHops[c] = ns.byteHops[c].value();
+                s.residencePerCore.assign(cores, 0);
+                for (CoreId c = 0; c < cores; ++c) {
+                    const ResidenceCounters &res =
+                        coherence_->controller(c).residence();
+                    for (VmId vm = 0; vm < config_.numVms; ++vm)
+                        s.residencePerCore[c] += res.count(vm);
+                }
+            });
+    }
 }
 
 void
@@ -160,6 +195,8 @@ SimSystem::run()
         migrator_->start();
     if (traceMigrator_)
         traceMigrator_->start();
+    if (sampler_)
+        sampler_->start();
 
     auto all_done = [this] {
         return std::all_of(drivers_.begin(), drivers_.end(),
@@ -180,6 +217,10 @@ SimSystem::run()
             eq_.runUntil(eq_.now() + 10000);
         }
         resetAllStats();
+        // Re-baseline the time series so it covers the measurement
+        // phase only (the snapshot counters just dropped to zero).
+        if (sampler_)
+            sampler_->resetSeries();
         warmupEnd_ = eq_.now();
     }
 
@@ -205,6 +246,14 @@ SimSystem::run()
         migrator_->stop();
     if (traceMigrator_)
         traceMigrator_->stop();
+    // Stop sampling before the drain: the sampler's self-scheduling
+    // event chain would otherwise keep the queue occupied for the
+    // whole drain budget, one sample per interval.  stop() captures
+    // end-of-run state (e.g. drained residence counters) in a final
+    // partial sample; the post-stop drain only settles straggler
+    // token responses, which never install or evict lines.
+    if (sampler_)
+        sampler_->stop();
     // Drain any still-queued responses so tokens settle (keeps the
     // final invariant check meaningful).
     eq_.run(1000000);
@@ -252,6 +301,8 @@ SimSystem::results() const
         r.migrations = migrator_->migrations.value();
     if (traceMigrator_)
         r.migrations = traceMigrator_->migrations.value();
+    if (sampler_)
+        r.series = sampler_->series();
     return r;
 }
 

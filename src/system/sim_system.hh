@@ -33,6 +33,8 @@
 #include "core/vsnoop.hh"
 #include "noc/mesh.hh"
 #include "system/driver.hh"
+#include "trace/timeseries.hh"
+#include "trace/trace.hh"
 #include "virt/hypervisor.hh"
 #include "virt/vcpu_map.hh"
 #include "workload/app_profile.hh"
@@ -98,6 +100,18 @@ struct SystemConfig
     /** Check token conservation every N dispatched events
      *  (0 = never); used by integration tests. */
     std::uint64_t invariantCheckPeriod = 0;
+    /**
+     * @{ Observability (src/trace).  captureTrace attaches an
+     * in-memory TraceSink of up to traceLimit records; tracePath
+     * additionally makes collectRun() export it as a Chrome trace
+     * (and implies capture).  timeseriesInterval > 0 samples the
+     * interval time series every N ticks into results.
+     */
+    bool captureTrace = false;
+    std::size_t traceLimit = 1u << 20;
+    std::string tracePath;
+    Tick timeseriesInterval = 0;
+    /** @} */
     std::uint64_t seed = 1;
 
     std::uint32_t numCores() const { return mesh.width * mesh.height; }
@@ -137,6 +151,8 @@ struct SystemResults
     std::uint64_t mapAdds = 0;
     std::uint64_t mapRemovals = 0;
     std::uint64_t migrations = 0;
+    /** Interval time series (empty unless timeseriesInterval > 0). */
+    TimeSeries series;
 };
 
 /**
@@ -169,6 +185,9 @@ class SimSystem
     Network &network() { return *network_; }
     /** Null when the TokenB policy is active. */
     VirtualSnoopPolicy *vsnoopPolicy() { return vsnoopPolicy_; }
+    /** Null unless captureTrace / tracePath requested a sink. */
+    TraceSink *trace() { return trace_.get(); }
+    const TraceSink *trace() const { return trace_.get(); }
     const SystemConfig &config() const { return config_; }
     VcpuDriver &driver(VCpuId vcpu) { return *drivers_.at(vcpu); }
     std::size_t numDrivers() const { return drivers_.size(); }
@@ -194,6 +213,8 @@ class SimSystem
     std::vector<std::unique_ptr<VcpuDriver>> drivers_;
     std::unique_ptr<ShuffleMigrator> migrator_;
     std::unique_ptr<TraceMigrator> traceMigrator_;
+    std::unique_ptr<TraceSink> trace_;
+    std::unique_ptr<IntervalSampler> sampler_;
     /** Stops auxiliary event chains (periodic scans) at run end. */
     bool stopAux_ = false;
     /** Tick at which warmup ended and measurement began. */

@@ -42,7 +42,25 @@ SweepMatrix::configFor(const SweepPoint &point) const
     cfg.vsnoop.relocation = point.relocation;
     cfg.vsnoop.roPolicy = point.roPolicy;
     cfg.seed = point.seed;
+    if (!traceDir.empty())
+        cfg.tracePath = traceDir + "/" + traceFileName(point);
     return cfg;
+}
+
+std::string
+SweepMatrix::traceFileName(const SweepPoint &point)
+{
+    std::string name = point.app;
+    name += '-';
+    name += policyKindName(point.policy);
+    name += '-';
+    name += relocationModeToken(point.relocation);
+    name += '-';
+    name += roPolicyToken(point.roPolicy);
+    name += "-s";
+    name += std::to_string(point.seed);
+    name += ".trace.json";
+    return name;
 }
 
 void

@@ -61,6 +61,14 @@ struct SweepMatrix
     /** Template configuration; each point overrides the policy
      *  fields and the seed. */
     SystemConfig base;
+    /**
+     * When non-empty, every run writes a Chrome trace to
+     * `<traceDir>/<app>-<policy>-<relocation>-<ro>-s<seed>.trace.json`
+     * (see traceFileName()).  The directory must exist.  Trace
+     * files are per-run, so parallel workers never share one and
+     * sweep stdout stays byte-identical for any job count.
+     */
+    std::string traceDir;
 
     std::size_t runCount() const;
 
@@ -69,6 +77,9 @@ struct SweepMatrix
 
     /** The base configuration specialized to one point. */
     SystemConfig configFor(const SweepPoint &point) const;
+
+    /** Trace file name (without directory) for one point. */
+    static std::string traceFileName(const SweepPoint &point);
 };
 
 /**

@@ -1,0 +1,278 @@
+#include "trace/chrome_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "mem/addr.hh"
+#include "sim/core_set.hh"
+#include "sim/json.hh"
+
+namespace vsnoop
+{
+
+namespace
+{
+
+/** Common fields of every trace event. */
+void
+eventHeader(JsonWriter &json, const char *name, const char *ph,
+            Tick ts, std::uint64_t pid, std::uint64_t tid)
+{
+    json.beginObject();
+    json.key("name").value(name);
+    json.key("ph").value(ph);
+    json.key("ts").value(ts);
+    json.key("pid").value(pid);
+    json.key("tid").value(tid);
+}
+
+void
+metadataEvent(JsonWriter &json, const char *what, std::uint64_t pid,
+              std::uint64_t tid, const std::string &name)
+{
+    eventHeader(json, what, "M", 0, pid, tid);
+    json.key("args").beginObject();
+    json.key("name").value(name);
+    json.endObject();
+    json.endObject();
+}
+
+/** In-flight transaction state folded from lifecycle records. */
+struct PendingTx
+{
+    Tick issued = 0;
+    SnoopKind kind = SnoopKind::GetS;
+    PageType pageType = PageType::VmPrivate;
+    VmId vm = kInvalidVm;
+    /** First attempt's filter decision. */
+    bool haveDecision = false;
+    FilterReason reason = FilterReason::Baseline;
+    std::uint64_t targets = 0;
+    bool targetsMemory = false;
+    bool broadcastFirst = false;
+    std::uint32_t attempts = 1;
+    std::uint32_t retries = 0;
+    bool persistent = false;
+};
+
+const char *
+decisionName(const PendingTx &tx)
+{
+    if (tx.broadcastFirst)
+        return "broadcast";
+    if (tx.targets == 0)
+        return "memory-direct";
+    return "multicast";
+}
+
+std::string
+lineName(SnoopKind kind, std::uint64_t line)
+{
+    std::string name = kind == SnoopKind::GetX ? "GetX " : "GetS ";
+    // Hex keeps related lines visually groupable in the viewer.
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(line << kLineShift));
+    name += buf;
+    return name;
+}
+
+/** The completed-transaction slice, emitted on one track. */
+void
+transactionSlice(JsonWriter &json, const TraceRecord &done,
+                 const PendingTx &tx, std::uint64_t pid,
+                 std::uint64_t tid)
+{
+    eventHeader(json, lineName(tx.kind, done.line).c_str(), "X",
+                tx.issued, pid, tid);
+    json.key("dur").value(done.tick - tx.issued);
+    json.key("args").beginObject();
+    json.key("page_type").value(pageTypeName(tx.pageType));
+    json.key("vm").value(static_cast<std::uint64_t>(tx.vm));
+    if (tx.haveDecision) {
+        json.key("decision").value(decisionName(tx));
+        json.key("reason").value(filterReasonName(tx.reason));
+        json.key("targets").value(
+            CoreSet::fromMask(tx.targets).toString());
+        json.key("fanout").value(
+            static_cast<std::uint64_t>(
+                CoreSet::fromMask(tx.targets).count()) +
+            (tx.targetsMemory ? 1 : 0));
+        json.key("memory_snooped").value(tx.targetsMemory);
+    }
+    json.key("attempts").value(tx.attempts);
+    json.key("retries").value(tx.retries);
+    json.key("persistent").value(tx.persistent || done.persistent);
+    json.key("data_source").value(dataSourceName(done.dataSource));
+    json.key("latency").value(done.value);
+    json.endObject();
+    json.endObject();
+}
+
+void
+instant(JsonWriter &json, const char *name, const TraceRecord &r,
+        std::uint64_t pid, std::uint64_t tid)
+{
+    eventHeader(json, name, "i", r.tick, pid, tid);
+    json.key("s").value("t");
+    json.key("args").beginObject();
+    switch (r.kind) {
+      case TraceEventKind::Retry:
+      case TraceEventKind::PersistentEscalation:
+        json.key("attempt").value(
+            static_cast<std::uint64_t>(r.attempt));
+        break;
+      case TraceEventKind::TokenCollect:
+        json.key("tokens").value(r.tokens);
+        json.key("owner").value(r.owner);
+        break;
+      case TraceEventKind::MapAdd:
+      case TraceEventKind::MapRemove:
+        json.key("core").value(static_cast<std::uint64_t>(r.core));
+        json.key("residence").value(r.value);
+        break;
+      default:
+        break;
+    }
+    json.endObject();
+    json.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &out, const TraceSink &sink,
+                 const TimeSeries *series, const ChromeTraceMeta &meta)
+{
+    constexpr std::uint64_t kCorePid = 0;
+    constexpr std::uint64_t kVmPid = 1;
+    constexpr std::uint64_t kSeriesPid = 2;
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("displayTimeUnit").value("ms");
+    json.key("traceEvents").beginArray();
+
+    metadataEvent(json, "process_name", kCorePid, 0, "cores");
+    for (std::uint32_t c = 0; c < meta.numCores; ++c)
+        metadataEvent(json, "thread_name", kCorePid, c,
+                      "core " + std::to_string(c));
+    metadataEvent(json, "process_name", kVmPid, 0, "vms");
+    for (std::uint32_t v = 0; v < meta.numVms; ++v)
+        metadataEvent(json, "thread_name", kVmPid, v,
+                      "vm " + std::to_string(v));
+
+    // Fold lifecycle records into one slice per transaction.  At
+    // most one transaction per (core, line) is outstanding, so that
+    // pair keys the in-flight state.  std::map keeps behaviour
+    // deterministic; emission order is record order regardless.
+    std::map<std::pair<CoreId, std::uint64_t>, PendingTx> pending;
+    sink.forEach([&](const TraceRecord &r) {
+        auto key = std::make_pair(r.core, r.line);
+        switch (r.kind) {
+          case TraceEventKind::RequestIssue: {
+            PendingTx tx;
+            tx.issued = r.tick;
+            tx.kind = r.snoopKind;
+            tx.pageType = r.pageType;
+            tx.vm = r.vm;
+            pending[key] = tx;
+            break;
+          }
+          case TraceEventKind::FilterDecision: {
+            auto it = pending.find(key);
+            if (it == pending.end())
+                break; // issue record fell out of the ring
+            PendingTx &tx = it->second;
+            if (!tx.haveDecision) {
+                tx.haveDecision = true;
+                tx.reason = r.reason;
+                tx.targets = r.targets;
+                tx.targetsMemory = r.memory;
+                tx.broadcastFirst = r.broadcast;
+            }
+            tx.attempts = std::max<std::uint32_t>(tx.attempts,
+                                                  r.attempt);
+            if (r.persistent)
+                tx.persistent = true;
+            break;
+          }
+          case TraceEventKind::Retry: {
+            auto it = pending.find(key);
+            if (it != pending.end())
+                it->second.retries++;
+            instant(json, "retry", r, kCorePid, r.core);
+            break;
+          }
+          case TraceEventKind::PersistentEscalation:
+            if (auto it = pending.find(key); it != pending.end())
+                it->second.persistent = true;
+            instant(json, "persistent-escalation", r, kCorePid,
+                    r.core);
+            break;
+          case TraceEventKind::TokenCollect:
+            instant(json, "tokens", r, kCorePid, r.core);
+            break;
+          case TraceEventKind::Completion: {
+            auto it = pending.find(key);
+            if (it == pending.end()) {
+                // The issue record was overwritten; an instant is
+                // better than losing the completion entirely.
+                instant(json, "complete", r, kCorePid, r.core);
+                break;
+            }
+            transactionSlice(json, r, it->second, kCorePid, r.core);
+            if (it->second.vm < meta.numVms)
+                transactionSlice(json, r, it->second, kVmPid,
+                                 it->second.vm);
+            pending.erase(it);
+            break;
+          }
+          case TraceEventKind::MapAdd:
+            instant(json, "map-add", r, kVmPid, r.vm);
+            break;
+          case TraceEventKind::MapRemove:
+            instant(json, "map-remove", r, kVmPid, r.vm);
+            break;
+        }
+    });
+
+    if (series != nullptr && series->enabled()) {
+        metadataEvent(json, "process_name", kSeriesPid, 0,
+                      "timeseries");
+        for (const TimeSeriesSample &s : series->samples) {
+            for (std::size_t c = 0; c < s.residencePerCore.size();
+                 ++c) {
+                eventHeader(json,
+                            ("residence core " + std::to_string(c))
+                                .c_str(),
+                            "C", s.tick, kSeriesPid, 0);
+                json.key("args").beginObject();
+                json.key("lines").value(s.residencePerCore[c]);
+                json.endObject();
+                json.endObject();
+            }
+            eventHeader(json, "requests", "C", s.tick, kSeriesPid, 0);
+            json.key("args").beginObject();
+            json.key("filtered").value(s.filteredRequests);
+            json.key("broadcast").value(s.broadcastRequests);
+            json.endObject();
+            json.endObject();
+        }
+    }
+
+    json.endArray();
+    json.key("otherData").beginObject();
+    json.key("records_retained")
+        .value(static_cast<std::uint64_t>(sink.size()));
+    json.key("records_dropped").value(sink.dropped());
+    json.endObject();
+    json.endObject();
+    out << json.str();
+}
+
+} // namespace vsnoop

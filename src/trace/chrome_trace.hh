@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Chrome trace-event exporter: renders a TraceSink (and optionally
+ * a TimeSeries) as a JSON document loadable in Perfetto
+ * (https://ui.perfetto.dev) or chrome://tracing.
+ *
+ * Track layout:
+ *  - pid 0 "cores": one thread per physical core.  Each completed
+ *    coherence transaction is a complete ("X") slice on its
+ *    requesting core's track, from issue to global completion, with
+ *    the filter decision (broadcast vs multicast, destination set,
+ *    reason), attempts and data source in args.  Retries and
+ *    persistent escalations are instant events.
+ *  - pid 1 "vms": one thread per VM.  The same transactions grouped
+ *    by requesting VM, plus vCPU-map add/remove instants — the
+ *    broadcast→multicast transition after a migration is visible
+ *    here.
+ *  - pid 2 "timeseries" (when a TimeSeries is supplied): counter
+ *    ("C") tracks for per-core residence counts and filtered vs
+ *    broadcast request rates, so drain curves render natively.
+ *
+ * Timestamps: one simulation tick is exported as one microsecond
+ * (the trace-event "ts" unit); viewers display relative time, so
+ * only the scale matters.
+ *
+ * The document is produced with the deterministic JsonWriter:
+ * identical sink contents serialize to identical bytes.
+ */
+
+#ifndef VSNOOP_TRACE_CHROME_TRACE_HH_
+#define VSNOOP_TRACE_CHROME_TRACE_HH_
+
+#include <iosfwd>
+
+#include "trace/timeseries.hh"
+#include "trace/trace.hh"
+
+namespace vsnoop
+{
+
+/** System shape needed for track metadata. */
+struct ChromeTraceMeta
+{
+    std::uint32_t numCores = 0;
+    std::uint32_t numVms = 0;
+};
+
+/**
+ * Write the full trace document to @p out.
+ *
+ * @param series Optional time series for counter tracks (nullptr
+ *        or a disabled series skips them).
+ */
+void writeChromeTrace(std::ostream &out, const TraceSink &sink,
+                      const TimeSeries *series,
+                      const ChromeTraceMeta &meta);
+
+} // namespace vsnoop
+
+#endif // VSNOOP_TRACE_CHROME_TRACE_HH_

@@ -1,0 +1,121 @@
+#include "trace/timeseries.hh"
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+const char *
+msgClassName(MsgClass cls)
+{
+    switch (cls) {
+      case MsgClass::Request: return "request";
+      case MsgClass::Response: return "response";
+      case MsgClass::Data: return "data";
+      case MsgClass::Control: return "control";
+    }
+    vsnoop_panic("unknown MsgClass ", static_cast<int>(cls));
+}
+
+void
+TimeSeries::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("interval").value(interval);
+    json.key("samples").beginArray();
+    for (const TimeSeriesSample &s : samples) {
+        json.beginObject();
+        json.key("tick").value(s.tick);
+        json.key("transactions").value(s.transactions);
+        json.key("snoop_lookups").value(s.snoopLookups);
+        json.key("snoops_delivered").value(s.snoopsDelivered);
+        json.key("filtered_requests").value(s.filteredRequests);
+        json.key("broadcast_requests").value(s.broadcastRequests);
+        json.key("retries").value(s.retries);
+        json.key("persistent_requests").value(s.persistentRequests);
+        json.key("byte_hops").beginObject();
+        for (std::size_t c = 0; c < kNumMsgClasses; ++c)
+            json.key(msgClassName(static_cast<MsgClass>(c)))
+                .value(s.byteHops[c]);
+        json.endObject();
+        json.key("residence_per_core").beginArray();
+        for (std::uint64_t r : s.residencePerCore)
+            json.value(r);
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+IntervalSampler::IntervalSampler(EventQueue &eq, Tick interval,
+                                 SnapshotFn fn)
+    : eq_(eq), interval_(interval), fn_(std::move(fn))
+{
+    vsnoop_assert(interval_ >= 1, "sampling interval must be positive");
+    series_.interval = interval_;
+}
+
+void
+IntervalSampler::start()
+{
+    vsnoop_assert(!running_, "sampler started twice");
+    running_ = true;
+    fn_(lastRaw_);
+    lastSampleTick_ = eq_.now();
+    scheduleNext();
+}
+
+void
+IntervalSampler::scheduleNext()
+{
+    eq_.scheduleFnIn(interval_, [this] {
+        if (!running_)
+            return;
+        takeSample();
+        scheduleNext();
+    });
+}
+
+void
+IntervalSampler::takeSample()
+{
+    TimeSeriesSample raw;
+    fn_(raw);
+    TimeSeriesSample delta = raw;
+    delta.tick = eq_.now();
+    delta.transactions -= lastRaw_.transactions;
+    delta.snoopLookups -= lastRaw_.snoopLookups;
+    delta.snoopsDelivered -= lastRaw_.snoopsDelivered;
+    delta.filteredRequests -= lastRaw_.filteredRequests;
+    delta.broadcastRequests -= lastRaw_.broadcastRequests;
+    delta.retries -= lastRaw_.retries;
+    delta.persistentRequests -= lastRaw_.persistentRequests;
+    for (std::size_t c = 0; c < kNumMsgClasses; ++c)
+        delta.byteHops[c] -= lastRaw_.byteHops[c];
+    // residencePerCore stays absolute: it is a level, not a rate.
+    series_.samples.push_back(std::move(delta));
+    lastRaw_ = std::move(raw);
+    lastSampleTick_ = eq_.now();
+}
+
+void
+IntervalSampler::stop()
+{
+    if (!running_)
+        return;
+    if (eq_.now() > lastSampleTick_)
+        takeSample();
+    running_ = false;
+}
+
+void
+IntervalSampler::resetSeries()
+{
+    series_.samples.clear();
+    fn_(lastRaw_);
+    lastSampleTick_ = eq_.now();
+}
+
+} // namespace vsnoop

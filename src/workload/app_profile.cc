@@ -1,5 +1,7 @@
 #include "workload/app_profile.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace vsnoop
@@ -243,17 +245,43 @@ hypervisorStudyApps()
     return apps;
 }
 
-const AppProfile &
-findApp(const std::string &name)
+const AppProfile *
+tryFindApp(const std::string &name)
 {
     for (const auto &catalog :
          {&coherenceApps(), &schedulerApps(), &hypervisorStudyApps()}) {
         for (const auto &app : *catalog) {
             if (app.name == name)
-                return app;
+                return &app;
         }
     }
-    vsnoop_fatal("unknown application profile: ", name);
+    return nullptr;
+}
+
+const AppProfile &
+findApp(const std::string &name)
+{
+    const AppProfile *app = tryFindApp(name);
+    if (app == nullptr)
+        vsnoop_fatal("unknown application profile: ", name);
+    return *app;
+}
+
+std::vector<std::string>
+knownAppNames()
+{
+    std::vector<std::string> names;
+    for (const auto &catalog :
+         {&coherenceApps(), &schedulerApps(), &hypervisorStudyApps()}) {
+        for (const auto &app : *catalog) {
+            // Catalogs overlap (e.g. the PARSEC names appear in both
+            // the coherence and scheduler sets); keep first mention.
+            if (std::find(names.begin(), names.end(), app.name) ==
+                names.end())
+                names.push_back(app.name);
+        }
+    }
+    return names;
 }
 
 } // namespace vsnoop

@@ -97,6 +97,12 @@ const std::vector<AppProfile> &hypervisorStudyApps();
 /** Find a profile by name in any of the catalogs; fatal if absent. */
 const AppProfile &findApp(const std::string &name);
 
+/** Find a profile by name; nullptr if absent (CLI error paths). */
+const AppProfile *tryFindApp(const std::string &name);
+
+/** Every profile name, catalog order (for CLI error messages). */
+std::vector<std::string> knownAppNames();
+
 } // namespace vsnoop
 
 #endif // VSNOOP_WORKLOAD_APP_PROFILE_HH_

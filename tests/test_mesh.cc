@@ -85,6 +85,49 @@ TEST(Mesh, TrafficAccountingCountsLinkOccupancy)
     EXPECT_EQ(stats.totalByteHops(), 16u * 4 + 5u * 16 * 6);
 }
 
+TEST(Mesh, PerClassByteHopsOnKnownRoutes)
+{
+    Mesh mesh(defaultConfig()); // 4x4, 16B links
+    // One message per class on a known route; each class must
+    // accumulate hop-weighted occupancy independently.
+    mesh.send(0, 3, 8, MsgClass::Request, 0);    // 3 hops, 1 flit
+    mesh.send(15, 12, 8, MsgClass::Response, 0); // 3 hops, 1 flit
+    mesh.send(0, 15, 72, MsgClass::Data, 0);     // 6 hops, 5 flits
+    // The Control lane carries vCPU-map synchronization: an 8-byte
+    // update 0 -> 5 (2 hops) and a 20-byte payload 5 -> 5 (local
+    // delivery, charged min 1 hop, 2 flits).
+    mesh.send(0, 5, 8, MsgClass::Control, 0);
+    mesh.send(5, 5, 20, MsgClass::Control, 0);
+
+    const NetworkStats &stats = mesh.stats();
+    auto cls = [](MsgClass c) { return static_cast<std::size_t>(c); };
+    EXPECT_EQ(stats.byteHops[cls(MsgClass::Request)].value(),
+              1u * 16 * 3);
+    EXPECT_EQ(stats.byteHops[cls(MsgClass::Response)].value(),
+              1u * 16 * 3);
+    EXPECT_EQ(stats.byteHops[cls(MsgClass::Data)].value(),
+              5u * 16 * 6);
+    EXPECT_EQ(stats.byteHops[cls(MsgClass::Control)].value(),
+              1u * 16 * 2 + 2u * 16 * 1);
+    // Raw byte counts are hop-independent.
+    EXPECT_EQ(stats.bytes[cls(MsgClass::Control)].value(), 28u);
+    EXPECT_EQ(stats.messages[cls(MsgClass::Control)].value(), 2u);
+    EXPECT_EQ(stats.totalByteHops(),
+              16u * 3 + 16u * 3 + 5u * 16 * 6 + 16u * 2 + 2u * 16);
+}
+
+TEST(Mesh, ControlLaneSharesLinksWithOtherClasses)
+{
+    Mesh mesh(defaultConfig());
+    // Control traffic is not a separate physical network: a control
+    // message must contend for the same link as a data message.
+    Tick data = mesh.send(0, 1, 72, MsgClass::Data, 0);
+    Tick control = mesh.send(0, 1, 8, MsgClass::Control, 0);
+    EXPECT_GT(control, mesh.unloadedLatency(0, 1, 8));
+    EXPECT_GT(control, 0u);
+    EXPECT_GT(data, 0u);
+}
+
 TEST(Mesh, ResetStatsClears)
 {
     Mesh mesh(defaultConfig());

@@ -11,7 +11,8 @@
  *   vsnoopsim --app canneal --policy vsnoop --relocation counter \
  *             --migration-period 50000 --accesses 20000
  *
- * Run with --help for the full flag list.
+ * Flags accept both "--flag value" and "--flag=value".  Run with
+ * --help for the full flag list.
  */
 
 #include <algorithm>
@@ -19,6 +20,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "sim/table.hh"
 #include "system/energy.hh"
@@ -72,6 +74,20 @@ usage()
         "  --migration-period T  ticks between vCPU shuffles (default\n"
         "                        0 = pinned)\n"
         "\n"
+        "observability:\n"
+        "  --trace FILE          capture the coherence transaction\n"
+        "                        trace and export it as a Chrome\n"
+        "                        trace-event JSON file (load in\n"
+        "                        Perfetto / chrome://tracing)\n"
+        "  --trace-limit N       trace ring capacity in records\n"
+        "                        (default 1048576; oldest records are\n"
+        "                        dropped when full)\n"
+        "  --timeseries-interval T\n"
+        "                        sample the interval time series every\n"
+        "                        T ticks into the JSON result and the\n"
+        "                        trace's counter track (default 0 =\n"
+        "                        off)\n"
+        "\n"
         "output:\n"
         "  --energy              include the energy estimate\n"
         "  --json                print one JSON object (the full\n"
@@ -88,14 +104,45 @@ die(const std::string &msg)
 }
 
 std::uint64_t
-parseUint(const std::string &flag, const char *value)
+parseUint(const std::string &flag, const std::string &value)
 {
     char *end = nullptr;
-    std::uint64_t parsed = std::strtoull(value, &end, 10);
-    if (end == value || *end != '\0')
+    std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
         die(flag + " expects a non-negative integer, got '" +
             value + "'");
     return parsed;
+}
+
+/** Expand "--flag=value" into "--flag","value". */
+std::vector<std::string>
+normalizeArgs(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::size_t eq;
+        if (arg.rfind("--", 0) == 0 &&
+            (eq = arg.find('=')) != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(std::move(arg));
+        }
+    }
+    return args;
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &name : names) {
+        if (!out.empty())
+            out += ' ';
+        out += name;
+    }
+    return out;
 }
 
 } // namespace
@@ -110,14 +157,15 @@ main(int argc, char **argv)
     bool want_energy = false;
     bool want_json = false;
 
-    auto next_value = [&](int &i, const std::string &flag) {
-        if (i + 1 >= argc)
+    std::vector<std::string> args = normalizeArgs(argc, argv);
+    auto next_value = [&](std::size_t &i, const std::string &flag) {
+        if (i + 1 >= args.size())
             die(flag + " requires a value");
-        return argv[++i];
+        return args[++i];
     };
 
-    for (int i = 1; i < argc; ++i) {
-        std::string flag = argv[i];
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
         if (flag == "--help" || flag == "-h") {
             usage();
             return 0;
@@ -137,9 +185,9 @@ main(int argc, char **argv)
             if (x == std::string::npos)
                 die("--mesh expects WxH, e.g. 4x4");
             cfg.mesh.width = static_cast<std::uint32_t>(
-                parseUint(flag, value.substr(0, x).c_str()));
+                parseUint(flag, value.substr(0, x)));
             cfg.mesh.height = static_cast<std::uint32_t>(
-                parseUint(flag, value.substr(x + 1).c_str()));
+                parseUint(flag, value.substr(x + 1)));
         } else if (flag == "--vms") {
             cfg.numVms = static_cast<std::uint32_t>(
                 parseUint(flag, next_value(i, flag)));
@@ -163,7 +211,8 @@ main(int argc, char **argv)
             else if (value == "region")
                 cfg.policy = PolicyKind::IdealRegionFilter;
             else
-                die("unknown --policy '" + value + "'");
+                die("unknown --policy '" + value +
+                    "'; known: tokenb vsnoop region");
         } else if (flag == "--relocation") {
             std::string value = next_value(i, flag);
             if (value == "base")
@@ -175,7 +224,9 @@ main(int argc, char **argv)
             else if (value == "counter-flush")
                 cfg.vsnoop.relocation = RelocationMode::CounterFlush;
             else
-                die("unknown --relocation '" + value + "'");
+                die("unknown --relocation '" + value +
+                    "'; known: base counter counter-threshold "
+                    "counter-flush");
         } else if (flag == "--ro-policy") {
             std::string value = next_value(i, flag);
             if (value == "broadcast")
@@ -187,7 +238,9 @@ main(int argc, char **argv)
             else if (value == "friend-vm")
                 cfg.vsnoop.roPolicy = RoPolicy::FriendVm;
             else
-                die("unknown --ro-policy '" + value + "'");
+                die("unknown --ro-policy '" + value +
+                    "'; known: broadcast memory-direct intra-vm "
+                    "friend-vm");
         } else if (flag == "--threshold") {
             cfg.vsnoop.counterThreshold =
                 parseUint(flag, next_value(i, flag));
@@ -195,6 +248,16 @@ main(int argc, char **argv)
             cfg.regionBytes = parseUint(flag, next_value(i, flag));
         } else if (flag == "--migration-period") {
             cfg.migrationPeriod = parseUint(flag, next_value(i, flag));
+        } else if (flag == "--trace") {
+            cfg.tracePath = next_value(i, flag);
+        } else if (flag == "--trace-limit") {
+            cfg.traceLimit = static_cast<std::size_t>(
+                parseUint(flag, next_value(i, flag)));
+            if (cfg.traceLimit == 0)
+                die("--trace-limit must be at least 1");
+        } else if (flag == "--timeseries-interval") {
+            cfg.timeseriesInterval =
+                parseUint(flag, next_value(i, flag));
         } else if (flag == "--energy") {
             want_energy = true;
         } else if (flag == "--json") {
@@ -206,22 +269,33 @@ main(int argc, char **argv)
     if (!warmup_set)
         cfg.warmupAccessesPerVcpu = cfg.accessesPerVcpu / 4;
 
+    const AppProfile *app = tryFindApp(app_name);
+    if (app == nullptr)
+        die("unknown --app '" + app_name + "'; known: " +
+            joinNames(knownAppNames()));
+
     quietLogging(true);
-    const AppProfile &app = findApp(app_name);
+
+    // One shared execution path: collectRun() runs the system,
+    // gathers the result record, and exports the Chrome trace when
+    // --trace is set.
+    RunResult run = collectRun(cfg, *app);
+
+    if (!cfg.tracePath.empty())
+        std::cerr << "vsnoopsim: trace written to " << cfg.tracePath
+                  << "\n";
 
     if (want_json) {
         // The structured record covers everything the text tables
         // print (energy included), so the machine-readable path
         // shares the sweep runner's serialization.
-        std::cout << collectRun(cfg, app).toJson() << "\n";
+        std::cout << run.toJson() << "\n";
         return 0;
     }
 
-    SimSystem system(cfg, app);
-    system.run();
-    SystemResults r = system.results();
+    const SystemResults &r = run.results;
 
-    std::cout << "vsnoopsim: " << app.name << " on "
+    std::cout << "vsnoopsim: " << app->name << " on "
               << cfg.mesh.width << "x" << cfg.mesh.height << " mesh, "
               << cfg.numVms << " VMs x " << cfg.vcpusPerVm
               << " vCPUs\n\n";
@@ -265,7 +339,7 @@ main(int argc, char **argv)
     cats.print();
 
     if (want_energy) {
-        EnergyBreakdown e = computeEnergy(system);
+        const EnergyBreakdown &e = run.energy;
         std::cout << "\nEnergy estimate:\n";
         TextTable energy({"component", "uJ", "share %"});
         auto row = [&](const char *name, double pj) {
@@ -280,5 +354,6 @@ main(int argc, char **argv)
             "100.0");
         energy.print();
     }
+
     return 0;
 }

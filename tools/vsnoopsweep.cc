@@ -75,6 +75,18 @@ usage()
         "  --migration-period T  ticks between vCPU shuffles (default\n"
         "                        0 = pinned)\n"
         "\n"
+        "observability:\n"
+        "  --trace-dir DIR       write one Chrome trace-event JSON\n"
+        "                        file per run into DIR (must exist;\n"
+        "                        named <app>-<policy>-<relocation>-\n"
+        "                        <ro>-s<seed>.trace.json)\n"
+        "  --trace-limit N       trace ring capacity in records\n"
+        "                        (default 1048576)\n"
+        "  --timeseries-interval T\n"
+        "                        sample the interval time series every\n"
+        "                        T ticks into each run's JSON record\n"
+        "                        (default 0 = off)\n"
+        "\n"
         "execution:\n"
         "  --jobs N              worker threads (default hardware\n"
         "                        concurrency)\n"
@@ -82,7 +94,9 @@ usage()
         "                        stdout\n"
         "  --list                print the expanded matrix and exit\n"
         "                        without running\n"
-        "  --help                this text\n";
+        "  --help                this text\n"
+        "\n"
+        "Flags accept both \"--flag value\" and \"--flag=value\".\n";
 }
 
 [[noreturn]] void
@@ -134,7 +148,7 @@ parsePolicy(const std::string &name)
         return PolicyKind::VirtualSnoop;
     if (name == "region")
         return PolicyKind::IdealRegionFilter;
-    die("unknown policy '" + name + "'");
+    die("unknown policy '" + name + "'; known: tokenb vsnoop region");
 }
 
 RelocationMode
@@ -148,7 +162,8 @@ parseRelocation(const std::string &name)
         return RelocationMode::CounterThreshold;
     if (name == "counter-flush")
         return RelocationMode::CounterFlush;
-    die("unknown relocation mode '" + name + "'");
+    die("unknown relocation mode '" + name +
+        "'; known: base counter counter-threshold counter-flush");
 }
 
 RoPolicy
@@ -162,7 +177,39 @@ parseRoPolicy(const std::string &name)
         return RoPolicy::IntraVm;
     if (name == "friend-vm")
         return RoPolicy::FriendVm;
-    die("unknown RO policy '" + name + "'");
+    die("unknown RO policy '" + name +
+        "'; known: broadcast memory-direct intra-vm friend-vm");
+}
+
+/** Expand "--flag=value" into "--flag","value". */
+std::vector<std::string>
+normalizeArgs(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::size_t eq;
+        if (arg.rfind("--", 0) == 0 &&
+            (eq = arg.find('=')) != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(std::move(arg));
+        }
+    }
+    return args;
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &name : names) {
+        if (!out.empty())
+            out += ' ';
+        out += name;
+    }
+    return out;
 }
 
 } // namespace
@@ -178,14 +225,15 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     std::string out_path;
 
-    auto next_value = [&](int &i, const std::string &flag) {
-        if (i + 1 >= argc)
+    std::vector<std::string> args = normalizeArgs(argc, argv);
+    auto next_value = [&](std::size_t &i, const std::string &flag) {
+        if (i + 1 >= args.size())
             die(flag + " requires a value");
-        return std::string(argv[++i]);
+        return args[++i];
     };
 
-    for (int i = 1; i < argc; ++i) {
-        std::string flag = argv[i];
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
         if (flag == "--help" || flag == "-h") {
             usage();
             return 0;
@@ -259,6 +307,16 @@ main(int argc, char **argv)
         } else if (flag == "--migration-period") {
             matrix.base.migrationPeriod =
                 parseUint(flag, next_value(i, flag));
+        } else if (flag == "--trace-dir") {
+            matrix.traceDir = next_value(i, flag);
+        } else if (flag == "--trace-limit") {
+            matrix.base.traceLimit = static_cast<std::size_t>(
+                parseUint(flag, next_value(i, flag)));
+            if (matrix.base.traceLimit == 0)
+                die("--trace-limit must be at least 1");
+        } else if (flag == "--timeseries-interval") {
+            matrix.base.timeseriesInterval =
+                parseUint(flag, next_value(i, flag));
         } else if (flag == "--jobs") {
             jobs = static_cast<unsigned>(
                 parseUint(flag, next_value(i, flag)));
@@ -275,8 +333,11 @@ main(int argc, char **argv)
             matrix.base.accessesPerVcpu / 4;
 
     // Fail on unknown app names before doing any work.
-    for (const std::string &name : matrix.apps)
-        findApp(name);
+    for (const std::string &name : matrix.apps) {
+        if (tryFindApp(name) == nullptr)
+            die("unknown app '" + name + "'; known: " +
+                joinNames(knownAppNames()));
+    }
 
     std::vector<SweepPoint> points = matrix.expand();
     if (list_only) {
@@ -308,7 +369,11 @@ main(int argc, char **argv)
     for (const RunResult &r : results)
         out << r.toJson() << "\n";
 
+    // End-of-sweep summary (stderr, so JSON output stays clean).
+    double rate = elapsed > 0.0
+                      ? static_cast<double>(results.size()) / elapsed
+                      : 0.0;
     std::cerr << "vsnoopsweep: " << results.size() << " runs in "
-              << elapsed << " s\n";
+              << elapsed << " s (" << rate << " runs/s)\n";
     return 0;
 }
