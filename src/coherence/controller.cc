@@ -225,6 +225,11 @@ CoherenceController::issueAttempt(Mshr &mshr)
                                            mshr.attempt);
     }
     targets.cores.remove(core_);
+    // Latency histograms attribute the whole transaction to the
+    // filter class the policy chose up front, not to a later
+    // retry's widened set.
+    if (!mshr.persistent && mshr.attempt == 1)
+        mshr.reason = targets.reason;
 
     if (TraceSink *t = system_.trace()) {
         TraceRecord r = traceBase(TraceEventKind::FilterDecision,
@@ -553,8 +558,14 @@ CoherenceController::tryComplete(Mshr &mshr)
         system_.releasePersistent(mshr.access.addr, core_);
 
     Tick done = eq.now() + system_.config().l2Latency;
-    system_.stats.missLatency.sample(
-        static_cast<double>(done - mshr.issued));
+    Tick latency = done - mshr.issued;
+    system_.stats.missLatency.sample(static_cast<double>(latency));
+    system_.stats.latency.sample(latency);
+    system_.stats.latencyByReason[static_cast<std::size_t>(mshr.reason)]
+        .sample(latency);
+    bool retried = mshr.persistent || mshr.attempt > 1;
+    (retried ? system_.stats.latencyRetried
+             : system_.stats.latencyFirstTry).sample(latency);
     system_.stats.dataFrom[static_cast<std::size_t>(mshr.dataSource)]
         .inc();
     if (mshr.access.pageType == PageType::RoShared) {

@@ -136,6 +136,8 @@ class CoherenceController
         bool upgrade = false;
         std::uint32_t attempt = 1;
         bool persistent = false;
+        /** Filter decision of the first transient attempt. */
+        FilterReason reason = FilterReason::Baseline;
         bool waitingGrant = false;
         /** Tokens collected (full-miss mode only). */
         std::uint32_t tokens = 0;

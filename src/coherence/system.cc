@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace vsnoop
 {
@@ -54,7 +55,16 @@ void
 CoherenceSystem::access(CoreId core, const MemAccess &access,
                         AccessCallback callback)
 {
+    ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
     controller(core).access(access, std::move(callback));
+}
+
+Tick
+CoherenceSystem::netSend(NodeId src, NodeId dst, std::uint32_t bytes,
+                         MsgClass cls, Tick now)
+{
+    ProfileScope scope(profiler_, HostProfiler::Phase::Network);
+    return network_.send(src, dst, bytes, cls, now);
 }
 
 void
@@ -86,20 +96,24 @@ CoherenceSystem::sendSnoops(CoreId from, const SnoopMsg &msg,
     Tick now = eq_.now();
     targets.cores.forEach([&](CoreId target) {
         vsnoop_assert(target != from, "policy must exclude the requester");
-        Tick arrive = network_.send(from, target, config_.controlBytes,
-                                    MsgClass::Request, now);
+        Tick arrive = netSend(from, target, config_.controlBytes,
+                              MsgClass::Request, now);
         stats.snoopsDelivered.inc();
         stats.snoopLookups.inc();
         eq_.scheduleFn(arrive, [this, target, msg] {
+            ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
             controller(target).handleSnoop(msg);
         });
     });
     if (targets.memory) {
         NodeId mc = memNodeFor(msg.line);
-        Tick arrive = network_.send(from, mc, config_.controlBytes,
-                                    MsgClass::Request, now);
+        Tick arrive = netSend(from, mc, config_.controlBytes,
+                              MsgClass::Request, now);
         stats.memorySnoops.inc();
-        eq_.scheduleFn(arrive, [this, msg] { handleMemorySnoop(msg); });
+        eq_.scheduleFn(arrive, [this, msg] {
+            ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
+            handleMemorySnoop(msg);
+        });
     }
 }
 
@@ -111,9 +125,10 @@ CoherenceSystem::sendResponseToCore(NodeId from_node, CoreId to,
         msg.hasData ? config_.dataBytes : config_.controlBytes;
     MsgClass cls = msg.hasData ? MsgClass::Data : MsgClass::Response;
     inflightAdd(msg.line, msg.tokens, msg.owner);
-    Tick arrive = network_.send(from_node, to, bytes, cls,
-                                std::max(depart, eq_.now()));
+    Tick arrive = netSend(from_node, to, bytes, cls,
+                          std::max(depart, eq_.now()));
     eq_.scheduleFn(arrive, [this, to, msg] {
+        ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
         inflightRemove(msg.line, msg.tokens, msg.owner);
         controller(to).handleResponse(msg);
     });
@@ -131,8 +146,9 @@ CoherenceSystem::sendTokensToMemory(CoreId from, HostAddr line,
     MsgClass cls = dirty_data ? MsgClass::Data : MsgClass::Response;
     NodeId mc = memNodeFor(line);
     inflightAdd(line, tokens, owner);
-    Tick arrive = network_.send(from, mc, bytes, cls, eq_.now());
+    Tick arrive = netSend(from, mc, bytes, cls, eq_.now());
     eq_.scheduleFn(arrive, [this, line, tokens, owner, dirty_data] {
+        ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
         inflightRemove(line, tokens, owner);
         memory_.returnTokens(line, tokens, owner);
         if (dirty_data)
@@ -166,7 +182,7 @@ CoherenceSystem::resetStats()
 void
 CoherenceSystem::sendControl(NodeId from, NodeId to, std::uint32_t bytes)
 {
-    network_.send(from, to, bytes, MsgClass::Control, eq_.now());
+    netSend(from, to, bytes, MsgClass::Control, eq_.now());
 }
 
 void

@@ -29,6 +29,7 @@
 namespace vsnoop
 {
 
+class HostProfiler;
 class TraceSink;
 
 /**
@@ -68,6 +69,14 @@ struct CoherenceStats
     Distribution missLatency;
     /** Miss latency restricted to RO-shared lines. */
     Distribution roMissLatency;
+    /** Log2-bucketed miss latency, all transactions. */
+    LatencyHistogram latency;
+    /** Same, split by the first attempt's FilterReason. */
+    LatencyHistogram latencyByReason[kNumFilterReasons];
+    /** Transactions whose first transient attempt completed. */
+    LatencyHistogram latencyFirstTry;
+    /** Transactions that retried or went persistent. */
+    LatencyHistogram latencyRetried;
 };
 
 /**
@@ -141,6 +150,17 @@ class CoherenceSystem
     TraceSink *trace() const { return trace_; }
 
     /**
+     * Attach (or detach, with nullptr) a host self-profiler.
+     * Protocol work and network sends are bracketed with
+     * ProfileScope guards that branch on the pointer, mirroring
+     * the trace hooks.  The profiler must outlive the system.
+     */
+    void setProfiler(HostProfiler *profiler) { profiler_ = profiler; }
+
+    /** The active profiler, or nullptr when profiling is off. */
+    HostProfiler *profiler() const { return profiler_; }
+
+    /**
      * Verify token conservation and owner uniqueness across caches,
      * memory, MSHRs and in-flight messages.  Panics on violation.
      */
@@ -163,6 +183,10 @@ class CoherenceSystem
     /** Deliver a snoop at a memory controller. */
     void handleMemorySnoop(const SnoopMsg &msg);
 
+    /** network_.send bracketed with the Network profile phase. */
+    Tick netSend(NodeId src, NodeId dst, std::uint32_t bytes,
+                 MsgClass cls, Tick now);
+
     /** In-flight token ledger bookkeeping. */
     void inflightAdd(HostAddr line, std::uint32_t tokens, bool owner);
     void inflightRemove(HostAddr line, std::uint32_t tokens, bool owner);
@@ -176,6 +200,7 @@ class CoherenceSystem
     EventQueue &eq_;
     Network &network_;
     TraceSink *trace_ = nullptr;
+    HostProfiler *profiler_ = nullptr;
     SnoopTargetPolicy &policy_;
     ProtocolConfig config_;
     MainMemory memory_;

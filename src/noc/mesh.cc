@@ -14,13 +14,34 @@ Mesh::Mesh(const MeshConfig &config)
 {
     vsnoop_assert(width_ >= 1 && height_ >= 1, "degenerate mesh");
     vsnoop_assert(linkBytes_ >= 1, "link width must be positive");
-    linkFree_.assign(static_cast<std::size_t>(numNodes()) * 4, 0);
+    linkFree_.assign(static_cast<std::size_t>(numNodes()) * kLinkStride, 0);
+    links_.assign(linkFree_.size(), LinkAccount{});
 }
 
 std::size_t
 Mesh::linkIndex(NodeId from, Direction dir) const
 {
-    return static_cast<std::size_t>(from) * 4 + dir;
+    return static_cast<std::size_t>(from) * kLinkStride + dir;
+}
+
+NodeId
+Mesh::neighbor(NodeId from, Direction dir) const
+{
+    std::uint32_t x = nodeX(from);
+    std::uint32_t y = nodeY(from);
+    switch (dir) {
+      case East:
+        return x + 1 < width_ ? nodeAt(x + 1, y) : kInvalidNode;
+      case West:
+        return x > 0 ? nodeAt(x - 1, y) : kInvalidNode;
+      case North:
+        return y + 1 < height_ ? nodeAt(x, y + 1) : kInvalidNode;
+      case South:
+        return y > 0 ? nodeAt(x, y - 1) : kInvalidNode;
+      case Local:
+        return from;
+    }
+    return kInvalidNode;
 }
 
 std::uint32_t
@@ -62,14 +83,20 @@ Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, MsgClass cls,
     auto ci = static_cast<std::size_t>(cls);
     std::uint32_t hops = hopCount(src, dst);
     std::uint32_t flits = flitsFor(bytes);
+    std::uint64_t linkBytesCarried =
+        static_cast<std::uint64_t>(flits) * linkBytes_;
     stats_.messages[ci].inc();
     stats_.bytes[ci].inc(bytes);
-    stats_.byteHops[ci].inc(static_cast<std::uint64_t>(flits) *
-                            linkBytes_ *
+    stats_.byteHops[ci].inc(linkBytesCarried *
                             std::max<std::uint32_t>(hops, 1));
 
-    if (src == dst)
+    if (src == dst) {
+        // The aggregate metric charged one hop; the loopback
+        // pseudo-link absorbs it so per-link sums conserve the
+        // aggregate (see LinkStat).
+        links_[linkIndex(src, Local)].byteHops[ci] += linkBytesCarried;
         return now + localLatency_;
+    }
     Tick occupancy = static_cast<Tick>(flits) * linkLatency_;
 
     // Walk the XY path, reserving each directed link for the
@@ -96,13 +123,52 @@ Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, MsgClass cls,
             dir = South;
             y--;
         }
-        Tick &free = linkFree_[linkIndex(here, dir)];
-        Tick start = std::max(head + routerPipeline_, free);
+        std::size_t idx = linkIndex(here, dir);
+        Tick &free = linkFree_[idx];
+        LinkAccount &acct = links_[idx];
+        Tick ready = head + routerPipeline_;
+        if (free > ready)
+            acct.waitCycles += free - ready;
+        Tick start = std::max(ready, free);
         free = start + occupancy;
+        acct.byteHops[ci] += linkBytesCarried;
+        acct.busyCycles += occupancy;
         head = start + linkLatency_;
     }
     // Tail flits trail the head on the final link.
     return head + (flits - 1) * linkLatency_;
+}
+
+std::vector<LinkStat>
+Mesh::linkStats() const
+{
+    std::vector<LinkStat> out;
+    out.reserve(links_.size());
+    for (NodeId n = 0; n < numNodes(); ++n) {
+        for (std::size_t d = 0; d < kLinkStride; ++d) {
+            auto dir = static_cast<Direction>(d);
+            NodeId to = neighbor(n, dir);
+            if (to == kInvalidNode)
+                continue;
+            const LinkAccount &acct = links_[linkIndex(n, dir)];
+            LinkStat stat;
+            stat.from = n;
+            stat.to = to;
+            for (std::size_t c = 0; c < kNumMsgClasses; ++c)
+                stat.byteHops[c] = acct.byteHops[c];
+            stat.busyCycles = acct.busyCycles;
+            stat.waitCycles = acct.waitCycles;
+            out.push_back(stat);
+        }
+    }
+    return out;
+}
+
+void
+Mesh::resetStats()
+{
+    Network::resetStats();
+    std::fill(links_.begin(), links_.end(), LinkAccount{});
 }
 
 IdealCrossbar::IdealCrossbar(std::uint32_t num_nodes, Tick latency,

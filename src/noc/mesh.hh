@@ -56,6 +56,16 @@ class Mesh : public Network
 
     std::uint32_t numNodes() const override { return width_ * height_; }
 
+    /**
+     * Every physical directed link plus one loopback pseudo-link
+     * per node (see LinkStat), node-major, directions in
+     * East/West/North/South/Local order with off-grid boundary
+     * links omitted.
+     */
+    std::vector<LinkStat> linkStats() const override;
+
+    void resetStats() override;
+
     std::uint32_t width() const { return width_; }
     std::uint32_t height() const { return height_; }
 
@@ -69,8 +79,22 @@ class Mesh : public Network
     Tick unloadedLatency(NodeId src, NodeId dst, std::uint32_t bytes) const;
 
   private:
-    /** Directed link index from @p node toward +x / -x / +y / -y. */
-    enum Direction : std::uint8_t { East, West, North, South };
+    /**
+     * Directed link from @p node toward +x / -x / +y / -y, plus the
+     * loopback pseudo-link for node-local delivery.
+     */
+    enum Direction : std::uint8_t { East, West, North, South, Local };
+
+    /** Directions per node in the link arrays (incl. Local). */
+    static constexpr std::size_t kLinkStride = 5;
+
+    /** Per-link accumulators behind the linkStats() snapshot. */
+    struct LinkAccount
+    {
+        std::uint64_t byteHops[kNumMsgClasses] = {};
+        std::uint64_t busyCycles = 0;
+        std::uint64_t waitCycles = 0;
+    };
 
     std::uint32_t nodeX(NodeId n) const { return n % width_; }
     std::uint32_t nodeY(NodeId n) const { return n / width_; }
@@ -79,6 +103,9 @@ class Mesh : public Network
     }
 
     std::size_t linkIndex(NodeId from, Direction dir) const;
+
+    /** Downstream node of a link; kInvalidNode when off-grid. */
+    NodeId neighbor(NodeId from, Direction dir) const;
 
     /** Flits needed for a message of @p bytes. */
     std::uint32_t flitsFor(std::uint32_t bytes) const;
@@ -91,6 +118,8 @@ class Mesh : public Network
     Tick localLatency_;
     /** Earliest tick each directed link is free. */
     std::vector<Tick> linkFree_;
+    /** Per-link traffic accumulators, indexed like linkFree_. */
+    std::vector<LinkAccount> links_;
 };
 
 /**

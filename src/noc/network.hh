@@ -17,6 +17,7 @@
 #define VSNOOP_NOC_NETWORK_HH_
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -26,6 +27,9 @@ namespace vsnoop
 
 /** Node index on the network (cores and memory controllers). */
 using NodeId = std::uint32_t;
+
+/** Sentinel node id: "no node". */
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
 /**
  * Message classes, for per-class traffic accounting.
@@ -79,6 +83,39 @@ struct NetworkStats
 };
 
 /**
+ * Per-directed-link traffic snapshot, for spatial heatmaps.
+ *
+ * The aggregate byteHops metric charges node-local delivery
+ * (src == dst) one hop even though no physical link is traversed;
+ * so that per-link accounting conserves the aggregate exactly,
+ * each node also exposes a loopback pseudo-link (from == to) that
+ * absorbs the local-delivery charge.  Loopback entries never carry
+ * busy or wait cycles — local delivery is uncontended in the
+ * timing model.
+ */
+struct LinkStat
+{
+    NodeId from = 0;
+    /** Downstream node; equal to @p from for the loopback entry. */
+    NodeId to = 0;
+    /** Bytes carried (flit-padded), per message class. */
+    std::uint64_t byteHops[kNumMsgClasses] = {};
+    /** Cycles the link spent serializing flits. */
+    std::uint64_t busyCycles = 0;
+    /** Cycles messages waited for this link behind earlier traffic. */
+    std::uint64_t waitCycles = 0;
+
+    std::uint64_t
+    totalByteHops() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t b : byteHops)
+            sum += b;
+        return sum;
+    }
+};
+
+/**
  * Network interface.
  */
 class Network
@@ -100,8 +137,17 @@ class Network
     /** Traffic statistics (accumulated across all sends). */
     const NetworkStats &stats() const { return stats_; }
 
+    /**
+     * Per-link traffic snapshot in a deterministic (node-major)
+     * order.  Empty for networks that do not model individual
+     * links.  For networks that do, summing byteHops over all
+     * entries (loopbacks included) reproduces the aggregate
+     * byteHops for every message class.
+     */
+    virtual std::vector<LinkStat> linkStats() const { return {}; }
+
     /** Reset traffic statistics (e.g. after warmup). */
-    void resetStats() { stats_ = NetworkStats{}; }
+    virtual void resetStats() { stats_ = NetworkStats{}; }
 
   protected:
     NetworkStats stats_;

@@ -29,7 +29,10 @@
 #define VSNOOP_SIM_JSON_HH_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace vsnoop
@@ -80,6 +83,75 @@ class JsonWriter
     /** A key was just written; the next value completes the member. */
     bool keyPending_ = false;
 };
+
+/**
+ * A parsed JSON document node (the read-side counterpart of
+ * JsonWriter).  Object members keep source order, matching the
+ * writer's insertion-order contract, so a write -> parse -> inspect
+ * round trip observes members in the order they were emitted.
+ *
+ * Numbers are stored as double; every integer the simulator emits
+ * (counts, ticks) round-trips exactly up to 2^53, far above any
+ * value a run produces.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+
+    /** Typed accessors; assert on kind mismatch. */
+    bool boolean() const;
+    double number() const;
+    const std::string &string() const;
+    const std::vector<JsonValue> &items() const;
+    const std::vector<Member> &members() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+    /** Member's number, or fallback when absent / not a number. */
+    double numberAt(const std::string &name, double fallback = 0.0) const;
+    /** Member's string, or fallback when absent / not a string. */
+    std::string stringAt(const std::string &name,
+                         const std::string &fallback = "") const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+};
+
+/**
+ * Parse one complete JSON document (leading / trailing whitespace
+ * allowed, trailing garbage rejected).  Returns nullopt on
+ * malformed input and, when @p error is non-null, stores a one-line
+ * description with the byte offset.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
 
 } // namespace vsnoop
 

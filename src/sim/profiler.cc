@@ -1,0 +1,139 @@
+#include "sim/profiler.hh"
+
+#include <chrono>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "sim/table.hh"
+
+namespace vsnoop
+{
+
+namespace
+{
+
+std::uint64_t
+nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+void
+HostProfiler::begin()
+{
+    vsnoop_assert(depth_ == 0, "HostProfiler::begin() while running");
+    stack_[0] = Phase::Other;
+    depth_ = 1;
+    lastStamp_ = nowNanos();
+}
+
+void
+HostProfiler::end(std::uint64_t events_processed)
+{
+    vsnoop_assert(depth_ == 1,
+                  "HostProfiler::end() with ", depth_ - 1, " open scope(s)");
+    charge();
+    depth_ = 0;
+    events_ += events_processed;
+}
+
+void
+HostProfiler::enter(Phase phase)
+{
+    vsnoop_assert(depth_ > 0, "ProfileScope outside begin()..end()");
+    vsnoop_assert(depth_ < stack_.size(), "profile scopes nested too deep");
+    charge();
+    stack_[depth_++] = phase;
+}
+
+void
+HostProfiler::exit()
+{
+    vsnoop_assert(depth_ > 1, "HostProfiler::exit() with no open scope");
+    charge();
+    depth_--;
+}
+
+void
+HostProfiler::charge()
+{
+    std::uint64_t now = nowNanos();
+    nanos_[static_cast<std::size_t>(stack_[depth_ - 1])] += now - lastStamp_;
+    lastStamp_ = now;
+}
+
+std::uint64_t
+HostProfiler::phaseNanos(Phase phase) const
+{
+    return nanos_[static_cast<std::size_t>(phase)];
+}
+
+std::uint64_t
+HostProfiler::totalNanos() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t n : nanos_)
+        total += n;
+    return total;
+}
+
+double
+HostProfiler::eventsPerSecond() const
+{
+    std::uint64_t total = totalNanos();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(events_) * 1e9 / static_cast<double>(total);
+}
+
+void
+HostProfiler::merge(const HostProfiler &other)
+{
+    vsnoop_assert(depth_ == 0 && other.depth_ == 0,
+                  "HostProfiler::merge() while running");
+    for (std::size_t i = 0; i < kNumProfilePhases; ++i)
+        nanos_[i] += other.nanos_[i];
+    events_ += other.events_;
+}
+
+const char *
+profilePhaseName(HostProfiler::Phase phase)
+{
+    switch (phase) {
+      case HostProfiler::Phase::Generate: return "generate";
+      case HostProfiler::Phase::Coherence: return "coherence";
+      case HostProfiler::Phase::Network: return "network";
+      case HostProfiler::Phase::Drain: return "drain";
+      case HostProfiler::Phase::Other: return "other";
+    }
+    return "?";
+}
+
+void
+writeProfile(std::ostream &os, const HostProfiler &profiler)
+{
+    double total_s =
+        static_cast<double>(profiler.totalNanos()) / 1e9;
+    os << "host profile: " << formatFixed(total_s, 3) << " s profiled, "
+       << profiler.events() << " events ("
+       << formatFixed(profiler.eventsPerSecond() / 1e6, 2)
+       << " M events/s)\n";
+    TextTable table({"phase", "time (s)", "share %"});
+    for (std::size_t i = 0; i < kNumProfilePhases; ++i) {
+        auto phase = static_cast<HostProfiler::Phase>(i);
+        double s = static_cast<double>(profiler.phaseNanos(phase)) / 1e9;
+        double share = total_s > 0.0 ? s / total_s : 0.0;
+        table.row()
+            .cell(profilePhaseName(phase))
+            .cell(s, 3)
+            .cell(formatPercent(share));
+    }
+    os << table.render();
+}
+
+} // namespace vsnoop

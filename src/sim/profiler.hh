@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Host self-profiler: where does the simulator's own wall-clock
+ * time go?
+ *
+ * The hot loop is instrumented with ProfileScope guards at the
+ * phase boundaries (workload generation, coherence protocol work,
+ * network routing, end-of-run drain).  Like the trace hooks
+ * (trace/trace.hh), every instrumentation site holds a nullable
+ * HostProfiler pointer and branches on it, so a run without
+ * --profile pays one predictable branch per site and no clock
+ * reads.
+ *
+ * Attribution is exclusive (self time): entering a nested scope
+ * charges the elapsed interval to the enclosing phase first, so the
+ * per-phase nanoseconds always sum to the begin()..end() interval
+ * with no double counting.  Scopes nest arbitrarily — a network
+ * send issued from inside coherence work charges the send to
+ * Network and the surrounding protocol work to Coherence.
+ *
+ * Wall-clock readings are inherently nondeterministic, so profiler
+ * output goes to stderr only and is never embedded in run JSON
+ * (which must stay byte-identical across --jobs values).
+ */
+
+#ifndef VSNOOP_SIM_PROFILER_HH_
+#define VSNOOP_SIM_PROFILER_HH_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+namespace vsnoop
+{
+
+/** Number of HostProfiler::Phase values. */
+constexpr std::size_t kNumProfilePhases = 5;
+
+/**
+ * Accumulates per-phase self time for one run (or, via merge(),
+ * aggregated CPU time across a sweep's workers).
+ */
+class HostProfiler
+{
+  public:
+    enum class Phase : std::uint8_t
+    {
+        /** Synthetic workload generation (VcpuWorkload::next). */
+        Generate,
+        /** Coherence controller work: requests, snoops, responses. */
+        Coherence,
+        /** Mesh routing and link accounting. */
+        Network,
+        /** End-of-run drain of in-flight transactions. */
+        Drain,
+        /** Inside begin()..end() but outside any scope. */
+        Other,
+    };
+
+    /** Start the profiled interval; resets nothing (merges add up). */
+    void begin();
+
+    /** Close the interval and record the simulator event count. */
+    void end(std::uint64_t events_processed);
+
+    /** Enter a phase (charges elapsed time to the current one). */
+    void enter(Phase phase);
+
+    /** Leave the innermost phase. */
+    void exit();
+
+    bool running() const { return depth_ > 0; }
+
+    std::uint64_t phaseNanos(Phase phase) const;
+    /** Sum over all phases == the begin()..end() interval(s). */
+    std::uint64_t totalNanos() const;
+    std::uint64_t events() const { return events_; }
+    /** Events per second of profiled time; 0 with no time. */
+    double eventsPerSecond() const;
+
+    /** Fold another profiler's totals into this one. */
+    void merge(const HostProfiler &other);
+
+  private:
+    /** Charge now - lastStamp_ to the phase on top of the stack. */
+    void charge();
+
+    std::array<std::uint64_t, kNumProfilePhases> nanos_{};
+    std::uint64_t events_ = 0;
+    /** Phase stack; slot 0 is the implicit Other frame. */
+    std::array<Phase, 64> stack_{};
+    std::uint32_t depth_ = 0;
+    std::uint64_t lastStamp_ = 0;
+};
+
+/** Human name for a phase ("generate", "coherence", ...). */
+const char *profilePhaseName(HostProfiler::Phase phase);
+
+/**
+ * RAII phase guard.  A null profiler makes construction and
+ * destruction a branch each — the zero-cost-when-off contract.
+ */
+class ProfileScope
+{
+  public:
+    ProfileScope(HostProfiler *profiler, HostProfiler::Phase phase)
+        : profiler_(profiler)
+    {
+        if (profiler_)
+            profiler_->enter(phase);
+    }
+
+    ~ProfileScope()
+    {
+        if (profiler_)
+            profiler_->exit();
+    }
+
+    ProfileScope(const ProfileScope &) = delete;
+    ProfileScope &operator=(const ProfileScope &) = delete;
+
+  private:
+    HostProfiler *profiler_;
+};
+
+/** Render the per-phase breakdown as an aligned text table. */
+void writeProfile(std::ostream &os, const HostProfiler &profiler);
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_PROFILER_HH_

@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -169,6 +170,99 @@ StatSet::dump() const
            << name << ".max " << dist->max() << "\n";
     }
     return os.str();
+}
+
+void
+LatencyHistogram::sample(std::uint64_t value)
+{
+    buckets_[bucketFor(value)]++;
+    count_++;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+LatencyHistogram::reset()
+{
+    *this = LatencyHistogram();
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+std::size_t
+LatencyHistogram::bucketFor(std::uint64_t value)
+{
+    // bit_width(v) == 1 + floor(log2(v)) for v > 0, so bucket i >= 1
+    // collects exactly the values with i significant bits.
+    if (value == 0)
+        return 0;
+    return std::min<std::size_t>(std::bit_width(value), kNumBuckets - 1);
+}
+
+std::uint64_t
+LatencyHistogram::bucketLowerEdge(std::size_t i)
+{
+    vsnoop_assert(i < kNumBuckets, "bucket ", i, " out of range");
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperEdge(std::size_t i)
+{
+    vsnoop_assert(i < kNumBuckets, "bucket ", i, " out of range");
+    return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    vsnoop_assert(q >= 0.0 && q <= 1.0, "quantile ", q, " outside [0,1]");
+    if (count_ == 0)
+        return 0;
+    // Smallest rank whose cumulative fraction reaches q (at least 1,
+    // so quantile(0) answers with the minimum's bucket).
+    auto need = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    need = std::max<std::uint64_t>(need, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= need)
+            return std::clamp(bucketUpperEdge(i), min(), max_);
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::writeJson(JsonWriter &json) const
+{
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        if (buckets_[i])
+            last = i;
+    }
+    json.beginObject();
+    json.key("count").value(count_);
+    json.key("sum").value(sum_);
+    json.key("min").value(min());
+    json.key("max").value(max_);
+    json.key("mean").value(mean());
+    json.key("p50").value(quantile(0.5));
+    json.key("p90").value(quantile(0.9));
+    json.key("p99").value(quantile(0.99));
+    json.key("buckets").beginArray();
+    if (count_) {
+        for (std::size_t i = 0; i <= last; ++i)
+            json.value(buckets_[i]);
+    }
+    json.endArray();
+    json.endObject();
 }
 
 std::string

@@ -14,6 +14,7 @@
 #ifndef VSNOOP_SIM_STATS_HH_
 #define VSNOOP_SIM_STATS_HH_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -22,6 +23,8 @@
 
 namespace vsnoop
 {
+
+class JsonWriter;
 
 /**
  * A monotonically increasing event count.
@@ -135,6 +138,61 @@ class Histogram
     std::vector<std::uint64_t> buckets_;
     std::uint64_t overflow_ = 0;
     std::uint64_t count_ = 0;
+};
+
+/**
+ * Log2-bucketed latency histogram for integer tick durations.
+ *
+ * Bucket 0 holds the value 0; bucket i >= 1 covers [2^(i-1), 2^i).
+ * Values past the last bucket clamp into it (max() still reports
+ * the true maximum).  Compared to the fixed-width Histogram this
+ * covers the full dynamic range of transaction latencies — from a
+ * one-cycle L2 hit path to a persistent-request stall thousands of
+ * cycles long — with a handful of buckets and no configuration.
+ *
+ * Quantiles are deterministic: quantile(q) walks the cumulative
+ * counts and returns the containing bucket's inclusive upper edge,
+ * clamped into [min(), max()] so a degenerate distribution (all
+ * samples equal) reports the exact value.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Bucket count; the top bucket covers [2^38, inf). */
+    static constexpr std::size_t kNumBuckets = 40;
+
+    void sample(std::uint64_t value);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    std::uint64_t bucketHits(std::size_t i) const { return buckets_[i]; }
+    /** Bucket index a value lands in (with top-bucket clamping). */
+    static std::size_t bucketFor(std::uint64_t value);
+    /** Inclusive lower edge of bucket i. */
+    static std::uint64_t bucketLowerEdge(std::size_t i);
+    /** Inclusive upper edge of bucket i (nominal for the top bucket). */
+    static std::uint64_t bucketUpperEdge(std::size_t i);
+
+    /** See class comment; q in [0,1].  0 with no samples. */
+    std::uint64_t quantile(double q) const;
+
+    /**
+     * Emit {count,sum,min,max,mean,p50,p90,p99,buckets:[...]} with
+     * the bucket array trimmed after the last non-empty bucket.
+     */
+    void writeJson(JsonWriter &json) const;
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
 };
 
 /**

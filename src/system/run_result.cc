@@ -113,6 +113,37 @@ RunResult::writeJson(JsonWriter &json) const
         json.key(accessCategoryName(static_cast<AccessCategory>(c)))
             .value(r.missesByCategory[c]);
     json.endObject();
+    json.key("latency").beginObject();
+    json.key("all");
+    r.latency.writeJson(json);
+    json.key("first_try");
+    r.latencyFirstTry.writeJson(json);
+    json.key("retried");
+    r.latencyRetried.writeJson(json);
+    json.key("by_reason").beginObject();
+    for (std::size_t i = 0; i < kNumFilterReasons; ++i) {
+        json.key(filterReasonName(static_cast<FilterReason>(i)));
+        r.latencyByReason[i].writeJson(json);
+    }
+    json.endObject();
+    json.endObject();
+    if (!r.links.empty()) {
+        json.key("links").beginArray();
+        for (const LinkStat &link : r.links) {
+            json.beginObject();
+            json.key("from").value(link.from);
+            json.key("to").value(link.to);
+            json.key("byte_hops").beginObject();
+            for (std::size_t c = 0; c < kNumMsgClasses; ++c)
+                json.key(msgClassName(static_cast<MsgClass>(c)))
+                    .value(link.byteHops[c]);
+            json.endObject();
+            json.key("busy_cycles").value(link.busyCycles);
+            json.key("wait_cycles").value(link.waitCycles);
+            json.endObject();
+        }
+        json.endArray();
+    }
     json.endObject();
 
     if (r.series.enabled()) {
@@ -133,6 +164,13 @@ RunResult::writeJson(JsonWriter &json) const
     json.key("total_pj").value(energy.totalPj());
     json.endObject();
 
+    if (traceAttached) {
+        json.key("trace").beginObject();
+        json.key("records_recorded").value(traceRecordsRecorded);
+        json.key("records_dropped").value(traceRecordsDropped);
+        json.endObject();
+    }
+
     json.endObject();
 }
 
@@ -145,14 +183,22 @@ RunResult::toJson() const
 }
 
 RunResult
-collectRun(const SystemConfig &config, const AppProfile &app)
+collectRun(const SystemConfig &config, const AppProfile &app,
+           HostProfiler *profiler)
 {
     RunResult out;
     out.app = app.name;
     out.config = config;
     SimSystem system(config, app);
+    if (profiler != nullptr)
+        system.setProfiler(profiler);
     system.run();
     out.results = system.results();
+    if (const TraceSink *sink = system.trace()) {
+        out.traceAttached = true;
+        out.traceRecordsRecorded = sink->recorded();
+        out.traceRecordsDropped = sink->dropped();
+    }
     const MainMemory &memory = system.coherence().memory();
     out.memoryReads = memory.reads.value();
     out.memoryWritebacks = memory.writebacks.value();

@@ -56,6 +56,11 @@ struct RunResult
     std::uint64_t memoryWritebacks = 0;
     /** Energy estimate derived from the counts above. */
     EnergyBreakdown energy;
+    /** @{ Trace-sink accounting (valid when a sink was attached). */
+    bool traceAttached = false;
+    std::uint64_t traceRecordsRecorded = 0;
+    std::uint64_t traceRecordsDropped = 0;
+    /** @} */
 
     /** Serialize as a single JSON object (no trailing newline). */
     std::string toJson() const;
@@ -68,8 +73,13 @@ struct RunResult
  * Run one configuration to completion and collect a RunResult.
  * Builds the SimSystem on the calling thread; safe to invoke
  * concurrently from many threads (one system per call).
+ *
+ * A non-null @p profiler is attached to the system for the run
+ * (see sim/profiler.hh); its wall-clock totals stay out of the
+ * RunResult so the JSON remains deterministic.
  */
-RunResult collectRun(const SystemConfig &config, const AppProfile &app);
+RunResult collectRun(const SystemConfig &config, const AppProfile &app,
+                     HostProfiler *profiler = nullptr);
 
 } // namespace vsnoop
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace vsnoop
 {
@@ -157,6 +158,15 @@ SimSystem::build(const std::vector<AppProfile> &apps)
 }
 
 void
+SimSystem::setProfiler(HostProfiler *profiler)
+{
+    profiler_ = profiler;
+    coherence_->setProfiler(profiler);
+    for (auto &driver : drivers_)
+        driver->setProfiler(profiler);
+}
+
+void
 SimSystem::scheduleContentScan()
 {
     // Periodic re-scan: models the hypervisor's continuous page
@@ -189,6 +199,8 @@ SimSystem::resetAllStats()
 void
 SimSystem::run()
 {
+    if (profiler_)
+        profiler_->begin();
     for (auto &driver : drivers_)
         driver->start();
     if (migrator_)
@@ -256,9 +268,14 @@ SimSystem::run()
         sampler_->stop();
     // Drain any still-queued responses so tokens settle (keeps the
     // final invariant check meaningful).
-    eq_.run(1000000);
+    {
+        ProfileScope drain(profiler_, HostProfiler::Phase::Drain);
+        eq_.run(1000000);
+    }
     if (config_.invariantCheckPeriod > 0)
         coherence_->checkInvariants();
+    if (profiler_)
+        profiler_->end(eq_.eventsProcessed());
 }
 
 SystemResults
@@ -274,6 +291,12 @@ SimSystem::results() const
     r.trafficByteHops = network_->stats().totalByteHops();
     r.meanMissLatency = cs.missLatency.mean();
     r.meanRoMissLatency = cs.roMissLatency.mean();
+    r.latency = cs.latency;
+    for (std::size_t i = 0; i < kNumFilterReasons; ++i)
+        r.latencyByReason[i] = cs.latencyByReason[i];
+    r.latencyFirstTry = cs.latencyFirstTry;
+    r.latencyRetried = cs.latencyRetried;
+    r.links = network_->linkStats();
     for (std::size_t i = 0; i < kNumDataSources; ++i) {
         r.dataFrom[i] = cs.dataFrom[i].value();
         r.roDataFrom[i] = cs.roDataFrom[i].value();

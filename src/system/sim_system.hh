@@ -147,6 +147,14 @@ struct SystemResults
     double meanMissLatency = 0.0;
     /** Mean RO-shared transaction latency (ticks). */
     double meanRoMissLatency = 0.0;
+    /** @{ Log2-bucketed transaction-latency histograms (ticks). */
+    LatencyHistogram latency;
+    LatencyHistogram latencyByReason[kNumFilterReasons];
+    LatencyHistogram latencyFirstTry;
+    LatencyHistogram latencyRetried;
+    /** @} */
+    /** Per-link traffic (empty for the ideal crossbar). */
+    std::vector<LinkStat> links;
     /** vCPU map maintenance (VirtualSnoop only). */
     std::uint64_t mapAdds = 0;
     std::uint64_t mapRemovals = 0;
@@ -188,6 +196,13 @@ class SimSystem
     /** Null unless captureTrace / tracePath requested a sink. */
     TraceSink *trace() { return trace_.get(); }
     const TraceSink *trace() const { return trace_.get(); }
+    /**
+     * Attach a host self-profiler (sim/profiler.hh) before run().
+     * The caller owns it and must keep it alive for the run; run()
+     * brackets the simulation with begin()/end() and the
+     * instrumented components charge their phases to it.
+     */
+    void setProfiler(HostProfiler *profiler);
     const SystemConfig &config() const { return config_; }
     VcpuDriver &driver(VCpuId vcpu) { return *drivers_.at(vcpu); }
     std::size_t numDrivers() const { return drivers_.size(); }
@@ -215,6 +230,7 @@ class SimSystem
     std::unique_ptr<TraceMigrator> traceMigrator_;
     std::unique_ptr<TraceSink> trace_;
     std::unique_ptr<IntervalSampler> sampler_;
+    HostProfiler *profiler_ = nullptr;
     /** Stops auxiliary event chains (periodic scans) at run end. */
     bool stopAux_ = false;
     /** Tick at which warmup ended and measurement began. */

@@ -1,9 +1,11 @@
 #include "system/sweep.hh"
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace vsnoop
 {
@@ -95,7 +97,7 @@ runIndexed(std::size_t count, unsigned jobs,
 }
 
 std::vector<RunResult>
-runSweep(const SweepMatrix &matrix, unsigned jobs)
+runSweep(const SweepMatrix &matrix, unsigned jobs, HostProfiler *profile)
 {
     std::vector<SweepPoint> points = matrix.expand();
     // Resolve profiles up front: findApp() is fatal on a bad name,
@@ -106,9 +108,21 @@ runSweep(const SweepMatrix &matrix, unsigned jobs)
         profiles.push_back(&findApp(p.app));
 
     std::vector<RunResult> results(points.size());
+    std::mutex profile_mutex;
     runIndexed(points.size(), jobs, [&](std::size_t i) {
-        results[i] =
-            collectRun(matrix.configFor(points[i]), *profiles[i]);
+        if (profile == nullptr) {
+            results[i] =
+                collectRun(matrix.configFor(points[i]), *profiles[i]);
+            return;
+        }
+        // Each run profiles into a worker-local collector; only the
+        // end-of-run merge takes the lock, so profiling adds no
+        // cross-thread traffic to the hot path.
+        HostProfiler local;
+        results[i] = collectRun(matrix.configFor(points[i]),
+                                *profiles[i], &local);
+        std::lock_guard<std::mutex> lock(profile_mutex);
+        profile->merge(local);
     });
     return results;
 }

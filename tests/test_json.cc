@@ -1,6 +1,6 @@
 /**
  * @file
- * Unit tests for the deterministic JSON writer.
+ * Unit tests for the deterministic JSON writer and the parser.
  */
 
 #include <limits>
@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/json.hh"
+#include "sim/stats.hh"
 
 namespace vsnoop::test
 {
@@ -94,6 +95,112 @@ TEST(Json, MisuseAsserts)
             json.key("k"); // keys are object-only
         },
         "inside an object");
+}
+
+TEST(JsonParser, ParsesScalarsAndContainers)
+{
+    auto v = parseJson(
+        R"({"name":"run","count":3,"ok":true,"none":null,)"
+        R"("inner":{"ratio":0.5},"list":[1,2,3]})");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->isObject());
+    EXPECT_EQ(v->stringAt("name"), "run");
+    EXPECT_EQ(v->numberAt("count"), 3.0);
+    ASSERT_NE(v->find("ok"), nullptr);
+    EXPECT_TRUE(v->find("ok")->boolean());
+    EXPECT_TRUE(v->find("none")->isNull());
+    const JsonValue *inner = v->find("inner");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_DOUBLE_EQ(inner->numberAt("ratio"), 0.5);
+    const JsonValue *list = v->find("list");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->items().size(), 3u);
+    EXPECT_EQ(list->items()[1].number(), 2.0);
+}
+
+TEST(JsonParser, PreservesMemberOrder)
+{
+    auto v = parseJson(R"({"z":1,"a":2,"m":3})");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(v->members().size(), 3u);
+    EXPECT_EQ(v->members()[0].first, "z");
+    EXPECT_EQ(v->members()[1].first, "a");
+    EXPECT_EQ(v->members()[2].first, "m");
+}
+
+TEST(JsonParser, HandlesEscapesAndNumbers)
+{
+    auto v = parseJson(
+        R"(["a\"b\\c", "tab\there", "A", -2.5, 1e+300, 0.1])");
+    ASSERT_TRUE(v.has_value());
+    const auto &items = v->items();
+    ASSERT_EQ(items.size(), 6u);
+    EXPECT_EQ(items[0].string(), "a\"b\\c");
+    EXPECT_EQ(items[1].string(), "tab\there");
+    EXPECT_EQ(items[2].string(), "A");
+    EXPECT_DOUBLE_EQ(items[3].number(), -2.5);
+    EXPECT_DOUBLE_EQ(items[4].number(), 1e300);
+    EXPECT_DOUBLE_EQ(items[5].number(), 0.1);
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("{\"open\":1", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseJson("[1,2,]").has_value());
+    EXPECT_FALSE(parseJson("").has_value());
+    // Trailing garbage after a complete value is an error, so
+    // concatenated documents can't be silently half-read.
+    EXPECT_FALSE(parseJson("{} {}").has_value());
+    EXPECT_FALSE(parseJson("nulll").has_value());
+}
+
+TEST(JsonParser, MissingLookupsFallBack)
+{
+    auto v = parseJson(R"({"present":7})");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("absent"), nullptr);
+    EXPECT_EQ(v->numberAt("absent", -1.0), -1.0);
+    EXPECT_EQ(v->stringAt("absent", "fallback"), "fallback");
+    EXPECT_EQ(v->numberAt("present"), 7.0);
+}
+
+TEST(JsonParser, HistogramJsonRoundTrips)
+{
+    // The writer side of the observability pipeline must be readable
+    // by the parser side (vsnoopreport) without loss.
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(5);
+    for (int i = 0; i < 10; ++i)
+        h.sample(1000);
+    JsonWriter json;
+    h.writeJson(json);
+    auto v = parseJson(json.str());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->numberAt("count"), 110.0);
+    EXPECT_EQ(v->numberAt("sum"), 100.0 * 5 + 10 * 1000);
+    EXPECT_EQ(v->numberAt("min"), 5.0);
+    EXPECT_EQ(v->numberAt("max"), 1000.0);
+    EXPECT_DOUBLE_EQ(v->numberAt("mean"), h.mean());
+    EXPECT_EQ(v->numberAt("p50"), double(h.quantile(0.5)));
+    EXPECT_EQ(v->numberAt("p99"), double(h.quantile(0.99)));
+    const JsonValue *buckets = v->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    // Trimmed after the last populated bucket (index 10).
+    ASSERT_EQ(buckets->items().size(), 11u);
+    EXPECT_EQ(buckets->items()[3].number(), 100.0);
+    EXPECT_EQ(buckets->items()[10].number(), 10.0);
+    // An empty histogram round-trips to an empty bucket list.
+    LatencyHistogram empty;
+    JsonWriter ejson;
+    empty.writeJson(ejson);
+    auto ev = parseJson(ejson.str());
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->numberAt("count"), 0.0);
+    ASSERT_NE(ev->find("buckets"), nullptr);
+    EXPECT_TRUE(ev->find("buckets")->items().empty());
 }
 
 } // namespace vsnoop::test

@@ -170,4 +170,114 @@ TEST(IdealCrossbar, TrafficIsSingleHop)
     EXPECT_EQ(xbar.stats().byteHops[dat].value(), 5u * 16);
 }
 
+namespace
+{
+const LinkStat *
+findLink(const std::vector<LinkStat> &links, NodeId from, NodeId to)
+{
+    for (const LinkStat &l : links)
+        if (l.from == from && l.to == to)
+            return &l;
+    return nullptr;
+}
+} // namespace
+
+TEST(MeshLinkStats, GeometryOfFourByFour)
+{
+    Mesh mesh(defaultConfig());
+    std::vector<LinkStat> links = mesh.linkStats();
+    // 4x4: 2*4*3 horizontal + 2*4*3 vertical directed links plus one
+    // loopback pseudo-link per node.
+    EXPECT_EQ(links.size(), 48u + 16u);
+    std::size_t loopbacks = 0;
+    for (const LinkStat &l : links) {
+        EXPECT_LT(l.from, 16u);
+        EXPECT_LT(l.to, 16u);
+        if (l.from == l.to)
+            loopbacks++;
+        else
+            EXPECT_EQ(mesh.hopCount(l.from, l.to), 1u);
+    }
+    EXPECT_EQ(loopbacks, 16u);
+}
+
+TEST(MeshLinkStats, PerLinkSumsConserveAggregateByteHops)
+{
+    Mesh mesh(defaultConfig());
+    // A mix of classes, routes, and local deliveries; the per-link
+    // ledger (including loopback pseudo-links) must sum to the
+    // aggregate byte-hop counters exactly, per message class.
+    mesh.send(0, 3, 8, MsgClass::Request, 0);
+    mesh.send(5, 5, 8, MsgClass::Request, 0);
+    mesh.send(15, 0, 72, MsgClass::Data, 0);
+    mesh.send(2, 14, 8, MsgClass::Response, 10);
+    mesh.send(7, 7, 20, MsgClass::Control, 10);
+    mesh.send(1, 13, 8, MsgClass::Control, 20);
+    mesh.send(12, 15, 72, MsgClass::Data, 20);
+
+    std::vector<LinkStat> links = mesh.linkStats();
+    for (std::size_t c = 0; c < kNumMsgClasses; ++c) {
+        std::uint64_t per_link = 0;
+        for (const LinkStat &l : links)
+            per_link += l.byteHops[c];
+        EXPECT_EQ(per_link, mesh.stats().byteHops[c].value())
+            << "class " << c;
+    }
+}
+
+TEST(MeshLinkStats, LoopbacksCarryBytesButNoCycles)
+{
+    Mesh mesh(defaultConfig());
+    mesh.send(5, 5, 20, MsgClass::Control, 0); // 2 flits
+    std::vector<LinkStat> links = mesh.linkStats();
+    const LinkStat *loop = findLink(links, 5, 5);
+    ASSERT_NE(loop, nullptr);
+    auto ctl = static_cast<std::size_t>(MsgClass::Control);
+    EXPECT_EQ(loop->byteHops[ctl], 2u * 16);
+    // Local delivery bypasses the network, so the pseudo-link never
+    // accumulates occupancy or backlog.
+    EXPECT_EQ(loop->busyCycles, 0u);
+    EXPECT_EQ(loop->waitCycles, 0u);
+}
+
+TEST(MeshLinkStats, BusyAndWaitCyclesOnContendedLink)
+{
+    Mesh mesh(defaultConfig()); // pipeline 4, link latency 1
+    // Two 5-flit messages over the same single link.  Each occupies
+    // the link for 5 cycles; the second head is ready at tick 4 but
+    // the link is busy until tick 9, so it logs 5 wait cycles.
+    mesh.send(0, 1, 72, MsgClass::Data, 0);
+    mesh.send(0, 1, 72, MsgClass::Data, 0);
+    const LinkStat *east = findLink(mesh.linkStats(), 0, 1);
+    ASSERT_NE(east, nullptr);
+    EXPECT_EQ(east->busyCycles, 10u);
+    EXPECT_EQ(east->waitCycles, 5u);
+    EXPECT_EQ(east->totalByteHops(), 2u * 5 * 16);
+    // The reverse direction is a distinct link and stays idle.
+    const LinkStat *west = findLink(mesh.linkStats(), 1, 0);
+    ASSERT_NE(west, nullptr);
+    EXPECT_EQ(west->totalByteHops(), 0u);
+    EXPECT_EQ(west->busyCycles, 0u);
+}
+
+TEST(MeshLinkStats, ResetStatsClearsLinkLedger)
+{
+    Mesh mesh(defaultConfig());
+    mesh.send(0, 15, 72, MsgClass::Data, 0);
+    mesh.send(3, 3, 8, MsgClass::Request, 0);
+    mesh.resetStats();
+    for (const LinkStat &l : mesh.linkStats()) {
+        EXPECT_EQ(l.totalByteHops(), 0u);
+        EXPECT_EQ(l.busyCycles, 0u);
+        EXPECT_EQ(l.waitCycles, 0u);
+    }
+}
+
+TEST(IdealCrossbar, HasNoPerLinkStats)
+{
+    IdealCrossbar xbar(16, 8);
+    xbar.send(0, 15, 72, MsgClass::Data, 0);
+    EXPECT_TRUE(xbar.linkStats().empty());
+}
+
 } // namespace vsnoop::test

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the host self-profiler.
+ *
+ * Wall-clock durations are nondeterministic, so these tests assert
+ * structural properties — conservation of the profiled interval
+ * across phases, stack discipline, merge arithmetic — rather than
+ * absolute times.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/profiler.hh"
+
+namespace vsnoop::test
+{
+
+namespace
+{
+/** Burn a little CPU so phase intervals are nonzero-ish. */
+volatile std::uint64_t busy_sink = 0;
+void
+spin()
+{
+    for (int i = 0; i < 10000; ++i)
+        busy_sink = busy_sink + static_cast<std::uint64_t>(i);
+}
+} // namespace
+
+TEST(HostProfiler, StartsIdleAndEmpty)
+{
+    HostProfiler p;
+    EXPECT_FALSE(p.running());
+    EXPECT_EQ(p.totalNanos(), 0u);
+    EXPECT_EQ(p.events(), 0u);
+    EXPECT_EQ(p.eventsPerSecond(), 0.0);
+}
+
+TEST(HostProfiler, PhaseNanosSumToTotal)
+{
+    HostProfiler p;
+    p.begin();
+    EXPECT_TRUE(p.running());
+    {
+        ProfileScope gen(&p, HostProfiler::Phase::Generate);
+        spin();
+    }
+    {
+        ProfileScope coh(&p, HostProfiler::Phase::Coherence);
+        spin();
+        // Nested network send inside coherence work: exclusive
+        // attribution charges the inner interval to Network only.
+        ProfileScope net(&p, HostProfiler::Phase::Network);
+        spin();
+    }
+    p.end(1234);
+    EXPECT_FALSE(p.running());
+    EXPECT_EQ(p.events(), 1234u);
+    std::uint64_t sum = 0;
+    sum += p.phaseNanos(HostProfiler::Phase::Generate);
+    sum += p.phaseNanos(HostProfiler::Phase::Coherence);
+    sum += p.phaseNanos(HostProfiler::Phase::Network);
+    sum += p.phaseNanos(HostProfiler::Phase::Drain);
+    sum += p.phaseNanos(HostProfiler::Phase::Other);
+    EXPECT_EQ(sum, p.totalNanos());
+    EXPECT_GT(p.totalNanos(), 0u);
+    EXPECT_GT(p.eventsPerSecond(), 0.0);
+    EXPECT_EQ(p.phaseNanos(HostProfiler::Phase::Drain), 0u);
+}
+
+TEST(HostProfiler, NullScopeIsANoOp)
+{
+    // The zero-cost-when-off contract: guards on a null profiler
+    // must not touch any profiler state (there is none to touch).
+    ProfileScope scope(nullptr, HostProfiler::Phase::Coherence);
+    ProfileScope nested(nullptr, HostProfiler::Phase::Network);
+    SUCCEED();
+}
+
+TEST(HostProfiler, MergeAddsTotalsAndEvents)
+{
+    HostProfiler a;
+    a.begin();
+    {
+        ProfileScope gen(&a, HostProfiler::Phase::Generate);
+        spin();
+    }
+    a.end(100);
+
+    HostProfiler b;
+    b.begin();
+    {
+        ProfileScope net(&b, HostProfiler::Phase::Network);
+        spin();
+    }
+    b.end(50);
+
+    std::uint64_t a_total = a.totalNanos();
+    std::uint64_t b_total = b.totalNanos();
+    std::uint64_t b_net = b.phaseNanos(HostProfiler::Phase::Network);
+    a.merge(b);
+    EXPECT_EQ(a.totalNanos(), a_total + b_total);
+    EXPECT_EQ(a.events(), 150u);
+    EXPECT_EQ(a.phaseNanos(HostProfiler::Phase::Network), b_net);
+}
+
+TEST(HostProfiler, ReentrantBeginAccumulates)
+{
+    // begin()/end() may bracket several runs; totals accumulate.
+    HostProfiler p;
+    p.begin();
+    p.end(10);
+    std::uint64_t first = p.totalNanos();
+    p.begin();
+    spin();
+    p.end(5);
+    EXPECT_GE(p.totalNanos(), first);
+    EXPECT_EQ(p.events(), 15u);
+}
+
+TEST(HostProfiler, PhaseNamesAreStable)
+{
+    EXPECT_STREQ(profilePhaseName(HostProfiler::Phase::Generate),
+                 "generate");
+    EXPECT_STREQ(profilePhaseName(HostProfiler::Phase::Coherence),
+                 "coherence");
+    EXPECT_STREQ(profilePhaseName(HostProfiler::Phase::Network),
+                 "network");
+    EXPECT_STREQ(profilePhaseName(HostProfiler::Phase::Drain), "drain");
+    EXPECT_STREQ(profilePhaseName(HostProfiler::Phase::Other), "other");
+}
+
+TEST(HostProfiler, WriteProfileMentionsEveryPhase)
+{
+    HostProfiler p;
+    p.begin();
+    {
+        ProfileScope coh(&p, HostProfiler::Phase::Coherence);
+        spin();
+    }
+    p.end(42);
+    std::ostringstream os;
+    writeProfile(os, p);
+    std::string text = os.str();
+    EXPECT_NE(text.find("host profile"), std::string::npos);
+    EXPECT_NE(text.find("coherence"), std::string::npos);
+    EXPECT_NE(text.find("generate"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(HostProfilerDeath, UnbalancedUseAsserts)
+{
+    EXPECT_DEATH(
+        {
+            HostProfiler p;
+            p.end(0); // end without begin
+        },
+        "");
+    EXPECT_DEATH(
+        {
+            HostProfiler p;
+            p.begin();
+            p.exit(); // exit would pop the implicit Other frame
+        },
+        "");
+}
+
+} // namespace vsnoop::test

@@ -263,4 +263,86 @@ TEST(StatSet, DumpJsonIsStructured)
               "\"min\":2,\"max\":4}}");
 }
 
+TEST(LatencyHistogram, BucketBoundariesAreLog2)
+{
+    // Bucket 0 holds only zero; bucket i >= 1 holds the values with
+    // exactly i significant bits: [2^(i-1), 2^i - 1].
+    EXPECT_EQ(LatencyHistogram::bucketFor(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(1), 1u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(2), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(3), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(4), 3u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(7), 3u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(8), 4u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(1023), 10u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(1024), 11u);
+    for (std::size_t i = 1; i < LatencyHistogram::kNumBuckets - 1; ++i) {
+        std::uint64_t lo = LatencyHistogram::bucketLowerEdge(i);
+        std::uint64_t hi = LatencyHistogram::bucketUpperEdge(i);
+        EXPECT_EQ(LatencyHistogram::bucketFor(lo), i);
+        EXPECT_EQ(LatencyHistogram::bucketFor(hi), i);
+        EXPECT_EQ(hi + 1, LatencyHistogram::bucketLowerEdge(i + 1));
+    }
+    // Values past the last finite boundary clamp into the overflow
+    // bucket rather than indexing out of range.
+    EXPECT_EQ(LatencyHistogram::bucketFor(std::uint64_t{1} << 45),
+              LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogram, MomentsTrackSamples)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    h.sample(10);
+    h.sample(30);
+    h.sample(20);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 60u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(LatencyHistogram, QuantilesAnswerFromBucketEdges)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(5); // bucket 3: [4, 7]
+    for (int i = 0; i < 10; ++i)
+        h.sample(1000); // bucket 10: [512, 1023]
+    // The median rank lands in bucket 3; the histogram answers with
+    // that bucket's inclusive upper edge.
+    EXPECT_EQ(h.quantile(0.5), 7u);
+    // Rank 109 of 110 lands in the top populated bucket, whose edge
+    // (1023) is clamped to the observed maximum.
+    EXPECT_EQ(h.quantile(0.99), 1000u);
+    EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+TEST(LatencyHistogram, QuantileOfUniformValueIsExact)
+{
+    // Every sample identical: edge clamping must recover the exact
+    // value at every quantile, not the bucket boundary.
+    LatencyHistogram h;
+    for (int i = 0; i < 7; ++i)
+        h.sample(227);
+    EXPECT_EQ(h.quantile(0.5), 227u);
+    EXPECT_EQ(h.quantile(0.99), 227u);
+    EXPECT_EQ(h.quantile(0.0), 227u);
+}
+
+TEST(LatencyHistogram, OverflowBucketClampsToObservedRange)
+{
+    LatencyHistogram h;
+    h.sample(std::uint64_t{1} << 45);
+    EXPECT_EQ(h.bucketHits(LatencyHistogram::kNumBuckets - 1), 1u);
+    EXPECT_EQ(h.quantile(0.5), std::uint64_t{1} << 45);
+}
+
 } // namespace vsnoop::test

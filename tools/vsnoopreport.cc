@@ -1,0 +1,907 @@
+/**
+ * @file
+ * vsnoopreport — turn run/sweep JSON into a self-contained HTML
+ * report, and gate CI on metric regressions.
+ *
+ * Report mode renders, per run record: headline stat tiles, the
+ * 4x4 (or WxH) per-link mesh utilization heatmap from the
+ * "results.links" array, transaction-latency histograms (all /
+ * first-try / retried and per FilterReason), a filter-reason
+ * breakdown, and — when the record carries a "timeseries" key —
+ * the filtered-vs-broadcast request time series.  The output is a
+ * single HTML file with inline SVG and no external assets, so it
+ * can be attached as a CI artifact and opened anywhere.
+ *
+ *   vsnoopreport --out report.html sweep.jsonl
+ *
+ * Diff mode compares two result sets (JSON-lines or single-object
+ * files) by run identity (app, policy, relocation, ro_policy,
+ * seed) and exits non-zero when any watched metric regressed by
+ * more than --threshold (relative), giving CI a perf gate:
+ *
+ *   vsnoopreport --diff BENCH_baseline.json fresh.jsonl \
+ *                --threshold 0.05
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+using namespace vsnoop;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "vsnoopreport — HTML reports and regression gating for\n"
+        "vsnoopsim/vsnoopsweep JSON output\n"
+        "\n"
+        "report mode:\n"
+        "  vsnoopreport [--out FILE] RESULTS.json [MORE.jsonl ...]\n"
+        "    Render an HTML report (default report.html) from one or\n"
+        "    more result files.  Files may be a single JSON object\n"
+        "    (vsnoopsim --json) or JSON lines (vsnoopsweep).\n"
+        "\n"
+        "diff mode:\n"
+        "  vsnoopreport --diff BASELINE CURRENT [--threshold F]\n"
+        "    Match runs by (app, policy, relocation, ro_policy,\n"
+        "    seed) and compare runtime, snoop lookups, traffic\n"
+        "    byte-hops and mean miss latency.  Exits 1 when any\n"
+        "    metric regressed by more than F (default 0.05 = 5%),\n"
+        "    or when a baseline run is missing from CURRENT.\n"
+        "\n"
+        "  --help                this text\n";
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::cerr << "vsnoopreport: " << msg << "\n";
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        die("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+/**
+ * Load a result file: one JSON object per line (sweep output), or
+ * a single JSON object spanning the whole file (vsnoopsim --json).
+ */
+std::vector<JsonValue>
+loadRecords(const std::string &path)
+{
+    std::string text = readFile(path);
+    std::string error;
+    // Whole-file parse first: vsnoopsim output is one object and
+    // must not be split on embedded newlines.
+    if (auto whole = parseJson(text, &error)) {
+        if (whole->isObject())
+            return {std::move(*whole)};
+        die("'" + path + "' is valid JSON but not an object");
+    }
+    std::vector<JsonValue> records;
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(lines, line)) {
+        lineno++;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        auto rec = parseJson(line, &error);
+        if (!rec || !rec->isObject())
+            die("'" + path + "' line " + std::to_string(lineno) +
+                ": " + (rec ? "not a JSON object" : error));
+        records.push_back(std::move(*rec));
+    }
+    if (records.empty())
+        die("'" + path + "' contains no result records");
+    return records;
+}
+
+/** Run identity used to match baseline and current records. */
+std::string
+runKey(const JsonValue &rec)
+{
+    std::string key = rec.stringAt("app", "?");
+    key += ' ';
+    key += rec.stringAt("policy", "?");
+    key += ' ';
+    key += rec.stringAt("relocation", "?");
+    key += ' ';
+    key += rec.stringAt("ro_policy", "?");
+    key += " seed=";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", rec.numberAt("seed", 0));
+    key += buf;
+    return key;
+}
+
+double
+resultNum(const JsonValue &rec, const std::string &name)
+{
+    const JsonValue *results = rec.find("results");
+    return results ? results->numberAt(name) : 0.0;
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+/** Compact magnitude formatting: 12.3k, 4.5M, ... */
+std::string
+human(double v)
+{
+    double a = std::fabs(v);
+    if (a >= 1e9)
+        return fmt(v / 1e9, 2) + "G";
+    if (a >= 1e6)
+        return fmt(v / 1e6, 2) + "M";
+    if (a >= 1e4)
+        return fmt(v / 1e3, 1) + "k";
+    if (a == std::floor(a))
+        return fmt(v, 0);
+    return fmt(v, 1);
+}
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Diff mode
+// ---------------------------------------------------------------------
+
+struct WatchedMetric
+{
+    const char *name;
+    /** Ignore relative changes when the baseline is below this. */
+    double floor;
+};
+
+/** Lower is better for all of these. */
+constexpr WatchedMetric kWatched[] = {
+    {"runtime", 1.0},
+    {"snoop_lookups", 1.0},
+    {"traffic_byte_hops", 1.0},
+    {"mean_miss_latency", 1e-9},
+};
+
+int
+runDiff(const std::string &baseline_path, const std::string &current_path,
+        double threshold)
+{
+    std::vector<JsonValue> baseline = loadRecords(baseline_path);
+    std::vector<JsonValue> current = loadRecords(current_path);
+    std::map<std::string, const JsonValue *> current_by_key;
+    for (const JsonValue &rec : current)
+        current_by_key[runKey(rec)] = &rec;
+
+    int regressions = 0;
+    int improvements = 0;
+    for (const JsonValue &base : baseline) {
+        std::string key = runKey(base);
+        auto it = current_by_key.find(key);
+        if (it == current_by_key.end()) {
+            std::cout << "MISSING    " << key
+                      << " (in baseline, not in current)\n";
+            regressions++;
+            continue;
+        }
+        for (const WatchedMetric &metric : kWatched) {
+            double b = resultNum(base, metric.name);
+            double c = resultNum(*it->second, metric.name);
+            if (b < metric.floor) {
+                if (c >= metric.floor && c > b)
+                    std::cout << "REGRESSION " << key << " "
+                              << metric.name << ": " << human(b)
+                              << " -> " << human(c) << "\n";
+                if (c >= metric.floor && c > b)
+                    regressions++;
+                continue;
+            }
+            double rel = (c - b) / b;
+            if (rel > threshold) {
+                std::cout << "REGRESSION " << key << " " << metric.name
+                          << ": " << human(b) << " -> " << human(c)
+                          << " (+" << fmt(100.0 * rel, 1) << "%)\n";
+                regressions++;
+            } else if (rel < -threshold) {
+                std::cout << "improved   " << key << " " << metric.name
+                          << ": " << human(b) << " -> " << human(c)
+                          << " (" << fmt(100.0 * rel, 1) << "%)\n";
+                improvements++;
+            }
+        }
+    }
+    std::cout << "vsnoopreport: " << baseline.size() << " baseline run(s), "
+              << regressions << " regression(s), " << improvements
+              << " improvement(s) at threshold "
+              << fmt(100.0 * threshold, 1) << "%\n";
+    return regressions > 0 ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------
+// Report mode
+// ---------------------------------------------------------------------
+
+/**
+ * Sequential blue ramp (light -> dark), used for link-utilization
+ * magnitude.  Step 100 reads as "near zero" and recedes toward the
+ * surface; step 700 is the hottest link.
+ */
+constexpr const char *kRamp[] = {
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+};
+constexpr std::size_t kRampSteps = sizeof(kRamp) / sizeof(kRamp[0]);
+
+const char *
+rampColor(double t)
+{
+    t = std::clamp(t, 0.0, 1.0);
+    auto idx = static_cast<std::size_t>(
+        std::lround(t * static_cast<double>(kRampSteps - 1)));
+    return kRamp[idx];
+}
+
+struct LinkRec
+{
+    unsigned from = 0;
+    unsigned to = 0;
+    double value = 0.0;
+    double busy = 0.0;
+    double wait = 0.0;
+};
+
+/**
+ * Extract per-link values from "results.links".  @p cls selects
+ * one message class ("request", ...) or, when empty, the sum over
+ * all classes.
+ */
+std::vector<LinkRec>
+extractLinks(const JsonValue &rec, const std::string &cls)
+{
+    std::vector<LinkRec> out;
+    const JsonValue *results = rec.find("results");
+    const JsonValue *links = results ? results->find("links") : nullptr;
+    if (links == nullptr || !links->isArray())
+        return out;
+    for (const JsonValue &link : links->items()) {
+        LinkRec lr;
+        lr.from = static_cast<unsigned>(link.numberAt("from"));
+        lr.to = static_cast<unsigned>(link.numberAt("to"));
+        lr.busy = link.numberAt("busy_cycles");
+        lr.wait = link.numberAt("wait_cycles");
+        if (const JsonValue *bh = link.find("byte_hops")) {
+            if (cls.empty()) {
+                for (const auto &member : bh->members())
+                    if (member.second.isNumber())
+                        lr.value += member.second.number();
+            } else {
+                lr.value = bh->numberAt(cls);
+            }
+        }
+        out.push_back(lr);
+    }
+    return out;
+}
+
+/**
+ * One WxH mesh heatmap as inline SVG.  Physical directed links are
+ * thick strokes colored by the sequential ramp; node squares carry
+ * the node id, with loopback traffic in the hover tooltip.
+ */
+std::string
+heatmapSvg(const std::vector<LinkRec> &links, unsigned width,
+           unsigned height, const std::string &title)
+{
+    constexpr int kCell = 86;
+    constexpr int kPad = 26;
+    constexpr int kNode = 34;
+    constexpr int kLegendH = 40;
+    int w = kPad * 2 + kCell * static_cast<int>(width - 1) + kNode;
+    int h = kPad * 2 + kCell * static_cast<int>(height - 1) + kNode +
+            kLegendH;
+
+    double max_v = 0.0;
+    for (const LinkRec &l : links)
+        if (l.from != l.to)
+            max_v = std::max(max_v, l.value);
+
+    auto cx = [&](unsigned n) {
+        return kPad + kNode / 2 + kCell * static_cast<int>(n % width);
+    };
+    auto cy = [&](unsigned n) {
+        return kPad + kNode / 2 + kCell * static_cast<int>(n / width);
+    };
+
+    std::ostringstream svg;
+    svg << "<svg class=\"heatmap\" width=\"" << w << "\" height=\"" << h
+        << "\" viewBox=\"0 0 " << w << " " << h
+        << "\" role=\"img\" aria-label=\"" << htmlEscape(title)
+        << "\">\n";
+    svg << "<text x=\"" << kPad << "\" y=\"14\" class=\"charttitle\">"
+        << htmlEscape(title) << "</text>\n";
+
+    // Links first (under the node squares).
+    for (const LinkRec &l : links) {
+        if (l.from == l.to)
+            continue;
+        int x1 = cx(l.from), y1 = cy(l.from);
+        int x2 = cx(l.to), y2 = cy(l.to);
+        // Parallel directed lanes: each direction of a physical
+        // channel is offset to its own side so both stay visible.
+        int ox = 0, oy = 0;
+        if (x2 > x1)
+            oy = -5;
+        else if (x2 < x1)
+            oy = 5;
+        else if (y2 > y1)
+            ox = 5;
+        else
+            ox = -5;
+        // Trim to the node edges plus a 2px surface gap.
+        int trim = kNode / 2 + 2;
+        int dx = (x2 > x1) - (x2 < x1);
+        int dy = (y2 > y1) - (y2 < y1);
+        const char *color = (max_v > 0.0 && l.value > 0.0)
+                                ? rampColor(l.value / max_v)
+                                : "var(--grid)";
+        svg << "<line x1=\"" << x1 + dx * trim + ox << "\" y1=\""
+            << y1 + dy * trim + oy << "\" x2=\"" << x2 - dx * trim + ox
+            << "\" y2=\"" << y2 - dy * trim + oy
+            << "\" stroke=\"" << color
+            << "\" stroke-width=\"7\"><title>" << l.from << " &#8594; "
+            << l.to << ": " << human(l.value) << " byte-hops, busy "
+            << human(l.busy) << " cy, waited " << human(l.wait)
+            << " cy</title></line>\n";
+    }
+
+    // Node squares (loopback traffic in the tooltip).
+    for (const LinkRec &l : links) {
+        if (l.from != l.to)
+            continue;
+        int x = cx(l.from) - kNode / 2;
+        int y = cy(l.from) - kNode / 2;
+        svg << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\""
+            << kNode << "\" height=\"" << kNode
+            << "\" rx=\"4\" class=\"node\"><title>node " << l.from
+            << " local delivery: " << human(l.value)
+            << " byte-hops</title></rect>\n";
+        svg << "<text x=\"" << cx(l.from) << "\" y=\"" << cy(l.from) + 4
+            << "\" text-anchor=\"middle\">" << l.from << "</text>\n";
+    }
+
+    // Legend: the ramp with min/max annotations.
+    int ly = h - kLegendH + 14;
+    int lw = 13;
+    for (std::size_t i = 0; i < kRampSteps; ++i) {
+        svg << "<rect x=\"" << kPad + static_cast<int>(i) * lw
+            << "\" y=\"" << ly << "\" width=\"" << lw
+            << "\" height=\"10\" fill=\"" << kRamp[i] << "\"/>\n";
+    }
+    svg << "<text x=\"" << kPad << "\" y=\"" << ly + 24 << "\">0</text>\n";
+    svg << "<text x=\"" << kPad + static_cast<int>(kRampSteps) * lw
+        << "\" y=\"" << ly + 24 << "\" text-anchor=\"end\">"
+        << human(max_v) << "</text>\n";
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+/** Upper edge label for log2 bucket i (0, 1, 3, 7, ...). */
+std::string
+bucketLabel(std::size_t i)
+{
+    if (i == 0)
+        return "0";
+    return human(std::pow(2.0, static_cast<double>(i)) - 1);
+}
+
+/**
+ * One latency histogram as an SVG bar chart over its populated
+ * log2 buckets, with the summary line underneath the title.
+ */
+std::string
+histogramSvg(const JsonValue &hist, const std::string &title)
+{
+    std::vector<double> buckets;
+    if (const JsonValue *arr = hist.find("buckets")) {
+        if (arr->isArray())
+            for (const JsonValue &b : arr->items())
+                buckets.push_back(b.isNumber() ? b.number() : 0.0);
+    }
+    double count = hist.numberAt("count");
+
+    std::size_t first = buckets.size(), last = 0;
+    double max_b = 0.0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] > 0.0) {
+            first = std::min(first, i);
+            last = std::max(last, i);
+            max_b = std::max(max_b, buckets[i]);
+        }
+    }
+
+    constexpr int kW = 300, kH = 150, kPlotH = 84, kTop = 44;
+    std::ostringstream svg;
+    svg << "<svg class=\"hist\" width=\"" << kW << "\" height=\"" << kH
+        << "\" viewBox=\"0 0 " << kW << " " << kH
+        << "\" role=\"img\" aria-label=\"" << htmlEscape(title)
+        << "\">\n";
+    svg << "<text x=\"0\" y=\"12\" class=\"charttitle\">"
+        << htmlEscape(title) << "</text>\n";
+    svg << "<text x=\"0\" y=\"28\">n=" << human(count) << "  p50 "
+        << human(hist.numberAt("p50")) << "  p90 "
+        << human(hist.numberAt("p90")) << "  p99 "
+        << human(hist.numberAt("p99")) << "</text>\n";
+    if (count <= 0.0 || first > last) {
+        svg << "<text x=\"0\" y=\"" << kTop + 40
+            << "\" class=\"mutedtext\">no samples</text>\n";
+        svg << "</svg>\n";
+        return svg.str();
+    }
+
+    std::size_t n = last - first + 1;
+    double bar_w =
+        static_cast<double>(kW) / static_cast<double>(n);
+    int baseline = kTop + kPlotH;
+    svg << "<line x1=\"0\" y1=\"" << baseline << "\" x2=\"" << kW
+        << "\" y2=\"" << baseline << "\" class=\"axisline\"/>\n";
+    for (std::size_t i = first; i <= last; ++i) {
+        double v = buckets[i];
+        int bh = v > 0.0
+                     ? std::max(2, static_cast<int>(
+                                      std::lround(v / max_b * kPlotH)))
+                     : 0;
+        double x = static_cast<double>(i - first) * bar_w;
+        if (bh > 0) {
+            svg << "<rect x=\"" << fmt(x + 1, 1) << "\" y=\""
+                << baseline - bh << "\" width=\"" << fmt(bar_w - 2, 1)
+                << "\" height=\"" << bh
+                << "\" rx=\"2\" class=\"bar\"><title>["
+                << (i == 0 ? "0" : human(std::pow(
+                                       2.0, static_cast<double>(i - 1))))
+                << " .. " << bucketLabel(i) << "] ticks: " << human(v)
+                << " transactions</title></rect>\n";
+        }
+        // Sparse tick labels: first, last, and every fourth bucket.
+        if (i == first || i == last ||
+            (i - first) % 4 == 0) {
+            svg << "<text x=\"" << fmt(x + bar_w / 2, 1) << "\" y=\""
+                << baseline + 14 << "\" text-anchor=\"middle\">"
+                << bucketLabel(i) << "</text>\n";
+        }
+    }
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+/**
+ * Filter-reason breakdown as labeled horizontal bars (one measure,
+ * so every bar wears series-1; identity is carried by the labels).
+ */
+std::string
+reasonBarsSvg(const JsonValue &by_reason)
+{
+    struct Row
+    {
+        std::string name;
+        double count = 0.0;
+    };
+    std::vector<Row> rows;
+    double max_c = 0.0, total = 0.0;
+    for (const auto &member : by_reason.members()) {
+        double c = member.second.numberAt("count");
+        rows.push_back({member.first, c});
+        max_c = std::max(max_c, c);
+        total += c;
+    }
+    constexpr int kW = 420, kRowH = 24, kLabelW = 130, kValueW = 96;
+    int h = 20 + kRowH * static_cast<int>(rows.size());
+    std::ostringstream svg;
+    svg << "<svg class=\"reasons\" width=\"" << kW << "\" height=\"" << h
+        << "\" viewBox=\"0 0 " << kW << " " << h
+        << "\" role=\"img\" aria-label=\"transactions by filter "
+           "reason\">\n";
+    svg << "<text x=\"0\" y=\"12\" class=\"charttitle\">transactions "
+           "by filter reason</text>\n";
+    int y = 20;
+    int plot_w = kW - kLabelW - kValueW;
+    for (const Row &row : rows) {
+        int bw = (max_c > 0.0 && row.count > 0.0)
+                     ? std::max(2, static_cast<int>(std::lround(
+                                       row.count / max_c * plot_w)))
+                     : 0;
+        svg << "<text x=\"" << kLabelW - 6 << "\" y=\"" << y + 15
+            << "\" text-anchor=\"end\">" << htmlEscape(row.name)
+            << "</text>\n";
+        if (bw > 0) {
+            svg << "<rect x=\"" << kLabelW << "\" y=\"" << y + 5
+                << "\" width=\"" << bw
+                << "\" height=\"12\" rx=\"2\" class=\"bar\"><title>"
+                << htmlEscape(row.name) << ": " << human(row.count)
+                << " transactions ("
+                << fmt(total > 0.0 ? 100.0 * row.count / total : 0.0, 1)
+                << "%)</title></rect>\n";
+        }
+        svg << "<text x=\"" << kLabelW + bw + 6 << "\" y=\"" << y + 15
+            << "\">" << human(row.count) << "</text>\n";
+        y += kRowH;
+    }
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+/**
+ * The filtered-vs-broadcast request time series (two series, so a
+ * legend is present and each line carries a categorical slot).
+ */
+std::string
+timeseriesSvg(const JsonValue &series)
+{
+    const JsonValue *samples = series.find("samples");
+    if (samples == nullptr || !samples->isArray() ||
+        samples->items().empty())
+        return "";
+    std::vector<double> ticks, filtered, broadcast, lookups;
+    for (const JsonValue &s : samples->items()) {
+        ticks.push_back(s.numberAt("tick"));
+        filtered.push_back(s.numberAt("filtered_requests"));
+        broadcast.push_back(s.numberAt("broadcast_requests"));
+        lookups.push_back(s.numberAt("snoop_lookups"));
+    }
+    bool have_split = false;
+    for (std::size_t i = 0; i < ticks.size(); ++i)
+        have_split = have_split || filtered[i] > 0 || broadcast[i] > 0;
+    // TokenB runs have no filtered/broadcast split; chart the
+    // snoop-lookup rate as a single series instead (one series, so
+    // the title names it and no legend box is needed).
+    const std::vector<double> &a = have_split ? filtered : lookups;
+    const std::vector<double> &b = broadcast;
+
+    constexpr int kW = 560, kH = 180, kTop = 40, kPlotH = 110;
+    double max_v = 0.0;
+    for (double v : a)
+        max_v = std::max(max_v, v);
+    if (have_split)
+        for (double v : b)
+            max_v = std::max(max_v, v);
+    if (max_v <= 0.0)
+        max_v = 1.0;
+    double min_t = ticks.front(), max_t = ticks.back();
+    double span_t = std::max(1.0, max_t - min_t);
+
+    auto px = [&](double t) {
+        return 10.0 + (t - min_t) / span_t * (kW - 20);
+    };
+    auto py = [&](double v) {
+        return kTop + kPlotH - v / max_v * kPlotH;
+    };
+    auto polyline = [&](const std::vector<double> &ys,
+                        const char *cls) {
+        std::ostringstream pts;
+        for (std::size_t i = 0; i < ticks.size(); ++i)
+            pts << fmt(px(ticks[i]), 1) << "," << fmt(py(ys[i]), 1)
+                << " ";
+        return "<polyline points=\"" + pts.str() +
+               "\" class=\"" + cls + "\"/>\n";
+    };
+
+    std::ostringstream svg;
+    svg << "<svg class=\"timeseries\" width=\"" << kW << "\" height=\""
+        << kH << "\" viewBox=\"0 0 " << kW << " " << kH
+        << "\" role=\"img\" aria-label=\"request time series\">\n";
+    svg << "<text x=\"10\" y=\"12\" class=\"charttitle\">"
+        << (have_split ? "requests per interval"
+                       : "snoop lookups per interval")
+        << "</text>\n";
+    if (have_split) {
+        // Legend (two series on one plot).
+        svg << "<rect x=\"200\" y=\"4\" width=\"10\" height=\"10\" "
+               "rx=\"2\" class=\"swatch1\"/>"
+               "<text x=\"214\" y=\"13\">VM-multicast (filtered)"
+               "</text>\n";
+        svg << "<rect x=\"360\" y=\"4\" width=\"10\" height=\"10\" "
+               "rx=\"2\" class=\"swatch2\"/>"
+               "<text x=\"374\" y=\"13\">broadcast</text>\n";
+    }
+    for (int g = 0; g <= 2; ++g) {
+        int gy = kTop + kPlotH * g / 2;
+        svg << "<line x1=\"10\" y1=\"" << gy << "\" x2=\"" << kW - 10
+            << "\" y2=\"" << gy << "\" class=\"gridline\"/>\n";
+    }
+    svg << "<text x=\"10\" y=\"" << kTop - 4 << "\">" << human(max_v)
+        << "</text>\n";
+    svg << "<text x=\"10\" y=\"" << kTop + kPlotH + 14
+        << "\">tick " << human(min_t) << "</text>\n";
+    svg << "<text x=\"" << kW - 10 << "\" y=\"" << kTop + kPlotH + 14
+        << "\" text-anchor=\"end\">" << human(max_t) << "</text>\n";
+    svg << polyline(a, "line1");
+    if (have_split)
+        svg << polyline(b, "line2");
+    // Hover targets on the samples of the first series.
+    for (std::size_t i = 0; i < ticks.size(); ++i) {
+        svg << "<circle cx=\"" << fmt(px(ticks[i]), 1) << "\" cy=\""
+            << fmt(py(a[i]), 1) << "\" r=\"6\" class=\"hit\"><title>"
+            << "tick " << human(ticks[i]) << ": " << human(a[i])
+            << (have_split ? " filtered, " : " lookups")
+            << (have_split ? human(b[i]) + " broadcast" : std::string())
+            << "</title></circle>\n";
+    }
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+std::string
+statTile(const std::string &label, const std::string &value)
+{
+    return "<div class=\"tile\"><div class=\"v\">" + htmlEscape(value) +
+           "</div><div class=\"l\">" + htmlEscape(label) +
+           "</div></div>\n";
+}
+
+void
+renderRecord(std::ostream &os, const JsonValue &rec)
+{
+    const JsonValue *results = rec.find("results");
+    os << "<section class=\"card\">\n";
+    os << "<h2>" << htmlEscape(runKey(rec)) << "</h2>\n";
+
+    // Headline stat tiles.
+    double transactions = resultNum(rec, "transactions");
+    os << "<div class=\"tiles\">\n";
+    os << statTile("runtime (ticks)", human(resultNum(rec, "runtime")));
+    os << statTile("transactions", human(transactions));
+    os << statTile("snoops / transaction",
+                   fmt(resultNum(rec, "snoops_per_transaction"), 2));
+    os << statTile("traffic (byte-hops)",
+                   human(resultNum(rec, "traffic_byte_hops")));
+    os << statTile("mean miss latency",
+                   fmt(resultNum(rec, "mean_miss_latency"), 1));
+    double retries = resultNum(rec, "retries");
+    os << statTile("retries", human(retries));
+    os << "</div>\n";
+
+    // Per-link heatmaps.
+    unsigned width = 4, height = 4;
+    if (const JsonValue *config = rec.find("config")) {
+        width = static_cast<unsigned>(
+            std::max(1.0, config->numberAt("mesh_width", 4)));
+        height = static_cast<unsigned>(
+            std::max(1.0, config->numberAt("mesh_height", 4)));
+    }
+    std::vector<LinkRec> request_links = extractLinks(rec, "request");
+    if (!request_links.empty()) {
+        os << "<div class=\"charts\">\n";
+        os << heatmapSvg(request_links, width, height,
+                         "request byte-hops per link");
+        os << heatmapSvg(extractLinks(rec, ""), width, height,
+                         "total byte-hops per link");
+        os << "</div>\n";
+    }
+
+    // Latency histograms and the filter-reason breakdown.
+    if (const JsonValue *latency =
+            results ? results->find("latency") : nullptr) {
+        os << "<div class=\"charts\">\n";
+        if (const JsonValue *all = latency->find("all"))
+            os << histogramSvg(*all, "miss latency, all (ticks)");
+        if (const JsonValue *ft = latency->find("first_try"))
+            os << histogramSvg(*ft, "first-try");
+        if (const JsonValue *rt = latency->find("retried"))
+            os << histogramSvg(*rt, "retried / persistent");
+        os << "</div>\n";
+        if (const JsonValue *by_reason = latency->find("by_reason")) {
+            os << "<div class=\"charts\">\n";
+            os << reasonBarsSvg(*by_reason);
+            for (const auto &member : by_reason->members()) {
+                if (member.second.numberAt("count") > 0.0)
+                    os << histogramSvg(member.second, member.first);
+            }
+            os << "</div>\n";
+        }
+    }
+
+    // Time series, when the run sampled one.
+    if (const JsonValue *series = rec.find("timeseries")) {
+        os << "<div class=\"charts\">\n"
+           << timeseriesSvg(*series) << "</div>\n";
+    }
+    os << "</section>\n";
+}
+
+const char *kCss = R"css(
+body { margin: 0; font-family: system-ui, -apple-system, "Segoe UI",
+       sans-serif; background: var(--page); color: var(--ink); }
+.viz {
+  color-scheme: light;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz {
+    color-scheme: dark;
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926;
+  }
+}
+:root[data-theme="dark"] .viz {
+  color-scheme: dark;
+  --surface: #1a1a19; --page: #0d0d0d;
+  --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+  --grid: #2c2c2a; --axis: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5; --series-2: #d95926;
+}
+.page { max-width: 1180px; margin: 0 auto; padding: 24px; }
+h1 { font-size: 20px; font-weight: 650; }
+h2 { font-size: 15px; font-weight: 650; margin: 0 0 12px; }
+.meta { color: var(--ink-2); font-size: 13px; }
+.card { background: var(--surface); border: 1px solid var(--border);
+        border-radius: 8px; padding: 18px 22px; margin: 18px 0; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px 28px;
+         margin-bottom: 14px; }
+.tile .v { font-size: 22px; font-weight: 600; }
+.tile .l { font-size: 12px; color: var(--ink-2); }
+.charts { display: flex; flex-wrap: wrap; gap: 10px 34px;
+          align-items: flex-start; margin: 10px 0; }
+svg text { fill: var(--ink-2); font-size: 10.5px; }
+svg text.charttitle { fill: var(--ink); font-size: 12px;
+                      font-weight: 600; }
+svg text.mutedtext { fill: var(--muted); }
+svg .node { fill: var(--surface); stroke: var(--axis); }
+svg .bar { fill: var(--series-1); }
+svg .axisline { stroke: var(--axis); stroke-width: 1; }
+svg .gridline { stroke: var(--grid); stroke-width: 1; }
+svg .line1 { fill: none; stroke: var(--series-1); stroke-width: 2; }
+svg .line2 { fill: none; stroke: var(--series-2); stroke-width: 2; }
+svg .swatch1 { fill: var(--series-1); }
+svg .swatch2 { fill: var(--series-2); }
+svg .hit { fill: transparent; }
+svg .hit:hover { fill: var(--series-1); fill-opacity: 0.25; }
+)css";
+
+int
+runReport(const std::vector<std::string> &inputs,
+          const std::string &out_path)
+{
+    constexpr std::size_t kMaxRecords = 12;
+    std::vector<JsonValue> records;
+    for (const std::string &path : inputs) {
+        std::vector<JsonValue> file_records = loadRecords(path);
+        for (JsonValue &rec : file_records)
+            records.push_back(std::move(rec));
+    }
+    std::size_t total = records.size();
+    if (records.size() > kMaxRecords) {
+        std::cerr << "vsnoopreport: rendering the first " << kMaxRecords
+                  << " of " << total << " records\n";
+        records.resize(kMaxRecords);
+    }
+
+    std::ofstream os(out_path, std::ios::binary);
+    if (!os)
+        die("cannot open --out file '" + out_path + "'");
+    os << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+          "<meta charset=\"utf-8\">\n"
+          "<meta name=\"viewport\" content=\"width=device-width, "
+          "initial-scale=1\">\n"
+          "<title>vsnoop run report</title>\n<style>"
+       << kCss << "</style>\n</head>\n<body class=\"viz\">\n"
+       << "<div class=\"page\">\n<h1>vsnoop run report</h1>\n"
+       << "<p class=\"meta\">" << records.size() << " of " << total
+       << " run record(s); hover any mark for exact values.</p>\n";
+    for (const JsonValue &rec : records)
+        renderRecord(os, rec);
+    os << "</div>\n</body>\n</html>\n";
+    if (!os)
+        die("write to '" + out_path + "' failed");
+    std::cerr << "vsnoopreport: wrote " << out_path << " ("
+              << records.size() << " record(s))\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::size_t eq;
+        if (arg.rfind("--", 0) == 0 &&
+            (eq = arg.find('=')) != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(std::move(arg));
+        }
+    }
+
+    bool diff_mode = false;
+    double threshold = 0.05;
+    std::string out_path = "report.html";
+    std::vector<std::string> inputs;
+
+    auto next_value = [&](std::size_t &i, const std::string &flag) {
+        if (i + 1 >= args.size())
+            die(flag + " requires a value");
+        return args[++i];
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        if (flag == "--help" || flag == "-h") {
+            usage();
+            return 0;
+        } else if (flag == "--diff") {
+            diff_mode = true;
+        } else if (flag == "--threshold") {
+            std::string value = next_value(i, flag);
+            char *end = nullptr;
+            threshold = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' || threshold < 0.0)
+                die("--threshold expects a non-negative number, got '" +
+                    value + "'");
+        } else if (flag == "--out") {
+            out_path = next_value(i, flag);
+        } else if (flag.rfind("--", 0) == 0) {
+            die("unknown flag '" + flag + "' (try --help)");
+        } else {
+            inputs.push_back(flag);
+        }
+    }
+
+    if (diff_mode) {
+        if (inputs.size() != 2)
+            die("--diff expects exactly two files: baseline current");
+        return runDiff(inputs[0], inputs[1], threshold);
+    }
+    if (inputs.empty())
+        die("no input files (try --help)");
+    return runReport(inputs, out_path);
+}

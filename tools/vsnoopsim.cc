@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/profiler.hh"
 #include "sim/table.hh"
 #include "system/energy.hh"
 #include "system/run_result.hh"
@@ -87,6 +88,10 @@ usage()
         "                        T ticks into the JSON result and the\n"
         "                        trace's counter track (default 0 =\n"
         "                        off)\n"
+        "\n"
+        "  --profile             profile the simulator itself: print\n"
+        "                        a per-phase host time breakdown and\n"
+        "                        events/s to stderr after the run\n"
         "\n"
         "output:\n"
         "  --energy              include the energy estimate\n"
@@ -156,6 +161,7 @@ main(int argc, char **argv)
     bool warmup_set = false;
     bool want_energy = false;
     bool want_json = false;
+    bool want_profile = false;
 
     std::vector<std::string> args = normalizeArgs(argc, argv);
     auto next_value = [&](std::size_t &i, const std::string &flag) {
@@ -258,6 +264,8 @@ main(int argc, char **argv)
         } else if (flag == "--timeseries-interval") {
             cfg.timeseriesInterval =
                 parseUint(flag, next_value(i, flag));
+        } else if (flag == "--profile") {
+            want_profile = true;
         } else if (flag == "--energy") {
             want_energy = true;
         } else if (flag == "--json") {
@@ -279,11 +287,17 @@ main(int argc, char **argv)
     // One shared execution path: collectRun() runs the system,
     // gathers the result record, and exports the Chrome trace when
     // --trace is set.
-    RunResult run = collectRun(cfg, *app);
+    HostProfiler profiler;
+    RunResult run =
+        collectRun(cfg, *app, want_profile ? &profiler : nullptr);
 
     if (!cfg.tracePath.empty())
         std::cerr << "vsnoopsim: trace written to " << cfg.tracePath
                   << "\n";
+    // Wall-clock profiles are nondeterministic, so they go to
+    // stderr and never into the JSON record.
+    if (want_profile)
+        writeProfile(std::cerr, profiler);
 
     if (want_json) {
         // The structured record covers everything the text tables

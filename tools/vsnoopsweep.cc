@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "system/sweep.hh"
 
 using namespace vsnoop;
@@ -86,6 +87,11 @@ usage()
         "                        sample the interval time series every\n"
         "                        T ticks into each run's JSON record\n"
         "                        (default 0 = off)\n"
+        "\n"
+        "  --profile             profile the simulator itself: print\n"
+        "                        an aggregated per-phase host time\n"
+        "                        breakdown (CPU time summed across\n"
+        "                        workers) to stderr after the sweep\n"
         "\n"
         "execution:\n"
         "  --jobs N              worker threads (default hardware\n"
@@ -222,6 +228,7 @@ main(int argc, char **argv)
     matrix.base.accessesPerVcpu = 20000;
     bool warmup_set = false;
     bool list_only = false;
+    bool want_profile = false;
     unsigned jobs = 0;
     std::string out_path;
 
@@ -317,6 +324,8 @@ main(int argc, char **argv)
         } else if (flag == "--timeseries-interval") {
             matrix.base.timeseriesInterval =
                 parseUint(flag, next_value(i, flag));
+        } else if (flag == "--profile") {
+            want_profile = true;
         } else if (flag == "--jobs") {
             jobs = static_cast<unsigned>(
                 parseUint(flag, next_value(i, flag)));
@@ -354,7 +363,9 @@ main(int argc, char **argv)
     quietLogging(true);
 
     auto start = std::chrono::steady_clock::now();
-    std::vector<RunResult> results = runSweep(matrix, jobs);
+    HostProfiler profiler;
+    std::vector<RunResult> results =
+        runSweep(matrix, jobs, want_profile ? &profiler : nullptr);
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
@@ -370,10 +381,24 @@ main(int argc, char **argv)
         out << r.toJson() << "\n";
 
     // End-of-sweep summary (stderr, so JSON output stays clean).
+    // When tracing was on, the summary includes the total records
+    // dropped across all runs so per-file ring truncation is never
+    // silent.
     double rate = elapsed > 0.0
                       ? static_cast<double>(results.size()) / elapsed
                       : 0.0;
     std::cerr << "vsnoopsweep: " << results.size() << " runs in "
-              << elapsed << " s (" << rate << " runs/s)\n";
+              << elapsed << " s (" << rate << " runs/s)";
+    bool traced = false;
+    std::uint64_t dropped = 0;
+    for (const RunResult &r : results) {
+        traced = traced || r.traceAttached;
+        dropped += r.traceRecordsDropped;
+    }
+    if (traced)
+        std::cerr << ", trace records dropped: " << dropped;
+    std::cerr << "\n";
+    if (want_profile)
+        writeProfile(std::cerr, profiler);
     return 0;
 }
