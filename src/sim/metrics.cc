@@ -1,0 +1,231 @@
+#include "sim/metrics.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+const char *const kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+namespace
+{
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_' || c == ':';
+    };
+    if (!head(name[0]))
+        return false;
+    for (char c : name) {
+        if (!head(c) && !(c >= '0' && c <= '9'))
+            return false;
+    }
+    return true;
+}
+
+bool
+validLabelName(const std::string &name)
+{
+    // Like a metric name but without ':' (reserved for recording
+    // rules on the Prometheus side).
+    return validMetricName(name) &&
+           name.find(':') == std::string::npos;
+}
+
+/** Escape a label value: backslash, double quote, newline. */
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/**
+ * Shortest-round-trip value formatting, mirroring the JSON
+ * writer's determinism contract: equal doubles always render the
+ * same bytes.  Non-finite values use the exposition format's
+ * spellings.
+ */
+std::string
+formatValue(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    vsnoop_assert(ec == std::errc(), "to_chars failed for a double");
+    return std::string(buf, end);
+}
+
+const char *
+kindName(MetricKind kind)
+{
+    return kind == MetricKind::Counter ? "counter" : "gauge";
+}
+
+} // namespace
+
+MetricsRegistry::Id
+MetricsRegistry::add(MetricKind kind, std::string name, std::string help,
+                     std::vector<MetricLabel> labels)
+{
+    vsnoop_assert(!frozen_,
+                  "metrics registry is frozen; register every series "
+                  "before freeze()");
+    vsnoop_assert(validMetricName(name),
+                  "invalid Prometheus metric name '", name, "'");
+    for (const MetricLabel &label : labels)
+        vsnoop_assert(validLabelName(label.first),
+                      "invalid Prometheus label name '", label.first,
+                      "' on metric '", name, "'");
+    // Families must be contiguous so HELP/TYPE can head each block;
+    // a same-name series later in the list with different metadata
+    // would silently emit a second family.
+    for (const SeriesMeta &m : meta_) {
+        if (m.name != name)
+            continue;
+        vsnoop_assert(m.kind == kind && m.help == help,
+                      "metric family '", name,
+                      "' re-registered with different kind or help");
+        vsnoop_assert(meta_.back().name == name,
+                      "metric family '", name,
+                      "' must be registered contiguously");
+    }
+    meta_.push_back({kind, std::move(name), std::move(help),
+                     std::move(labels)});
+    return meta_.size() - 1;
+}
+
+void
+MetricsRegistry::freeze()
+{
+    vsnoop_assert(!frozen_, "metrics registry frozen twice");
+    frozen_ = true;
+    // vector<atomic<double>> cannot grow, so both arrays are sized
+    // exactly once here; C++20 value-initializes the atomics to 0.
+    staging_ = std::vector<std::atomic<double>>(meta_.size());
+    published_ = std::vector<std::atomic<double>>(meta_.size());
+}
+
+void
+MetricsRegistry::set(Id id, double value)
+{
+    vsnoop_assert(frozen_, "set() before freeze()");
+    staging_.at(id).store(value, std::memory_order_relaxed);
+}
+
+double
+MetricsRegistry::value(Id id) const
+{
+    vsnoop_assert(frozen_, "value() before freeze()");
+    return staging_.at(id).load(std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::publish()
+{
+    vsnoop_assert(frozen_, "publish() before freeze()");
+    // Seqlock write side (Boehm, "Can seqlocks get along with
+    // programming language memory models?"): odd sequence brackets
+    // the copy; the release fence orders the sequence bump before
+    // the value stores, and the release store publishes them.
+    std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t i = 0; i < staging_.size(); ++i)
+        published_[i].store(
+            staging_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    seq_.store(s + 2, std::memory_order_release);
+}
+
+std::uint64_t
+MetricsRegistry::publishes() const
+{
+    return seq_.load(std::memory_order_acquire) / 2;
+}
+
+MetricsRegistry::Snapshot
+MetricsRegistry::snapshot() const
+{
+    vsnoop_assert(frozen_, "snapshot() before freeze()");
+    Snapshot snap;
+    snap.values.resize(published_.size());
+    for (;;) {
+        std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+        if (s1 & 1)
+            continue; // publish in flight; re-read the sequence
+        for (std::size_t i = 0; i < published_.size(); ++i)
+            snap.values[i] =
+                published_[i].load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (seq_.load(std::memory_order_relaxed) == s1) {
+            snap.sequence = s1;
+            return snap;
+        }
+    }
+}
+
+std::string
+MetricsRegistry::renderPrometheus(const Snapshot &snap) const
+{
+    vsnoop_assert(snap.values.size() == meta_.size(),
+                  "snapshot size does not match the registry");
+    std::string out;
+    out.reserve(meta_.size() * 64);
+    const std::string *family = nullptr;
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+        const SeriesMeta &m = meta_[i];
+        if (family == nullptr || *family != m.name) {
+            family = &m.name;
+            out += "# HELP ";
+            out += m.name;
+            out += ' ';
+            out += m.help;
+            out += "\n# TYPE ";
+            out += m.name;
+            out += ' ';
+            out += kindName(m.kind);
+            out += '\n';
+        }
+        out += m.name;
+        if (!m.labels.empty()) {
+            out += '{';
+            for (std::size_t l = 0; l < m.labels.size(); ++l) {
+                if (l > 0)
+                    out += ',';
+                out += m.labels[l].first;
+                out += "=\"";
+                out += escapeLabelValue(m.labels[l].second);
+                out += '"';
+            }
+            out += '}';
+        }
+        out += ' ';
+        out += formatValue(snap.values[i]);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace vsnoop

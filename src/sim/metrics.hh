@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Live-telemetry metrics registry.
+ *
+ * The simulator's statistics (sim/stats.hh) are thread-confined by
+ * design: every Counter belongs to one SimSystem and is never read
+ * from another thread.  Live monitoring needs the opposite — a
+ * background HTTP server thread (sim/stats_server.hh) reading a
+ * consistent view of values that simulation or sweep threads keep
+ * updating.  MetricsRegistry bridges the two worlds without
+ * perturbing the simulation:
+ *
+ *  - Registration happens up front, single-threaded: every series
+ *    (name + label set) is added before freeze(); after freeze()
+ *    the series list is immutable, so readers never see the
+ *    registry resize.
+ *
+ *  - Updates are relaxed atomic stores into a staging array of
+ *    doubles — safe from any number of writer threads as long as
+ *    each series has one writer (the sweep gives every run its own
+ *    series).
+ *
+ *  - Publication is a seqlock over a second array of doubles: one
+ *    designated publisher thread calls publish(), which brackets a
+ *    staging -> snapshot copy with sequence-counter increments.
+ *    Readers copy the snapshot and retry if the sequence changed
+ *    mid-copy, so every snapshot() result is a consistent point-in-
+ *    time set.  All accesses are atomic (TSan-clean) and neither
+ *    side ever blocks the other: the writer never waits for
+ *    readers, and a reader only re-copies while a publish is in
+ *    flight.
+ *
+ * The registry deliberately stores only doubles: every simulator
+ * quantity (counts, ticks, ratios) fits exactly up to 2^53, and
+ * trivially-copyable values are what make the seqlock sound.
+ *
+ * renderPrometheus() emits the Prometheus text exposition format
+ * (version 0.0.4) for scraping via the embedded stats server's
+ * /metrics endpoint.
+ */
+
+#ifndef VSNOOP_SIM_METRICS_HH_
+#define VSNOOP_SIM_METRICS_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vsnoop
+{
+
+/** Prometheus metric kind (the TYPE line). */
+enum class MetricKind : std::uint8_t
+{
+    Counter,
+    Gauge,
+};
+
+/** One name="value" pair attached to a series. */
+using MetricLabel = std::pair<std::string, std::string>;
+
+/**
+ * A registry of named metric series with seqlock'd snapshot
+ * publication.  See the file comment for the threading contract.
+ */
+class MetricsRegistry
+{
+  public:
+    using Id = std::size_t;
+
+    /**
+     * A consistent point-in-time copy of every series value.
+     * sequence increases by 2 per publish() (seqlock convention:
+     * odd means a write was in flight), so pollers can detect
+     * fresh data cheaply.
+     */
+    struct Snapshot
+    {
+        std::uint64_t sequence = 0;
+        std::vector<double> values;
+    };
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Register one series.  Must be called before freeze().  The
+     * name must match the Prometheus grammar
+     * [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+     * [a-zA-Z_][a-zA-Z0-9_]*; violations assert.  Series sharing a
+     * name (one family, many label sets) must be registered
+     * contiguously with the same kind and help text.
+     */
+    Id add(MetricKind kind, std::string name, std::string help,
+           std::vector<MetricLabel> labels = {});
+
+    /** Shorthands for the two kinds. */
+    Id addCounter(std::string name, std::string help,
+                  std::vector<MetricLabel> labels = {})
+    {
+        return add(MetricKind::Counter, std::move(name),
+                   std::move(help), std::move(labels));
+    }
+    Id addGauge(std::string name, std::string help,
+                std::vector<MetricLabel> labels = {})
+    {
+        return add(MetricKind::Gauge, std::move(name),
+                   std::move(help), std::move(labels));
+    }
+
+    /** End registration; set()/publish()/snapshot() become legal. */
+    void freeze();
+    bool frozen() const { return frozen_; }
+
+    std::size_t size() const { return meta_.size(); }
+    const std::string &name(Id id) const { return meta_.at(id).name; }
+
+    /**
+     * Stage a new value for one series (relaxed atomic store; any
+     * thread, one writer per series).  Not visible to readers until
+     * the next publish().
+     */
+    void set(Id id, double value);
+
+    /** Staged value of one series (relaxed load). */
+    double value(Id id) const;
+
+    /**
+     * Copy the staging array into the published snapshot under the
+     * seqlock.  Exactly one thread may call publish() at a time
+     * (the publisher role); it never blocks on readers.
+     */
+    void publish();
+
+    /** Number of publish() calls so far. */
+    std::uint64_t publishes() const;
+
+    /**
+     * Read a consistent snapshot (retrying while a publish is in
+     * flight).  Valid before the first publish(): all zeros at
+     * sequence 0.
+     */
+    Snapshot snapshot() const;
+
+    /**
+     * Render a snapshot in the Prometheus text exposition format
+     * (version 0.0.4): # HELP / # TYPE per family, one
+     * name{labels} value line per series, newline-terminated.
+     */
+    std::string renderPrometheus(const Snapshot &snap) const;
+
+    /** Convenience: snapshot() + renderPrometheus(). */
+    std::string renderPrometheus() const { return renderPrometheus(snapshot()); }
+
+  private:
+    struct SeriesMeta
+    {
+        MetricKind kind;
+        std::string name;
+        std::string help;
+        std::vector<MetricLabel> labels;
+    };
+
+    std::vector<SeriesMeta> meta_;
+    bool frozen_ = false;
+    /** Writer-facing values; relaxed stores from update threads. */
+    std::vector<std::atomic<double>> staging_;
+    /** Reader-facing seqlock'd copy, published by publish(). */
+    std::vector<std::atomic<double>> published_;
+    /** Seqlock sequence: odd while a publish is copying. */
+    std::atomic<std::uint64_t> seq_{0};
+};
+
+/** The /metrics Content-Type for the text exposition format. */
+extern const char *const kPrometheusContentType;
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_METRICS_HH_

@@ -7,6 +7,7 @@
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 
 namespace vsnoop
 {
@@ -283,6 +284,75 @@ StatSet::dumpJson() const
     }
     json.endObject();
     return json.str();
+}
+
+namespace
+{
+
+/** Map a stat name onto the Prometheus metric-name grammar. */
+std::string
+sanitizeMetricName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+} // namespace
+
+StatSetExport::StatSetExport(const StatSet &set,
+                             MetricsRegistry &registry,
+                             const std::string &prefix)
+    : registry_(&registry)
+{
+    for (const auto &[name, counter] : set.counters_) {
+        Entry e;
+        e.counter = counter;
+        e.id = registry.addCounter(
+            prefix + sanitizeMetricName(name) + "_total",
+            "Simulator counter " + name + ".");
+        entries_.push_back(e);
+    }
+    for (const auto &[name, dist] : set.dists_) {
+        Entry e;
+        e.dist = dist;
+        std::string base = prefix + sanitizeMetricName(name);
+        e.id = registry.addGauge(base + "_count",
+                                 "Sample count of " + name + ".");
+        e.meanId = registry.addGauge(base + "_mean",
+                                     "Mean of " + name + ".");
+        e.minId = registry.addGauge(base + "_min",
+                                    "Minimum of " + name + ".");
+        e.maxId = registry.addGauge(base + "_max",
+                                    "Maximum of " + name + ".");
+        entries_.push_back(e);
+    }
+}
+
+void
+StatSetExport::update()
+{
+    vsnoop_assert(registry_ != nullptr,
+                  "update() on a default-constructed StatSetExport");
+    for (const Entry &e : entries_) {
+        if (e.counter != nullptr) {
+            registry_->set(e.id,
+                           static_cast<double>(e.counter->value()));
+        } else {
+            registry_->set(e.id,
+                           static_cast<double>(e.dist->count()));
+            registry_->set(e.meanId, e.dist->mean());
+            registry_->set(e.minId, e.dist->min());
+            registry_->set(e.maxId, e.dist->max());
+        }
+    }
 }
 
 } // namespace vsnoop

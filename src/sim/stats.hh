@@ -222,8 +222,56 @@ class StatSet
     std::string dumpJson() const;
 
   private:
+    friend class StatSetExport;
+
     std::map<std::string, const Counter *> counters_;
     std::map<std::string, const Distribution *> dists_;
+};
+
+class MetricsRegistry;
+
+/**
+ * Binds a StatSet to live-telemetry series (sim/metrics.hh).
+ *
+ * Construction registers one series per stat — counters as
+ * Prometheus counters named `<prefix><name>_total`, distributions
+ * as `<prefix><name>_{count,mean,min,max}` gauges — with stat-name
+ * characters outside the Prometheus grammar mapped to '_'.
+ * update() copies the current values into the registry's staging
+ * area; the registry's publisher makes them visible.
+ *
+ * Threading: update() reads the same thread-confined stats the
+ * owning SimSystem mutates, so only that system's thread may call
+ * it (the same rule as every other stats read during a run).
+ */
+class StatSetExport
+{
+  public:
+    StatSetExport() = default;
+
+    /** Register every stat in @p set; see the class comment. */
+    StatSetExport(const StatSet &set, MetricsRegistry &registry,
+                  const std::string &prefix);
+
+    /** Stage current values into the registry (no publish). */
+    void update();
+
+    std::size_t seriesCount() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        const Counter *counter = nullptr;
+        const Distribution *dist = nullptr;
+        /** Registry id; for distributions: count/mean/min/max. */
+        std::size_t id = 0;
+        std::size_t meanId = 0;
+        std::size_t minId = 0;
+        std::size_t maxId = 0;
+    };
+
+    MetricsRegistry *registry_ = nullptr;
+    std::vector<Entry> entries_;
 };
 
 } // namespace vsnoop

@@ -1,0 +1,337 @@
+#include "sim/stats_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+namespace
+{
+
+/**
+ * Split "host:port" and parse both halves.  Only IPv4 dotted quads
+ * (and the empty host, meaning INADDR_ANY) are accepted — the
+ * embedded server is a debugging endpoint, not a general listener.
+ */
+bool
+parseAddr(const std::string &addr, std::string *host,
+          std::uint16_t *port, std::string *error)
+{
+    std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos) {
+        if (error)
+            *error = "expected host:port, got '" + addr + "'";
+        return false;
+    }
+    *host = addr.substr(0, colon);
+    std::string port_str = addr.substr(colon + 1);
+    char *end = nullptr;
+    unsigned long parsed = std::strtoul(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || parsed > 65535) {
+        if (error)
+            *error = "invalid port '" + port_str + "'";
+        return false;
+    }
+    *port = static_cast<std::uint16_t>(parsed);
+    if (host->empty())
+        *host = "0.0.0.0";
+    in_addr probe{};
+    if (inet_pton(AF_INET, host->c_str(), &probe) != 1) {
+        if (error)
+            *error = "invalid IPv4 address '" + *host +
+                     "' (use a dotted quad, e.g. 127.0.0.1)";
+        return false;
+    }
+    return true;
+}
+
+void
+setSocketTimeout(int fd, int timeout_ms)
+{
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      default: return "Error";
+    }
+}
+
+std::string
+serialize(const HttpResponse &resp)
+{
+    std::string out = "HTTP/1.1 ";
+    out += std::to_string(resp.status);
+    out += ' ';
+    out += statusText(resp.status);
+    out += "\r\nContent-Type: ";
+    out += resp.contentType;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(resp.body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += resp.body;
+    return out;
+}
+
+} // namespace
+
+StatsServer::~StatsServer()
+{
+    stop();
+}
+
+void
+StatsServer::route(std::string path, Handler handler)
+{
+    vsnoop_assert(!running(),
+                  "routes must be registered before start()");
+    vsnoop_assert(!path.empty() && path[0] == '/',
+                  "route path must start with '/'");
+    routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool
+StatsServer::start(const std::string &addr, std::string *error)
+{
+    vsnoop_assert(!running(), "stats server started twice");
+    if (!parseAddr(addr, &host_, &port_, error))
+        return false;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(port_);
+    inet_pton(AF_INET, host_.c_str(), &sin.sin_addr);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&sin), sizeof sin) < 0 ||
+        ::listen(fd, 16) < 0) {
+        if (error)
+            *error = "cannot listen on " + addr + ": " +
+                     std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+
+    // Resolve port 0 to the kernel-assigned ephemeral port.
+    socklen_t len = sizeof sin;
+    if (getsockname(fd, reinterpret_cast<sockaddr *>(&sin), &len) == 0)
+        port_ = ntohs(sin.sin_port);
+
+    listenFd_ = fd;
+    stopping_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread(&StatsServer::serveLoop, this);
+    return true;
+}
+
+std::string
+StatsServer::address() const
+{
+    return host_ + ":" + std::to_string(port_);
+}
+
+void
+StatsServer::stop()
+{
+    if (!running())
+        return;
+    stopping_.store(true, std::memory_order_relaxed);
+    // Unblock accept(); on Linux this makes it return with an
+    // error, after which the loop observes stopping_ and exits.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    if (thread_.joinable())
+        thread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+StatsServer::serveLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_relaxed))
+                break;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break; // listening socket is gone; nothing to serve
+        }
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+StatsServer::handleConnection(int fd)
+{
+    setSocketTimeout(fd, 2000);
+
+    // Read until the end of the request headers (or a sane cap);
+    // the request body, if any, is ignored.
+    std::string request;
+    char buf[2048];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 16 * 1024) {
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            return;
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    // "GET /path HTTP/1.1"
+    std::size_t line_end = request.find("\r\n");
+    std::string line = request.substr(
+        0, line_end == std::string::npos ? request.size() : line_end);
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+
+    HttpResponse resp;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        resp = {405, "text/plain; charset=utf-8", "malformed request\n"};
+    } else if (line.substr(0, sp1) != "GET") {
+        resp = {405, "text/plain; charset=utf-8", "GET only\n"};
+    } else {
+        std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        std::size_t query = path.find('?');
+        if (query != std::string::npos)
+            path.resize(query);
+        const Handler *handler = nullptr;
+        for (const auto &[route, fn] : routes_) {
+            if (route == path) {
+                handler = &fn;
+                break;
+            }
+        }
+        if (handler != nullptr) {
+            resp = (*handler)();
+        } else {
+            resp.status = 404;
+            resp.body = "unknown path " + path + "; try:\n";
+            for (const auto &[route, fn] : routes_)
+                resp.body += "  " + route + "\n";
+        }
+    }
+
+    std::string bytes = serialize(resp);
+    writeAll(fd, bytes.data(), bytes.size());
+}
+
+std::optional<std::string>
+httpGet(const std::string &addr, const std::string &path,
+        std::string *error, int timeoutMs)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parseAddr(addr, &host, &port, error))
+        return std::nullopt;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return std::nullopt;
+    }
+    setSocketTimeout(fd, timeoutMs);
+
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(port);
+    inet_pton(AF_INET, host.c_str(), &sin.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sin),
+                  sizeof sin) < 0) {
+        if (error)
+            *error = "connect " + addr + ": " + std::strerror(errno);
+        ::close(fd);
+        return std::nullopt;
+    }
+
+    std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + addr +
+                          "\r\nConnection: close\r\n\r\n";
+    if (!writeAll(fd, request.data(), request.size())) {
+        if (error)
+            *error = "send " + addr + ": " + std::strerror(errno);
+        ::close(fd);
+        return std::nullopt;
+    }
+
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            if (error)
+                *error = "recv " + addr + ": " + std::strerror(errno);
+            ::close(fd);
+            return std::nullopt;
+        }
+        if (n == 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    std::size_t header_end = response.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+        if (error)
+            *error = "malformed HTTP response from " + addr;
+        return std::nullopt;
+    }
+    // "HTTP/1.1 200 OK"
+    std::size_t sp = response.find(' ');
+    int status = 0;
+    if (sp != std::string::npos)
+        status = std::atoi(response.c_str() + sp + 1);
+    if (status != 200) {
+        if (error) {
+            std::size_t line_end = response.find("\r\n");
+            *error = "HTTP " + response.substr(0, line_end) + " for " +
+                     path;
+        }
+        return std::nullopt;
+    }
+    return response.substr(header_end + 4);
+}
+
+} // namespace vsnoop

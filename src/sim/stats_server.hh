@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Embedded stats server: a tiny blocking HTTP/1.1 endpoint on a
+ * background thread.
+ *
+ * vsnoopsim and vsnoopsweep expose their live telemetry
+ * (sim/metrics.hh snapshots, sweep progress) over plain HTTP so
+ * standard tooling — curl, Prometheus, the vsnooptop dashboard —
+ * can watch a running simulation.  The server is deliberately
+ * minimal: GET only, one short-lived connection at a time,
+ * Connection: close, no TLS, no keep-alive.  A scrape costs the
+ * serving thread a snapshot copy and a few syscalls; the simulation
+ * threads never block on it, so run output stays byte-identical
+ * with the server on or off.
+ *
+ * Routes are registered before start() and immutable afterwards, so
+ * the accept loop reads them without locks.  start() binds
+ * "host:port" (IPv4 dotted quad; port 0 picks an ephemeral port —
+ * read the result back with port()/address()).  stop() shuts the
+ * listening socket down and joins the thread; the destructor calls
+ * it.
+ */
+
+#ifndef VSNOOP_SIM_STATS_SERVER_HH_
+#define VSNOOP_SIM_STATS_SERVER_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace vsnoop
+{
+
+/** One HTTP response: status, content type, body. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/**
+ * The blocking HTTP/1.1 stats endpoint.  See the file comment.
+ */
+class StatsServer
+{
+  public:
+    using Handler = std::function<HttpResponse()>;
+
+    StatsServer() = default;
+    ~StatsServer();
+
+    StatsServer(const StatsServer &) = delete;
+    StatsServer &operator=(const StatsServer &) = delete;
+
+    /**
+     * Register a handler for an exact path ("/metrics").  Must be
+     * called before start().  Handlers run on the server thread;
+     * they must only touch thread-safe state (registry snapshots,
+     * heartbeat atomics).
+     */
+    void route(std::string path, Handler handler);
+
+    /**
+     * Bind @p addr ("host:port", e.g. "127.0.0.1:9090"; port 0 for
+     * ephemeral) and start serving on a background thread.  Returns
+     * false and sets @p error on parse/bind failure.
+     */
+    bool start(const std::string &addr, std::string *error = nullptr);
+
+    bool running() const { return listenFd_ >= 0; }
+
+    /** Actual bound port (after start(); resolves port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** "host:port" with the actual bound port. */
+    std::string address() const;
+
+    /** Requests served so far (any status). */
+    std::uint64_t requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /** Stop accepting, join the server thread, close the socket. */
+    void stop();
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    std::vector<std::pair<std::string, Handler>> routes_;
+    std::string host_;
+    std::uint16_t port_ = 0;
+    int listenFd_ = -1;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> requests_{0};
+};
+
+/**
+ * Minimal blocking HTTP/1.1 GET client (the other half of the
+ * stats server; used by vsnooptop and the tests).  Fetches
+ * http://addr/path and returns the body on a 200, or nullopt with
+ * @p error set on connect/protocol/status failure.
+ */
+std::optional<std::string> httpGet(const std::string &addr,
+                                   const std::string &path,
+                                   std::string *error = nullptr,
+                                   int timeoutMs = 5000);
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_STATS_SERVER_HH_

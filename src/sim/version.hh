@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Build provenance compiled in at configure time.
+ *
+ * Archived run records (BENCH_*.json, sweep JSONL) outlive the
+ * binaries that produced them; the meta block each record carries
+ * (system/run_result.hh) answers "which build made this?" without
+ * external bookkeeping.  The values come from CMake via the
+ * configured version.cc (src/sim/version.cc.in): project version,
+ * `git describe` at configure time ("unknown" outside a work tree),
+ * compiler id + version, and the build type.
+ *
+ * All four are constants for a given build, so embedding them keeps
+ * run JSON byte-identical across --jobs values and with monitoring
+ * on or off.
+ */
+
+#ifndef VSNOOP_SIM_VERSION_HH_
+#define VSNOOP_SIM_VERSION_HH_
+
+namespace vsnoop
+{
+
+/** Project version ("0.4.0"). */
+const char *toolVersion();
+
+/** `git describe --always --dirty` at configure time. */
+const char *gitDescribe();
+
+/** Compiler id and version ("GNU 12.2.0"). */
+const char *compilerId();
+
+/** CMake build type ("RelWithDebInfo"). */
+const char *buildType();
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_VERSION_HH_

@@ -5,6 +5,7 @@
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/version.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/trace.hh"
 
@@ -47,9 +48,22 @@ roPolicyToken(RoPolicy policy)
 }
 
 void
+writeBuildMeta(JsonWriter &json)
+{
+    json.key("meta").beginObject();
+    json.key("tool").value("vsnoop");
+    json.key("version").value(toolVersion());
+    json.key("git").value(gitDescribe());
+    json.key("compiler").value(compilerId());
+    json.key("build_type").value(buildType());
+    json.endObject();
+}
+
+void
 RunResult::writeJson(JsonWriter &json) const
 {
     json.beginObject();
+    writeBuildMeta(json);
     json.key("app").value(app);
     json.key("policy").value(policyKindName(config.policy));
     json.key("relocation")
@@ -71,6 +85,25 @@ RunResult::writeJson(JsonWriter &json) const
     json.key("migration_period").value(config.migrationPeriod);
     json.key("counter_threshold").value(config.vsnoop.counterThreshold);
     json.key("region_bytes").value(config.regionBytes);
+    // The rest of the resolved configuration, so archived records
+    // are reproducible without consulting source defaults.
+    json.key("crossbar_latency").value(config.crossbarLatency);
+    json.key("link_bytes").value(config.mesh.linkBytes);
+    json.key("router_pipeline").value(config.mesh.routerPipeline);
+    json.key("link_latency").value(config.mesh.linkLatency);
+    json.key("l1_latency").value(config.protocol.l1Latency);
+    json.key("l2_latency").value(config.protocol.l2Latency);
+    json.key("mem_latency").value(config.protocol.memLatency);
+    json.key("retry_window").value(config.protocol.retryWindow);
+    json.key("max_transient_attempts")
+        .value(config.protocol.maxTransientAttempts);
+    json.key("persistent_window").value(config.protocol.persistentWindow);
+    json.key("broadcast_attempt").value(config.vsnoop.broadcastAttempt);
+    json.key("map_sync_bytes").value(config.vsnoop.mapSyncBytes);
+    json.key("ro_token_bundle").value(config.vsnoop.roTokenBundle);
+    json.key("content_scan").value(config.contentScan);
+    json.key("content_scan_period").value(config.contentScanPeriod);
+    json.key("timeseries_interval").value(config.timeseriesInterval);
     json.endObject();
 
     const SystemResults &r = results;
@@ -183,16 +216,12 @@ RunResult::toJson() const
 }
 
 RunResult
-collectRun(const SystemConfig &config, const AppProfile &app,
-           HostProfiler *profiler)
+collectResults(SimSystem &system, const std::string &appName)
 {
+    const SystemConfig &config = system.config();
     RunResult out;
-    out.app = app.name;
+    out.app = appName;
     out.config = config;
-    SimSystem system(config, app);
-    if (profiler != nullptr)
-        system.setProfiler(profiler);
-    system.run();
     out.results = system.results();
     if (const TraceSink *sink = system.trace()) {
         out.traceAttached = true;
@@ -223,6 +252,19 @@ collectRun(const SystemConfig &config, const AppProfile &app,
                          meta);
     }
     return out;
+}
+
+RunResult
+collectRun(const SystemConfig &config, const AppProfile &app,
+           HostProfiler *profiler, ProgressFn progress)
+{
+    SimSystem system(config, app);
+    if (profiler != nullptr)
+        system.setProfiler(profiler);
+    if (progress)
+        system.setProgressCallback(std::move(progress));
+    system.run();
+    return collectResults(system, app.name);
 }
 
 } // namespace vsnoop

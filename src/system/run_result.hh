@@ -70,16 +70,38 @@ struct RunResult
 };
 
 /**
+ * Append the build-provenance meta block ({tool, version, git,
+ * compiler, build_type}; see sim/version.hh) as the member "meta"
+ * of the currently open object.  Shared between every run record
+ * and the sweep interruption summary so archived JSON files are
+ * self-describing.
+ */
+void writeBuildMeta(JsonWriter &json);
+
+/**
+ * Assemble a RunResult from an already-run system (and export the
+ * Chrome trace when the config set a tracePath).  Split out of
+ * collectRun() for callers that need to wire observers — live
+ * stats export, progress callbacks — onto the SimSystem before
+ * run(); using the same assembler guarantees their JSON is
+ * byte-identical to an unobserved run.
+ */
+RunResult collectResults(SimSystem &system, const std::string &appName);
+
+/**
  * Run one configuration to completion and collect a RunResult.
  * Builds the SimSystem on the calling thread; safe to invoke
  * concurrently from many threads (one system per call).
  *
  * A non-null @p profiler is attached to the system for the run
  * (see sim/profiler.hh); its wall-clock totals stay out of the
- * RunResult so the JSON remains deterministic.
+ * RunResult so the JSON remains deterministic.  A non-empty
+ * @p progress observer is attached the same way (sim_system.hh);
+ * it is invoked on this thread during the run.
  */
 RunResult collectRun(const SystemConfig &config, const AppProfile &app,
-                     HostProfiler *profiler = nullptr);
+                     HostProfiler *profiler = nullptr,
+                     ProgressFn progress = {});
 
 } // namespace vsnoop
 

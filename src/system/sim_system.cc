@@ -4,6 +4,7 @@
 
 #include "sim/logging.hh"
 #include "sim/profiler.hh"
+#include "sim/stats.hh"
 
 namespace vsnoop
 {
@@ -167,6 +168,60 @@ SimSystem::setProfiler(HostProfiler *profiler)
 }
 
 void
+SimSystem::registerStats(StatSet &set) const
+{
+    const CoherenceStats &cs = coherence_->stats;
+    set.add("coherence.transactions", cs.transactions);
+    set.add("coherence.read_transactions", cs.readTransactions);
+    set.add("coherence.write_transactions", cs.writeTransactions);
+    set.add("coherence.l2_hits", cs.l2Hits);
+    set.add("coherence.snoop_lookups", cs.snoopLookups);
+    set.add("coherence.snoops_delivered", cs.snoopsDelivered);
+    set.add("coherence.memory_snoops", cs.memorySnoops);
+    set.add("coherence.retries", cs.retries);
+    set.add("coherence.persistent_requests", cs.persistentRequests);
+    set.add("coherence.dirty_writebacks", cs.dirtyWritebacks);
+    set.add("coherence.bounced_responses", cs.bouncedResponses);
+    set.add("coherence.miss_latency", cs.missLatency);
+    set.add("coherence.ro_miss_latency", cs.roMissLatency);
+    const MainMemory &memory = coherence_->memory();
+    set.add("memory.reads", memory.reads);
+    set.add("memory.writebacks", memory.writebacks);
+    if (vsnoopPolicy_ != nullptr) {
+        set.add("vsnoop.filtered_requests",
+                vsnoopPolicy_->filteredRequests);
+        set.add("vsnoop.broadcast_requests",
+                vsnoopPolicy_->broadcastRequests);
+        set.add("vsnoop.map_adds", vsnoopPolicy_->mapAdds);
+        set.add("vsnoop.map_removals", vsnoopPolicy_->mapRemovals);
+    }
+}
+
+void
+SimSystem::reportProgress(bool finished)
+{
+    if (!progress_)
+        return;
+    ProgressSample s;
+    s.tick = eq_.now();
+    for (const auto &driver : drivers_)
+        s.accessesIssued += driver->issued();
+    s.accessesTarget =
+        static_cast<std::uint64_t>(drivers_.size()) *
+        (config_.warmupAccessesPerVcpu + config_.accessesPerVcpu);
+    const CoherenceStats &cs = coherence_->stats;
+    s.transactions = cs.transactions.value();
+    s.snoopLookups = cs.snoopLookups.value();
+    if (vsnoopPolicy_ != nullptr) {
+        s.filteredRequests = vsnoopPolicy_->filteredRequests.value();
+        s.broadcastRequests = vsnoopPolicy_->broadcastRequests.value();
+    }
+    s.trafficByteHops = network_->stats().totalByteHops();
+    s.finished = finished;
+    progress_(s);
+}
+
+void
 SimSystem::scheduleContentScan()
 {
     // Periodic re-scan: models the hypervisor's continuous page
@@ -209,6 +264,7 @@ SimSystem::run()
         traceMigrator_->start();
     if (sampler_)
         sampler_->start();
+    reportProgress(false);
 
     auto all_done = [this] {
         return std::all_of(drivers_.begin(), drivers_.end(),
@@ -227,6 +283,7 @@ SimSystem::run()
             vsnoop_assert(!eq_.empty(),
                           "event queue drained during warmup");
             eq_.runUntil(eq_.now() + 10000);
+            reportProgress(false);
         }
         resetAllStats();
         // Re-baseline the time series so it covers the measurement
@@ -245,6 +302,7 @@ SimSystem::run()
         // dispatching the self-rescheduling migrator long after the
         // drivers finish.
         eq_.runUntil(eq_.now() + 10000);
+        reportProgress(false);
         if (config_.invariantCheckPeriod > 0 &&
             eq_.eventsProcessed() - last_check >=
                 config_.invariantCheckPeriod) {
@@ -276,6 +334,7 @@ SimSystem::run()
         coherence_->checkInvariants();
     if (profiler_)
         profiler_->end(eq_.eventsProcessed());
+    reportProgress(true);
 }
 
 SystemResults

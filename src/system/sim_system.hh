@@ -24,6 +24,7 @@
 #ifndef VSNOOP_SYSTEM_SIM_SYSTEM_HH_
 #define VSNOOP_SYSTEM_SIM_SYSTEM_HH_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -164,6 +165,38 @@ struct SystemResults
 };
 
 /**
+ * One live-progress observation, reported from inside run().
+ *
+ * Samples are taken at the simulation loop's slice boundaries (and
+ * once at start and end), so the callback sees monotonically
+ * advancing ticks and counts.  Reporting only reads statistics —
+ * it never touches the RNG or the event queue — so attaching a
+ * callback cannot change simulation results.
+ */
+struct ProgressSample
+{
+    Tick tick = 0;
+    /** Accesses completed across all vCPUs (warmup included). */
+    std::uint64_t accessesIssued = 0;
+    /** Total access quota across all vCPUs (warmup included). */
+    std::uint64_t accessesTarget = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t snoopLookups = 0;
+    /** @{ VirtualSnoop only; zero under other policies. */
+    std::uint64_t filteredRequests = 0;
+    std::uint64_t broadcastRequests = 0;
+    /** @} */
+    std::uint64_t trafficByteHops = 0;
+    /** True for the final sample, after the drain. */
+    bool finished = false;
+};
+
+/** Live-progress observer; invoked on the simulating thread. */
+using ProgressFn = std::function<void(const ProgressSample &)>;
+
+class StatSet;
+
+/**
  * The assembled simulation.
  */
 class SimSystem
@@ -203,6 +236,22 @@ class SimSystem
      * instrumented components charge their phases to it.
      */
     void setProfiler(HostProfiler *profiler);
+    /**
+     * Attach a live-progress observer before run(); invoked on the
+     * simulating thread once at start, at every execution slice,
+     * and once (with finished = true) after the drain.  Empty
+     * detaches.  Observation is read-only, so results and run JSON
+     * are byte-identical with or without a callback.
+     */
+    void setProgressCallback(ProgressFn fn) { progress_ = std::move(fn); }
+    /**
+     * Register the system's statistics (coherence counters and
+     * latency distributions, policy filter counters, memory
+     * activity) with a StatSet for uniform dumping or live metrics
+     * export (StatSetExport).  The set borrows references; it must
+     * not outlive this system.
+     */
+    void registerStats(StatSet &set) const;
     const SystemConfig &config() const { return config_; }
     VcpuDriver &driver(VCpuId vcpu) { return *drivers_.at(vcpu); }
     std::size_t numDrivers() const { return drivers_.size(); }
@@ -216,6 +265,9 @@ class SimSystem
 
     /** Zero every statistic at the warmup boundary. */
     void resetAllStats();
+
+    /** Invoke the progress callback with a fresh sample. */
+    void reportProgress(bool finished);
 
     SystemConfig config_;
     EventQueue eq_;
@@ -231,6 +283,7 @@ class SimSystem
     std::unique_ptr<TraceSink> trace_;
     std::unique_ptr<IntervalSampler> sampler_;
     HostProfiler *profiler_ = nullptr;
+    ProgressFn progress_;
     /** Stops auxiliary event chains (periodic scans) at run end. */
     bool stopAux_ = false;
     /** Tick at which warmup ended and measurement began. */

@@ -91,9 +91,15 @@ struct SweepMatrix
  * once.  jobs == 0 selects hardware concurrency.  Any vsnoop_fatal
  * / vsnoop_panic inside fn terminates the process as in serial
  * code.
+ *
+ * A non-empty @p cancel is polled before each dispatch; once it
+ * returns true, no further indices are started (indices already
+ * running finish normally, so every index is invoked exactly once
+ * or not at all — never partially).
  */
 void runIndexed(std::size_t count, unsigned jobs,
-                const std::function<void(std::size_t)> &fn);
+                const std::function<void(std::size_t)> &fn,
+                const std::function<bool()> &cancel = {});
 
 /**
  * Execute every point of the matrix and return results in
@@ -108,6 +114,47 @@ void runIndexed(std::size_t count, unsigned jobs,
 std::vector<RunResult> runSweep(const SweepMatrix &matrix,
                                 unsigned jobs = 0,
                                 HostProfiler *profile = nullptr);
+
+class SweepHeartbeat;
+
+/**
+ * Outcome of a monitored (and possibly cancelled) sweep.  results
+ * is always runCount() slots in expand() order, but when the sweep
+ * was cancelled only slots with completed[i] != 0 hold a run —
+ * consumers must filter on the mask before touching a slot.
+ */
+struct SweepExecution
+{
+    std::vector<RunResult> results;
+    /** completed[i] != 0 iff results[i] holds a finished run. */
+    std::vector<std::uint8_t> completed;
+    /** True when @p cancel stopped dispatch before the last run. */
+    bool interrupted = false;
+
+    std::size_t completedCount() const;
+};
+
+/**
+ * runSweep() with live observation and cooperative cancellation.
+ *
+ * A non-null @p heartbeat (constructed from the same matrix; the
+ * cell count must match) receives per-run lifecycle transitions and
+ * progress samples: each worker calls start() on its cell, feeds it
+ * from the SimSystem progress callback, and finish()es it — all on
+ * the worker thread, so monitor threads read live cells without
+ * ever blocking simulation.  A non-empty @p cancel stops dispatch
+ * as in runIndexed(); in-flight runs still complete and are marked
+ * in the mask.
+ *
+ * Observation is read-only with respect to simulation state: for a
+ * given matrix and seeds, each completed RunResult is byte-for-byte
+ * identical with or without a heartbeat, at any job count.
+ */
+SweepExecution runSweepMonitored(const SweepMatrix &matrix,
+                                 unsigned jobs = 0,
+                                 HostProfiler *profile = nullptr,
+                                 SweepHeartbeat *heartbeat = nullptr,
+                                 const std::function<bool()> &cancel = {});
 
 } // namespace vsnoop
 

@@ -29,9 +29,11 @@
 #define VSNOOP_TRACE_TRACE_HH_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "coherence/protocol.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace vsnoop
@@ -162,12 +164,31 @@ class TraceSink
     /** Drop every record (the ring keeps its capacity). */
     void clear();
 
+    /**
+     * Register live-telemetry series for this sink's record counts
+     * under @p prefix (e.g. "vsnoop_sim_").  Call before
+     * registry.freeze(); stageMetrics() then stages the current
+     * counts on each publication cycle.  Staging follows the sink's
+     * own threading contract: the owning simulation thread stages,
+     * the registry's seqlock makes the values safe to read from the
+     * stats-server thread.
+     */
+    void registerMetrics(MetricsRegistry &registry,
+                         const std::string &prefix);
+
+    /** Stage recorded/dropped/retained into the registered series. */
+    void stageMetrics(MetricsRegistry &registry) const;
+
   private:
     std::size_t capacity_;
     /** Insertion slot once the ring has wrapped. */
     std::size_t head_ = 0;
     std::uint64_t recorded_ = 0;
     std::vector<TraceRecord> buffer_;
+    bool metricsRegistered_ = false;
+    MetricsRegistry::Id recordedMetric_ = 0;
+    MetricsRegistry::Id droppedMetric_ = 0;
+    MetricsRegistry::Id retainedMetric_ = 0;
 };
 
 } // namespace vsnoop

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * StatsServer tests: ephemeral-port binding, request routing, and
+ * the bundled HTTP client, over a real loopback socket.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+#include "sim/stats_server.hh"
+
+namespace vsnoop
+{
+namespace
+{
+
+TEST(StatsServer, ServesRoutesOnAnEphemeralPort)
+{
+    StatsServer server;
+    server.route("/hello", [] {
+        HttpResponse resp;
+        resp.body = "hi\n";
+        return resp;
+    });
+    server.route("/metrics", [] {
+        HttpResponse resp;
+        resp.contentType = kPrometheusContentType;
+        resp.body = "# HELP x X.\n# TYPE x gauge\nx 1\n";
+        return resp;
+    });
+
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+    EXPECT_NE(server.port(), 0);
+    EXPECT_EQ(server.address(),
+              "127.0.0.1:" + std::to_string(server.port()));
+
+    std::optional<std::string> body =
+        httpGet(server.address(), "/hello", &error);
+    ASSERT_TRUE(body.has_value()) << error;
+    EXPECT_EQ(*body, "hi\n");
+
+    body = httpGet(server.address(), "/metrics", &error);
+    ASSERT_TRUE(body.has_value()) << error;
+    EXPECT_EQ(*body, "# HELP x X.\n# TYPE x gauge\nx 1\n");
+    EXPECT_GE(server.requestsServed(), 2u);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(StatsServer, UnknownPathIs404)
+{
+    StatsServer server;
+    server.route("/only", [] { return HttpResponse{}; });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    std::optional<std::string> body =
+        httpGet(server.address(), "/missing", &error);
+    EXPECT_FALSE(body.has_value());
+    EXPECT_NE(error.find("404"), std::string::npos) << error;
+}
+
+TEST(StatsServer, StartRejectsBadAddresses)
+{
+    StatsServer server;
+    std::string error;
+    EXPECT_FALSE(server.start("no-port-here", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(server.running());
+}
+
+TEST(StatsServer, ClientReportsConnectFailure)
+{
+    // A port we just bound and closed again is very likely free;
+    // either way 127.0.0.1:1 is reserved and closed in practice.
+    std::string error;
+    std::optional<std::string> body =
+        httpGet("127.0.0.1:1", "/x", &error, 500);
+    EXPECT_FALSE(body.has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(StatsServer, ServesALiveRegistrySnapshot)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Id id = registry.addGauge("live", "Live.");
+    registry.freeze();
+
+    StatsServer server;
+    server.route("/metrics", [&registry] {
+        HttpResponse resp;
+        resp.contentType = kPrometheusContentType;
+        resp.body = registry.renderPrometheus();
+        return resp;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    registry.set(id, 42.0);
+    registry.publish();
+    std::optional<std::string> body =
+        httpGet(server.address(), "/metrics", &error);
+    ASSERT_TRUE(body.has_value()) << error;
+    EXPECT_NE(body->find("live 42\n"), std::string::npos) << *body;
+
+    registry.set(id, 43.0);
+    registry.publish();
+    body = httpGet(server.address(), "/metrics", &error);
+    ASSERT_TRUE(body.has_value()) << error;
+    EXPECT_NE(body->find("live 43\n"), std::string::npos) << *body;
+}
+
+} // namespace
+} // namespace vsnoop

@@ -22,11 +22,17 @@
 #include <string>
 #include <vector>
 
+#include "sim/metrics.hh"
 #include "sim/profiler.hh"
+#include "sim/stats.hh"
+#include "sim/stats_server.hh"
 #include "sim/table.hh"
 #include "system/energy.hh"
+#include "system/heartbeat.hh"
 #include "system/run_result.hh"
 #include "system/sim_system.hh"
+#include "system/sweep.hh"
+#include "trace/trace.hh"
 
 using namespace vsnoop;
 
@@ -92,6 +98,15 @@ usage()
         "  --profile             profile the simulator itself: print\n"
         "                        a per-phase host time breakdown and\n"
         "                        events/s to stderr after the run\n"
+        "  --stats-addr H:P      serve live telemetry over HTTP while\n"
+        "                        the run executes: /metrics\n"
+        "                        (Prometheus text format, including\n"
+        "                        the full simulator stat set),\n"
+        "                        /progress and /runs (JSON).  Port 0\n"
+        "                        picks a free port; the bound address\n"
+        "                        is printed to stderr.  Default off;\n"
+        "                        results are byte-identical either\n"
+        "                        way.\n"
         "\n"
         "output:\n"
         "  --energy              include the energy estimate\n"
@@ -162,6 +177,7 @@ main(int argc, char **argv)
     bool want_energy = false;
     bool want_json = false;
     bool want_profile = false;
+    std::string stats_addr;
 
     std::vector<std::string> args = normalizeArgs(argc, argv);
     auto next_value = [&](std::size_t &i, const std::string &flag) {
@@ -266,6 +282,8 @@ main(int argc, char **argv)
                 parseUint(flag, next_value(i, flag));
         } else if (flag == "--profile") {
             want_profile = true;
+        } else if (flag == "--stats-addr") {
+            stats_addr = next_value(i, flag);
         } else if (flag == "--energy") {
             want_energy = true;
         } else if (flag == "--json") {
@@ -286,10 +304,79 @@ main(int argc, char **argv)
 
     // One shared execution path: collectRun() runs the system,
     // gathers the result record, and exports the Chrome trace when
-    // --trace is set.
+    // --trace is set.  The --stats-addr path builds the system
+    // itself so it can attach the live-telemetry observers, then
+    // assembles the record through the same collectResults(), so
+    // the output bytes are identical either way.
     HostProfiler profiler;
-    RunResult run =
-        collectRun(cfg, *app, want_profile ? &profiler : nullptr);
+    RunResult run;
+    if (stats_addr.empty()) {
+        run = collectRun(cfg, *app, want_profile ? &profiler : nullptr);
+    } else {
+        // Single-run telemetry: a one-point sweep matrix gives the
+        // heartbeat exactly one cell, and the full simulator stat
+        // set rides along as vsnoop_sim_* series.
+        SweepMatrix matrix;
+        matrix.apps = {app->name};
+        matrix.policies = {cfg.policy};
+        matrix.relocations = {cfg.vsnoop.relocation};
+        matrix.roPolicies = {cfg.vsnoop.roPolicy};
+        matrix.seeds = {cfg.seed};
+        matrix.base = cfg;
+
+        const std::uint64_t stall_ms = 30000;
+        SweepHeartbeat heartbeat(matrix);
+        MetricsRegistry registry;
+        heartbeat.registerMetrics(registry);
+
+        SimSystem system(cfg, *app);
+        if (want_profile)
+            system.setProfiler(&profiler);
+        StatSet stats;
+        system.registerStats(stats);
+        StatSetExport stats_export(stats, registry, "vsnoop_sim_");
+        TraceSink *trace = system.trace();
+        if (trace != nullptr)
+            trace->registerMetrics(registry, "vsnoop_sim_");
+        registry.freeze();
+
+        StatsServer server;
+        registerTelemetryRoutes(server, registry, heartbeat, stall_ms);
+        std::string error;
+        if (!server.start(stats_addr, &error))
+            die("--stats-addr " + stats_addr + ": " + error);
+        std::cerr << "vsnoopsim: listening on http://"
+                  << server.address() << "\n";
+
+        // The simulating thread is the registry's single publisher:
+        // publication is throttled by wall clock, which only gates
+        // visibility — never simulation — so determinism holds.
+        RunProgress &cell = heartbeat.run(0);
+        heartbeat.markLaunched(steadyNowMs());
+        cell.start(steadyNowMs());
+        std::uint64_t last_publish = 0;
+        system.setProgressCallback(
+            [&](const ProgressSample &sample) {
+                std::uint64_t now = steadyNowMs();
+                cell.update(sample, now);
+                if (!sample.finished && now - last_publish < 100)
+                    return;
+                last_publish = now;
+                stats_export.update();
+                if (trace != nullptr)
+                    trace->stageMetrics(registry);
+                heartbeat.publishMetrics(registry, now, stall_ms);
+            });
+        system.run();
+        cell.finish(steadyNowMs());
+        stats_export.update();
+        if (trace != nullptr)
+            trace->stageMetrics(registry);
+        heartbeat.publishMetrics(registry, steadyNowMs(), stall_ms);
+
+        run = collectResults(system, app->name);
+        server.stop();
+    }
 
     if (!cfg.tracePath.empty())
         std::cerr << "vsnoopsim: trace written to " << cfg.tracePath

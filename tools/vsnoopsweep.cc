@@ -16,16 +16,27 @@
  * --help for the full flag list.
  */
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/profiler.hh"
+#include "sim/stats_server.hh"
+#include "system/heartbeat.hh"
 #include "system/sweep.hh"
 
 using namespace vsnoop;
@@ -93,6 +104,26 @@ usage()
         "                        breakdown (CPU time summed across\n"
         "                        workers) to stderr after the sweep\n"
         "\n"
+        "live monitoring (JSON output stays byte-identical):\n"
+        "  --stats-addr H:P      serve live telemetry over HTTP while\n"
+        "                        the sweep runs: /metrics (Prometheus\n"
+        "                        text format), /progress and /runs\n"
+        "                        (JSON).  Port 0 picks a free port;\n"
+        "                        the bound address is printed to\n"
+        "                        stderr.  Default off.\n"
+        "  --heartbeat SECS      print a one-line progress summary to\n"
+        "                        stderr every SECS seconds (default\n"
+        "                        0 = off)\n"
+        "  --stall-timeout SECS  watchdog: warn on stderr when a\n"
+        "                        running simulation reports no\n"
+        "                        progress for SECS seconds (default\n"
+        "                        30; 0 disables)\n"
+        "\n"
+        "On SIGINT/SIGTERM the sweep stops dispatching new runs,\n"
+        "waits for in-flight runs, writes every completed record\n"
+        "plus a summary line marked \"interrupted\", and exits with\n"
+        "status 128+signal.  A second signal kills immediately.\n"
+        "\n"
         "execution:\n"
         "  --jobs N              worker threads (default hardware\n"
         "                        concurrency)\n"
@@ -110,6 +141,36 @@ die(const std::string &msg)
 {
     std::cerr << "vsnoopsweep: " << msg << "\n";
     std::exit(2);
+}
+
+/** Last SIGINT/SIGTERM observed; 0 while uninterrupted. */
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+onSignal(int sig)
+{
+    g_signal = sig;
+    // Async-signal-safe notice; everything else happens on the
+    // normal threads once the cancel hook observes g_signal.
+    static const char msg[] =
+        "\nvsnoopsweep: interrupted; waiting for in-flight runs"
+        " (repeat the signal to kill)\n";
+    ssize_t rc = write(2, msg, sizeof msg - 1);
+    (void)rc;
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction action;
+    std::memset(&action, 0, sizeof action);
+    action.sa_handler = onSignal;
+    sigemptyset(&action.sa_mask);
+    // One-shot: a second signal gets the default (fatal) action,
+    // so a hung sweep can still be killed from the keyboard.
+    action.sa_flags = SA_RESETHAND;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
 }
 
 std::uint64_t
@@ -231,6 +292,9 @@ main(int argc, char **argv)
     bool want_profile = false;
     unsigned jobs = 0;
     std::string out_path;
+    std::string stats_addr;
+    std::uint64_t heartbeat_secs = 0;
+    std::uint64_t stall_secs = 30;
 
     std::vector<std::string> args = normalizeArgs(argc, argv);
     auto next_value = [&](std::size_t &i, const std::string &flag) {
@@ -326,6 +390,12 @@ main(int argc, char **argv)
                 parseUint(flag, next_value(i, flag));
         } else if (flag == "--profile") {
             want_profile = true;
+        } else if (flag == "--stats-addr") {
+            stats_addr = next_value(i, flag);
+        } else if (flag == "--heartbeat") {
+            heartbeat_secs = parseUint(flag, next_value(i, flag));
+        } else if (flag == "--stall-timeout") {
+            stall_secs = parseUint(flag, next_value(i, flag));
         } else if (flag == "--jobs") {
             jobs = static_cast<unsigned>(
                 parseUint(flag, next_value(i, flag)));
@@ -361,14 +431,86 @@ main(int argc, char **argv)
     }
 
     quietLogging(true);
+    installSignalHandlers();
+
+    const std::uint64_t stall_ms = stall_secs * 1000;
+    SweepHeartbeat heartbeat(matrix);
+    MetricsRegistry registry;
+    heartbeat.registerMetrics(registry);
+    registry.freeze();
+
+    StatsServer server;
+    if (!stats_addr.empty()) {
+        registerTelemetryRoutes(server, registry, heartbeat, stall_ms);
+        std::string error;
+        if (!server.start(stats_addr, &error))
+            die("--stats-addr " + stats_addr + ": " + error);
+        std::cerr << "vsnoopsweep: listening on http://"
+                  << server.address() << "\n";
+    }
+
+    // The monitor thread is the registry's single publisher; it
+    // also prints the stderr heartbeat and runs the watchdog.  All
+    // of it only reads heartbeat cells, so simulation threads never
+    // notice the observer.
+    std::atomic<bool> monitor_stop{false};
+    std::mutex monitor_mutex;
+    std::condition_variable monitor_cv;
+    std::thread monitor([&] {
+        std::vector<std::uint8_t> was_stalled(heartbeat.runCount(), 0);
+        std::uint64_t next_beat = steadyNowMs() + heartbeat_secs * 1000;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(monitor_mutex);
+                if (monitor_cv.wait_for(
+                        lock, std::chrono::milliseconds(250),
+                        [&] { return monitor_stop.load(); }))
+                    break;
+            }
+            std::uint64_t now = steadyNowMs();
+            heartbeat.publishMetrics(registry, now, stall_ms);
+            if (stall_ms > 0) {
+                for (std::size_t i = 0; i < heartbeat.runCount(); ++i) {
+                    bool stalled = heartbeat.run(i).stalled(now, stall_ms);
+                    if (stalled && !was_stalled[i]) {
+                        std::cerr << "vsnoopsweep: watchdog: run "
+                                  << heartbeat.info(i).label
+                                  << " has made no progress for "
+                                  << stall_secs << " s\n";
+                    } else if (!stalled && was_stalled[i]) {
+                        std::cerr << "vsnoopsweep: watchdog: run "
+                                  << heartbeat.info(i).label
+                                  << " is making progress again\n";
+                    }
+                    was_stalled[i] = stalled ? 1 : 0;
+                }
+            }
+            if (heartbeat_secs > 0 && now >= next_beat) {
+                std::cerr << "vsnoopsweep: "
+                          << heartbeat.heartbeatLine(now) << "\n";
+                next_beat = now + heartbeat_secs * 1000;
+            }
+        }
+        // Final publish so a post-completion scrape sees the end
+        // state (every run done, rate and ETA settled).
+        heartbeat.publishMetrics(registry, steadyNowMs(), stall_ms);
+    });
 
     auto start = std::chrono::steady_clock::now();
     HostProfiler profiler;
-    std::vector<RunResult> results =
-        runSweep(matrix, jobs, want_profile ? &profiler : nullptr);
+    SweepExecution exec = runSweepMonitored(
+        matrix, jobs, want_profile ? &profiler : nullptr, &heartbeat,
+        [] { return g_signal != 0; });
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+
+    {
+        std::lock_guard<std::mutex> lock(monitor_mutex);
+        monitor_stop.store(true);
+    }
+    monitor_cv.notify_all();
+    monitor.join();
 
     std::ofstream file;
     if (!out_path.empty()) {
@@ -377,28 +519,59 @@ main(int argc, char **argv)
             die("cannot open --out file '" + out_path + "'");
     }
     std::ostream &out = out_path.empty() ? std::cout : file;
-    for (const RunResult &r : results)
-        out << r.toJson() << "\n";
+    // Completed records only, in matrix order; an interrupted sweep
+    // never emits a partially-built record.
+    for (std::size_t i = 0; i < exec.results.size(); ++i) {
+        if (exec.completed[i])
+            out << exec.results[i].toJson() << "\n";
+    }
+    std::size_t runs_completed = exec.completedCount();
+    if (exec.interrupted) {
+        // Trailing summary line so consumers of a truncated file can
+        // tell "interrupted" from "small sweep" without guessing.
+        JsonWriter json;
+        json.beginObject();
+        writeBuildMeta(json);
+        json.key("summary").beginObject();
+        json.key("interrupted").value(true);
+        json.key("signal").value(static_cast<std::uint64_t>(g_signal));
+        json.key("runs_completed")
+            .value(static_cast<std::uint64_t>(runs_completed));
+        json.key("runs_total")
+            .value(static_cast<std::uint64_t>(exec.results.size()));
+        json.endObject();
+        json.endObject();
+        out << json.str() << "\n";
+    }
 
     // End-of-sweep summary (stderr, so JSON output stays clean).
     // When tracing was on, the summary includes the total records
     // dropped across all runs so per-file ring truncation is never
     // silent.
     double rate = elapsed > 0.0
-                      ? static_cast<double>(results.size()) / elapsed
+                      ? static_cast<double>(runs_completed) / elapsed
                       : 0.0;
-    std::cerr << "vsnoopsweep: " << results.size() << " runs in "
-              << elapsed << " s (" << rate << " runs/s)";
+    std::cerr << "vsnoopsweep: " << runs_completed;
+    if (exec.interrupted)
+        std::cerr << "/" << exec.results.size();
+    std::cerr << " runs in " << elapsed << " s (" << rate
+              << " runs/s)";
     bool traced = false;
     std::uint64_t dropped = 0;
-    for (const RunResult &r : results) {
-        traced = traced || r.traceAttached;
-        dropped += r.traceRecordsDropped;
+    for (std::size_t i = 0; i < exec.results.size(); ++i) {
+        if (!exec.completed[i])
+            continue;
+        traced = traced || exec.results[i].traceAttached;
+        dropped += exec.results[i].traceRecordsDropped;
     }
     if (traced)
         std::cerr << ", trace records dropped: " << dropped;
+    if (exec.interrupted)
+        std::cerr << " — interrupted";
     std::cerr << "\n";
     if (want_profile)
         writeProfile(std::cerr, profiler);
+    if (exec.interrupted)
+        return 128 + static_cast<int>(g_signal);
     return 0;
 }

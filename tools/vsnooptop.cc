@@ -1,0 +1,419 @@
+/**
+ * @file
+ * vsnooptop — live terminal dashboard for a running simulation.
+ *
+ * Polls the /progress and /runs endpoints that vsnoopsim and
+ * vsnoopsweep expose under --stats-addr and renders an ANSI
+ * dashboard: sweep totals, per-run progress bars, filter-rate and
+ * network-traffic sparklines, and watchdog state.
+ *
+ *   vsnoopsweep --apps coherence --stats-addr 127.0.0.1:9090 ... &
+ *   vsnooptop --addr 127.0.0.1:9090
+ *
+ * The dashboard is a pure observer: it shares nothing with the
+ * simulator but the HTTP socket.  It exits 0 when the watched
+ * process finishes (every run done, or the endpoint goes away after
+ * at least one successful poll) and 1 when the first poll fails.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/stats_server.hh"
+
+using namespace vsnoop;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "vsnooptop — terminal dashboard for a live vsnoop run\n"
+        "\n"
+        "usage: vsnooptop --addr HOST:PORT [flags]\n"
+        "\n"
+        "Connects to the --stats-addr endpoint of a running\n"
+        "vsnoopsim or vsnoopsweep and redraws a live dashboard:\n"
+        "sweep progress, per-run progress bars, filter-rate and\n"
+        "traffic sparklines, and no-progress watchdog state.\n"
+        "\n"
+        "flags:\n"
+        "  --addr HOST:PORT      endpoint to poll (required; the\n"
+        "                        address the tool printed at start)\n"
+        "  --interval MS         poll period in milliseconds\n"
+        "                        (default 1000)\n"
+        "  --once                print one frame without clearing\n"
+        "                        the screen and exit (for scripts\n"
+        "                        and CI)\n"
+        "  --help                this text\n"
+        "\n"
+        "exit status: 0 once the watched run finishes (or the\n"
+        "endpoint disappears after a successful poll), 1 when the\n"
+        "first poll fails.\n"
+        "\n"
+        "Flags accept both \"--flag value\" and \"--flag=value\".\n";
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::cerr << "vsnooptop: " << msg << "\n";
+    std::exit(2);
+}
+
+std::uint64_t
+parseUint(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        die(flag + " expects a non-negative integer, got '" +
+            value + "'");
+    return parsed;
+}
+
+/** Expand "--flag=value" into "--flag","value". */
+std::vector<std::string>
+normalizeArgs(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::size_t eq;
+        if (arg.rfind("--", 0) == 0 &&
+            (eq = arg.find('=')) != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(std::move(arg));
+        }
+    }
+    return args;
+}
+
+/** @{ ANSI fragments (kept inline so --once output stays plain). */
+const char *const kBold = "\x1b[1m";
+const char *const kDim = "\x1b[2m";
+const char *const kGreen = "\x1b[32m";
+const char *const kYellow = "\x1b[33m";
+const char *const kRed = "\x1b[31m";
+const char *const kReset = "\x1b[0m";
+/** @} */
+
+/** A fixed-width progress bar, '#' for done and '.' for remaining. */
+std::string
+bar(double ratio, int width)
+{
+    if (ratio < 0.0)
+        ratio = 0.0;
+    if (ratio > 1.0)
+        ratio = 1.0;
+    int full = static_cast<int>(ratio * width + 0.5);
+    std::string out = "[";
+    for (int i = 0; i < width; ++i)
+        out += i < full ? '#' : '.';
+    out += ']';
+    return out;
+}
+
+/** Render a history as a Unicode sparkline, scaled to its max. */
+std::string
+sparkline(const std::deque<double> &history)
+{
+    static const char *const kLevels[] = {
+        "▁", "▂", "▃", "▄",
+        "▅", "▆", "▇", "█",
+    };
+    double max = 0.0;
+    for (double v : history)
+        max = v > max ? v : max;
+    std::string out;
+    for (double v : history) {
+        int level = max > 0.0
+                        ? static_cast<int>(v / max * 7.0 + 0.5)
+                        : 0;
+        out += kLevels[level < 0 ? 0 : (level > 7 ? 7 : level)];
+    }
+    return out;
+}
+
+std::string
+formatSeconds(double secs)
+{
+    char buf[48];
+    if (secs >= 3600.0)
+        std::snprintf(buf, sizeof buf, "%.0fh%02.0fm",
+                      secs / 3600.0,
+                      static_cast<double>(
+                          static_cast<int>(secs / 60.0) % 60));
+    else if (secs >= 60.0)
+        std::snprintf(buf, sizeof buf, "%.0fm%02.0fs",
+                      secs / 60.0,
+                      static_cast<double>(
+                          static_cast<int>(secs) % 60));
+    else
+        std::snprintf(buf, sizeof buf, "%.1fs", secs);
+    return buf;
+}
+
+std::string
+formatCount(double value)
+{
+    char buf[48];
+    if (value >= 1e9)
+        std::snprintf(buf, sizeof buf, "%.2fG", value / 1e9);
+    else if (value >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.2fM", value / 1e6);
+    else if (value >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.1fk", value / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+}
+
+/** History depth of the dashboard sparklines. */
+constexpr std::size_t kSparkWidth = 40;
+
+struct DashboardState
+{
+    std::deque<double> filterRate;
+    std::deque<double> byteHopRate;
+    double lastByteHops = -1.0;
+    std::uint64_t lastSampleMs = 0;
+
+    void push(std::deque<double> &hist, double v)
+    {
+        hist.push_back(v);
+        while (hist.size() > kSparkWidth)
+            hist.pop_front();
+    }
+};
+
+/** One rendered frame, or nullopt when a fetch/parse failed. */
+std::optional<std::string>
+renderFrame(const std::string &addr, DashboardState &state,
+            std::uint64_t nowMs, bool *all_done)
+{
+    std::string error;
+    std::optional<std::string> progress_body =
+        httpGet(addr, "/progress", &error);
+    if (!progress_body)
+        return std::nullopt;
+    std::optional<std::string> runs_body =
+        httpGet(addr, "/runs", &error);
+    if (!runs_body)
+        return std::nullopt;
+    std::optional<JsonValue> progress = parseJson(*progress_body);
+    std::optional<JsonValue> runs_doc = parseJson(*runs_body);
+    if (!progress || !runs_doc || !progress->isObject() ||
+        !runs_doc->isObject())
+        return std::nullopt;
+
+    double runs_total = progress->numberAt("runs_total");
+    double runs_done = progress->numberAt("runs_done");
+    double runs_running = progress->numberAt("runs_running");
+    bool interrupted = false;
+    if (const JsonValue *flag = progress->find("interrupted"))
+        interrupted = flag->kind() == JsonValue::Kind::Bool &&
+                      flag->boolean();
+    *all_done = runs_total > 0 && runs_done >= runs_total;
+
+    // Aggregate sparkline feeds: instantaneous filter rate and the
+    // byte-hop delta per wall second since the previous poll.
+    state.push(state.filterRate, progress->numberAt("filter_rate"));
+    double byte_hops = progress->numberAt("traffic_byte_hops");
+    if (state.lastByteHops >= 0.0 && nowMs > state.lastSampleMs) {
+        double per_sec =
+            (byte_hops - state.lastByteHops) /
+            (static_cast<double>(nowMs - state.lastSampleMs) / 1000.0);
+        state.push(state.byteHopRate, per_sec < 0.0 ? 0.0 : per_sec);
+    }
+    state.lastByteHops = byte_hops;
+    state.lastSampleMs = nowMs;
+
+    std::string frame;
+    frame += kBold;
+    frame += "vsnooptop";
+    frame += kReset;
+    frame += "  ";
+    frame += addr;
+    frame += "  ";
+    frame += formatSeconds(progress->numberAt("elapsed_seconds"));
+    frame += " elapsed";
+    if (interrupted) {
+        frame += "  ";
+        frame += kRed;
+        frame += "INTERRUPTED";
+        frame += kReset;
+    }
+    frame += "\n\n";
+
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "runs    %s %.0f/%.0f done, %.0f running",
+                  bar(runs_total > 0 ? runs_done / runs_total : 0.0,
+                      30)
+                      .c_str(),
+                  runs_done, runs_total, runs_running);
+    frame += line;
+    double rate = progress->numberAt("runs_per_second");
+    double eta = progress->numberAt("eta_seconds");
+    if (rate > 0.0) {
+        std::snprintf(line, sizeof line, ", %.2f runs/s, ETA %s",
+                      rate, formatSeconds(eta).c_str());
+        frame += line;
+    }
+    frame += '\n';
+    std::snprintf(line, sizeof line,
+                  "access  %s / %s accesses issued\n",
+                  formatCount(progress->numberAt("accesses_issued"))
+                      .c_str(),
+                  formatCount(progress->numberAt("accesses_target"))
+                      .c_str());
+    frame += line;
+    frame += '\n';
+
+    std::snprintf(line, sizeof line, "filter  %5.1f%%  %s\n",
+                  100.0 * progress->numberAt("filter_rate"),
+                  sparkline(state.filterRate).c_str());
+    frame += line;
+    std::snprintf(line, sizeof line, "traffic %sB/s  %s\n",
+                  state.byteHopRate.empty()
+                      ? "   ?"
+                      : formatCount(state.byteHopRate.back()).c_str(),
+                  sparkline(state.byteHopRate).c_str());
+    frame += line;
+    frame += '\n';
+
+    // Watchdog summary straight from the endpoint's stalled list.
+    std::size_t stalled_count = 0;
+    if (const JsonValue *watchdog = progress->find("watchdog")) {
+        if (const JsonValue *stalled = watchdog->find("stalled"))
+            if (stalled->isArray())
+                stalled_count = stalled->items().size();
+    }
+    if (stalled_count > 0) {
+        frame += kRed;
+        std::snprintf(line, sizeof line,
+                      "watchdog: %zu run(s) making no progress\n",
+                      stalled_count);
+        frame += line;
+        frame += kReset;
+    }
+
+    if (const JsonValue *run_list = runs_doc->find("runs")) {
+        if (run_list->isArray()) {
+            for (const JsonValue &run : run_list->items()) {
+                std::string run_state = run.stringAt("state");
+                bool stalled = false;
+                if (const JsonValue *flag = run.find("stalled"))
+                    stalled =
+                        flag->kind() == JsonValue::Kind::Bool &&
+                        flag->boolean();
+                const char *color = kDim;
+                if (stalled)
+                    color = kRed;
+                else if (run_state == "running")
+                    color = kYellow;
+                else if (run_state == "done")
+                    color = kGreen;
+                std::snprintf(
+                    line, sizeof line,
+                    "%s%-44s %s %5.1f%% %-7s%s fr %4.1f%%\n", color,
+                    run.stringAt("label").c_str(),
+                    bar(run.numberAt("progress"), 20).c_str(),
+                    100.0 * run.numberAt("progress"),
+                    stalled ? "STALLED" : run_state.c_str(), kReset,
+                    100.0 * run.numberAt("filter_rate"));
+                frame += line;
+            }
+        }
+    }
+    return frame;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string addr;
+    std::uint64_t interval_ms = 1000;
+    bool once = false;
+
+    std::vector<std::string> args = normalizeArgs(argc, argv);
+    auto next_value = [&](std::size_t &i, const std::string &flag) {
+        if (i + 1 >= args.size())
+            die(flag + " requires a value");
+        return args[++i];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        if (flag == "--help" || flag == "-h") {
+            usage();
+            return 0;
+        } else if (flag == "--addr") {
+            addr = next_value(i, flag);
+        } else if (flag == "--interval") {
+            interval_ms = parseUint(flag, next_value(i, flag));
+            if (interval_ms == 0)
+                die("--interval must be at least 1 ms");
+        } else if (flag == "--once") {
+            once = true;
+        } else {
+            die("unknown flag '" + flag + "' (try --help)");
+        }
+    }
+    if (addr.empty())
+        die("--addr HOST:PORT is required (try --help)");
+
+    DashboardState state;
+    bool connected = false;
+    for (;;) {
+        std::uint64_t now_ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+        bool all_done = false;
+        std::optional<std::string> frame =
+            renderFrame(addr, state, now_ms, &all_done);
+        if (!frame) {
+            if (!connected) {
+                std::cerr << "vsnooptop: cannot fetch http://" << addr
+                          << "/progress\n";
+                return 1;
+            }
+            // The watched process exited between polls: a normal
+            // end of session, not an error.
+            std::cout << "\nvsnooptop: " << addr
+                      << " went away; exiting\n";
+            return 0;
+        }
+        connected = true;
+        if (once) {
+            std::cout << *frame;
+            return 0;
+        }
+        // Home + clear-to-end keeps redraws flicker-free.
+        std::cout << "\x1b[H\x1b[J" << *frame << std::flush;
+        if (all_done) {
+            std::cout << "\nvsnooptop: all runs done\n";
+            return 0;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+}
