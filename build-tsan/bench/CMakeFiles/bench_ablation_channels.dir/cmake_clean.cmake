@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_channels.dir/bench_ablation_channels.cc.o"
+  "CMakeFiles/bench_ablation_channels.dir/bench_ablation_channels.cc.o.d"
+  "bench_ablation_channels"
+  "bench_ablation_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mapsync.dir/bench_ablation_mapsync.cc.o"
+  "CMakeFiles/bench_ablation_mapsync.dir/bench_ablation_mapsync.cc.o.d"
+  "bench_ablation_mapsync"
+  "bench_ablation_mapsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mapsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_retries.dir/bench_ablation_retries.cc.o"
+  "CMakeFiles/bench_ablation_retries.dir/bench_ablation_retries.cc.o.d"
+  "bench_ablation_retries"
+  "bench_ablation_retries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

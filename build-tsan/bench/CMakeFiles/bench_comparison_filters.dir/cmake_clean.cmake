@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparison_filters.dir/bench_comparison_filters.cc.o"
+  "CMakeFiles/bench_comparison_filters.dir/bench_comparison_filters.cc.o.d"
+  "bench_comparison_filters"
+  "bench_comparison_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparison_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_hypervisor_misses.dir/bench_fig01_hypervisor_misses.cc.o"
+  "CMakeFiles/bench_fig01_hypervisor_misses.dir/bench_fig01_hypervisor_misses.cc.o.d"
+  "bench_fig01_hypervisor_misses"
+  "bench_fig01_hypervisor_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_hypervisor_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_potential_reduction.dir/bench_fig02_potential_reduction.cc.o"
+  "CMakeFiles/bench_fig02_potential_reduction.dir/bench_fig02_potential_reduction.cc.o.d"
+  "bench_fig02_potential_reduction"
+  "bench_fig02_potential_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_potential_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

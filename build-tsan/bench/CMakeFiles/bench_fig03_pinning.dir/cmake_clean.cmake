@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_pinning.dir/bench_fig03_pinning.cc.o"
+  "CMakeFiles/bench_fig03_pinning.dir/bench_fig03_pinning.cc.o.d"
+  "bench_fig03_pinning"
+  "bench_fig03_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

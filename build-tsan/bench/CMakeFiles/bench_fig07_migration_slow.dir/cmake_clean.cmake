@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_migration_slow.dir/bench_fig07_migration_slow.cc.o"
+  "CMakeFiles/bench_fig07_migration_slow.dir/bench_fig07_migration_slow.cc.o.d"
+  "bench_fig07_migration_slow"
+  "bench_fig07_migration_slow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_migration_slow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

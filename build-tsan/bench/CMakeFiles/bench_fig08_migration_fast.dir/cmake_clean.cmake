@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_migration_fast.dir/bench_fig08_migration_fast.cc.o"
+  "CMakeFiles/bench_fig08_migration_fast.dir/bench_fig08_migration_fast.cc.o.d"
+  "bench_fig08_migration_fast"
+  "bench_fig08_migration_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_migration_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

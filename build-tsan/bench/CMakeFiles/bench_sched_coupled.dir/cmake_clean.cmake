@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_coupled.dir/bench_sched_coupled.cc.o"
+  "CMakeFiles/bench_sched_coupled.dir/bench_sched_coupled.cc.o.d"
+  "bench_sched_coupled"
+  "bench_sched_coupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_relocation_period.dir/bench_table1_relocation_period.cc.o"
+  "CMakeFiles/bench_table1_relocation_period.dir/bench_table1_relocation_period.cc.o.d"
+  "bench_table1_relocation_period"
+  "bench_table1_relocation_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_relocation_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

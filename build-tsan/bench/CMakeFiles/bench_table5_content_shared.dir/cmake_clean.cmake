@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_content_shared.dir/bench_table5_content_shared.cc.o"
+  "CMakeFiles/bench_table5_content_shared.dir/bench_table5_content_shared.cc.o.d"
+  "bench_table5_content_shared"
+  "bench_table5_content_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_content_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

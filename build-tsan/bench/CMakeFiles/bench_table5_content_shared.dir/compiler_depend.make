@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table5_content_shared.
+# This may be replaced when dependencies are built.

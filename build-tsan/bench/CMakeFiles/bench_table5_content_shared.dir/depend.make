@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_content_shared.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_holders.dir/bench_table6_holders.cc.o"
+  "CMakeFiles/bench_table6_holders.dir/bench_table6_holders.cc.o.d"
+  "bench_table6_holders"
+  "bench_table6_holders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_holders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

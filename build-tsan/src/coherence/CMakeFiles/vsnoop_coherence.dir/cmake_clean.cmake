@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoop_coherence.dir/controller.cc.o"
+  "CMakeFiles/vsnoop_coherence.dir/controller.cc.o.d"
+  "CMakeFiles/vsnoop_coherence.dir/region_filter.cc.o"
+  "CMakeFiles/vsnoop_coherence.dir/region_filter.cc.o.d"
+  "CMakeFiles/vsnoop_coherence.dir/system.cc.o"
+  "CMakeFiles/vsnoop_coherence.dir/system.cc.o.d"
+  "libvsnoop_coherence.a"
+  "libvsnoop_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoop_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

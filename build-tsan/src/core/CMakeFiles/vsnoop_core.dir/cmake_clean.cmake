@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoop_core.dir/vsnoop.cc.o"
+  "CMakeFiles/vsnoop_core.dir/vsnoop.cc.o.d"
+  "libvsnoop_core.a"
+  "libvsnoop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

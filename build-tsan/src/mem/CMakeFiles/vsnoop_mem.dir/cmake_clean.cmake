@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoop_mem.dir/addr.cc.o"
+  "CMakeFiles/vsnoop_mem.dir/addr.cc.o.d"
+  "CMakeFiles/vsnoop_mem.dir/cache.cc.o"
+  "CMakeFiles/vsnoop_mem.dir/cache.cc.o.d"
+  "CMakeFiles/vsnoop_mem.dir/main_memory.cc.o"
+  "CMakeFiles/vsnoop_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/vsnoop_mem.dir/residence.cc.o"
+  "CMakeFiles/vsnoop_mem.dir/residence.cc.o.d"
+  "libvsnoop_mem.a"
+  "libvsnoop_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoop_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoop_noc.dir/mesh.cc.o"
+  "CMakeFiles/vsnoop_noc.dir/mesh.cc.o.d"
+  "libvsnoop_noc.a"
+  "libvsnoop_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoop_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/json.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/json.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/json.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/profiler.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/profiler.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/stats_server.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/stats_server.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/stats_server.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/table.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/table.cc.o.d"
+  "/root/repo/build-tsan/src/sim/version.cc" "src/sim/CMakeFiles/vsnoop_sim.dir/version.cc.o" "gcc" "src/sim/CMakeFiles/vsnoop_sim.dir/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoop_sim.dir/event_queue.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/vsnoop_sim.dir/json.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/json.cc.o.d"
+  "CMakeFiles/vsnoop_sim.dir/logging.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/logging.cc.o.d"
+  "CMakeFiles/vsnoop_sim.dir/metrics.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/vsnoop_sim.dir/profiler.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/profiler.cc.o.d"
+  "CMakeFiles/vsnoop_sim.dir/rng.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/rng.cc.o.d"
+  "CMakeFiles/vsnoop_sim.dir/stats.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/stats.cc.o.d"
+  "CMakeFiles/vsnoop_sim.dir/stats_server.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/stats_server.cc.o.d"
+  "CMakeFiles/vsnoop_sim.dir/table.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/table.cc.o.d"
+  "CMakeFiles/vsnoop_sim.dir/version.cc.o"
+  "CMakeFiles/vsnoop_sim.dir/version.cc.o.d"
+  "libvsnoop_sim.a"
+  "libvsnoop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/sim/CMakeFiles/vsnoop_sim.dir/version.cc.o: \
+ /root/repo/build-tsan/src/sim/version.cc /usr/include/stdc-predef.h \
+ /root/repo/src/sim/version.hh

@@ -1,0 +1,33 @@
+// Configured by src/sim/CMakeLists.txt — do not edit the generated
+// copy; change version.cc.in instead.
+
+#include "sim/version.hh"
+
+namespace vsnoop
+{
+
+const char *
+toolVersion()
+{
+    return "0.4.0";
+}
+
+const char *
+gitDescribe()
+{
+    return "fb0dd8d-dirty";
+}
+
+const char *
+compilerId()
+{
+    return "GNU 12.2.0";
+}
+
+const char *
+buildType()
+{
+    return "RelWithDebInfo";
+}
+
+} // namespace vsnoop

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/driver.cc" "src/system/CMakeFiles/vsnoop_system.dir/driver.cc.o" "gcc" "src/system/CMakeFiles/vsnoop_system.dir/driver.cc.o.d"
+  "/root/repo/src/system/energy.cc" "src/system/CMakeFiles/vsnoop_system.dir/energy.cc.o" "gcc" "src/system/CMakeFiles/vsnoop_system.dir/energy.cc.o.d"
+  "/root/repo/src/system/heartbeat.cc" "src/system/CMakeFiles/vsnoop_system.dir/heartbeat.cc.o" "gcc" "src/system/CMakeFiles/vsnoop_system.dir/heartbeat.cc.o.d"
+  "/root/repo/src/system/run_result.cc" "src/system/CMakeFiles/vsnoop_system.dir/run_result.cc.o" "gcc" "src/system/CMakeFiles/vsnoop_system.dir/run_result.cc.o.d"
+  "/root/repo/src/system/sim_system.cc" "src/system/CMakeFiles/vsnoop_system.dir/sim_system.cc.o" "gcc" "src/system/CMakeFiles/vsnoop_system.dir/sim_system.cc.o.d"
+  "/root/repo/src/system/sweep.cc" "src/system/CMakeFiles/vsnoop_system.dir/sweep.cc.o" "gcc" "src/system/CMakeFiles/vsnoop_system.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/vsnoop_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/vsnoop_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/coherence/CMakeFiles/vsnoop_coherence.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/vsnoop_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/noc/CMakeFiles/vsnoop_noc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/virt/CMakeFiles/vsnoop_virt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/vsnoop_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/vsnoop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

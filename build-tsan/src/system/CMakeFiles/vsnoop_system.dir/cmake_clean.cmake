@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoop_system.dir/driver.cc.o"
+  "CMakeFiles/vsnoop_system.dir/driver.cc.o.d"
+  "CMakeFiles/vsnoop_system.dir/energy.cc.o"
+  "CMakeFiles/vsnoop_system.dir/energy.cc.o.d"
+  "CMakeFiles/vsnoop_system.dir/heartbeat.cc.o"
+  "CMakeFiles/vsnoop_system.dir/heartbeat.cc.o.d"
+  "CMakeFiles/vsnoop_system.dir/run_result.cc.o"
+  "CMakeFiles/vsnoop_system.dir/run_result.cc.o.d"
+  "CMakeFiles/vsnoop_system.dir/sim_system.cc.o"
+  "CMakeFiles/vsnoop_system.dir/sim_system.cc.o.d"
+  "CMakeFiles/vsnoop_system.dir/sweep.cc.o"
+  "CMakeFiles/vsnoop_system.dir/sweep.cc.o.d"
+  "libvsnoop_system.a"
+  "libvsnoop_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoop_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

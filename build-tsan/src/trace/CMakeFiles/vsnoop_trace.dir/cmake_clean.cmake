@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoop_trace.dir/chrome_trace.cc.o"
+  "CMakeFiles/vsnoop_trace.dir/chrome_trace.cc.o.d"
+  "CMakeFiles/vsnoop_trace.dir/timeseries.cc.o"
+  "CMakeFiles/vsnoop_trace.dir/timeseries.cc.o.d"
+  "CMakeFiles/vsnoop_trace.dir/trace.cc.o"
+  "CMakeFiles/vsnoop_trace.dir/trace.cc.o.d"
+  "libvsnoop_trace.a"
+  "libvsnoop_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoop_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/hypervisor.cc" "src/virt/CMakeFiles/vsnoop_virt.dir/hypervisor.cc.o" "gcc" "src/virt/CMakeFiles/vsnoop_virt.dir/hypervisor.cc.o.d"
+  "/root/repo/src/virt/page_table.cc" "src/virt/CMakeFiles/vsnoop_virt.dir/page_table.cc.o" "gcc" "src/virt/CMakeFiles/vsnoop_virt.dir/page_table.cc.o.d"
+  "/root/repo/src/virt/sched_sim.cc" "src/virt/CMakeFiles/vsnoop_virt.dir/sched_sim.cc.o" "gcc" "src/virt/CMakeFiles/vsnoop_virt.dir/sched_sim.cc.o.d"
+  "/root/repo/src/virt/vcpu_map.cc" "src/virt/CMakeFiles/vsnoop_virt.dir/vcpu_map.cc.o" "gcc" "src/virt/CMakeFiles/vsnoop_virt.dir/vcpu_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mem/CMakeFiles/vsnoop_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/vsnoop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoop_virt.dir/hypervisor.cc.o"
+  "CMakeFiles/vsnoop_virt.dir/hypervisor.cc.o.d"
+  "CMakeFiles/vsnoop_virt.dir/page_table.cc.o"
+  "CMakeFiles/vsnoop_virt.dir/page_table.cc.o.d"
+  "CMakeFiles/vsnoop_virt.dir/sched_sim.cc.o"
+  "CMakeFiles/vsnoop_virt.dir/sched_sim.cc.o.d"
+  "CMakeFiles/vsnoop_virt.dir/vcpu_map.cc.o"
+  "CMakeFiles/vsnoop_virt.dir/vcpu_map.cc.o.d"
+  "libvsnoop_virt.a"
+  "libvsnoop_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoop_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoop_workload.dir/app_profile.cc.o"
+  "CMakeFiles/vsnoop_workload.dir/app_profile.cc.o.d"
+  "CMakeFiles/vsnoop_workload.dir/generator.cc.o"
+  "CMakeFiles/vsnoop_workload.dir/generator.cc.o.d"
+  "libvsnoop_workload.a"
+  "libvsnoop_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoop_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

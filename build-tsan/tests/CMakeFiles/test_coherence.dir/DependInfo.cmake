@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coherence_races.cc" "tests/CMakeFiles/test_coherence.dir/test_coherence_races.cc.o" "gcc" "tests/CMakeFiles/test_coherence.dir/test_coherence_races.cc.o.d"
+  "/root/repo/tests/test_l1.cc" "tests/CMakeFiles/test_coherence.dir/test_l1.cc.o" "gcc" "tests/CMakeFiles/test_coherence.dir/test_l1.cc.o.d"
+  "/root/repo/tests/test_persistent_arbiter.cc" "tests/CMakeFiles/test_coherence.dir/test_persistent_arbiter.cc.o" "gcc" "tests/CMakeFiles/test_coherence.dir/test_persistent_arbiter.cc.o.d"
+  "/root/repo/tests/test_region_filter.cc" "tests/CMakeFiles/test_coherence.dir/test_region_filter.cc.o" "gcc" "tests/CMakeFiles/test_coherence.dir/test_region_filter.cc.o.d"
+  "/root/repo/tests/test_token_protocol.cc" "tests/CMakeFiles/test_coherence.dir/test_token_protocol.cc.o" "gcc" "tests/CMakeFiles/test_coherence.dir/test_token_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/system/CMakeFiles/vsnoop_system.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/vsnoop_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/vsnoop_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/coherence/CMakeFiles/vsnoop_coherence.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/vsnoop_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/noc/CMakeFiles/vsnoop_noc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/virt/CMakeFiles/vsnoop_virt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/vsnoop_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/vsnoop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

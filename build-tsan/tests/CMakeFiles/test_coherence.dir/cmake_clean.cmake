@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence.dir/test_coherence_races.cc.o"
+  "CMakeFiles/test_coherence.dir/test_coherence_races.cc.o.d"
+  "CMakeFiles/test_coherence.dir/test_l1.cc.o"
+  "CMakeFiles/test_coherence.dir/test_l1.cc.o.d"
+  "CMakeFiles/test_coherence.dir/test_persistent_arbiter.cc.o"
+  "CMakeFiles/test_coherence.dir/test_persistent_arbiter.cc.o.d"
+  "CMakeFiles/test_coherence.dir/test_region_filter.cc.o"
+  "CMakeFiles/test_coherence.dir/test_region_filter.cc.o.d"
+  "CMakeFiles/test_coherence.dir/test_token_protocol.cc.o"
+  "CMakeFiles/test_coherence.dir/test_token_protocol.cc.o.d"
+  "test_coherence"
+  "test_coherence.pdb"
+  "test_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

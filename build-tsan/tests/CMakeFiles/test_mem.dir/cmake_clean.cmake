@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/test_addr.cc.o"
+  "CMakeFiles/test_mem.dir/test_addr.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_cache.cc.o"
+  "CMakeFiles/test_mem.dir/test_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_main_memory.cc.o"
+  "CMakeFiles/test_mem.dir/test_main_memory.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_residence.cc.o"
+  "CMakeFiles/test_mem.dir/test_residence.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

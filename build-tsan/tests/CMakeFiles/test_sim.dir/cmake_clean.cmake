@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_core_set.cc.o"
+  "CMakeFiles/test_sim.dir/test_core_set.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_event_queue.cc.o"
+  "CMakeFiles/test_sim.dir/test_event_queue.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_json.cc.o"
+  "CMakeFiles/test_sim.dir/test_json.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_profiler.cc.o"
+  "CMakeFiles/test_sim.dir/test_profiler.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_rng.cc.o"
+  "CMakeFiles/test_sim.dir/test_rng.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_stats.cc.o"
+  "CMakeFiles/test_sim.dir/test_stats.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_table.cc.o"
+  "CMakeFiles/test_sim.dir/test_table.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

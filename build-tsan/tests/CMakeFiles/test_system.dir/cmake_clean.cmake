@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/test_accounting.cc.o"
+  "CMakeFiles/test_system.dir/test_accounting.cc.o.d"
+  "CMakeFiles/test_system.dir/test_channels.cc.o"
+  "CMakeFiles/test_system.dir/test_channels.cc.o.d"
+  "CMakeFiles/test_system.dir/test_energy.cc.o"
+  "CMakeFiles/test_system.dir/test_energy.cc.o.d"
+  "CMakeFiles/test_system.dir/test_properties.cc.o"
+  "CMakeFiles/test_system.dir/test_properties.cc.o.d"
+  "CMakeFiles/test_system.dir/test_sim_system.cc.o"
+  "CMakeFiles/test_system.dir/test_sim_system.cc.o.d"
+  "CMakeFiles/test_system.dir/test_sweep.cc.o"
+  "CMakeFiles/test_system.dir/test_sweep.cc.o.d"
+  "CMakeFiles/test_system.dir/test_trace.cc.o"
+  "CMakeFiles/test_system.dir/test_trace.cc.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry.dir/test_heartbeat.cc.o"
+  "CMakeFiles/test_telemetry.dir/test_heartbeat.cc.o.d"
+  "CMakeFiles/test_telemetry.dir/test_metrics.cc.o"
+  "CMakeFiles/test_telemetry.dir/test_metrics.cc.o.d"
+  "CMakeFiles/test_telemetry.dir/test_stats_server.cc.o"
+  "CMakeFiles/test_telemetry.dir/test_stats_server.cc.o.d"
+  "test_telemetry"
+  "test_telemetry.pdb"
+  "test_telemetry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virt.dir/test_hypervisor.cc.o"
+  "CMakeFiles/test_virt.dir/test_hypervisor.cc.o.d"
+  "CMakeFiles/test_virt.dir/test_page_table.cc.o"
+  "CMakeFiles/test_virt.dir/test_page_table.cc.o.d"
+  "CMakeFiles/test_virt.dir/test_sched_sim.cc.o"
+  "CMakeFiles/test_virt.dir/test_sched_sim.cc.o.d"
+  "CMakeFiles/test_virt.dir/test_trace_migrator.cc.o"
+  "CMakeFiles/test_virt.dir/test_trace_migrator.cc.o.d"
+  "CMakeFiles/test_virt.dir/test_vcpu_map.cc.o"
+  "CMakeFiles/test_virt.dir/test_vcpu_map.cc.o.d"
+  "test_virt"
+  "test_virt.pdb"
+  "test_virt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

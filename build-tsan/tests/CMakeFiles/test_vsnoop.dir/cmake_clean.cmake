@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsnoop.dir/test_relocation.cc.o"
+  "CMakeFiles/test_vsnoop.dir/test_relocation.cc.o.d"
+  "CMakeFiles/test_vsnoop.dir/test_ro_policies.cc.o"
+  "CMakeFiles/test_vsnoop.dir/test_ro_policies.cc.o.d"
+  "CMakeFiles/test_vsnoop.dir/test_vsnoop_policy.cc.o"
+  "CMakeFiles/test_vsnoop.dir/test_vsnoop_policy.cc.o.d"
+  "test_vsnoop"
+  "test_vsnoop.pdb"
+  "test_vsnoop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsnoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mem[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_noc[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_virt[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_coherence[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_vsnoop[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_system[1]_include.cmake")

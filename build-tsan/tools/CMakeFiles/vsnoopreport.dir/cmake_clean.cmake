@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoopreport.dir/vsnoopreport.cc.o"
+  "CMakeFiles/vsnoopreport.dir/vsnoopreport.cc.o.d"
+  "vsnoopreport"
+  "vsnoopreport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoopreport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/vsnoopsim.cc" "tools/CMakeFiles/vsnoopsim.dir/vsnoopsim.cc.o" "gcc" "tools/CMakeFiles/vsnoopsim.dir/vsnoopsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/system/CMakeFiles/vsnoop_system.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/vsnoop_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/vsnoop_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/coherence/CMakeFiles/vsnoop_coherence.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/vsnoop_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/noc/CMakeFiles/vsnoop_noc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/virt/CMakeFiles/vsnoop_virt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/vsnoop_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/vsnoop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

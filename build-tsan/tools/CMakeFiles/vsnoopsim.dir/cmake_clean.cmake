@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoopsim.dir/vsnoopsim.cc.o"
+  "CMakeFiles/vsnoopsim.dir/vsnoopsim.cc.o.d"
+  "vsnoopsim"
+  "vsnoopsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoopsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnoopsweep.dir/vsnoopsweep.cc.o"
+  "CMakeFiles/vsnoopsweep.dir/vsnoopsweep.cc.o.d"
+  "vsnoopsweep"
+  "vsnoopsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnoopsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsnooptop.dir/vsnooptop.cc.o"
+  "CMakeFiles/vsnooptop.dir/vsnooptop.cc.o.d"
+  "vsnooptop"
+  "vsnooptop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsnooptop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

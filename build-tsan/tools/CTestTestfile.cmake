@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(vsnoopsim_help "/root/repo/build-tsan/tools/vsnoopsim" "--help")
+set_tests_properties(vsnoopsim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vsnoopsweep_help "/root/repo/build-tsan/tools/vsnoopsweep" "--help")
+set_tests_properties(vsnoopsweep_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vsnoopreport_help "/root/repo/build-tsan/tools/vsnoopreport" "--help")
+set_tests_properties(vsnoopreport_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vsnooptop_help "/root/repo/build-tsan/tools/vsnooptop" "--help")
+set_tests_properties(vsnooptop_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
