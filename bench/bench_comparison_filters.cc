@@ -20,15 +20,14 @@ using namespace vsnoop::bench;
 namespace
 {
 
-double
-snoopCost(PolicyKind policy, const AppProfile &app,
+SystemResults
+runPolicy(PolicyKind policy, const AppProfile &app,
           std::uint64_t region_bytes = 1024)
 {
     SystemConfig cfg = benchConfig(6000);
     cfg.policy = policy;
     cfg.regionBytes = region_bytes;
-    SystemResults r = runSystem(cfg, app);
-    return snoopsPerTxn(r);
+    return runSystem(cfg, app);
 }
 
 } // namespace
@@ -43,35 +42,42 @@ main()
 
     TextTable table({"app", "TokenB", "region 256B", "region 1KB",
                      "region 4KB", "virtual snooping"});
+    // Same five policies again, scored on inter-VM isolation: the
+    // share of snoop lookups that occupied a *foreign* VM's cache
+    // tags (off-diagonal of results.interference).
+    TextTable isolation({"app", "TokenB", "region 256B", "region 1KB",
+                         "region 4KB", "virtual snooping"});
     double sums[5] = {};
+    double share_sums[5] = {};
     int n = 0;
     for (const AppProfile &app : coherenceApps()) {
-        double vals[5] = {
-            snoopCost(PolicyKind::TokenB, app),
-            snoopCost(PolicyKind::IdealRegionFilter, app, 256),
-            snoopCost(PolicyKind::IdealRegionFilter, app, 1024),
-            snoopCost(PolicyKind::IdealRegionFilter, app, 4096),
-            snoopCost(PolicyKind::VirtualSnoop, app),
+        SystemResults rs[5] = {
+            runPolicy(PolicyKind::TokenB, app),
+            runPolicy(PolicyKind::IdealRegionFilter, app, 256),
+            runPolicy(PolicyKind::IdealRegionFilter, app, 1024),
+            runPolicy(PolicyKind::IdealRegionFilter, app, 4096),
+            runPolicy(PolicyKind::VirtualSnoop, app),
         };
-        for (int i = 0; i < 5; ++i)
-            sums[i] += vals[i];
+        auto &row = table.row().cell(app.name);
+        auto &iso_row = isolation.row().cell(app.name);
+        for (int i = 0; i < 5; ++i) {
+            sums[i] += snoopsPerTxn(rs[i]);
+            share_sums[i] += offDiagPct(rs[i]);
+            row.cell(snoopsPerTxn(rs[i]), 2);
+            iso_row.cell(offDiagPct(rs[i]), 1);
+        }
         n++;
-        table.row()
-            .cell(app.name)
-            .cell(vals[0], 2)
-            .cell(vals[1], 2)
-            .cell(vals[2], 2)
-            .cell(vals[3], 2)
-            .cell(vals[4], 2);
     }
-    table.row()
-        .cell("average")
-        .cell(sums[0] / n, 2)
-        .cell(sums[1] / n, 2)
-        .cell(sums[2] / n, 2)
-        .cell(sums[3] / n, 2)
-        .cell(sums[4] / n, 2);
+    auto &avg = table.row().cell("average");
+    auto &iso_avg = isolation.row().cell("average");
+    for (int i = 0; i < 5; ++i) {
+        avg.cell(sums[i] / n, 2);
+        iso_avg.cell(share_sums[i] / n, 1);
+    }
     table.print();
+    std::cout << "\nCross-VM lookup share (% of snoop lookups on a "
+                 "foreign VM's tags):\n";
+    isolation.print();
     std::cout
         << "\nThe oracle region filter beats virtual snooping on pure "
            "filtering (it sees\nexact sharers), but needs per-region "

@@ -40,9 +40,16 @@ main()
     banner("Table IV",
            "network traffic reduction with ideally pinned VMs (%)");
 
+    // The cross-VM columns report the off-diagonal snoop-lookup
+    // share (results.interference): the fraction of lookups each
+    // policy spent occupying a foreign VM's cache tags.  Traffic
+    // reduction and isolation move together — filtered requests are
+    // exactly the ones that would have crossed a VM boundary.
     TextTable table({"app", "TokenB byte-hops", "vsnoop byte-hops",
-                     "reduction %", "paper %"});
+                     "reduction %", "paper %", "cross-VM % TokenB",
+                     "cross-VM % vsnoop"});
     double sum = 0;
+    double share_base_sum = 0, share_vs_sum = 0;
     int n = 0;
     for (const AppProfile &paper_app : coherenceApps()) {
         AppProfile app = sectionVApp(paper_app);
@@ -58,20 +65,26 @@ main()
             100.0 * (1.0 - static_cast<double>(vs.trafficByteHops) /
                                static_cast<double>(base.trafficByteHops));
         sum += reduction;
+        share_base_sum += offDiagPct(base);
+        share_vs_sum += offDiagPct(vs);
         n++;
         table.row()
             .cell(paper_app.name)
             .cell(base.trafficByteHops)
             .cell(vs.trafficByteHops)
             .cell(reduction, 2)
-            .cell(kPaper.at(paper_app.name), 2);
+            .cell(kPaper.at(paper_app.name), 2)
+            .cell(offDiagPct(base), 1)
+            .cell(offDiagPct(vs), 1);
     }
     table.row()
         .cell("average")
         .cell("")
         .cell("")
         .cell(sum / n, 2)
-        .cell("63.68");
+        .cell("63.68")
+        .cell(share_base_sum / n, 1)
+        .cell(share_vs_sum / n, 1);
     table.print();
     return 0;
 }

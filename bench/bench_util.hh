@@ -148,6 +148,19 @@ snoopsPerTxn(const SystemResults &r)
            static_cast<double>(r.transactions);
 }
 
+/**
+ * Cross-VM interference: percentage of snoop lookups that landed on
+ * another VM's (or the host's) cache tags — the off-diagonal of
+ * results.interference.snoop_lookups.  The isolation figure of
+ * merit: broadcast spends ~(N-1)/N of its lookups on foreign tags,
+ * a perfect filter 0%.
+ */
+inline double
+offDiagPct(const SystemResults &r)
+{
+    return 100.0 * r.interference.offDiagLookupShare();
+}
+
 /** Print the standard bench banner. */
 inline void
 banner(const std::string &id, const std::string &what)

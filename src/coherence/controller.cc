@@ -176,6 +176,8 @@ CoherenceController::access(const MemAccess &access,
     // lookup, so that a broadcast over n cores costs n lookups
     // total, matching the paper's normalization.
     system_.stats.snoopLookups.inc();
+    if (CritPathAccountant *cp = system_.critpath())
+        cp->snoopLookupLocal(access.vm);
 
     Mshr mshr;
     mshr.access = access;
@@ -183,6 +185,7 @@ CoherenceController::access(const MemAccess &access,
     mshr.callback = std::move(callback);
     mshr.kind = access.isWrite ? SnoopKind::GetX : SnoopKind::GetS;
     mshr.issued = eq.now();
+    mshr.segMark = eq.now();
     if (line != nullptr) {
         // Upgrade: keep the tokens in the cache line and pin it so
         // it cannot be chosen as an eviction victim while the
@@ -209,6 +212,16 @@ CoherenceController::issueAttempt(Mshr &mshr)
     const ProtocolConfig &cfg = system_.config();
     EventQueue &eq = system_.eventQueue();
     HostAddr line_addr = mshr.access.addr;
+
+    // Everything since the cursor last advanced was spent getting
+    // to this (re-)issue: grant waits and persistent re-broadcast
+    // windows under persistent mode, dead transient-window tails on
+    // retries, issue-side queueing on the first attempt (zero in
+    // the current model, kept for schema completeness).
+    mshr.charge(eq.now(),
+                mshr.persistent ? CritSegment::PersistentEscalation
+                : mshr.attempt > 1 ? CritSegment::RetryBackoff
+                                   : CritSegment::MshrWait);
 
     SnoopTargets targets;
     if (mshr.persistent) {
@@ -289,7 +302,11 @@ CoherenceController::onTimeout(std::uint64_t line_num, std::uint64_t gen)
     mshr.attempt++;
     if (mshr.attempt > cfg.maxTransientAttempts) {
         // Escalate: wait for the arbiter, then broadcast
-        // persistent requests until the tokens arrive.
+        // persistent requests until the tokens arrive.  The failed
+        // window's tail is retry time; everything from here to the
+        // first persistent issue is escalation time.
+        mshr.charge(system_.eventQueue().now(),
+                    CritSegment::RetryBackoff);
         mshr.waitingGrant = true;
         system_.stats.persistentRequests.inc();
         if (TraceSink *t = system_.trace()) {
@@ -481,6 +498,31 @@ CoherenceController::handleResponse(const ResponseMsg &msg)
     }
 
     Mshr &mshr = it->second;
+    Tick now = system_.eventQueue().now();
+    {
+        // Critical-path decomposition: walk the response's stamps
+        // forward from the cursor, clipping each leg to what this
+        // response actually adds beyond already-charged time (a
+        // stale response from an earlier attempt contributes only
+        // its tail, keeping the sweep exact).  The final leg is the
+        // response flight: data return if this response delivered
+        // the line's data, token collection otherwise.
+        bool had_data = mshr.upgrade || mshr.haveData;
+        mshr.charge(std::min(msg.reqArrive, now),
+                    CritSegment::ReqTraversal);
+        mshr.charge(std::min(msg.depart, now),
+                    CritSegment::SnoopLookup);
+        mshr.charge(now, msg.hasData && !had_data
+                             ? CritSegment::DataReturn
+                             : CritSegment::TokenCollect);
+    }
+    if (msg.hasData && !msg.fromMemory) {
+        // Cache-to-cache data delivery: interference bytes from the
+        // supplying VM's cache into the requester.
+        if (CritPathAccountant *cp = system_.critpath())
+            cp->bytesDelivered(mshr.access.vm, msg.sourceVm,
+                               system_.config().dataBytes);
+    }
     if (mshr.upgrade) {
         CacheLine *line = cache_.find(msg.line);
         vsnoop_assert(line != nullptr && line->pinned,
@@ -559,6 +601,13 @@ CoherenceController::tryComplete(Mshr &mshr)
 
     Tick done = eq.now() + system_.config().l2Latency;
     Tick latency = done - mshr.issued;
+    // The trailing L2 fill closes the sweep: the cursor has covered
+    // [issued, now] contiguously, so the segments now sum to the
+    // end-to-end latency exactly (asserted by the accountant).
+    mshr.charge(done, CritSegment::DataReturn);
+    if (CritPathAccountant *cp = system_.critpath())
+        cp->recordTransaction(mshr.seg, latency, mshr.reason,
+                              mshr.access.vm);
     system_.stats.missLatency.sample(static_cast<double>(latency));
     system_.stats.latency.sample(latency);
     system_.stats.latencyByReason[static_cast<std::size_t>(mshr.reason)]

@@ -24,6 +24,7 @@
 #include "mem/cache.hh"
 #include "mem/residence.hh"
 #include "sim/stats.hh"
+#include "trace/critpath.hh"
 
 namespace vsnoop
 {
@@ -149,6 +150,27 @@ class CoherenceController
         Tick issued = 0;
         /** Generation for ignoring stale timeout events. */
         std::uint64_t timeoutGen = 0;
+        /**
+         * @{ Critical-path cursor (trace/critpath.hh): every tick
+         * of [issued, completion] is charged to exactly one segment
+         * as the cursor sweeps forward, so the segments sum to the
+         * end-to-end latency by construction.
+         */
+        Tick segMark = 0;
+        std::uint64_t seg[kNumCritSegments] = {};
+        /** @} */
+
+        /** Charge [segMark, up_to) to @p segment, advancing the
+         *  cursor; no-op when the cursor is already past @p up_to. */
+        void
+        charge(Tick up_to, CritSegment segment)
+        {
+            if (up_to > segMark) {
+                seg[static_cast<std::size_t>(segment)] +=
+                    up_to - segMark;
+                segMark = up_to;
+            }
+        }
     };
 
     /** Multicast the current attempt's snoops and arm the timer. */

@@ -125,6 +125,15 @@ struct ResponseMsg
     VmId sourceVm = kInvalidVm;
     /** True when the response came from a memory controller. */
     bool fromMemory = false;
+    /**
+     * @{ Critical-path stamps (trace/critpath.hh): the tick the
+     * snoop reached the responder and the tick the response left
+     * it.  Stamped centrally in CoherenceSystem::sendResponseToCore;
+     * no protocol effect.
+     */
+    Tick reqArrive = 0;
+    Tick depart = 0;
+    /** @} */
 };
 
 /**
@@ -198,6 +207,13 @@ struct ProtocolConfig
     std::uint32_t controlBytes = 8;
     /** Data message bytes (64B line + 8B header). */
     std::uint32_t dataBytes = 72;
+    /**
+     * Tag-port cycles one snoop lookup occupies, charged to the
+     * inter-VM interference matrix (trace/critpath.hh).  Pure
+     * accounting — snoop responses stay in-tick; the timing model
+     * is unchanged.
+     */
+    Tick tagLookupCycles = 3;
 };
 
 /**

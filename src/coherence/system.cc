@@ -6,6 +6,7 @@
 
 #include "sim/logging.hh"
 #include "sim/profiler.hh"
+#include "trace/critpath.hh"
 
 namespace vsnoop
 {
@@ -64,6 +65,12 @@ CoherenceSystem::netSend(NodeId src, NodeId dst, std::uint32_t bytes,
                          MsgClass cls, Tick now)
 {
     ProfileScope scope(profiler_, HostProfiler::Phase::Network);
+    if (critpath_ != nullptr) {
+        SendInfo info;
+        Tick arrive = network_.send(src, dst, bytes, cls, now, &info);
+        critpath_->nocWait(cls, info.queueWait);
+        return arrive;
+    }
     return network_.send(src, dst, bytes, cls, now);
 }
 
@@ -100,6 +107,11 @@ CoherenceSystem::sendSnoops(CoreId from, const SnoopMsg &msg,
                               MsgClass::Request, now);
         stats.snoopsDelivered.inc();
         stats.snoopLookups.inc();
+        // Charged at send (next to snoopLookups) so the interference
+        // matrix total reconciles with the counter at any instant,
+        // warmup reset included.
+        if (critpath_ != nullptr)
+            critpath_->snoopLookupRemote(msg.requesterVm, target);
         eq_.scheduleFn(arrive, [this, target, msg] {
             ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
             controller(target).handleSnoop(msg);
@@ -124,13 +136,20 @@ CoherenceSystem::sendResponseToCore(NodeId from_node, CoreId to,
     std::uint32_t bytes =
         msg.hasData ? config_.dataBytes : config_.controlBytes;
     MsgClass cls = msg.hasData ? MsgClass::Data : MsgClass::Response;
+    // Critical-path stamps: every response originates at the tick
+    // its snoop was processed (caches and memory both respond from
+    // the snoop-arrival event), so reqArrive is simply "now"; the
+    // responder-side occupancy is whatever pushes depart past it
+    // (memory access time — cache lookups respond in-tick).
+    ResponseMsg stamped = msg;
+    stamped.reqArrive = eq_.now();
+    stamped.depart = std::max(depart, eq_.now());
     inflightAdd(msg.line, msg.tokens, msg.owner);
-    Tick arrive = netSend(from_node, to, bytes, cls,
-                          std::max(depart, eq_.now()));
-    eq_.scheduleFn(arrive, [this, to, msg] {
+    Tick arrive = netSend(from_node, to, bytes, cls, stamped.depart);
+    eq_.scheduleFn(arrive, [this, to, stamped] {
         ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
-        inflightRemove(msg.line, msg.tokens, msg.owner);
-        controller(to).handleResponse(msg);
+        inflightRemove(stamped.line, stamped.tokens, stamped.owner);
+        controller(to).handleResponse(stamped);
     });
 }
 
@@ -160,6 +179,11 @@ void
 CoherenceSystem::resetStats()
 {
     stats = CoherenceStats{};
+    // The accountant resets with the protocol counters: a snoop
+    // sent before the boundary is dropped from both sides at once,
+    // keeping matrix total == snoopLookups exactly.
+    if (critpath_ != nullptr)
+        critpath_->resetStats();
     memory_.reads.reset();
     memory_.writebacks.reset();
     memory_.dataProvided.reset();

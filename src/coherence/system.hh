@@ -29,6 +29,7 @@
 namespace vsnoop
 {
 
+class CritPathAccountant;
 class HostProfiler;
 class TraceSink;
 
@@ -161,6 +162,24 @@ class CoherenceSystem
     HostProfiler *profiler() const { return profiler_; }
 
     /**
+     * Attach (or detach, with nullptr) a critical-path accountant
+     * (trace/critpath.hh).  Controllers charge per-transaction
+     * segment timelines and the fabric charges snoop deliveries to
+     * the inter-VM interference matrix through critpath(); the
+     * branch-on-null makes the hooks free when detached.  The
+     * accountant must outlive the system, and resetStats() resets
+     * it alongside the protocol counters so the matrix totals stay
+     * reconcilable with CoherenceStats::snoopLookups.
+     */
+    void setCritPath(CritPathAccountant *accountant)
+    {
+        critpath_ = accountant;
+    }
+
+    /** The active accountant, or nullptr when detached. */
+    CritPathAccountant *critpath() const { return critpath_; }
+
+    /**
      * Verify token conservation and owner uniqueness across caches,
      * memory, MSHRs and in-flight messages.  Panics on violation.
      */
@@ -201,6 +220,7 @@ class CoherenceSystem
     Network &network_;
     TraceSink *trace_ = nullptr;
     HostProfiler *profiler_ = nullptr;
+    CritPathAccountant *critpath_ = nullptr;
     SnoopTargetPolicy &policy_;
     ProtocolConfig config_;
     MainMemory memory_;

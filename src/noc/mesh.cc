@@ -75,7 +75,7 @@ Mesh::unloadedLatency(NodeId src, NodeId dst, std::uint32_t bytes) const
 
 Tick
 Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, MsgClass cls,
-           Tick now)
+           Tick now, SendInfo *info)
 {
     vsnoop_assert(src < numNodes() && dst < numNodes(),
                   "node out of range: src=", src, " dst=", dst);
@@ -89,6 +89,8 @@ Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, MsgClass cls,
     stats_.bytes[ci].inc(bytes);
     stats_.byteHops[ci].inc(linkBytesCarried *
                             std::max<std::uint32_t>(hops, 1));
+    if (info != nullptr)
+        *info = SendInfo{hops, 0};
 
     if (src == dst) {
         // The aggregate metric charged one hop; the loopback
@@ -127,8 +129,11 @@ Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, MsgClass cls,
         Tick &free = linkFree_[idx];
         LinkAccount &acct = links_[idx];
         Tick ready = head + routerPipeline_;
-        if (free > ready)
+        if (free > ready) {
             acct.waitCycles += free - ready;
+            if (info != nullptr)
+                info->queueWait += free - ready;
+        }
         Tick start = std::max(ready, free);
         free = start + occupancy;
         acct.byteHops[ci] += linkBytesCarried;
@@ -180,10 +185,12 @@ IdealCrossbar::IdealCrossbar(std::uint32_t num_nodes, Tick latency,
 
 Tick
 IdealCrossbar::send(NodeId src, NodeId dst, std::uint32_t bytes,
-                    MsgClass cls, Tick now)
+                    MsgClass cls, Tick now, SendInfo *info)
 {
     vsnoop_assert(src < numNodes_ && dst < numNodes_,
                   "node out of range: src=", src, " dst=", dst);
+    if (info != nullptr)
+        *info = SendInfo{src == dst ? 0u : 1u, 0};
     auto ci = static_cast<std::size_t>(cls);
     std::uint32_t flits =
         std::max<std::uint32_t>(1, (bytes + linkBytes_ - 1) / linkBytes_);

@@ -52,7 +52,8 @@ class Mesh : public Network
     explicit Mesh(const MeshConfig &config);
 
     Tick send(NodeId src, NodeId dst, std::uint32_t bytes,
-              MsgClass cls, Tick now) override;
+              MsgClass cls, Tick now,
+              SendInfo *info = nullptr) override;
 
     std::uint32_t numNodes() const override { return width_ * height_; }
 
@@ -134,7 +135,8 @@ class IdealCrossbar : public Network
                   std::uint32_t link_bytes = 16);
 
     Tick send(NodeId src, NodeId dst, std::uint32_t bytes,
-              MsgClass cls, Tick now) override;
+              MsgClass cls, Tick now,
+              SendInfo *info = nullptr) override;
 
     std::uint32_t numNodes() const override { return numNodes_; }
 

@@ -116,6 +116,22 @@ struct LinkStat
 };
 
 /**
+ * Per-send observability, filled by send() when the caller asks.
+ * Reporting only: requesting it never changes delivery timing.
+ */
+struct SendInfo
+{
+    /** Physical links traversed (0 for node-local delivery). */
+    std::uint32_t hops = 0;
+    /**
+     * Cycles the message waited for busy links along its path, on
+     * top of the unloaded latency.  The critical-path layer
+     * aggregates this per message class (trace/critpath.hh).
+     */
+    Tick queueWait = 0;
+};
+
+/**
  * Network interface.
  */
 class Network
@@ -126,10 +142,13 @@ class Network
     /**
      * Send @p bytes from @p src to @p dst, departing at @p now.
      *
+     * @param info When non-null, receives per-send hop and
+     *        queue-wait observability (see SendInfo).
      * @return Tick at which the last flit arrives at @p dst.
      */
     virtual Tick send(NodeId src, NodeId dst, std::uint32_t bytes,
-                      MsgClass cls, Tick now) = 0;
+                      MsgClass cls, Tick now,
+                      SendInfo *info = nullptr) = 0;
 
     /** Number of network nodes. */
     virtual std::uint32_t numNodes() const = 0;

@@ -128,6 +128,16 @@ SimSystem::build(const std::vector<AppProfile> &apps)
         coherence_->setTrace(trace_.get());
     }
 
+    // Critical-path attribution is always on: the hooks are a few
+    // additions per transaction, and the attribution (unlike a
+    // bounded trace ring) must cover every transaction for the
+    // conservation and reconciliation invariants to be exact.
+    critpath_ = std::make_unique<CritPathAccountant>(
+        config_.numVms, protocol.tagLookupCycles);
+    critpath_->setCoreVmResolver(
+        [this](CoreId core) { return mapping_.vmAt(core); });
+    coherence_->setCritPath(critpath_.get());
+
     if (config_.timeseriesInterval > 0) {
         sampler_ = std::make_unique<IntervalSampler>(
             eq_, config_.timeseriesInterval,
@@ -187,6 +197,17 @@ SimSystem::registerStats(StatSet &set) const
     const MainMemory &memory = coherence_->memory();
     set.add("memory.reads", memory.reads);
     set.add("memory.writebacks", memory.writebacks);
+    const CritPathAccountant &cp = *critpath_;
+    set.add("critpath.transactions", cp.transactions);
+    for (std::size_t s = 0; s < kNumCritSegments; ++s) {
+        set.add(std::string("critpath.seg_") +
+                    critSegmentName(static_cast<CritSegment>(s)),
+                cp.segTotal[s]);
+    }
+    set.add("interference.snoop_lookups", cp.lookupsTotal);
+    set.add("interference.snoop_lookups_offdiag", cp.lookupsOffDiag);
+    set.add("interference.bytes_delivered", cp.bytesTotal);
+    set.add("interference.bytes_delivered_offdiag", cp.bytesOffDiag);
     if (vsnoopPolicy_ != nullptr) {
         set.add("vsnoop.filtered_requests",
                 vsnoopPolicy_->filteredRequests);
@@ -385,6 +406,8 @@ SimSystem::results() const
         r.migrations = traceMigrator_->migrations.value();
     if (sampler_)
         r.series = sampler_->series();
+    r.critpath = critpath_->critSnapshot();
+    r.interference = critpath_->interferenceSnapshot();
     return r;
 }
 

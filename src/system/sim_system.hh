@@ -34,6 +34,7 @@
 #include "core/vsnoop.hh"
 #include "noc/mesh.hh"
 #include "system/driver.hh"
+#include "trace/critpath.hh"
 #include "trace/timeseries.hh"
 #include "trace/trace.hh"
 #include "virt/hypervisor.hh"
@@ -162,6 +163,12 @@ struct SystemResults
     std::uint64_t migrations = 0;
     /** Interval time series (empty unless timeseriesInterval > 0). */
     TimeSeries series;
+    /** @{ Critical-path attribution (always on; trace/critpath.hh):
+     *  per-segment latency decomposition and the requester-VM x
+     *  target-VM interference matrices. */
+    CritPathSnapshot critpath;
+    InterferenceSnapshot interference;
+    /** @} */
 };
 
 /**
@@ -229,6 +236,9 @@ class SimSystem
     /** Null unless captureTrace / tracePath requested a sink. */
     TraceSink *trace() { return trace_.get(); }
     const TraceSink *trace() const { return trace_.get(); }
+    /** The always-attached critical-path accountant. */
+    CritPathAccountant &critpath() { return *critpath_; }
+    const CritPathAccountant &critpath() const { return *critpath_; }
     /**
      * Attach a host self-profiler (sim/profiler.hh) before run().
      * The caller owns it and must keep it alive for the run; run()
@@ -281,6 +291,7 @@ class SimSystem
     std::unique_ptr<ShuffleMigrator> migrator_;
     std::unique_ptr<TraceMigrator> traceMigrator_;
     std::unique_ptr<TraceSink> trace_;
+    std::unique_ptr<CritPathAccountant> critpath_;
     std::unique_ptr<IntervalSampler> sampler_;
     HostProfiler *profiler_ = nullptr;
     ProgressFn progress_;

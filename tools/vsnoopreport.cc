@@ -7,8 +7,11 @@
  * 4x4 (or WxH) per-link mesh utilization heatmap from the
  * "results.links" array, transaction-latency histograms (all /
  * first-try / retried and per FilterReason), a filter-reason
- * breakdown, and — when the record carries a "timeseries" key —
- * the filtered-vs-broadcast request time series.  The output is a
+ * breakdown, the critical-path latency waterfall (per-segment
+ * stacked means from "results.critpath"), the requester-VM x
+ * target-VM interference heatmap from "results.interference", and
+ * — when the record carries a "timeseries" key — the
+ * filtered-vs-broadcast request time series.  The output is a
  * single HTML file with inline SVG and no external assets, so it
  * can be attached as a CI artifact and opened anywhere.
  *
@@ -17,7 +20,11 @@
  * Diff mode compares two result sets (JSON-lines or single-object
  * files) by run identity (app, policy, relocation, ro_policy,
  * seed) and exits non-zero when any watched metric regressed by
- * more than --threshold (relative), giving CI a perf gate:
+ * more than --threshold (relative), giving CI a perf gate.  Runs
+ * that carry "results.interference" on both sides are additionally
+ * gated on the off-diagonal snoop-lookup share (absolute delta
+ * against the same threshold), so a change that erodes inter-VM
+ * isolation fails even when aggregate lookups stay flat:
  *
  *   vsnoopreport --diff BENCH_baseline.json fresh.jsonl \
  *                --threshold 0.05
@@ -61,6 +68,9 @@ usage()
         "    byte-hops and mean miss latency.  Exits 1 when any\n"
         "    metric regressed by more than F (default 0.05 = 5%),\n"
         "    or when a baseline run is missing from CURRENT.\n"
+        "    Records carrying results.interference on both sides\n"
+        "    are also gated on the off-diagonal snoop-lookup share\n"
+        "    (absolute delta vs F).\n"
         "\n"
         "  --help                this text\n";
 }
@@ -203,6 +213,22 @@ constexpr WatchedMetric kWatched[] = {
     {"mean_miss_latency", 1e-9},
 };
 
+/**
+ * Off-diagonal snoop-lookup share from "results.interference", or a
+ * negative sentinel when the record predates the interference
+ * matrix (old baselines must not trip the gate).
+ */
+double
+interferenceShare(const JsonValue &rec)
+{
+    const JsonValue *results = rec.find("results");
+    const JsonValue *inter =
+        results ? results->find("interference") : nullptr;
+    if (inter == nullptr)
+        return -1.0;
+    return inter->numberAt("offdiag_snoop_share", -1.0);
+}
+
 int
 runDiff(const std::string &baseline_path, const std::string &current_path,
         double threshold)
@@ -246,6 +272,29 @@ runDiff(const std::string &baseline_path, const std::string &current_path,
                 std::cout << "improved   " << key << " " << metric.name
                           << ": " << human(b) << " -> " << human(c)
                           << " (" << fmt(100.0 * rel, 1) << "%)\n";
+                improvements++;
+            }
+        }
+        // Inter-VM isolation gate: the off-diagonal snoop-lookup
+        // share is already a ratio in [0, 1], so it is compared by
+        // absolute delta (a relative test would explode near the
+        // well-filtered zero end).  Skipped when either side lacks
+        // the matrix, so pre-interference baselines keep passing.
+        double ib = interferenceShare(base);
+        double ic = interferenceShare(*it->second);
+        if (ib >= 0.0 && ic >= 0.0) {
+            double delta = ic - ib;
+            if (delta > threshold) {
+                std::cout << "REGRESSION " << key
+                          << " offdiag_snoop_share: " << fmt(ib, 4)
+                          << " -> " << fmt(ic, 4) << " (+"
+                          << fmt(delta, 4) << ")\n";
+                regressions++;
+            } else if (delta < -threshold) {
+                std::cout << "improved   " << key
+                          << " offdiag_snoop_share: " << fmt(ib, 4)
+                          << " -> " << fmt(ic, 4) << " ("
+                          << fmt(delta, 4) << ")\n";
                 improvements++;
             }
         }
@@ -670,6 +719,228 @@ timeseriesSvg(const JsonValue &series)
     return svg.str();
 }
 
+/**
+ * Categorical palette for the seven critical-path segments, indexed
+ * in the order the "segments" object emits them (mshr_wait,
+ * req_traversal, snoop_lookup, token_collect, retry_backoff,
+ * persistent_escalation, data_return).
+ */
+constexpr const char *kSegColors[] = {
+    "#8d8b84", "#2a78d6", "#eb6834", "#c9a227", "#c94f7c", "#8d6cc9",
+    "#4fa05f",
+};
+constexpr std::size_t kNumSegColors =
+    sizeof(kSegColors) / sizeof(kSegColors[0]);
+
+/**
+ * Critical-path waterfall: one stacked horizontal bar per group
+ * ("all", then each populated FilterReason), segments scaled as
+ * mean ticks per transaction so rows with very different counts
+ * stay comparable.  Built from "results.critpath".
+ */
+std::string
+waterfallSvg(const JsonValue &critpath)
+{
+    const JsonValue *segments = critpath.find("segments");
+    if (segments == nullptr || !segments->isObject() ||
+        segments->members().empty())
+        return "";
+
+    std::vector<std::string> seg_names;
+    for (const auto &member : segments->members())
+        seg_names.push_back(member.first);
+
+    struct Row
+    {
+        std::string label;
+        double count = 0.0;
+        std::vector<double> sums;
+    };
+    std::vector<Row> rows;
+
+    Row all;
+    all.label = "all";
+    for (const auto &member : segments->members()) {
+        all.count = std::max(all.count, member.second.numberAt("count"));
+        all.sums.push_back(member.second.numberAt("sum"));
+    }
+    if (all.count > 0.0)
+        rows.push_back(std::move(all));
+    if (const JsonValue *by_reason = critpath.find("by_reason")) {
+        for (const auto &member : by_reason->members()) {
+            double count = member.second.numberAt("count");
+            if (count <= 0.0)
+                continue;
+            Row row;
+            row.label = member.first;
+            row.count = count;
+            const JsonValue *sums = member.second.find("seg_sums");
+            for (const std::string &name : seg_names)
+                row.sums.push_back(sums ? sums->numberAt(name) : 0.0);
+            rows.push_back(std::move(row));
+        }
+    }
+    if (rows.empty())
+        return "";
+
+    double max_mean = 0.0;
+    for (const Row &row : rows) {
+        double total = 0.0;
+        for (double s : row.sums)
+            total += s;
+        max_mean = std::max(max_mean, total / row.count);
+    }
+    if (max_mean <= 0.0)
+        max_mean = 1.0;
+
+    constexpr int kW = 640, kRowH = 26, kLabelW = 150, kValueW = 70;
+    // Legend: segments four to a line above the bars.
+    int legend_lines =
+        static_cast<int>((seg_names.size() + 3) / 4);
+    int bars_top = 22 + 16 * legend_lines + 6;
+    int h = bars_top + kRowH * static_cast<int>(rows.size()) + 6;
+    int plot_w = kW - kLabelW - kValueW;
+
+    std::ostringstream svg;
+    svg << "<svg class=\"waterfall\" width=\"" << kW << "\" height=\""
+        << h << "\" viewBox=\"0 0 " << kW << " " << h
+        << "\" role=\"img\" aria-label=\"critical-path latency "
+           "waterfall\">\n";
+    svg << "<text x=\"0\" y=\"12\" class=\"charttitle\">critical-path "
+           "waterfall (mean ticks / transaction)</text>\n";
+    for (std::size_t s = 0; s < seg_names.size(); ++s) {
+        int lx = 10 + static_cast<int>(s % 4) * 156;
+        int ly = 22 + static_cast<int>(s / 4) * 16;
+        svg << "<rect x=\"" << lx << "\" y=\"" << ly
+            << "\" width=\"10\" height=\"10\" rx=\"2\" fill=\""
+            << kSegColors[s % kNumSegColors] << "\"/>"
+            << "<text x=\"" << lx + 14 << "\" y=\"" << ly + 9 << "\">"
+            << htmlEscape(seg_names[s]) << "</text>\n";
+    }
+    int y = bars_top;
+    for (const Row &row : rows) {
+        double total = 0.0;
+        for (double s : row.sums)
+            total += s;
+        double mean = total / row.count;
+        svg << "<text x=\"" << kLabelW - 6 << "\" y=\"" << y + 15
+            << "\" text-anchor=\"end\">" << htmlEscape(row.label)
+            << "</text>\n";
+        double x = kLabelW;
+        for (std::size_t s = 0; s < row.sums.size(); ++s) {
+            double seg_mean = row.sums[s] / row.count;
+            double w = seg_mean / max_mean * plot_w;
+            if (w <= 0.0)
+                continue;
+            svg << "<rect x=\"" << fmt(x, 1) << "\" y=\"" << y + 4
+                << "\" width=\"" << fmt(std::max(w, 1.0), 1)
+                << "\" height=\"14\" fill=\""
+                << kSegColors[s % kNumSegColors] << "\"><title>"
+                << htmlEscape(row.label) << " "
+                << htmlEscape(seg_names[s]) << ": "
+                << fmt(seg_mean, 1) << " ticks/txn ("
+                << fmt(mean > 0.0 ? 100.0 * seg_mean / mean : 0.0, 1)
+                << "% of " << fmt(mean, 1) << ")</title></rect>\n";
+            x += w;
+        }
+        svg << "<text x=\"" << fmt(x + 6, 1) << "\" y=\"" << y + 15
+            << "\">" << fmt(mean, 1) << "</text>\n";
+        y += kRowH;
+    }
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+/**
+ * Requester-VM x target-VM interference heatmap over the
+ * snoop-lookup matrix from "results.interference".  Rows are the
+ * requesting VM, columns the VM whose cache tags were occupied;
+ * the off-diagonal share (the isolation figure of merit) is
+ * printed under the grid.
+ */
+std::string
+interferenceSvg(const JsonValue &interference)
+{
+    const JsonValue *labels_arr = interference.find("rows");
+    const JsonValue *matrix = interference.find("snoop_lookups");
+    if (labels_arr == nullptr || !labels_arr->isArray() ||
+        matrix == nullptr || !matrix->isArray())
+        return "";
+    std::vector<std::string> labels;
+    for (const JsonValue &l : labels_arr->items())
+        labels.push_back(l.isString() ? l.string() : "?");
+    std::size_t dim = labels.size();
+    if (dim == 0 || matrix->items().size() != dim)
+        return "";
+
+    std::vector<std::vector<double>> cells(dim);
+    double max_v = 0.0, total = 0.0;
+    for (std::size_t r = 0; r < dim; ++r) {
+        const JsonValue &row = matrix->items()[r];
+        if (!row.isArray() || row.items().size() != dim)
+            return "";
+        for (const JsonValue &cell : row.items()) {
+            double v = cell.isNumber() ? cell.number() : 0.0;
+            cells[r].push_back(v);
+            max_v = std::max(max_v, v);
+            total += v;
+        }
+    }
+
+    constexpr int kCell = 46, kPadL = 64, kPadT = 56;
+    int w = kPadL + kCell * static_cast<int>(dim) + 10;
+    int h = kPadT + kCell * static_cast<int>(dim) + 38;
+    std::ostringstream svg;
+    svg << "<svg class=\"interheat\" width=\"" << w << "\" height=\""
+        << h << "\" viewBox=\"0 0 " << w << " " << h
+        << "\" role=\"img\" aria-label=\"inter-VM snoop-lookup "
+           "interference\">\n";
+    svg << "<text x=\"0\" y=\"12\" class=\"charttitle\">inter-VM "
+           "interference (snoop lookups)</text>\n";
+    svg << "<text x=\"0\" y=\"28\">row: requester, column: looked-up "
+           "VM</text>\n";
+    for (std::size_t c = 0; c < dim; ++c) {
+        svg << "<text x=\"" << kPadL + static_cast<int>(c) * kCell +
+                                  kCell / 2
+            << "\" y=\"" << kPadT - 6 << "\" text-anchor=\"middle\">"
+            << htmlEscape(labels[c]) << "</text>\n";
+    }
+    for (std::size_t r = 0; r < dim; ++r) {
+        int y = kPadT + static_cast<int>(r) * kCell;
+        svg << "<text x=\"" << kPadL - 6 << "\" y=\"" << y + kCell / 2 + 4
+            << "\" text-anchor=\"end\">" << htmlEscape(labels[r])
+            << "</text>\n";
+        for (std::size_t c = 0; c < dim; ++c) {
+            int x = kPadL + static_cast<int>(c) * kCell;
+            double v = cells[r][c];
+            const char *color = (max_v > 0.0 && v > 0.0)
+                                    ? rampColor(v / max_v)
+                                    : "var(--grid)";
+            svg << "<rect x=\"" << x + 1 << "\" y=\"" << y + 1
+                << "\" width=\"" << kCell - 2 << "\" height=\""
+                << kCell - 2 << "\" rx=\"3\" fill=\"" << color
+                << "\"><title>" << htmlEscape(labels[r]) << " &#8594; "
+                << htmlEscape(labels[c]) << ": " << human(v)
+                << " lookups ("
+                << fmt(total > 0.0 ? 100.0 * v / total : 0.0, 1)
+                << "%)</title></rect>\n";
+            // In-cell value; dark cells flip to light text.
+            svg << "<text x=\"" << x + kCell / 2 << "\" y=\""
+                << y + kCell / 2 + 4 << "\" text-anchor=\"middle\""
+                << (max_v > 0.0 && v / max_v > 0.55
+                        ? " style=\"fill:#f5f5f3\""
+                        : "")
+                << ">" << human(v) << "</text>\n";
+        }
+    }
+    svg << "<text x=\"0\" y=\"" << h - 10
+        << "\">off-diagonal share of lookups: "
+        << fmt(interference.numberAt("offdiag_snoop_share"), 4)
+        << "</text>\n";
+    svg << "</svg>\n";
+    return svg.str();
+}
+
 std::string
 statTile(const std::string &label, const std::string &value)
 {
@@ -737,6 +1008,25 @@ renderRecord(std::ostream &os, const JsonValue &rec)
                     os << histogramSvg(member.second, member.first);
             }
             os << "</div>\n";
+        }
+    }
+
+    // Critical-path waterfall and the inter-VM interference
+    // heatmap (records from before the critpath subsystem simply
+    // lack the keys and skip both).
+    {
+        const JsonValue *critpath =
+            results ? results->find("critpath") : nullptr;
+        const JsonValue *interference =
+            results ? results->find("interference") : nullptr;
+        std::string waterfall =
+            critpath ? waterfallSvg(*critpath) : std::string();
+        std::string interheat =
+            interference ? interferenceSvg(*interference)
+                         : std::string();
+        if (!waterfall.empty() || !interheat.empty()) {
+            os << "<div class=\"charts\">\n" << waterfall << interheat
+               << "</div>\n";
         }
     }
 

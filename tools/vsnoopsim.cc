@@ -16,6 +16,7 @@
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -438,6 +439,37 @@ main(int argc, char **argv)
                   1);
     }
     cats.print();
+
+    if (r.critpath.enabled && r.critpath.segments[0].count() > 0) {
+        std::cout << "\nCritical-path breakdown (mean ticks / "
+                     "transaction):\n";
+        double txns =
+            static_cast<double>(r.critpath.segments[0].count());
+        TextTable crit({"segment", "mean", "share %"});
+        double total = 0.0;
+        for (std::size_t s = 0; s < kNumCritSegments; ++s)
+            total += static_cast<double>(r.critpath.segments[s].sum());
+        for (std::size_t s = 0; s < kNumCritSegments; ++s) {
+            double sum =
+                static_cast<double>(r.critpath.segments[s].sum());
+            if (sum == 0.0)
+                continue;
+            crit.row()
+                .cell(critSegmentName(static_cast<CritSegment>(s)))
+                .cell(sum / txns, 1)
+                .cell(100.0 * sum / std::max(1.0, total), 1);
+        }
+        crit.print();
+    }
+    if (r.interference.enabled &&
+        r.interference.total(r.interference.snoopLookups) > 0) {
+        char share[32];
+        std::snprintf(share, sizeof(share), "%.1f",
+                      100.0 * r.interference.offDiagLookupShare());
+        std::cout << "\nInter-VM interference: " << share
+                  << "% of snoop lookups hit another VM's (or the "
+                     "host's) cache tags\n";
+    }
 
     if (want_energy) {
         const EnergyBreakdown &e = run.energy;

@@ -20,6 +20,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -558,14 +559,28 @@ main(int argc, char **argv)
               << " runs/s)";
     bool traced = false;
     std::uint64_t dropped = 0;
+    std::uint64_t lookups = 0, offdiag = 0;
     for (std::size_t i = 0; i < exec.results.size(); ++i) {
         if (!exec.completed[i])
             continue;
         traced = traced || exec.results[i].traceAttached;
         dropped += exec.results[i].traceRecordsDropped;
+        const InterferenceSnapshot &in =
+            exec.results[i].results.interference;
+        lookups += in.total(in.snoopLookups);
+        offdiag += in.offDiagonal(in.snoopLookups);
     }
     if (traced)
         std::cerr << ", trace records dropped: " << dropped;
+    if (lookups > 0) {
+        // Sweep-wide isolation figure: share of all snoop lookups
+        // that landed on another VM's (or the host's) cache tags.
+        char share[32];
+        std::snprintf(share, sizeof(share), "%.1f",
+                      100.0 * static_cast<double>(offdiag) /
+                          static_cast<double>(lookups));
+        std::cerr << ", cross-VM lookup share: " << share << "%";
+    }
     if (exec.interrupted)
         std::cerr << " — interrupted";
     std::cerr << "\n";
