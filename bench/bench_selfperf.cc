@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Simulator self-performance benchmark: the canonical producer of
+ * BENCH_selfperf.json.
+ *
+ * Where bench_baseline pins the *model* outputs (runtime, snoop
+ * lookups, traffic) so CI can detect simulation regressions, this
+ * bench pins the *host* throughput of the simulator itself: how
+ * many runs, simulated cycles, and simulation events per second of
+ * wall clock the hot path sustains on a fixed matrix.  It exists
+ * to drive (and then guard) hot-path optimization work — see
+ * ROADMAP item "raw simulator speed".
+ *
+ * Four phases stress the distinct hot paths:
+ *
+ *  - tokenb-broadcast: every miss broadcasts, maximizing snoop
+ *    fan-out, message traffic and mesh link accounting;
+ *  - vsnoop-counter: filtered multicast over vCPU maps — the
+ *    SnoopTargets decision and residence-counter bookkeeping;
+ *  - vsnoop-migration: vCPU relocation churn — map maintenance,
+ *    retries, and counter-threshold removal on top of coherence;
+ *  - ro-intra-vm: content-shared pages under the intra-VM RO
+ *    policy — provider designation and memory token bundles.
+ *
+ * Output is one JSON object ({"selfperf": {...}, "meta": {...}}):
+ *
+ *   bench_selfperf > BENCH_selfperf.json             # refresh
+ *   bench_selfperf > fresh.json                      # in CI, then
+ *   vsnoopreport --diff BENCH_selfperf.json fresh.json
+ *
+ * vsnoopreport --diff recognizes the schema and applies a
+ * one-sided gate: a phase whose runs/sec or events/sec dropped by
+ * more than the threshold fails.  Because wall-clock throughput is
+ * host-dependent, CI gates a fresh measurement against a planted
+ * regression of itself rather than against the committed file; the
+ * committed BENCH_selfperf.json documents the reference host's
+ * numbers (see EXPERIMENTS.md) and is only parse-checked in CI.
+ *
+ * Like bench_baseline, this deliberately ignores
+ * VSNOOP_BENCH_SCALE: the matrix must be identical across
+ * regenerations to be comparable.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/profiler.hh"
+#include "system/run_result.hh"
+#include "system/sweep.hh"
+
+using namespace vsnoop;
+
+namespace
+{
+
+/** One phase's matrix and its measured throughput. */
+struct PhaseResult
+{
+    std::string name;
+    std::uint64_t runs = 0;
+    double wallSeconds = 0.0;
+    std::uint64_t simCycles = 0;
+    std::uint64_t events = 0;
+};
+
+/** Run @p matrix serially and measure wall-clock throughput. */
+PhaseResult
+runPhase(const std::string &name, const SweepMatrix &matrix)
+{
+    HostProfiler profiler;
+    auto start = std::chrono::steady_clock::now();
+    std::vector<RunResult> results = runSweep(matrix, /*jobs=*/1,
+                                              &profiler);
+    auto stop = std::chrono::steady_clock::now();
+
+    PhaseResult phase;
+    phase.name = name;
+    phase.runs = results.size();
+    phase.wallSeconds =
+        std::chrono::duration<double>(stop - start).count();
+    // Simulated cycles cover the measurement window of every run
+    // (warmup excluded, matching results.runtime in run JSON).
+    for (const RunResult &r : results)
+        phase.simCycles += r.results.runtime;
+    phase.events = profiler.events();
+    return phase;
+}
+
+/** Per-second rate, 0 when no time elapsed (keeps JSON finite). */
+double
+rate(std::uint64_t count, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+void
+writePhase(JsonWriter &json, const PhaseResult &p)
+{
+    json.beginObject();
+    json.key("phase").value(p.name);
+    json.key("runs").value(p.runs);
+    json.key("wall_seconds").value(p.wallSeconds);
+    json.key("runs_per_sec").value(rate(p.runs, p.wallSeconds));
+    json.key("sim_cycles").value(p.simCycles);
+    json.key("sim_cycles_per_sec").value(rate(p.simCycles, p.wallSeconds));
+    json.key("events").value(p.events);
+    json.key("events_per_sec").value(rate(p.events, p.wallSeconds));
+    json.endObject();
+}
+
+} // namespace
+
+int
+main()
+{
+    // The shared base: the bench-standard scaled-down system (see
+    // bench_util.hh), sized so the full matrix finishes in tens of
+    // seconds even on the slowest CI host.
+    SweepMatrix base;
+    base.base.accessesPerVcpu = 6000;
+    base.base.warmupAccessesPerVcpu = 1500;
+    base.base.l2.sizeBytes = 128 * 1024;
+
+    std::vector<PhaseResult> phases;
+
+    {
+        SweepMatrix m = base;
+        m.apps = {"ferret", "canneal"};
+        m.policies = {PolicyKind::TokenB};
+        m.seeds = {1, 2};
+        phases.push_back(runPhase("tokenb-broadcast", m));
+    }
+    {
+        SweepMatrix m = base;
+        m.apps = {"ferret", "canneal"};
+        m.policies = {PolicyKind::VirtualSnoop};
+        m.relocations = {RelocationMode::Counter};
+        m.seeds = {1, 2};
+        phases.push_back(runPhase("vsnoop-counter", m));
+    }
+    {
+        SweepMatrix m = base;
+        m.apps = {"ferret"};
+        m.policies = {PolicyKind::VirtualSnoop};
+        m.relocations = {RelocationMode::CounterThreshold};
+        m.seeds = {1, 2};
+        m.base.migrationPeriod = 20000;
+        phases.push_back(runPhase("vsnoop-migration", m));
+    }
+    {
+        SweepMatrix m = base;
+        m.apps = {"fft"};
+        m.policies = {PolicyKind::VirtualSnoop};
+        m.roPolicies = {RoPolicy::IntraVm};
+        m.seeds = {1, 2};
+        phases.push_back(runPhase("ro-intra-vm", m));
+    }
+
+    PhaseResult total;
+    total.name = "total";
+    for (const PhaseResult &p : phases) {
+        total.runs += p.runs;
+        total.wallSeconds += p.wallSeconds;
+        total.simCycles += p.simCycles;
+        total.events += p.events;
+    }
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("selfperf").beginObject();
+    json.key("phases").beginArray();
+    for (const PhaseResult &p : phases)
+        writePhase(json, p);
+    json.endArray();
+    json.key("total");
+    writePhase(json, total);
+    json.endObject();
+    writeBuildMeta(json);
+    json.endObject();
+    std::cout << json.str() << "\n";
+
+    // Human-readable summary on stderr so redirecting stdout to
+    // BENCH_selfperf.json still shows the headline number.
+    std::cerr << "bench_selfperf: " << total.runs << " runs in "
+              << total.wallSeconds << " s ("
+              << rate(total.runs, total.wallSeconds) << " runs/s, "
+              << rate(total.events, total.wallSeconds) / 1e6
+              << " M events/s)\n";
+    return 0;
+}

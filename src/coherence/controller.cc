@@ -38,6 +38,12 @@ CoherenceController::CoherenceController(CoherenceSystem &system,
       cache_(geometry.sizeBytes, geometry.ways), residence_(num_vms)
 {
     cache_.setObserver(&residence_);
+    // In-order cores block on misses, so the MSHR table stays tiny.
+    // The reservation is deliberately larger than the live set:
+    // every completed transaction leaves a tombstone, and the table
+    // rehashes in place once tombstones reach the load bound, so
+    // extra headroom amortizes that cleanup over more transactions.
+    mshrs_.reserve(128);
     if (geometry.l1SizeBytes > 0)
         l1_.emplace(geometry.l1SizeBytes, geometry.l1Ways);
 }
@@ -82,19 +88,20 @@ void
 CoherenceController::sumMshrTokens(HostAddr line, std::uint32_t &tokens,
                                    std::uint32_t &owners) const
 {
-    auto it = mshrs_.find(line.lineAligned().lineNum());
-    if (it == mshrs_.end() || it->second.upgrade)
+    const Mshr *mshr = mshrs_.find(line.lineAligned().lineNum());
+    if (mshr == nullptr || mshr->upgrade)
         return;
-    tokens += it->second.tokens;
-    if (it->second.owner)
+    tokens += mshr->tokens;
+    if (mshr->owner)
         owners += 1;
 }
 
 void
 CoherenceController::collectMshrLines(std::vector<std::uint64_t> &out) const
 {
-    for (const auto &[line_num, mshr] : mshrs_)
+    mshrs_.forEach([&out](std::uint64_t line_num, const Mshr &) {
         out.push_back(line_num);
+    });
 }
 
 std::uint64_t
@@ -200,10 +207,10 @@ CoherenceController::access(const MemAccess &access,
         t->record(traceBase(TraceEventKind::RequestIssue, eq.now(),
                             core_, mshr.access, mshr.kind));
     }
-    auto [it, inserted] =
+    auto [slot, inserted] =
         mshrs_.emplace(line_addr.lineNum(), std::move(mshr));
     vsnoop_assert(inserted, "duplicate MSHR");
-    issueAttempt(it->second);
+    issueAttempt(*slot);
 }
 
 void
@@ -283,10 +290,10 @@ CoherenceController::issueAttempt(Mshr &mshr)
 void
 CoherenceController::onTimeout(std::uint64_t line_num, std::uint64_t gen)
 {
-    auto it = mshrs_.find(line_num);
-    if (it == mshrs_.end() || it->second.timeoutGen != gen)
+    Mshr *found = mshrs_.find(line_num);
+    if (found == nullptr || found->timeoutGen != gen)
         return; // completed or re-armed since
-    Mshr &mshr = it->second;
+    Mshr &mshr = *found;
     const ProtocolConfig &cfg = system_.config();
 
     if (mshr.waitingGrant)
@@ -336,14 +343,14 @@ CoherenceController::onTimeout(std::uint64_t line_num, std::uint64_t gen)
 void
 CoherenceController::persistentGranted(HostAddr line)
 {
-    auto it = mshrs_.find(line.lineAligned().lineNum());
-    if (it == mshrs_.end()) {
+    Mshr *found = mshrs_.find(line.lineAligned().lineNum());
+    if (found == nullptr) {
         // Completed while queued (e.g. straggler responses finished
         // the transient attempt); hand the grant straight back.
         system_.releasePersistent(line, core_);
         return;
     }
-    Mshr &mshr = it->second;
+    Mshr &mshr = *found;
     mshr.waitingGrant = false;
     mshr.persistent = true;
     issueAttempt(mshr);
@@ -360,10 +367,10 @@ CoherenceController::handleSnoop(const SnoopMsg &msg)
     // competing full-miss MSHR, or two starving writers could
     // deadlock holding partial token sets.
     if (msg.persistent) {
-        auto it = mshrs_.find(line_num);
-        if (it != mshrs_.end() && !it->second.upgrade &&
-            (it->second.tokens > 0 || it->second.owner)) {
-            Mshr &loser = it->second;
+        Mshr *found = mshrs_.find(line_num);
+        if (found != nullptr && !found->upgrade &&
+            (found->tokens > 0 || found->owner)) {
+            Mshr &loser = *found;
             ResponseMsg resp;
             resp.line = msg.line;
             resp.tokens = loser.tokens;
@@ -405,10 +412,10 @@ CoherenceController::respondFromLine(const SnoopMsg &msg, CacheLine &line)
         resp.dirty = line.dirty;
         resp.sourceCore = core_;
         resp.sourceVm = line.vm;
-        auto it = mshrs_.find(msg.line.lineNum());
-        if (it != mshrs_.end() && it->second.upgrade) {
-            it->second.upgrade = false;
-            it->second.haveData = false;
+        Mshr *upgrading = mshrs_.find(msg.line.lineNum());
+        if (upgrading != nullptr && upgrading->upgrade) {
+            upgrading->upgrade = false;
+            upgrading->haveData = false;
         }
         cache_.invalidations.inc();
         removeL2(line);
@@ -483,8 +490,8 @@ CoherenceController::respondFromLine(const SnoopMsg &msg, CacheLine &line)
 void
 CoherenceController::handleResponse(const ResponseMsg &msg)
 {
-    auto it = mshrs_.find(msg.line.lineNum());
-    if (it == mshrs_.end()) {
+    Mshr *found = mshrs_.find(msg.line.lineNum());
+    if (found == nullptr) {
         // Straggler after completion (or after a persistent
         // surrender): tokens must never be dropped, so bounce them
         // to memory.
@@ -497,7 +504,7 @@ CoherenceController::handleResponse(const ResponseMsg &msg)
         return;
     }
 
-    Mshr &mshr = it->second;
+    Mshr &mshr = *found;
     Tick now = system_.eventQueue().now();
     {
         // Critical-path decomposition: walk the response's stamps

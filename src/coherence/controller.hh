@@ -16,13 +16,13 @@
 #ifndef VSNOOP_COHERENCE_CONTROLLER_HH_
 #define VSNOOP_COHERENCE_CONTROLLER_HH_
 
-#include <functional>
 #include <optional>
-#include <unordered_map>
 
 #include "coherence/protocol.hh"
 #include "mem/cache.hh"
 #include "mem/residence.hh"
+#include "sim/flat_table.hh"
+#include "sim/small_fn.hh"
 #include "sim/stats.hh"
 #include "trace/critpath.hh"
 
@@ -42,7 +42,7 @@ class CoherenceSystem;
  *        required a coherence transaction.
  */
 using AccessCallback =
-    std::function<void(Tick done_at, DataSource source, bool was_miss)>;
+    SmallFn<void(Tick done_at, DataSource source, bool was_miss)>;
 
 /**
  * The per-core controller.
@@ -206,7 +206,7 @@ class CoherenceController
     /** Optional inclusive write-through L1 in front of the L2. */
     std::optional<Cache> l1_;
     ResidenceCounters residence_;
-    std::unordered_map<std::uint64_t, Mshr> mshrs_;
+    FlatMap<Mshr> mshrs_;
 };
 
 } // namespace vsnoop

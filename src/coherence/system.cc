@@ -36,6 +36,17 @@ CoherenceSystem::CoherenceSystem(EventQueue &eq, Network &network,
     std::uint32_t mcs = memory_.numControllers();
     for (std::uint32_t i = 0; i < mcs; ++i)
         memNodes_.push_back(i * network.numNodes() / mcs);
+
+    // Seed the flat tables at a working-set-sized footprint.  The
+    // ledger is NOT reserved for its worst case (aggregate L2
+    // capacity): a mostly-empty multi-megabyte table turns every
+    // probe into a cache miss, which costs far more than the rare
+    // deterministic rehash when a workload's sharing pattern
+    // actually spreads tokens that wide.
+    std::size_t l2_lines = geometry.sizeBytes >> kLineShift;
+    memory_.reserveLedger(l2_lines);
+    inflight_.reserve(8 * config_.numCores);
+    persistent_.reserve(2 * config_.numCores);
 }
 
 CoherenceController &
@@ -56,7 +67,6 @@ void
 CoherenceSystem::access(CoreId core, const MemAccess &access,
                         AccessCallback callback)
 {
-    ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
     controller(core).access(access, std::move(callback));
 }
 
@@ -64,7 +74,6 @@ Tick
 CoherenceSystem::netSend(NodeId src, NodeId dst, std::uint32_t bytes,
                          MsgClass cls, Tick now)
 {
-    ProfileScope scope(profiler_, HostProfiler::Phase::Network);
     if (critpath_ != nullptr) {
         SendInfo info;
         Tick arrive = network_.send(src, dst, bytes, cls, now, &info);
@@ -113,7 +122,6 @@ CoherenceSystem::sendSnoops(CoreId from, const SnoopMsg &msg,
         if (critpath_ != nullptr)
             critpath_->snoopLookupRemote(msg.requesterVm, target);
         eq_.scheduleFn(arrive, [this, target, msg] {
-            ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
             controller(target).handleSnoop(msg);
         });
     });
@@ -122,10 +130,7 @@ CoherenceSystem::sendSnoops(CoreId from, const SnoopMsg &msg,
         Tick arrive = netSend(from, mc, config_.controlBytes,
                               MsgClass::Request, now);
         stats.memorySnoops.inc();
-        eq_.scheduleFn(arrive, [this, msg] {
-            ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
-            handleMemorySnoop(msg);
-        });
+        eq_.scheduleFn(arrive, [this, msg] { handleMemorySnoop(msg); });
     }
 }
 
@@ -147,7 +152,6 @@ CoherenceSystem::sendResponseToCore(NodeId from_node, CoreId to,
     inflightAdd(msg.line, msg.tokens, msg.owner);
     Tick arrive = netSend(from_node, to, bytes, cls, stamped.depart);
     eq_.scheduleFn(arrive, [this, to, stamped] {
-        ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
         inflightRemove(stamped.line, stamped.tokens, stamped.owner);
         controller(to).handleResponse(stamped);
     });
@@ -167,7 +171,6 @@ CoherenceSystem::sendTokensToMemory(CoreId from, HostAddr line,
     inflightAdd(line, tokens, owner);
     Tick arrive = netSend(from, mc, bytes, cls, eq_.now());
     eq_.scheduleFn(arrive, [this, line, tokens, owner, dirty_data] {
-        ProfileScope scope(profiler_, HostProfiler::Phase::Coherence);
         inflightRemove(line, tokens, owner);
         memory_.returnTokens(line, tokens, owner);
         if (dirty_data)
@@ -284,7 +287,7 @@ void
 CoherenceSystem::requestPersistent(HostAddr line, CoreId core)
 {
     std::uint64_t key = line.lineAligned().lineNum();
-    auto &queue = persistent_[key];
+    auto &queue = persistent_.getOrInsert(key);
     queue.push_back(core);
     if (queue.size() == 1) {
         // Line was unowned: grant immediately (next tick, to avoid
@@ -299,17 +302,17 @@ void
 CoherenceSystem::releasePersistent(HostAddr line, CoreId core)
 {
     std::uint64_t key = line.lineAligned().lineNum();
-    auto it = persistent_.find(key);
-    vsnoop_assert(it != persistent_.end() && !it->second.empty(),
+    std::vector<CoreId> *queue = persistent_.find(key);
+    vsnoop_assert(queue != nullptr && !queue->empty(),
                   "release of an unheld persistent grant");
-    vsnoop_assert(it->second.front() == core,
+    vsnoop_assert(queue->front() == core,
                   "persistent release out of order");
-    it->second.pop_front();
-    if (it->second.empty()) {
-        persistent_.erase(it);
+    queue->erase(queue->begin());
+    if (queue->empty()) {
+        persistent_.erase(key);
         return;
     }
-    CoreId next = it->second.front();
+    CoreId next = queue->front();
     eq_.scheduleFnIn(1, [this, line, next] {
         controller(next).persistentGranted(line);
     });
@@ -321,7 +324,8 @@ CoherenceSystem::inflightAdd(HostAddr line, std::uint32_t tokens,
 {
     if (tokens == 0 && !owner)
         return;
-    InflightState &st = inflight_[line.lineAligned().lineNum()];
+    InflightState &st =
+        inflight_.getOrInsert(line.lineAligned().lineNum());
     st.tokens += tokens;
     if (owner)
         st.owners += 1;
@@ -334,16 +338,15 @@ CoherenceSystem::inflightRemove(HostAddr line, std::uint32_t tokens,
     if (tokens == 0 && !owner)
         return;
     std::uint64_t key = line.lineAligned().lineNum();
-    auto it = inflight_.find(key);
-    vsnoop_assert(it != inflight_.end(), "in-flight ledger underflow");
-    vsnoop_assert(it->second.tokens >= tokens &&
-                  (!owner || it->second.owners >= 1),
+    InflightState *st = inflight_.find(key);
+    vsnoop_assert(st != nullptr, "in-flight ledger underflow");
+    vsnoop_assert(st->tokens >= tokens && (!owner || st->owners >= 1),
                   "in-flight ledger underflow for line ", line.raw());
-    it->second.tokens -= tokens;
+    st->tokens -= tokens;
     if (owner)
-        it->second.owners -= 1;
-    if (it->second.tokens == 0 && it->second.owners == 0)
-        inflight_.erase(it);
+        st->owners -= 1;
+    if (st->tokens == 0 && st->owners == 0)
+        inflight_.erase(key);
 }
 
 void
@@ -362,8 +365,9 @@ CoherenceSystem::checkInvariants() const
     }
     memory_.forEachLedgerLine(
         [&](std::uint64_t line_num) { lines.insert(line_num); });
-    for (const auto &[line_num, st] : inflight_)
+    inflight_.forEach([&](std::uint64_t line_num, const InflightState &) {
         lines.insert(line_num);
+    });
 
     std::uint32_t expect = memory_.tokensPerLine();
     for (std::uint64_t line_num : lines) {
@@ -383,10 +387,10 @@ CoherenceSystem::checkInvariants() const
         tokens += mem.tokens;
         if (mem.owner)
             owners++;
-        auto inflight_it = inflight_.find(line_num);
-        if (inflight_it != inflight_.end()) {
-            tokens += inflight_it->second.tokens;
-            owners += inflight_it->second.owners;
+        const InflightState *inflight = inflight_.find(line_num);
+        if (inflight != nullptr) {
+            tokens += inflight->tokens;
+            owners += inflight->owners;
         }
         vsnoop_assert(tokens == expect,
                       "token conservation violated for line ", addr.raw(),

@@ -14,9 +14,7 @@
 #ifndef VSNOOP_COHERENCE_SYSTEM_HH_
 #define VSNOOP_COHERENCE_SYSTEM_HH_
 
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/controller.hh"
@@ -25,6 +23,7 @@
 #include "mem/main_memory.hh"
 #include "noc/network.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_table.hh"
 
 namespace vsnoop
 {
@@ -226,9 +225,9 @@ class CoherenceSystem
     MainMemory memory_;
     std::vector<std::unique_ptr<CoherenceController>> controllers_;
     std::vector<NodeId> memNodes_;
-    std::unordered_map<std::uint64_t, InflightState> inflight_;
-    /** Per-line queue of cores waiting for persistent-mode grants. */
-    std::unordered_map<std::uint64_t, std::deque<CoreId>> persistent_;
+    FlatMap<InflightState> inflight_;
+    /** Per-line FIFO of cores waiting for persistent-mode grants. */
+    FlatMap<std::vector<CoreId>> persistent_;
     std::vector<VmId> friendOf_;
 };
 

@@ -50,6 +50,84 @@ VirtualSnoopPolicy::VirtualSnoopPolicy(std::uint32_t num_cores,
 {
     vsnoop_assert(num_vms <= 32,
                   "provider bitmasks support at most 32 VMs");
+    rebuildTemplates();
+}
+
+void
+VirtualSnoopPolicy::rebuildTemplates()
+{
+    auto broadcastTargets = [&](FilterReason reason) {
+        SnoopTargets t;
+        t.cores = allCores_;
+        t.memory = true;
+        t.providerMask = ~std::uint32_t{0};
+        t.reason = reason;
+        return t;
+    };
+    hypervisorTemplate_.targets =
+        broadcastTargets(FilterReason::HypervisorShared);
+    hypervisorTemplate_.firstAttempt = &broadcastRequests;
+    fallbackTargets_ = broadcastTargets(FilterReason::RetryFallback);
+
+    templates_.resize(static_cast<std::size_t>(numVms_) * 2);
+    for (VmId vm = 0; vm < numVms_; ++vm) {
+        TargetTemplate &priv = templates_[vm * 2];
+        priv.targets = SnoopTargets{};
+        priv.targets.cores = map_[vm];
+        priv.targets.memory = true;
+        priv.targets.providerMask = 1U << vm;
+        priv.targets.reason = FilterReason::VmPrivate;
+        priv.firstAttempt = &filteredRequests;
+        // Counter-threshold may have stranded tokens on removed
+        // cores; later transient attempts broadcast to recover them
+        // (the paper's safe-retry fallback).
+        priv.fallbackAttempt = config_.broadcastAttempt;
+
+        TargetTemplate &ro = templates_[vm * 2 + 1];
+        SnoopTargets t;
+        t.memory = true;
+        t.reason = FilterReason::RoShared;
+        switch (config_.roPolicy) {
+          case RoPolicy::Broadcast:
+            t.cores = allCores_;
+            t.providerMask = ~std::uint32_t{0};
+            ro.firstAttempt = &broadcastRequests;
+            ro.fallbackAttempt = ~std::uint32_t{0};
+            break;
+          case RoPolicy::MemoryDirect:
+            // Single-token grants: up to numCores sharers never
+            // exhaust memory's pool, so memory-direct keeps
+            // succeeding.  Attempt 2 means memory had no free token
+            // (every copy cached): fall back to a broadcast that can
+            // reach the cached copies.
+            t.providerMask = 0;
+            t.roBundle = 1;
+            ro.firstAttempt = &memoryDirectRequests;
+            ro.fallbackAttempt = 2;
+            break;
+          case RoPolicy::IntraVm:
+            t.cores = map_[vm];
+            t.providerMask = 1U << vm;
+            t.roBundle = config_.roTokenBundle;
+            ro.firstAttempt = &filteredRequests;
+            ro.fallbackAttempt = config_.broadcastAttempt;
+            break;
+          case RoPolicy::FriendVm: {
+            t.cores = map_[vm];
+            t.providerMask = 1U << vm;
+            t.roBundle = config_.roTokenBundle;
+            VmId fr = friendOf_[vm];
+            if (fr != kInvalidVm) {
+                t.cores |= map_[fr];
+                t.providerMask |= 1U << fr;
+            }
+            ro.firstAttempt = &filteredRequests;
+            ro.fallbackAttempt = config_.broadcastAttempt;
+            break;
+          }
+        }
+        ro.targets = t;
+    }
 }
 
 void
@@ -77,6 +155,7 @@ VirtualSnoopPolicy::setFriend(VmId vm, VmId friend_vm)
     vsnoop_assert(vm < numVms_ && friend_vm < numVms_,
                   "friend pairing out of range");
     friendOf_[vm] = friend_vm;
+    rebuildTemplates();
     if (system_ != nullptr)
         system_->setFriend(vm, friend_vm);
 }
@@ -99,103 +178,32 @@ SnoopTargets
 VirtualSnoopPolicy::targets(CoreId requester, const MemAccess &access,
                             std::uint32_t attempt)
 {
-    SnoopTargets t;
-    t.memory = true;
-
-    auto broadcast = [&]() {
-        t.cores = allCores_;
-        t.cores.remove(requester);
-        t.providerMask = ~std::uint32_t{0};
-    };
-
-    // Hypervisor accesses and RW-shared pages must broadcast: the
-    // hypervisor can have left the data in any cache.
+    // Table-driven filter decision: select the precomputed template
+    // for the access's (VM, page class), then clear the requester's
+    // bit.  No per-request set algebra over the vCPU maps — that
+    // runs in rebuildTemplates() on the rare map changes.
+    const TargetTemplate *tmpl;
     if (access.vm == kInvalidVm || access.vm >= numVms_ ||
         access.pageType == PageType::RwShared) {
-        broadcast();
-        t.reason = FilterReason::HypervisorShared;
-        if (attempt == 1)
-            broadcastRequests.inc();
+        // Hypervisor accesses and RW-shared pages must broadcast:
+        // the hypervisor can have left the data in any cache.
+        tmpl = &hypervisorTemplate_;
+    } else if (access.pageType == PageType::VmPrivate) {
+        tmpl = &templates_[static_cast<std::size_t>(access.vm) * 2];
+    } else {
+        vsnoop_assert(!access.isWrite,
+                      "RO-shared write must take the COW path");
+        tmpl = &templates_[static_cast<std::size_t>(access.vm) * 2 + 1];
+    }
+    if (attempt >= tmpl->fallbackAttempt) {
+        SnoopTargets t = fallbackTargets_;
+        t.cores.remove(requester);
         return t;
     }
-
-    if (access.pageType == PageType::VmPrivate) {
-        // Counter-threshold may have stranded tokens on removed
-        // cores; later transient attempts broadcast to recover them
-        // (the paper's safe-retry fallback).
-        if (attempt >= config_.broadcastAttempt) {
-            broadcast();
-            t.reason = FilterReason::RetryFallback;
-            return t;
-        }
-        t.cores = map_[access.vm];
-        t.cores.remove(requester);
-        t.providerMask = 1U << access.vm;
-        t.reason = FilterReason::VmPrivate;
-        if (attempt == 1)
-            filteredRequests.inc();
-        return t;
-    }
-
-    // RO-shared (content-shared) pages.
-    vsnoop_assert(!access.isWrite,
-                  "RO-shared write must take the COW path");
-    t.reason = FilterReason::RoShared;
-    switch (config_.roPolicy) {
-      case RoPolicy::Broadcast:
-        broadcast();
-        if (attempt == 1)
-            broadcastRequests.inc();
-        return t;
-      case RoPolicy::MemoryDirect:
-        if (attempt >= 2) {
-            // Memory had no free token (every copy cached): fall
-            // back to a broadcast that can reach the cached copies.
-            broadcast();
-            t.reason = FilterReason::RetryFallback;
-            return t;
-        }
-        t.cores = CoreSet{};
-        t.providerMask = 0;
-        // Single-token grants: up to numCores sharers never exhaust
-        // memory's pool, so memory-direct keeps succeeding.
-        t.roBundle = 1;
-        memoryDirectRequests.inc();
-        return t;
-      case RoPolicy::IntraVm:
-        if (attempt >= config_.broadcastAttempt) {
-            broadcast();
-            t.reason = FilterReason::RetryFallback;
-            return t;
-        }
-        t.cores = map_[access.vm];
-        t.cores.remove(requester);
-        t.providerMask = 1U << access.vm;
-        t.roBundle = config_.roTokenBundle;
-        if (attempt == 1)
-            filteredRequests.inc();
-        return t;
-      case RoPolicy::FriendVm: {
-        if (attempt >= config_.broadcastAttempt) {
-            broadcast();
-            t.reason = FilterReason::RetryFallback;
-            return t;
-        }
-        t.cores = map_[access.vm];
-        t.providerMask = 1U << access.vm;
-        t.roBundle = config_.roTokenBundle;
-        VmId fr = friendOf_[access.vm];
-        if (fr != kInvalidVm) {
-            t.cores |= map_[fr];
-            t.providerMask |= 1U << fr;
-        }
-        t.cores.remove(requester);
-        if (attempt == 1)
-            filteredRequests.inc();
-        return t;
-      }
-    }
-    broadcast();
+    SnoopTargets t = tmpl->targets;
+    t.cores.remove(requester);
+    if (attempt == 1)
+        tmpl->firstAttempt->inc();
     return t;
 }
 
@@ -305,6 +313,7 @@ void
 VirtualSnoopPolicy::addToMap(VmId vm, CoreId core)
 {
     map_[vm].add(core);
+    rebuildTemplates();
     mapAdds.inc();
     traceMapChange(TraceEventKind::MapAdd, vm, core);
     accountMapSync(vm);
@@ -314,6 +323,7 @@ void
 VirtualSnoopPolicy::removeFromMap(VmId vm, CoreId core)
 {
     map_[vm].remove(core);
+    rebuildTemplates();
     mapRemovals.inc();
     traceMapChange(TraceEventKind::MapRemove, vm, core);
     accountMapSync(vm);

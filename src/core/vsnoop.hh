@@ -183,6 +183,25 @@ class VirtualSnoopPolicy : public SnoopTargetPolicy,
     /** @} */
 
   private:
+    /**
+     * Precomputed destination set for one (VM, page class) pair.
+     * The targets() hot path is a template load plus a requester-bit
+     * clear; the set algebra over the vCPU maps (union with the
+     * friend VM's map, provider masks, bundle sizes) runs only here,
+     * on the rare map or friend-pairing changes.
+     */
+    struct TargetTemplate
+    {
+        SnoopTargets targets;
+        /** Statistic bumped on the first transient attempt. */
+        Counter *firstAttempt = nullptr;
+        /** Attempt number from which the request broadcasts. */
+        std::uint32_t fallbackAttempt = ~std::uint32_t{0};
+    };
+
+    /** Recompute every template from map_ / friendOf_ / config_. */
+    void rebuildTemplates();
+
     /** Remove @p core from @p vm's map, with sync accounting. */
     void removeFromMap(VmId vm, CoreId core);
 
@@ -209,6 +228,12 @@ class VirtualSnoopPolicy : public SnoopTargetPolicy,
     std::vector<CoreSet> map_;
     std::vector<CoreSet> running_;
     std::vector<VmId> friendOf_;
+    /** Per-VM templates: [vm * 2] private pages, [vm * 2 + 1] RO. */
+    std::vector<TargetTemplate> templates_;
+    /** Hypervisor accesses and RW-shared pages (broadcast). */
+    TargetTemplate hypervisorTemplate_;
+    /** Late-retry broadcast fallback (requester not yet removed). */
+    SnoopTargets fallbackTargets_;
     /** Guards against re-entering a selective flush. */
     bool flushing_ = false;
     /**

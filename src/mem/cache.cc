@@ -15,12 +15,19 @@ Cache::Cache(std::uint64_t size_bytes, std::uint32_t ways,
                   "cache size ", size_bytes,
                   "B not divisible into ", ways, " ways");
     sets_ = static_cast<std::uint32_t>(lines / ways);
+    setMask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0;
     lines_.resize(lines);
+    tags_.assign(lines, kNoTag);
+    lastUse_.assign(lines, 0);
 }
 
 std::uint32_t
 Cache::setIndex(HostAddr line_addr) const
 {
+    // Set counts are powers of two in every realistic geometry; keep
+    // the division only for odd test configurations.
+    if (setMask_ != 0 || sets_ == 1)
+        return static_cast<std::uint32_t>(line_addr.lineNum()) & setMask_;
     return static_cast<std::uint32_t>(line_addr.lineNum() % sets_);
 }
 
@@ -29,10 +36,11 @@ Cache::find(HostAddr line_addr)
 {
     HostAddr aligned = line_addr.lineAligned();
     std::uint32_t base = setIndex(aligned) * ways_;
+    std::uint64_t raw = aligned.raw();
+    const std::uint64_t *tags = tags_.data() + base;
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        CacheLine &line = lines_[base + w];
-        if (line.valid && line.addr == aligned)
-            return &line;
+        if (tags[w] == raw)
+            return &lines_[base + w];
     }
     return nullptr;
 }
@@ -48,9 +56,10 @@ Cache::victimFor(HostAddr line_addr)
 {
     HostAddr aligned = line_addr.lineAligned();
     std::uint32_t base = setIndex(aligned) * ways_;
-    // Prefer an empty way.
+    // Prefer an empty way (the tag array encodes validity).
+    const std::uint64_t *tags = tags_.data() + base;
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (!lines_[base + w].valid)
+        if (tags[w] == kNoTag)
             return lines_[base + w];
     }
     if (policy_ == ReplacementPolicy::Random) {
@@ -69,7 +78,17 @@ Cache::victimFor(HostAddr line_addr)
         // Fall through to the LRU scan if randomness keeps hitting
         // pinned ways.
     }
-    // LRU: oldest unpinned lastUse wins.
+    // LRU: oldest lastUse via the packed mirror array; only when the
+    // winner turns out to be pinned (rare — pins cover in-flight
+    // upgrades only) fall back to the full unpinned scan.
+    const std::uint64_t *uses = lastUse_.data() + base;
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (uses[w] < uses[best])
+            best = w;
+    }
+    if (!lines_[base + best].pinned)
+        return lines_[base + best];
     CacheLine *victim = nullptr;
     for (std::uint32_t w = 0; w < ways_; ++w) {
         CacheLine &cand = lines_[base + w];
@@ -101,6 +120,8 @@ Cache::install(CacheLine &slot, HostAddr line_addr, VmId vm,
     slot.providerVms = 0;
     slot.pinned = false;
     slot.lastUse = ++accessSeq_;
+    tags_[&slot - lines_.data()] = slot.addr.raw();
+    lastUse_[&slot - lines_.data()] = slot.lastUse;
     if (observer_)
         observer_->onLineInserted(vm, type);
     return slot;
@@ -119,6 +140,7 @@ Cache::remove(CacheLine &line)
     line.providerVms = 0;
     line.pinned = false;
     line.vm = kInvalidVm;
+    tags_[&line - lines_.data()] = kNoTag;
     if (observer_)
         observer_->onLineRemoved(vm, type);
 }

@@ -118,6 +118,11 @@ class Cache
      * Look up a line by address.  Does not update LRU state; use
      * touch() for demand accesses.
      *
+     * The scan runs over a packed parallel tag array (8 bytes per
+     * way instead of a full CacheLine), so a whole set's tags fit
+     * in one or two cache lines; the line metadata is only touched
+     * on a hit.
+     *
      * @return Pointer into the tag store, or nullptr on miss.  The
      *         pointer is invalidated by the next insert().
      */
@@ -125,7 +130,10 @@ class Cache
     const CacheLine *find(HostAddr line_addr) const;
 
     /** Record a demand access for replacement purposes. */
-    void touch(CacheLine &line) { line.lastUse = ++accessSeq_; }
+    void touch(CacheLine &line) {
+        line.lastUse = ++accessSeq_;
+        lastUse_[&line - lines_.data()] = line.lastUse;
+    }
 
     /**
      * Choose a victim way for @p line_addr without modifying
@@ -182,10 +190,20 @@ class Cache
   private:
     std::uint32_t setIndex(HostAddr line_addr) const;
 
+    /** Tag value no valid line can carry (addresses are aligned). */
+    static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+
     std::uint32_t sets_;
+    /** sets_ - 1 when sets_ is a power of two, else 0 (modulo path). */
+    std::uint32_t setMask_;
     std::uint32_t ways_;
     ReplacementPolicy policy_;
     std::vector<CacheLine> lines_;
+    /** lines_[i].addr.raw() when valid, kNoTag otherwise. */
+    std::vector<std::uint64_t> tags_;
+    /** Mirror of lines_[i].lastUse so the LRU victim scan reads 8
+     *  bytes per way instead of a full CacheLine. */
+    std::vector<std::uint64_t> lastUse_;
     CacheObserver *observer_ = nullptr;
     std::uint64_t accessSeq_ = 0;
     std::uint64_t randState_ = 0x9e3779b97f4a7c15ULL;

@@ -14,21 +14,28 @@ MainMemory::MainMemory(std::uint32_t tokens_per_line,
 {
     vsnoop_assert(tokens_per_line >= 1, "need at least one token per line");
     vsnoop_assert(num_controllers >= 1, "need at least one controller");
+    ctrlMask_ = (numControllers_ & (numControllers_ - 1)) == 0
+                    ? numControllers_ - 1
+                    : 0;
 }
 
 std::uint32_t
 MainMemory::controllerFor(HostAddr line_addr) const
 {
+    // Controller counts are powers of two in every shipped config;
+    // keep the division only for odd test configurations.
+    if (ctrlMask_ != 0 || numControllers_ == 1)
+        return static_cast<std::uint32_t>(line_addr.lineNum()) & ctrlMask_;
     return static_cast<std::uint32_t>(line_addr.lineNum() % numControllers_);
 }
 
 MemLineState
 MainMemory::state(HostAddr line_addr) const
 {
-    auto it = ledger_.find(line_addr.lineAligned().lineNum());
-    if (it == ledger_.end())
+    const MemLineState *st = ledger_.find(line_addr.lineAligned().lineNum());
+    if (st == nullptr)
         return MemLineState{tokensPerLine_, true};
-    return it->second;
+    return *st;
 }
 
 MemLineState
@@ -36,10 +43,10 @@ MainMemory::takeTokens(HostAddr line_addr, std::uint32_t want,
                        bool may_take_owner)
 {
     std::uint64_t key = line_addr.lineAligned().lineNum();
-    auto it = ledger_.find(key);
-    MemLineState cur = (it == ledger_.end())
+    MemLineState *entry = ledger_.find(key);
+    MemLineState cur = (entry == nullptr)
         ? MemLineState{tokensPerLine_, true}
-        : it->second;
+        : *entry;
 
     MemLineState taken;
     if (cur.tokens == 0)
@@ -60,10 +67,10 @@ MainMemory::takeTokens(HostAddr line_addr, std::uint32_t want,
 
     if (cur.tokens == tokensPerLine_ && cur.owner) {
         // Back at the default state: drop the ledger entry.
-        if (it != ledger_.end())
-            ledger_.erase(it);
-    } else if (it != ledger_.end()) {
-        it->second = cur;
+        if (entry != nullptr)
+            ledger_.erase(key);
+    } else if (entry != nullptr) {
+        *entry = cur;
     } else {
         ledger_.emplace(key, cur);
     }
@@ -77,10 +84,10 @@ MainMemory::returnTokens(HostAddr line_addr, std::uint32_t tokens,
     if (tokens == 0 && !owner)
         return;
     std::uint64_t key = line_addr.lineAligned().lineNum();
-    auto it = ledger_.find(key);
-    MemLineState cur = (it == ledger_.end())
+    MemLineState *entry = ledger_.find(key);
+    MemLineState cur = (entry == nullptr)
         ? MemLineState{tokensPerLine_, true}
-        : it->second;
+        : *entry;
 
     cur.tokens += tokens;
     if (owner) {
@@ -94,10 +101,10 @@ MainMemory::returnTokens(HostAddr line_addr, std::uint32_t tokens,
                   ": ", cur.tokens, " > ", tokensPerLine_);
 
     if (cur.tokens == tokensPerLine_ && cur.owner) {
-        if (it != ledger_.end())
-            ledger_.erase(it);
-    } else if (it != ledger_.end()) {
-        it->second = cur;
+        if (entry != nullptr)
+            ledger_.erase(key);
+    } else if (entry != nullptr) {
+        *entry = cur;
     } else {
         ledger_.emplace(key, cur);
     }

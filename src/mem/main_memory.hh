@@ -17,10 +17,10 @@
 #define VSNOOP_MEM_MAIN_MEMORY_HH_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/addr.hh"
+#include "sim/flat_table.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -97,6 +97,13 @@ class MainMemory
     std::size_t ledgerSize() const { return ledger_.size(); }
 
     /**
+     * Pre-size the ledger for @p lines deviating entries (the
+     * system reserves aggregate L2 capacity plus headroom up front
+     * so the miss path never rehashes).
+     */
+    void reserveLedger(std::size_t lines) { ledger_.reserve(lines); }
+
+    /**
      * Visit the line number of every ledger entry (lines deviating
      * from the all-tokens-at-memory default), for invariant checks.
      */
@@ -104,8 +111,10 @@ class MainMemory
     void
     forEachLedgerLine(Fn &&fn) const
     {
-        for (const auto &[line_num, state] : ledger_)
-            fn(line_num);
+        ledger_.forEach(
+            [&](std::uint64_t line_num, const MemLineState &) {
+                fn(line_num);
+            });
     }
 
     /** @{ Statistics. */
@@ -117,9 +126,11 @@ class MainMemory
   private:
     std::uint32_t tokensPerLine_;
     std::uint32_t numControllers_;
+    /** numControllers_ - 1 when a power of two, else 0 (modulo path). */
+    std::uint32_t ctrlMask_ = 0;
     Tick latency_;
     /** Lines deviating from the all-tokens-at-memory default. */
-    std::unordered_map<std::uint64_t, MemLineState> ledger_;
+    FlatMap<MemLineState> ledger_;
 };
 
 } // namespace vsnoop

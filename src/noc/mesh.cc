@@ -1,6 +1,7 @@
 #include "noc/mesh.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/logging.hh"
 
@@ -14,8 +15,12 @@ Mesh::Mesh(const MeshConfig &config)
 {
     vsnoop_assert(width_ >= 1 && height_ >= 1, "degenerate mesh");
     vsnoop_assert(linkBytes_ >= 1, "link width must be positive");
-    linkFree_.assign(static_cast<std::size_t>(numNodes()) * kLinkStride, 0);
-    links_.assign(linkFree_.size(), LinkAccount{});
+    widthPow2_ = (width_ & (width_ - 1)) == 0;
+    widthShift_ = static_cast<std::uint32_t>(std::countr_zero(width_));
+    linkBytesPow2_ = (linkBytes_ & (linkBytes_ - 1)) == 0;
+    flitShift_ = static_cast<std::uint32_t>(std::countr_zero(linkBytes_));
+    links_.assign(static_cast<std::size_t>(numNodes()) * kLinkStride,
+                  LinkState{});
 }
 
 std::size_t
@@ -47,7 +52,10 @@ Mesh::neighbor(NodeId from, Direction dir) const
 std::uint32_t
 Mesh::flitsFor(std::uint32_t bytes) const
 {
-    return std::max<std::uint32_t>(1, (bytes + linkBytes_ - 1) / linkBytes_);
+    std::uint32_t rounded = bytes + linkBytes_ - 1;
+    std::uint32_t flits =
+        linkBytesPow2_ ? rounded >> flitShift_ : rounded / linkBytes_;
+    return std::max<std::uint32_t>(1, flits);
 }
 
 std::uint32_t
@@ -104,41 +112,47 @@ Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, MsgClass cls,
     // Walk the XY path, reserving each directed link for the
     // message's serialization time.  The head's arrival at the next
     // router is delayed by both the pipeline and any link backlog.
+    // XY routing fixes the direction per leg, so each leg advances
+    // the link index by a constant stride instead of re-deriving
+    // (node, direction) coordinates per hop.
     std::uint32_t x = nodeX(src);
     std::uint32_t y = nodeY(src);
     std::uint32_t dst_x = nodeX(dst);
     std::uint32_t dst_y = nodeY(dst);
     Tick head = now;
-    while (x != dst_x || y != dst_y) {
-        Direction dir;
-        NodeId here = nodeAt(x, y);
-        if (x < dst_x) {
-            dir = East;
-            x++;
-        } else if (x > dst_x) {
-            dir = West;
-            x--;
-        } else if (y < dst_y) {
-            dir = North;
-            y++;
-        } else {
-            dir = South;
-            y--;
+    auto walkLeg = [&](std::size_t idx, std::ptrdiff_t stride,
+                       std::uint32_t steps) {
+        for (std::uint32_t s = 0; s < steps; ++s) {
+            LinkState &link = links_[idx];
+            Tick ready = head + routerPipeline_;
+            if (link.free > ready) {
+                link.waitCycles += link.free - ready;
+                if (info != nullptr)
+                    info->queueWait += link.free - ready;
+            }
+            Tick start = std::max(ready, link.free);
+            link.free = start + occupancy;
+            link.byteHops[ci] += linkBytesCarried;
+            link.busyCycles += occupancy;
+            head = start + linkLatency_;
+            idx = static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(idx) + stride);
         }
-        std::size_t idx = linkIndex(here, dir);
-        Tick &free = linkFree_[idx];
-        LinkAccount &acct = links_[idx];
-        Tick ready = head + routerPipeline_;
-        if (free > ready) {
-            acct.waitCycles += free - ready;
-            if (info != nullptr)
-                info->queueWait += free - ready;
-        }
-        Tick start = std::max(ready, free);
-        free = start + occupancy;
-        acct.byteHops[ci] += linkBytesCarried;
-        acct.busyCycles += occupancy;
-        head = start + linkLatency_;
+    };
+    if (x != dst_x) {
+        Direction dir = x < dst_x ? East : West;
+        std::ptrdiff_t step = x < dst_x ? 1 : -1;
+        std::uint32_t steps = x < dst_x ? dst_x - x : x - dst_x;
+        walkLeg(linkIndex(nodeAt(x, y), dir),
+                step * static_cast<std::ptrdiff_t>(kLinkStride), steps);
+    }
+    if (y != dst_y) {
+        Direction dir = y < dst_y ? North : South;
+        std::ptrdiff_t step = y < dst_y ? static_cast<std::ptrdiff_t>(width_)
+                                        : -static_cast<std::ptrdiff_t>(width_);
+        std::uint32_t steps = y < dst_y ? dst_y - y : y - dst_y;
+        walkLeg(linkIndex(nodeAt(dst_x, y), dir),
+                step * static_cast<std::ptrdiff_t>(kLinkStride), steps);
     }
     // Tail flits trail the head on the final link.
     return head + (flits - 1) * linkLatency_;
@@ -155,14 +169,14 @@ Mesh::linkStats() const
             NodeId to = neighbor(n, dir);
             if (to == kInvalidNode)
                 continue;
-            const LinkAccount &acct = links_[linkIndex(n, dir)];
+            const LinkState &link = links_[linkIndex(n, dir)];
             LinkStat stat;
             stat.from = n;
             stat.to = to;
             for (std::size_t c = 0; c < kNumMsgClasses; ++c)
-                stat.byteHops[c] = acct.byteHops[c];
-            stat.busyCycles = acct.busyCycles;
-            stat.waitCycles = acct.waitCycles;
+                stat.byteHops[c] = link.byteHops[c];
+            stat.busyCycles = link.busyCycles;
+            stat.waitCycles = link.waitCycles;
             out.push_back(stat);
         }
     }
@@ -173,7 +187,14 @@ void
 Mesh::resetStats()
 {
     Network::resetStats();
-    std::fill(links_.begin(), links_.end(), LinkAccount{});
+    // Accounting only: the contention horizon (free) is protocol
+    // state and must survive the warmup boundary untouched.
+    for (LinkState &link : links_) {
+        std::fill(std::begin(link.byteHops), std::end(link.byteHops),
+                  std::uint64_t{0});
+        link.busyCycles = 0;
+        link.waitCycles = 0;
+    }
 }
 
 IdealCrossbar::IdealCrossbar(std::uint32_t num_nodes, Tick latency,

@@ -89,16 +89,30 @@ class Mesh : public Network
     /** Directions per node in the link arrays (incl. Local). */
     static constexpr std::size_t kLinkStride = 5;
 
-    /** Per-link accumulators behind the linkStats() snapshot. */
-    struct LinkAccount
+    /**
+     * All per-link state — the contention horizon plus the traffic
+     * accumulators behind the linkStats() snapshot — merged and
+     * aligned so the send loop touches exactly one cache line per
+     * hop (56 bytes used of the 64-byte line).
+     */
+    struct alignas(64) LinkState
     {
+        /** Earliest tick this directed link is free. */
+        Tick free = 0;
         std::uint64_t byteHops[kNumMsgClasses] = {};
         std::uint64_t busyCycles = 0;
         std::uint64_t waitCycles = 0;
     };
 
-    std::uint32_t nodeX(NodeId n) const { return n % width_; }
-    std::uint32_t nodeY(NodeId n) const { return n / width_; }
+    // Shipped geometries have power-of-two widths and link widths;
+    // the shift/mask fast paths keep integer division off the
+    // per-message path (division fallback for odd test meshes).
+    std::uint32_t nodeX(NodeId n) const {
+        return widthPow2_ ? n & (width_ - 1) : n % width_;
+    }
+    std::uint32_t nodeY(NodeId n) const {
+        return widthPow2_ ? n >> widthShift_ : n / width_;
+    }
     NodeId nodeAt(std::uint32_t x, std::uint32_t y) const {
         return y * width_ + x;
     }
@@ -114,13 +128,17 @@ class Mesh : public Network
     std::uint32_t width_;
     std::uint32_t height_;
     std::uint32_t linkBytes_;
+    /** @{ Power-of-two fast-path state (see nodeX/flitsFor). */
+    bool widthPow2_;
+    bool linkBytesPow2_;
+    std::uint32_t widthShift_;
+    std::uint32_t flitShift_;
+    /** @} */
     Tick routerPipeline_;
     Tick linkLatency_;
     Tick localLatency_;
-    /** Earliest tick each directed link is free. */
-    std::vector<Tick> linkFree_;
-    /** Per-link traffic accumulators, indexed like linkFree_. */
-    std::vector<LinkAccount> links_;
+    /** Per-link contention + accounting, node-major by direction. */
+    std::vector<LinkState> links_;
 };
 
 /**

@@ -13,15 +13,54 @@ EventQueue::schedule(Event &event, Tick when)
     vsnoop_assert(when >= now_,
                   "scheduling into the past: when=", when, " now=", now_);
     if (event.scheduled_) {
-        // Invalidate the previous heap entry; it will be skipped on
-        // pop because the tokens no longer match.
+        // Invalidate the previous entry; it will be skipped on pop
+        // because the tokens no longer match.
         live_--;
     }
     event.scheduled_ = true;
     event.when_ = when;
     event.token_ = nextToken_++;
-    heap_.push(HeapEntry{when, seq_++, &event, event.token_});
+    HeapEntry entry{when, seq_++, &event, event.token_};
+    if (when - now_ < kWheelSize)
+        wheelAppend(entry);
+    else
+        heapPush(entry);
     live_++;
+}
+
+void
+EventQueue::wheelAppend(const HeapEntry &entry)
+{
+    Bucket &bucket = wheel_[entry.when & kWheelMask];
+    bucket.entries.push_back(entry);
+    wheelCount_++;
+    if (entry.when < peekCursor_)
+        peekCursor_ = entry.when;
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    now_ = t;
+    if (peekCursor_ < t)
+        peekCursor_ = t;
+    while (!overflow_.empty()) {
+        const HeapEntry &top = overflow_.front();
+        if (top.when >= now_) {
+            if (top.when - now_ >= kWheelSize)
+                break;
+            HeapEntry moved = top;
+            heapPopTop();
+            wheelAppend(moved);
+        } else {
+            // The clock never passes a live entry, so an entry left
+            // behind it must have been descheduled or rescheduled.
+            vsnoop_assert(!top.event->scheduled_ ||
+                              top.event->token_ != top.token,
+                          "live event left behind the clock");
+            heapPopTop();
+        }
+    }
 }
 
 void
@@ -35,41 +74,154 @@ EventQueue::deschedule(Event &event)
 }
 
 void
-EventQueue::scheduleFn(Tick when, std::function<void()> fn)
+EventQueue::scheduleFn(Tick when, Callback fn)
 {
-    owned_.push_back(std::make_unique<LambdaEvent>(std::move(fn)));
-    schedule(*owned_.back(), when);
+    OwnedEvent *slot;
+    if (!freeSlots_.empty()) {
+        slot = pool_[freeSlots_.back()].get();
+        freeSlots_.pop_back();
+    } else {
+        pool_.push_back(std::make_unique<OwnedEvent>(
+            *this, static_cast<std::uint32_t>(pool_.size())));
+        slot = pool_.back().get();
+    }
+    slot->fn = std::move(fn);
+    schedule(*slot, when);
 }
 
 void
-EventQueue::reapOwned()
+EventQueue::OwnedEvent::process()
 {
-    // Amortize the sweep: clean up only after the wrapper pool has
-    // grown by a full batch since the last sweep.  Gating on growth
-    // (rather than absolute size) keeps the sweep O(1) amortized
-    // even when more than a batch of callbacks is legitimately
-    // pending far in the future.
-    if (owned_.size() < lastReapSize_ + 1024)
+    fn();
+    // Release only after the callback has returned: the callback may
+    // itself scheduleFn() — growing the pool or reusing other free
+    // slots — but can never be handed this still-running one.
+    fn.reset();
+    eq_.freeSlots_.push_back(slot_);
+}
+
+void
+EventQueue::heapPush(const HeapEntry &entry)
+{
+    std::size_t i = overflow_.size();
+    overflow_.push_back(entry);
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 4;
+        if (!(overflow_[parent] > entry))
+            break;
+        overflow_[i] = overflow_[parent];
+        i = parent;
+    }
+    overflow_[i] = entry;
+}
+
+void
+EventQueue::heapPopTop()
+{
+    HeapEntry last = overflow_.back();
+    overflow_.pop_back();
+    std::size_t n = overflow_.size();
+    if (n == 0)
         return;
-    std::erase_if(owned_, [](const std::unique_ptr<LambdaEvent> &ev) {
-        return !ev->scheduled();
-    });
-    lastReapSize_ = owned_.size();
+    std::size_t i = 0;
+    for (;;) {
+        std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        std::size_t end = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (overflow_[best] > overflow_[c])
+                best = c;
+        }
+        if (!(last > overflow_[best]))
+            break;
+        overflow_[i] = overflow_[best];
+        i = best;
+    }
+    overflow_[i] = last;
+}
+
+bool
+EventQueue::peekNext(HeapEntry &out)
+{
+    if (wheelCount_ > 0) {
+        // All wheel entries sit in [now_, now_ + kWheelSize), and
+        // none below peekCursor_, so this scan is bounded by the
+        // wheel span and normally ends within a few buckets.
+        Tick t = peekCursor_;
+        for (;;) {
+            Bucket &bucket = wheel_[t & kWheelMask];
+            while (bucket.head < bucket.entries.size()) {
+                const HeapEntry &e = bucket.entries[bucket.head];
+                if (e.event->scheduled_ && e.event->token_ == e.token) {
+                    peekCursor_ = t;
+                    peekFromOverflow_ = false;
+                    out = e;
+                    return true;
+                }
+                // Stale: event was descheduled or rescheduled.
+                bucket.head++;
+                wheelCount_--;
+            }
+            if (bucket.head != 0) {
+                bucket.entries.clear();
+                bucket.head = 0;
+            }
+            if (wheelCount_ == 0)
+                break;
+            t++;
+        }
+        peekCursor_ = t;
+    }
+    // Nothing in the wheel: the next event (if any) is beyond the
+    // window, at the overflow heap's top.
+    while (!overflow_.empty()) {
+        const HeapEntry &top = overflow_.front();
+        if (top.event->scheduled_ && top.event->token_ == top.token) {
+            peekFromOverflow_ = true;
+            out = top;
+            return true;
+        }
+        heapPopTop();
+    }
+    return false;
+}
+
+void
+EventQueue::consumePeeked()
+{
+    if (peekFromOverflow_) {
+        heapPopTop();
+        return;
+    }
+    Bucket &bucket = wheel_[peekCursor_ & kWheelMask];
+    bucket.head++;
+    wheelCount_--;
+    if (bucket.head == bucket.entries.size()) {
+        bucket.entries.clear();
+        bucket.head = 0;
+    }
 }
 
 bool
 EventQueue::popNext(HeapEntry &out)
 {
-    while (!heap_.empty()) {
-        HeapEntry top = heap_.top();
-        heap_.pop();
-        if (top.event->scheduled_ && top.event->token_ == top.token) {
-            out = top;
-            return true;
-        }
-        // Stale entry: event was descheduled or rescheduled.
-    }
-    return false;
+    if (!peekNext(out))
+        return false;
+    consumePeeked();
+    return true;
+}
+
+void
+EventQueue::dispatch(HeapEntry &entry)
+{
+    advanceTo(entry.when);
+    entry.event->scheduled_ = false;
+    entry.event->token_ = 0;
+    live_--;
+    processed_++;
+    entry.event->process();
 }
 
 std::uint64_t
@@ -78,14 +230,8 @@ EventQueue::run(std::uint64_t limit)
     std::uint64_t dispatched = 0;
     HeapEntry entry;
     while (dispatched < limit && popNext(entry)) {
-        now_ = entry.when;
-        entry.event->scheduled_ = false;
-        entry.event->token_ = 0;
-        live_--;
-        processed_++;
+        dispatch(entry);
         dispatched++;
-        entry.event->process();
-        reapOwned();
     }
     return dispatched;
 }
@@ -93,25 +239,16 @@ EventQueue::run(std::uint64_t limit)
 std::uint64_t
 EventQueue::runUntil(Tick until)
 {
+    ProfileScope scope(profiler_, profilePhase_);
     std::uint64_t dispatched = 0;
     HeapEntry entry;
-    while (popNext(entry)) {
-        if (entry.when > until) {
-            // Put it back: simplest is to re-push the same entry;
-            // the token still matches so it stays valid.
-            heap_.push(entry);
-            break;
-        }
-        now_ = entry.when;
-        entry.event->scheduled_ = false;
-        entry.event->token_ = 0;
-        live_--;
-        processed_++;
+    while (peekNext(entry) && entry.when <= until) {
+        consumePeeked();
+        dispatch(entry);
         dispatched++;
-        entry.event->process();
-        reapOwned();
     }
-    now_ = std::max(now_, until);
+    if (now_ < until)
+        advanceTo(until);
     return dispatched;
 }
 

@@ -11,17 +11,35 @@
  * Descheduling and rescheduling are supported via generation
  * counters: every schedule() stamps the event with a fresh token and
  * stale heap entries are discarded lazily when popped.
+ *
+ * One-shot callbacks are stored in a slot pool: each scheduleFn()
+ * reuses a previously-dispatched wrapper slot instead of allocating,
+ * and the callable's captures live in the slot's SmallFn inline
+ * buffer.  A slot is released only after its callback returns, so a
+ * callback may schedule further callbacks (including at the same
+ * tick) without ever being handed its own still-running slot.
+ *
+ * Pending events live in a calendar queue: a timing wheel of
+ * per-tick FIFO buckets covering the near future (where nearly all
+ * protocol events land — message deliveries and retry windows are
+ * all well under the wheel span), with a 4-ary min-heap overflow for
+ * far-future events (migration epochs, periodic scans).  Insert and
+ * extract are O(1) on the wheel path, and dispatch order is exactly
+ * the (tick, schedule-order) total order a comparison heap would
+ * produce: a bucket only ever receives entries for a single tick in
+ * ascending sequence order, and overflow entries for a tick are
+ * migrated into its bucket before any direct insert can target it.
  */
 
 #ifndef VSNOOP_SIM_EVENT_QUEUE_HH_
 #define VSNOOP_SIM_EVENT_QUEUE_HH_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/profiler.hh"
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace vsnoop
@@ -55,25 +73,14 @@ class Event
 };
 
 /**
- * An Event wrapping a std::function, for one-shot callbacks.
- */
-class LambdaEvent : public Event
-{
-  public:
-    explicit LambdaEvent(std::function<void()> fn) : fn_(std::move(fn)) {}
-
-    void process() override { fn_(); }
-
-  private:
-    std::function<void()> fn_;
-};
-
-/**
  * The simulation clock and pending-event heap.
  */
 class EventQueue
 {
   public:
+    /** One-shot callback type accepted by scheduleFn(). */
+    using Callback = SmallFn<void()>;
+
     EventQueue() = default;
 
     EventQueue(const EventQueue &) = delete;
@@ -107,12 +114,12 @@ class EventQueue
 
     /**
      * Schedule a one-shot callback at an absolute tick.  The queue
-     * owns the wrapper and frees it after dispatch.
+     * owns the wrapper and recycles it after dispatch.
      */
-    void scheduleFn(Tick when, std::function<void()> fn);
+    void scheduleFn(Tick when, Callback fn);
 
     /** Schedule a one-shot callback @p delay ticks from now. */
-    void scheduleFnIn(Tick delay, std::function<void()> fn) {
+    void scheduleFnIn(Tick delay, Callback fn) {
         scheduleFn(now_ + delay, std::move(fn));
     }
 
@@ -134,6 +141,22 @@ class EventQueue
      */
     std::uint64_t runUntil(Tick until);
 
+    /**
+     * Attribute runUntil() dispatch time to @p phase on @p profiler
+     * (one scope per runUntil call, not per event — per-event clock
+     * reads at tens of millions of events/s were a measurable share
+     * of the whole simulation).  Nested scopes opened by individual
+     * events (e.g. workload generation) still subtract themselves
+     * from the bracket, so exclusive attribution is preserved at
+     * phase granularity.  run() is deliberately not bracketed: the
+     * end-of-run drain calls it inside its own Drain scope.
+     */
+    void setDispatchProfile(HostProfiler *profiler,
+                            HostProfiler::Phase phase) {
+        profiler_ = profiler;
+        profilePhase_ = phase;
+    }
+
     /** Dispatch exactly one event if any is pending. */
     bool step();
 
@@ -154,16 +177,93 @@ class EventQueue
         }
     };
 
-    /** Pop the next valid entry, discarding stale ones. */
+    /**
+     * A pooled wrapper for one-shot callbacks.  Slots live at stable
+     * addresses (behind unique_ptr) for the queue's lifetime and are
+     * recycled through freeSlots_ once their callback has returned.
+     */
+    class OwnedEvent : public Event
+    {
+      public:
+        OwnedEvent(EventQueue &eq, std::uint32_t slot)
+            : eq_(eq), slot_(slot)
+        {
+        }
+
+        void process() override;
+
+        Callback fn;
+
+      private:
+        EventQueue &eq_;
+        std::uint32_t slot_;
+    };
+
+    /**
+     * One wheel slot.  While a tick is within the wheel's window its
+     * bucket is a FIFO: entries append at the back and drain from
+     * head.  head-consumed prefixes are reclaimed lazily when the
+     * bucket empties (capacity is kept for reuse).
+     */
+    struct Bucket
+    {
+        std::vector<HeapEntry> entries;
+        std::size_t head = 0;
+    };
+
+    /** Wheel span in ticks (power of two). */
+    static constexpr std::size_t kWheelBits = 12;
+    static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+    static constexpr std::size_t kWheelMask = kWheelSize - 1;
+
+    /**
+     * Find the next valid (non-stale) entry without consuming it.
+     * Stale entries encountered on the way are discarded.
+     */
+    bool peekNext(HeapEntry &out);
+
+    /** Consume the entry peekNext() just returned. */
+    void consumePeeked();
+
+    /** peekNext + consumePeeked in one step. */
     bool popNext(HeapEntry &out);
 
-    /** Free dispatched one-shot callbacks, amortized. */
-    void reapOwned();
+    /** Dispatch one popped entry. */
+    void dispatch(HeapEntry &entry);
 
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<>> heap_;
-    std::vector<std::unique_ptr<LambdaEvent>> owned_;
-    std::size_t lastReapSize_ = 0;
+    /** Append to the wheel bucket for entry.when. */
+    void wheelAppend(const HeapEntry &entry);
+
+    /**
+     * Advance the clock and slide the wheel window: overflow entries
+     * that fall inside the new window move into their buckets.  Must
+     * run at every now_ change so bucket FIFO order stays sequence
+     * order (see file comment).
+     */
+    void advanceTo(Tick t);
+
+    /** @{
+     * 4-ary min-heap over (when, seq) for beyond-the-window events.
+     */
+    void heapPush(const HeapEntry &entry);
+    void heapPopTop();
+    /** @} */
+
+    std::vector<Bucket> wheel_{kWheelSize};
+    /** Entries (valid + stale) currently in wheel buckets. */
+    std::uint64_t wheelCount_ = 0;
+    /**
+     * No wheel entry lives at a tick below peekCursor_; scans resume
+     * here instead of at now_.  Pulled back on any insert below it.
+     */
+    Tick peekCursor_ = 0;
+    /** The entry peekNext() found came from overflow_, not the wheel. */
+    bool peekFromOverflow_ = false;
+    std::vector<HeapEntry> overflow_;
+    HostProfiler *profiler_ = nullptr;
+    HostProfiler::Phase profilePhase_ = HostProfiler::Phase::Coherence;
+    std::vector<std::unique_ptr<OwnedEvent>> pool_;
+    std::vector<std::uint32_t> freeSlots_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t nextToken_ = 1;

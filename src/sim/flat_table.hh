@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Open-addressed flat hash map keyed by line numbers.
+ *
+ * The simulator's per-line state — MSHRs, the in-flight token
+ * ledger, persistent-request queues, the memory token ledger — all
+ * key on 64-bit line numbers and live on the miss path, where
+ * std::unordered_map's node-per-entry allocation and pointer chasing
+ * dominate the profile.  FlatMap replaces them with a single
+ * contiguous key array plus a parallel value array, linear probing,
+ * and tombstone deletion: lookups touch one or two cache lines and
+ * mutation never allocates once the table is reserved to its
+ * steady-state size (tables are config-reserved at construction from
+ * ProtocolConfig / cache geometry).
+ *
+ * Two key values are reserved as slot markers.  Line numbers are
+ * addresses shifted right by the line-offset bits, so they can never
+ * reach the top of the 64-bit range; an assert enforces this.
+ *
+ * Iteration order is table order, not insertion order — callers that
+ * feed simulation-visible output must sort or aggregate
+ * order-insensitively (the existing users only populate sets for
+ * invariant checks).
+ */
+
+#ifndef VSNOOP_SIM_FLAT_TABLE_HH_
+#define VSNOOP_SIM_FLAT_TABLE_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+/**
+ * Open-addressed hash map from std::uint64_t keys to V.
+ *
+ * V must be default-constructible and move-assignable; erased slots
+ * are reset to a default-constructed V so held resources (e.g. a
+ * completion callback's captures) are released eagerly.
+ */
+template <typename V>
+class FlatMap
+{
+  public:
+    using Key = std::uint64_t;
+
+    /** Marker for a never-used slot (terminates probe chains). */
+    static constexpr Key kEmpty = ~Key{0};
+    /** Marker for an erased slot (probe chains continue past it). */
+    static constexpr Key kTombstone = ~Key{0} - 1;
+
+    FlatMap() { rehash(kMinCapacity); }
+
+    /** Grow so @p n entries fit without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = kMinCapacity;
+        // Probe-friendly: keep the table at most ~7/8 full.
+        while (cap - cap / 8 < n)
+            cap *= 2;
+        if (cap > keys_.size())
+            rehash(cap);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pointer to the value for @p key, or nullptr. */
+    V *
+    find(Key key)
+    {
+        std::size_t slot = findSlot(key);
+        return slot == kNoSlot ? nullptr : &vals_[slot];
+    }
+
+    const V *
+    find(Key key) const
+    {
+        std::size_t slot = findSlot(key);
+        return slot == kNoSlot ? nullptr : &vals_[slot];
+    }
+
+    bool contains(Key key) const { return findSlot(key) != kNoSlot; }
+
+    /**
+     * Insert @p value under @p key.
+     *
+     * @return The slot's value pointer and whether an insert
+     *         happened (false when the key already existed; the
+     *         existing value is left untouched, matching
+     *         unordered_map::emplace).
+     */
+    std::pair<V *, bool>
+    emplace(Key key, V value)
+    {
+        checkKey(key);
+        maybeGrow();
+        auto [slot, existed] = probeForInsert(key);
+        if (existed)
+            return {&vals_[slot], false};
+        claim(slot, key);
+        vals_[slot] = std::move(value);
+        return {&vals_[slot], true};
+    }
+
+    /**
+     * Value for @p key, default-constructing it on first use
+     * (unordered_map::operator[]).
+     */
+    V &
+    getOrInsert(Key key)
+    {
+        checkKey(key);
+        maybeGrow();
+        auto [slot, existed] = probeForInsert(key);
+        if (!existed)
+            claim(slot, key);
+        return vals_[slot];
+    }
+
+    /** Remove @p key.  @return True when an entry was erased. */
+    bool
+    erase(Key key)
+    {
+        std::size_t slot = findSlot(key);
+        if (slot == kNoSlot)
+            return false;
+        keys_[slot] = kTombstone;
+        vals_[slot] = V{};
+        size_--;
+        tombstones_++;
+        return true;
+    }
+
+    /** Visit every entry as fn(key, value), in table order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] < kTombstone)
+                fn(keys_[i], vals_[i]);
+        }
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 16;
+    static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+    static std::size_t
+    hash(Key key)
+    {
+        // Fibonacci multiplicative mix; table sizes are powers of
+        // two, so the multiply must spread entropy into low bits.
+        std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+        return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+
+    static void
+    checkKey(Key key)
+    {
+        vsnoop_assert(key < kTombstone,
+                      "FlatMap key collides with a slot marker: ", key);
+    }
+
+    /** Slot of @p key, or kNoSlot. */
+    std::size_t
+    findSlot(Key key) const
+    {
+        std::size_t mask = keys_.size() - 1;
+        std::size_t i = hash(key) & mask;
+        while (true) {
+            Key k = keys_[i];
+            if (k == key)
+                return i;
+            if (k == kEmpty)
+                return kNoSlot;
+            i = (i + 1) & mask;
+        }
+    }
+
+    /**
+     * Probe for an insert of @p key: yields either the existing
+     * entry's slot (true) or the first reusable slot (false).
+     */
+    std::pair<std::size_t, bool>
+    probeForInsert(Key key)
+    {
+        std::size_t mask = keys_.size() - 1;
+        std::size_t i = hash(key) & mask;
+        std::size_t reuse = kNoSlot;
+        while (true) {
+            Key k = keys_[i];
+            if (k == key)
+                return {i, true};
+            if (k == kEmpty)
+                return {reuse != kNoSlot ? reuse : i, false};
+            if (k == kTombstone && reuse == kNoSlot)
+                reuse = i;
+            i = (i + 1) & mask;
+        }
+    }
+
+    void
+    claim(std::size_t slot, Key key)
+    {
+        if (keys_[slot] == kTombstone)
+            tombstones_--;
+        keys_[slot] = key;
+        size_++;
+    }
+
+    void
+    maybeGrow()
+    {
+        // Count tombstones against the load factor so long-lived
+        // tables with erase churn re-pack instead of degrading into
+        // full-table probes.
+        std::size_t cap = keys_.size();
+        if ((size_ + tombstones_ + 1) * 8 <= cap * 7)
+            return;
+        rehash(size_ + 1 > cap / 2 ? cap * 2 : cap);
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<Key> old_keys = std::move(keys_);
+        std::vector<V> old_vals = std::move(vals_);
+        keys_.assign(new_cap, kEmpty);
+        vals_.clear();
+        vals_.resize(new_cap);
+        tombstones_ = 0;
+        std::size_t mask = new_cap - 1;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] >= kTombstone)
+                continue;
+            std::size_t j = hash(old_keys[i]) & mask;
+            while (keys_[j] != kEmpty)
+                j = (j + 1) & mask;
+            keys_[j] = old_keys[i];
+            vals_[j] = std::move(old_vals[i]);
+        }
+    }
+
+    std::vector<Key> keys_;
+    std::vector<V> vals_;
+    std::size_t size_ = 0;
+    std::size_t tombstones_ = 0;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_FLAT_TABLE_HH_

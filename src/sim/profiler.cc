@@ -1,5 +1,6 @@
 #include "sim/profiler.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <ostream>
 
@@ -21,6 +22,22 @@ nowNanos()
             .count());
 }
 
+/**
+ * Per-charge timestamp.  enter()/exit() run tens of millions of
+ * times per simulated run, so the stamp must be as cheap as the
+ * machine allows: the raw cycle counter where available, calibrated
+ * against the wall clock once per begin()..end() interval.
+ */
+std::uint64_t
+rawStamp()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_ia32_rdtsc();
+#else
+    return nowNanos();
+#endif
+}
+
 } // namespace
 
 void
@@ -29,7 +46,8 @@ HostProfiler::begin()
     vsnoop_assert(depth_ == 0, "HostProfiler::begin() while running");
     stack_[0] = Phase::Other;
     depth_ = 1;
-    lastStamp_ = nowNanos();
+    beginNanos_ = nowNanos();
+    lastStamp_ = rawStamp();
 }
 
 void
@@ -40,6 +58,29 @@ HostProfiler::end(std::uint64_t events_processed)
     charge();
     depth_ = 0;
     events_ += events_processed;
+
+    // Convert the interval's raw-tick shares into nanoseconds using
+    // the measured wall interval, assigning the integer-rounding
+    // residue to Other so the per-phase sum still equals the
+    // begin()..end() interval exactly.
+    std::uint64_t interval = nowNanos() - beginNanos_;
+    std::uint64_t raw_total = 0;
+    for (std::uint64_t r : raw_)
+        raw_total += r;
+    std::uint64_t assigned = 0;
+    if (raw_total > 0) {
+        for (std::size_t i = 0; i < raw_.size(); ++i) {
+            auto share = static_cast<std::uint64_t>(
+                static_cast<double>(raw_[i]) /
+                static_cast<double>(raw_total) *
+                static_cast<double>(interval));
+            share = std::min(share, interval - assigned);
+            nanos_[i] += share;
+            assigned += share;
+            raw_[i] = 0;
+        }
+    }
+    nanos_[static_cast<std::size_t>(Phase::Other)] += interval - assigned;
 }
 
 void
@@ -62,8 +103,8 @@ HostProfiler::exit()
 void
 HostProfiler::charge()
 {
-    std::uint64_t now = nowNanos();
-    nanos_[static_cast<std::size_t>(stack_[depth_ - 1])] += now - lastStamp_;
+    std::uint64_t now = rawStamp();
+    raw_[static_cast<std::size_t>(stack_[depth_ - 1])] += now - lastStamp_;
     lastStamp_ = now;
 }
 

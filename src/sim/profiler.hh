@@ -86,6 +86,13 @@ class HostProfiler
     void charge();
 
     std::array<std::uint64_t, kNumProfilePhases> nanos_{};
+    /**
+     * Raw cycle-counter time per phase for the open interval;
+     * converted to nanoseconds (against the wall-clock interval
+     * length) and folded into nanos_ at end().
+     */
+    std::array<std::uint64_t, kNumProfilePhases> raw_{};
+    std::uint64_t beginNanos_ = 0;
     std::uint64_t events_ = 0;
     /** Phase stack; slot 0 is the implicit Other frame. */
     std::array<Phase, 64> stack_{};

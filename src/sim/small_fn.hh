@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Small-buffer move-only callable.
+ *
+ * The simulator's hot paths package work as one-shot callbacks: the
+ * EventQueue wraps every scheduleFn() in a callable, and each memory
+ * access carries a completion callback through the MSHR.
+ * std::function's inline buffer (16 bytes on libstdc++) is too small
+ * for the captures these paths use — a controller pointer plus a
+ * 32-40-byte message — so every miss costs several heap round trips.
+ *
+ * SmallFn is the replacement: a move-only callable with a 56-byte
+ * inline buffer (one cache line total including the operations
+ * pointer) and a heap fallback for oversized or throwing-move
+ * captures.  Dispatch is two loads and an indirect call — no virtual
+ * destructor, no RTTI, no allocation on the hot path.
+ *
+ * Determinism note (see DESIGN.md): SmallFn only changes *where* a
+ * callable's captures live, never when it runs; simulation outputs
+ * are unaffected by the inline/heap placement decision.
+ */
+
+#ifndef VSNOOP_SIM_SMALL_FN_HH_
+#define VSNOOP_SIM_SMALL_FN_HH_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vsnoop
+{
+
+template <typename Signature>
+class SmallFn; // undefined; see the R(Args...) specialization
+
+/**
+ * Move-only callable with inline storage for small captures.
+ */
+template <typename R, typename... Args>
+class SmallFn<R(Args...)>
+{
+  public:
+    /** Inline capture capacity; larger callables go to the heap. */
+    static constexpr std::size_t kInlineBytes = 56;
+
+    SmallFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFn(F &&fn) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(fn));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage_) =
+                new Fn(std::forward<F>(fn));
+            ops_ = &kHeapOps<Fn>;
+        }
+    }
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the held callable; undefined when empty. */
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(storage_, std::forward<Args>(args)...);
+    }
+
+    /** Destroy the held callable, leaving the SmallFn empty. */
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *, Args...);
+        void (*destroy)(void *);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *dst, void *src);
+    };
+
+    template <typename Fn>
+    static constexpr Ops kInlineOps = {
+        [](void *s, Args... args) -> R {
+            return (*std::launder(reinterpret_cast<Fn *>(s)))(
+                std::forward<Args>(args)...);
+        },
+        [](void *s) { std::launder(reinterpret_cast<Fn *>(s))->~Fn(); },
+        [](void *dst, void *src) {
+            Fn *fn = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*fn));
+            fn->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr Ops kHeapOps = {
+        [](void *s, Args... args) -> R {
+            return (**reinterpret_cast<Fn **>(s))(
+                std::forward<Args>(args)...);
+        },
+        [](void *s) { delete *reinterpret_cast<Fn **>(s); },
+        [](void *dst, void *src) {
+            // Heap payloads relocate by pointer copy.
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+    };
+
+    void
+    moveFrom(SmallFn &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_SMALL_FN_HH_

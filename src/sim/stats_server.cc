@@ -69,12 +69,26 @@ writeAll(int fd, const char *data, std::size_t size)
 {
     while (size > 0) {
         ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted by a signal, not an error
         if (n <= 0)
             return false;
         data += n;
         size -= static_cast<std::size_t>(n);
     }
     return true;
+}
+
+/** recv() that retries EINTR (socket timeouts still return -1). */
+ssize_t
+recvRetry(int fd, char *buf, std::size_t size)
+{
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, size, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return n;
+    }
 }
 
 const char *
@@ -210,7 +224,7 @@ StatsServer::handleConnection(int fd)
     char buf[2048];
     while (request.find("\r\n\r\n") == std::string::npos &&
            request.size() < 16 * 1024) {
-        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        ssize_t n = recvRetry(fd, buf, sizeof buf);
         if (n <= 0)
             return;
         request.append(buf, static_cast<std::size_t>(n));
@@ -299,7 +313,7 @@ httpGet(const std::string &addr, const std::string &path,
     std::string response;
     char buf[4096];
     for (;;) {
-        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        ssize_t n = recvRetry(fd, buf, sizeof buf);
         if (n < 0) {
             if (error)
                 *error = "recv " + addr + ": " + std::strerror(errno);

@@ -134,8 +134,7 @@ SimSystem::build(const std::vector<AppProfile> &apps)
     // conservation and reconciliation invariants to be exact.
     critpath_ = std::make_unique<CritPathAccountant>(
         config_.numVms, protocol.tagLookupCycles);
-    critpath_->setCoreVmResolver(
-        [this](CoreId core) { return mapping_.vmAt(core); });
+    critpath_->setCoreVmTable(mapping_.vmAtTable());
     coherence_->setCritPath(critpath_.get());
 
     if (config_.timeseriesInterval > 0) {
@@ -173,6 +172,11 @@ SimSystem::setProfiler(HostProfiler *profiler)
 {
     profiler_ = profiler;
     coherence_->setProfiler(profiler);
+    // Protocol work is attributed at the event loop, one scope per
+    // runUntil() slice: per-message scopes cost two clock reads per
+    // event and dominated the profiler's own overhead.  Workload
+    // generation still opens its nested Generate scope per batch.
+    eq_.setDispatchProfile(profiler, HostProfiler::Phase::Coherence);
     for (auto &driver : drivers_)
         driver->setProfiler(profiler);
 }

@@ -171,7 +171,9 @@ writeChromeTrace(std::ostream &out, const TraceSink &sink,
     // pair keys the in-flight state.  std::map keeps behaviour
     // deterministic; emission order is record order regardless.
     std::map<std::pair<CoreId, std::uint64_t>, PendingTx> pending;
+    Tick lastTick = 0;
     sink.forEach([&](const TraceRecord &r) {
+        lastTick = std::max(lastTick, r.tick);
         auto key = std::make_pair(r.core, r.line);
         switch (r.kind) {
           case TraceEventKind::RequestIssue: {
@@ -241,6 +243,33 @@ writeChromeTrace(std::ostream &out, const TraceSink &sink,
         }
     });
 
+    // Close transactions that never saw a Completion record (still
+    // in flight at run end, or the completion fell out of the ring):
+    // an unterminated "X" span would otherwise silently vanish from
+    // the viewer.  Each is emitted as a slice capped at the last
+    // recorded tick, marked unclosed, and counted in otherData.
+    std::uint64_t unclosed = 0;
+    for (const auto &[key, tx] : pending) {
+        eventHeader(json, lineName(tx.kind, key.second).c_str(), "X",
+                    tx.issued, kCorePid, key.first);
+        json.key("dur").value(lastTick > tx.issued ? lastTick - tx.issued
+                                                   : 0);
+        json.key("args").beginObject();
+        json.key("page_type").value(pageTypeName(tx.pageType));
+        json.key("vm").value(static_cast<std::uint64_t>(tx.vm));
+        if (tx.haveDecision) {
+            json.key("decision").value(decisionName(tx));
+            json.key("reason").value(filterReasonName(tx.reason));
+        }
+        json.key("attempts").value(tx.attempts);
+        json.key("retries").value(tx.retries);
+        json.key("persistent").value(tx.persistent);
+        json.key("unclosed").value(true);
+        json.endObject();
+        json.endObject();
+        unclosed++;
+    }
+
     if (series != nullptr && series->enabled()) {
         metadataEvent(json, "process_name", kSeriesPid, 0,
                       "timeseries");
@@ -270,6 +299,7 @@ writeChromeTrace(std::ostream &out, const TraceSink &sink,
     json.key("records_retained")
         .value(static_cast<std::uint64_t>(sink.size()));
     json.key("records_dropped").value(sink.dropped());
+    json.key("unclosed_transactions").value(unclosed);
     json.endObject();
     json.endObject();
     out << json.str();

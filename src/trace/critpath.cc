@@ -126,7 +126,11 @@ CritPathAccountant::snoopLookupLocal(VmId requester)
 void
 CritPathAccountant::snoopLookupRemote(VmId requester, CoreId target)
 {
-    VmId target_vm = resolver_ ? resolver_(target) : kInvalidVm;
+    VmId target_vm;
+    if (coreVmTable_ != nullptr)
+        target_vm = coreVmTable_[target];
+    else
+        target_vm = resolver_ ? resolver_(target) : kInvalidVm;
     chargeLookup(rowFor(requester), rowFor(target_vm));
 }
 

@@ -175,6 +175,14 @@ class CritPathAccountant
     void setCoreVmResolver(CoreVmResolver resolver);
 
     /**
+     * Faster alternative to setCoreVmResolver: a raw per-core VM
+     * table (e.g. VcpuMapping::vmAtTable()) indexed directly on the
+     * per-snoop path.  Takes precedence over the resolver when set;
+     * the pointer must stay valid for the accountant's lifetime.
+     */
+    void setCoreVmTable(const VmId *table) { coreVmTable_ = table; }
+
+    /**
      * Fold one completed transaction's segment timeline in.
      * Asserts the conservation invariant: the segments must sum to
      * @p end_to_end exactly.
@@ -242,6 +250,7 @@ class CritPathAccountant
     std::uint32_t dim_;
     Tick tagLookupCycles_;
     CoreVmResolver resolver_;
+    const VmId *coreVmTable_ = nullptr;
     LatencyHistogram segments_[kNumCritSegments];
     CritPathCell byReason_[kNumCritSegments][kNumFilterReasons];
     /** [seg * dim_ + row]. */

@@ -8,27 +8,27 @@ namespace vsnoop
 std::optional<PageTableEntry>
 PageTable::lookup(std::uint64_t guest_page) const
 {
-    auto it = entries_.find(guest_page);
-    if (it == entries_.end())
+    const PageTableEntry *entry = entries_.find(guest_page);
+    if (entry == nullptr)
         return std::nullopt;
-    return it->second;
+    return *entry;
 }
 
 void
 PageTable::map(std::uint64_t guest_page, std::uint64_t host_page,
                PageType type)
 {
-    entries_[guest_page] = PageTableEntry{host_page, type};
+    entries_.getOrInsert(guest_page) = PageTableEntry{host_page, type};
     generation_++;
 }
 
 void
 PageTable::setType(std::uint64_t guest_page, PageType type)
 {
-    auto it = entries_.find(guest_page);
-    vsnoop_assert(it != entries_.end(),
+    PageTableEntry *entry = entries_.find(guest_page);
+    vsnoop_assert(entry != nullptr,
                   "setType on unmapped guest page ", guest_page);
-    it->second.type = type;
+    entry->type = type;
     generation_++;
 }
 
@@ -44,8 +44,7 @@ PageTable::forEach(const std::function<void(std::uint64_t,
                                             const PageTableEntry &)> &fn)
     const
 {
-    for (const auto &[guest_page, entry] : entries_)
-        fn(guest_page, entry);
+    entries_.forEach(fn);
 }
 
 } // namespace vsnoop

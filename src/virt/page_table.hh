@@ -15,9 +15,9 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 
 #include "mem/addr.hh"
+#include "sim/flat_table.hh"
 
 namespace vsnoop
 {
@@ -67,7 +67,12 @@ class PageTable
     std::uint64_t generation() const { return generation_; }
 
   private:
-    std::unordered_map<std::uint64_t, PageTableEntry> entries_;
+    /**
+     * Flat open-addressed table: the TLB model does one lookup per
+     * memory access, so the translation walk is a hot path (see
+     * sim/flat_table.hh).
+     */
+    FlatMap<PageTableEntry> entries_;
     std::uint64_t generation_ = 0;
 };
 

@@ -6,7 +6,7 @@ namespace vsnoop
 {
 
 VcpuMapping::VcpuMapping(std::uint32_t num_cores)
-    : vcpuAt_(num_cores, kInvalidVCpu)
+    : vcpuAt_(num_cores, kInvalidVCpu), vmAtCore_(num_cores, kInvalidVm)
 {
     vsnoop_assert(num_cores >= 1, "need at least one core");
 }
@@ -31,6 +31,7 @@ VcpuMapping::place(VCpuId vcpu, CoreId core)
                   "core ", core, " is occupied");
     coreOf_[vcpu] = core;
     vcpuAt_[core] = vcpu;
+    vmAtCore_[core] = vmOf_[vcpu];
     for (auto *l : listeners_)
         l->onVcpuPlaced(vcpu, vmOf_[vcpu], core);
 }
@@ -44,6 +45,7 @@ VcpuMapping::removeFromCore(VCpuId vcpu)
         return;
     coreOf_[vcpu] = kInvalidCore;
     vcpuAt_[core] = kInvalidVCpu;
+    vmAtCore_[core] = kInvalidVm;
     for (auto *l : listeners_)
         l->onVcpuRemoved(vcpu, vmOf_[vcpu], core);
 }
@@ -85,10 +87,8 @@ VcpuMapping::vmOf(VCpuId vcpu) const
 VmId
 VcpuMapping::vmAt(CoreId core) const
 {
-    VCpuId vcpu = vcpuAt(core);
-    if (vcpu == kInvalidVCpu)
-        return kInvalidVm;
-    return vmOf_[vcpu];
+    vsnoop_assert(core < vmAtCore_.size(), "bad core id ", core);
+    return vmAtCore_[core];
 }
 
 CoreSet

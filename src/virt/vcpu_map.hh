@@ -79,6 +79,14 @@ class VcpuMapping
     /** VM currently running on @p core (kInvalidVm if idle). */
     VmId vmAt(CoreId core) const;
 
+    /**
+     * Per-core VM table, indexed by CoreId, kept in sync with
+     * placements.  The pointer is stable for the mapping's lifetime;
+     * hot accounting paths index it directly instead of paying an
+     * indirect vmAt() call per snoop.
+     */
+    const VmId *vmAtTable() const { return vmAtCore_.data(); }
+
     /** Cores currently running any vCPU of @p vm. */
     CoreSet coresRunning(VmId vm) const;
 
@@ -89,6 +97,8 @@ class VcpuMapping
     std::vector<VmId> vmOf_;
     std::vector<CoreId> coreOf_;
     std::vector<VCpuId> vcpuAt_;
+    /** Cached vmOf_[vcpuAt_[core]] (kInvalidVm for idle cores). */
+    std::vector<VmId> vmAtCore_;
     std::vector<VcpuMappingListener *> listeners_;
 };
 

@@ -159,6 +159,98 @@ TEST(EventQueue, ManyOwnedCallbacksAreReaped)
     EXPECT_EQ(hits, 5000u);
 }
 
+TEST(EventQueue, DescheduleThenRescheduleInvalidatesStaleEntry)
+{
+    // The stale calendar-queue entry left by the deschedule carries
+    // an old token; only the re-scheduled entry may fire, exactly
+    // once, at the new time.
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(a, 5);
+    eq.deschedule(a);
+    eq.schedule(a, 15);
+    eq.schedule(b, 10);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST(EventQueue, RescheduleAcrossWheelAndOverflow)
+{
+    // Move an event from the near-future wheel to the far-future
+    // overflow heap and back; each stale entry must be skipped.
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(a, 10);       // wheel
+    eq.schedule(a, 100000);   // overflow
+    eq.schedule(a, 20);       // wheel again
+    eq.schedule(b, 15);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, FarFuturePendingCallbacksArePreserved)
+{
+    // Callbacks scheduled far beyond the wheel window (overflow
+    // heap) must survive arbitrarily many near-term dispatches and
+    // window slides, and still fire in order.
+    EventQueue eq;
+    std::vector<int> log;
+    eq.scheduleFn(500000, [&] { log.push_back(91); });
+    eq.scheduleFn(400000, [&] { log.push_back(90); });
+    int near = 0;
+    for (int i = 0; i < 2000; ++i)
+        eq.scheduleFn(static_cast<Tick>(i * 10), [&] { near++; });
+    std::uint64_t n = eq.runUntil(300000);
+    EXPECT_EQ(n, 2000u);
+    EXPECT_EQ(near, 2000);
+    EXPECT_TRUE(log.empty());
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{90, 91}));
+    EXPECT_EQ(eq.now(), 500000u);
+}
+
+TEST(EventQueue, RunUntilExactTickBoundaryIsInclusive)
+{
+    // An event at exactly the runUntil bound dispatches in that
+    // call, and the clock lands on the bound, not past it.
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.schedule(a, 10);
+    eq.schedule(b, 11);
+    std::uint64_t n = eq.runUntil(10);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_TRUE(b.scheduled());
+    // A second runUntil at the same bound is a no-op.
+    EXPECT_EQ(eq.runUntil(10), 0u);
+    EXPECT_EQ(eq.now(), 10u);
+    eq.runUntil(11);
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SameTickFifoSurvivesWheelWrap)
+{
+    // Two same-tick events scheduled one full wheel span apart in
+    // wall progress: FIFO order among them must still hold after
+    // the bucket index wraps.
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    eq.runUntil(5000); // advance past one wheel span (4096)
+    eq.schedule(a, 5100);
+    eq.schedule(b, 5100);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
 TEST(EventQueueDeath, SchedulingIntoThePastPanics)
 {
     EventQueue eq;

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the open-addressed FlatMap used by the protocol's
+ * hot-path tables (MSHRs, in-flight tokens, the memory ledger).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/flat_table.hh"
+
+namespace vsnoop::test
+{
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42), nullptr);
+
+    auto [slot, inserted] = map.emplace(42, 7);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(map.size(), 1u);
+    ASSERT_NE(map.find(42), nullptr);
+    EXPECT_EQ(*map.find(42), 7);
+
+    // Re-inserting an existing key leaves the value untouched.
+    auto [again, fresh] = map.emplace(42, 99);
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(again, slot);
+    EXPECT_EQ(*map.find(42), 7);
+
+    map.erase(42);
+    EXPECT_EQ(map.find(42), nullptr);
+    EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, GetOrInsertDefaultConstructs)
+{
+    FlatMap<std::uint64_t> map;
+    map.getOrInsert(5) += 10;
+    map.getOrInsert(5) += 10;
+    EXPECT_EQ(map.getOrInsert(5), 20u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, GrowsPastReservationAndKeepsEntries)
+{
+    FlatMap<std::uint64_t> map;
+    map.reserve(8);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map.getOrInsert(k * 0x10001) = k;
+    EXPECT_EQ(map.size(), 1000u);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        ASSERT_NE(map.find(k * 0x10001), nullptr);
+        EXPECT_EQ(*map.find(k * 0x10001), k);
+    }
+}
+
+TEST(FlatMap, TombstoneChurnDoesNotLoseEntries)
+{
+    // The MSHR usage pattern: a small live set with heavy
+    // insert/erase churn.  Erased slots become tombstones; the
+    // periodic in-place rehash must preserve the live entries.
+    FlatMap<std::uint64_t> map;
+    map.reserve(16);
+    for (std::uint64_t round = 0; round < 2000; ++round) {
+        map.getOrInsert(round) = round;
+        ASSERT_NE(map.find(round), nullptr);
+        if (round >= 4)
+            map.erase(round - 4);
+        ASSERT_EQ(map.size(), std::min<std::uint64_t>(round + 1, 4));
+    }
+    for (std::uint64_t k = 1996; k < 2000; ++k)
+        EXPECT_NE(map.find(k), nullptr);
+    EXPECT_EQ(map.find(0), nullptr);
+}
+
+TEST(FlatMap, ForEachVisitsEveryLiveEntryOnce)
+{
+    FlatMap<std::uint64_t> map;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map.getOrInsert(k) = k * 3;
+    for (std::uint64_t k = 0; k < 100; k += 2)
+        map.erase(k);
+
+    std::map<std::uint64_t, std::uint64_t> seen;
+    map.forEach([&](std::uint64_t key, const std::uint64_t &value) {
+        EXPECT_TRUE(seen.emplace(key, value).second);
+    });
+    EXPECT_EQ(seen.size(), 50u);
+    for (const auto &[key, value] : seen) {
+        EXPECT_EQ(key % 2, 1u);
+        EXPECT_EQ(value, key * 3);
+    }
+}
+
+TEST(FlatMap, EraseMissingKeyIsNoOp)
+{
+    FlatMap<int> map;
+    map.getOrInsert(1) = 1;
+    map.erase(2);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_TRUE(map.contains(1));
+    EXPECT_FALSE(map.contains(2));
+}
+
+} // namespace vsnoop::test

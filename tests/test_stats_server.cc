@@ -4,7 +4,12 @@
  * the bundled HTTP client, over a real loopback socket.
  */
 
+#include <csignal>
 #include <string>
+#include <sys/time.h>
+
+#include <chrono>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -82,6 +87,46 @@ TEST(StatsServer, ClientReportsConnectFailure)
         httpGet("127.0.0.1:1", "/x", &error, 500);
     EXPECT_FALSE(body.has_value());
     EXPECT_FALSE(error.empty());
+}
+
+TEST(StatsServer, RequestsSurviveSignalInterruption)
+{
+    // A run under a profiler or with an interval timer gets its
+    // blocking socket calls interrupted with EINTR.  Install a
+    // no-op SIGALRM handler WITHOUT SA_RESTART and fire it every
+    // few milliseconds while a deliberately slow request is in
+    // flight: recv/send on both sides must retry, not fail.
+    StatsServer server;
+    server.route("/slow", [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        HttpResponse resp;
+        resp.body = "slow-ok\n";
+        return resp;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    struct sigaction sa{};
+    struct sigaction old{};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: syscalls return EINTR
+    ASSERT_EQ(sigaction(SIGALRM, &sa, &old), 0);
+    itimerval ticker{};
+    ticker.it_interval.tv_usec = 5000;
+    ticker.it_value.tv_usec = 5000;
+    ASSERT_EQ(setitimer(ITIMER_REAL, &ticker, nullptr), 0);
+
+    std::optional<std::string> body =
+        httpGet(server.address(), "/slow", &error);
+
+    itimerval off{};
+    setitimer(ITIMER_REAL, &off, nullptr);
+    sigaction(SIGALRM, &old, nullptr);
+
+    ASSERT_TRUE(body.has_value()) << error;
+    EXPECT_EQ(*body, "slow-ok\n");
+    server.stop();
 }
 
 TEST(StatsServer, ServesALiveRegistrySnapshot)

@@ -267,6 +267,68 @@ TEST(ChromeTrace, ExportsWellFormedEventArray)
     EXPECT_NE(trace.find("\"reason\""), std::string::npos);
 }
 
+TEST(ChromeTrace, ClosesAndCountsUnmatchedSpans)
+{
+    // Transactions whose Completion never arrived (in flight at run
+    // end, or rotated out of the ring) must still be emitted —
+    // capped at the last recorded tick and marked unclosed — and
+    // counted in otherData.
+    TraceSink sink(16);
+    TraceRecord issue = recordAt(100);
+    issue.core = 3;
+    issue.line = 0x40;
+    sink.record(issue);
+
+    TraceRecord done = recordAt(250);
+    done.core = 1;
+    done.line = 0x80;
+    sink.record(done);
+    TraceRecord completion;
+    completion.kind = TraceEventKind::Completion;
+    completion.tick = 400;
+    completion.core = 1;
+    completion.line = 0x80;
+    sink.record(completion);
+
+    std::ostringstream os;
+    ChromeTraceMeta meta;
+    meta.numCores = 4;
+    meta.numVms = 2;
+    writeChromeTrace(os, sink, nullptr, meta);
+    std::string trace = os.str();
+
+    EXPECT_NE(trace.find("\"unclosed\":true"), std::string::npos);
+    EXPECT_NE(trace.find("\"unclosed_transactions\":1"),
+              std::string::npos);
+    // The unclosed span is capped at the last recorded tick:
+    // 400 - 100 = 300.
+    EXPECT_NE(trace.find("\"dur\":300"), std::string::npos);
+}
+
+TEST(ChromeTrace, NoUnmatchedSpansCountsZero)
+{
+    TraceSink sink(16);
+    TraceRecord issue = recordAt(10);
+    issue.core = 0;
+    issue.line = 0x40;
+    sink.record(issue);
+    TraceRecord completion;
+    completion.kind = TraceEventKind::Completion;
+    completion.tick = 60;
+    completion.core = 0;
+    completion.line = 0x40;
+    sink.record(completion);
+
+    std::ostringstream os;
+    ChromeTraceMeta meta;
+    meta.numCores = 1;
+    meta.numVms = 1;
+    writeChromeTrace(os, sink, nullptr, meta);
+    EXPECT_NE(os.str().find("\"unclosed_transactions\":0"),
+              std::string::npos);
+    EXPECT_EQ(os.str().find("\"unclosed\":true"), std::string::npos);
+}
+
 namespace
 {
 

@@ -28,6 +28,16 @@
  *
  *   vsnoopreport --diff BENCH_baseline.json fresh.jsonl \
  *                --threshold 0.05
+ *
+ * When the baseline is a bench_selfperf output (top-level
+ * "selfperf" key), diff mode instead gates host throughput:
+ * phases are matched by name and only a drop in runs_per_sec or
+ * events_per_sec beyond the threshold regresses — model diffs are
+ * two-sided because any drift is suspect, but wall-clock rates
+ * only matter in one direction:
+ *
+ *   vsnoopreport --diff BENCH_selfperf.json fresh.json \
+ *                --threshold 0.30
  */
 
 #include <algorithm>
@@ -71,6 +81,11 @@ usage()
         "    Records carrying results.interference on both sides\n"
         "    are also gated on the off-diagonal snoop-lookup share\n"
         "    (absolute delta vs F).\n"
+        "    When BASELINE is a bench_selfperf output (top-level\n"
+        "    \"selfperf\" key) the gate switches to host throughput:\n"
+        "    phases are matched by name and only a *drop* in\n"
+        "    runs_per_sec or events_per_sec beyond F fails (faster\n"
+        "    never fails); a phase run-count mismatch always fails.\n"
         "\n"
         "  --help                this text\n";
 }
@@ -229,12 +244,117 @@ interferenceShare(const JsonValue &rec)
     return inter->numberAt("offdiag_snoop_share", -1.0);
 }
 
+// ---------------------------------------------------------------------
+// Self-performance diff (BENCH_selfperf.json schema)
+// ---------------------------------------------------------------------
+
+/**
+ * True when a record is a bench_selfperf output: a single object
+ * with a top-level "selfperf" key.  Model-result records (run JSON,
+ * sweep lines, BENCH_baseline.json) never carry that key.
+ */
+bool
+isSelfperf(const std::vector<JsonValue> &records)
+{
+    return records.size() == 1 && records[0].find("selfperf") != nullptr;
+}
+
+/** Higher is better for all of these (one-sided gate on drops). */
+constexpr const char *kSelfperfRates[] = {
+    "runs_per_sec",
+    "events_per_sec",
+};
+
+/**
+ * Compare two bench_selfperf records phase-by-phase.  Throughput is
+ * host wall-clock, so the gate is one-sided: only a *drop* in
+ * runs/sec or events/sec beyond the threshold regresses — a faster
+ * current build never fails, and absolute counts (runs, sim cycles)
+ * are checked for equality instead, because the matrix is fixed and
+ * a count change means the two files measured different work.
+ */
+int
+runSelfperfDiff(const JsonValue &base, const JsonValue &cur,
+                double threshold)
+{
+    const JsonValue *bphases = base.find("selfperf")->find("phases");
+    const JsonValue *csp = cur.find("selfperf");
+    const JsonValue *cphases = csp ? csp->find("phases") : nullptr;
+    if (bphases == nullptr || !bphases->isArray())
+        die("baseline selfperf record has no phases array");
+    if (cphases == nullptr || !cphases->isArray())
+        die("current file is not a bench_selfperf record "
+            "(no selfperf.phases)");
+
+    std::map<std::string, const JsonValue *> current_by_name;
+    for (const JsonValue &p : cphases->items())
+        current_by_name[p.stringAt("phase", "?")] = &p;
+
+    int regressions = 0;
+    int improvements = 0;
+    for (const JsonValue &bp : bphases->items()) {
+        std::string name = bp.stringAt("phase", "?");
+        auto it = current_by_name.find(name);
+        if (it == current_by_name.end()) {
+            std::cout << "MISSING    phase " << name
+                      << " (in baseline, not in current)\n";
+            regressions++;
+            continue;
+        }
+        const JsonValue &cp = *it->second;
+        // Fixed-matrix sanity: a run-count mismatch means the two
+        // sides measured different work and rates are meaningless.
+        double bruns = bp.numberAt("runs", 0);
+        double cruns = cp.numberAt("runs", 0);
+        if (bruns != cruns) {
+            std::cout << "REGRESSION phase " << name << " runs: "
+                      << human(bruns) << " -> " << human(cruns)
+                      << " (matrix changed; rates not comparable)\n";
+            regressions++;
+            continue;
+        }
+        for (const char *metric : kSelfperfRates) {
+            double b = bp.numberAt(metric, 0);
+            double c = cp.numberAt(metric, 0);
+            if (b <= 0.0)
+                continue;
+            double rel = (c - b) / b;
+            if (rel < -threshold) {
+                std::cout << "REGRESSION phase " << name << " "
+                          << metric << ": " << human(b) << " -> "
+                          << human(c) << " (" << fmt(100.0 * rel, 1)
+                          << "%)\n";
+                regressions++;
+            } else if (rel > threshold) {
+                std::cout << "improved   phase " << name << " "
+                          << metric << ": " << human(b) << " -> "
+                          << human(c) << " (+" << fmt(100.0 * rel, 1)
+                          << "%)\n";
+                improvements++;
+            }
+        }
+    }
+    std::cout << "vsnoopreport: selfperf diff, "
+              << regressions << " regression(s), " << improvements
+              << " improvement(s) at threshold "
+              << fmt(100.0 * threshold, 1) << "%\n";
+    return regressions > 0 ? 1 : 0;
+}
+
 int
 runDiff(const std::string &baseline_path, const std::string &current_path,
         double threshold)
 {
     std::vector<JsonValue> baseline = loadRecords(baseline_path);
     std::vector<JsonValue> current = loadRecords(current_path);
+    // bench_selfperf output gates host throughput, not model
+    // results; it gets its own phase-keyed, one-sided comparison.
+    if (isSelfperf(baseline)) {
+        if (!isSelfperf(current))
+            die("baseline is a bench_selfperf record but '" +
+                current_path + "' is not");
+        return runSelfperfDiff(baseline[0], current[0], threshold);
+    }
     std::map<std::string, const JsonValue *> current_by_key;
     for (const JsonValue &rec : current)
         current_by_key[runKey(rec)] = &rec;
