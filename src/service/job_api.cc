@@ -1,0 +1,185 @@
+#include "service/job_api.hh"
+
+#include <cstdlib>
+
+#include "service/job_queue.hh"
+#include "service/sweep_wire.hh"
+#include "sim/json.hh"
+#include "sim/stats_server.hh"
+
+namespace vsnoop
+{
+
+namespace
+{
+
+HttpResponse
+jsonResponse(int status, const std::string &body)
+{
+    HttpResponse resp;
+    resp.status = status;
+    resp.contentType = "application/json";
+    resp.body = body;
+    return resp;
+}
+
+HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("error").value(message);
+    json.endObject();
+    return jsonResponse(status, json.str() + "\n");
+}
+
+void
+writeStatus(JsonWriter &json, const JobStatus &s)
+{
+    json.beginObject();
+    json.key("job").value(s.id);
+    json.key("state").value(jobStateName(s.state));
+    json.key("cancel_requested").value(s.cancelRequested);
+    json.key("runs_total")
+        .value(static_cast<std::uint64_t>(s.runsTotal));
+    json.key("runs_completed")
+        .value(static_cast<std::uint64_t>(s.runsCompleted));
+    json.key("runs_from_cache")
+        .value(static_cast<std::uint64_t>(s.runsFromCache));
+    json.key("runs_executed")
+        .value(static_cast<std::uint64_t>(s.runsExecuted));
+    json.key("label").value(s.label);
+    json.key("error").value(s.error);
+    json.key("submitted_ms").value(s.submittedMs);
+    json.key("started_ms").value(s.startedMs);
+    json.key("finished_ms").value(s.finishedMs);
+    json.endObject();
+}
+
+/**
+ * Split "/jobs/<id>[/suffix]" after the prefix.  Returns false
+ * unless <id> is a plain decimal number.
+ */
+bool
+parseJobPath(const std::string &path, std::uint64_t *id,
+             std::string *suffix)
+{
+    const std::string prefix = "/jobs/";
+    if (path.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    std::size_t pos = prefix.size();
+    std::size_t end = pos;
+    while (end < path.size() && path[end] >= '0' && path[end] <= '9')
+        ++end;
+    if (end == pos)
+        return false;
+    *id = std::strtoull(path.substr(pos, end - pos).c_str(),
+                        nullptr, 10);
+    *suffix = path.substr(end);
+    return true;
+}
+
+} // namespace
+
+void
+registerJobRoutes(StatsServer &server, JobQueue &queue)
+{
+    server.routePrefix(
+        "POST", "/jobs", [&queue](const HttpRequest &request) {
+            if (request.path != "/jobs")
+                return errorResponse(404, "POST is only accepted at "
+                                          "/jobs");
+            std::string parse_error;
+            std::optional<JsonValue> doc =
+                parseJson(request.body, &parse_error);
+            if (!doc)
+                return errorResponse(400, "invalid JSON: " +
+                                              parse_error);
+            SweepRequest req;
+            if (!parseSweepRequest(*doc, &req, &parse_error))
+                return errorResponse(400, parse_error);
+            std::string submit_error;
+            std::uint64_t id =
+                queue.submit(req.matrix, req.label, &submit_error);
+            if (id == 0)
+                return errorResponse(400, submit_error);
+            JsonWriter json;
+            json.beginObject();
+            json.key("job").value(id);
+            json.key("state").value("queued");
+            json.key("runs_total")
+                .value(static_cast<std::uint64_t>(
+                    req.matrix.runCount()));
+            json.endObject();
+            return jsonResponse(200, json.str() + "\n");
+        });
+
+    server.routePrefix(
+        "GET", "/jobs", [&queue](const HttpRequest &request) {
+            if (request.path == "/jobs") {
+                JsonWriter json;
+                json.beginObject();
+                json.key("jobs").beginArray();
+                for (const JobStatus &s : queue.list())
+                    writeStatus(json, s);
+                json.endArray();
+                json.endObject();
+                return jsonResponse(200, json.str() + "\n");
+            }
+            std::uint64_t id = 0;
+            std::string suffix;
+            if (!parseJobPath(request.path, &id, &suffix))
+                return errorResponse(404, "expected /jobs/<id>");
+            if (suffix.empty()) {
+                std::optional<JobStatus> s = queue.status(id);
+                if (!s)
+                    return errorResponse(404, "no job " +
+                                                  std::to_string(id));
+                JsonWriter json;
+                writeStatus(json, *s);
+                return jsonResponse(200, json.str() + "\n");
+            }
+            if (suffix == "/results") {
+                if (!queue.status(id))
+                    return errorResponse(404, "no job " +
+                                                  std::to_string(id));
+                HttpResponse resp;
+                resp.contentType = "application/x-ndjson";
+                resp.stream = [&queue, id](const ChunkWriter &write) {
+                    queue.streamResults(
+                        id, [&](const std::string &line) {
+                            return write(line + "\n");
+                        });
+                };
+                return resp;
+            }
+            return errorResponse(404, "unknown job resource '" +
+                                          suffix + "'");
+        });
+
+    server.routePrefix(
+        "DELETE", "/jobs", [&queue](const HttpRequest &request) {
+            std::uint64_t id = 0;
+            std::string suffix;
+            if (!parseJobPath(request.path, &id, &suffix) ||
+                !suffix.empty())
+                return errorResponse(404, "expected DELETE "
+                                          "/jobs/<id>");
+            std::optional<JobStatus> before = queue.status(id);
+            if (!before)
+                return errorResponse(404,
+                                     "no job " + std::to_string(id));
+            bool initiated = queue.cancel(id);
+            std::optional<JobStatus> after = queue.status(id);
+            JsonWriter json;
+            json.beginObject();
+            json.key("job").value(id);
+            json.key("cancelled").value(initiated);
+            json.key("state").value(
+                jobStateName(after ? after->state : before->state));
+            json.endObject();
+            return jsonResponse(200, json.str() + "\n");
+        });
+}
+
+} // namespace vsnoop

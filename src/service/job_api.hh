@@ -1,0 +1,43 @@
+/**
+ * @file
+ * HTTP surface of the sweep service.
+ *
+ * Mounts the job API onto a sim/stats_server.hh instance:
+ *
+ *   POST   /jobs               submit a sweep matrix (the
+ *                              service/sweep_wire.hh document);
+ *                              200 {"job":id,...} or 400 {"error"}
+ *   GET    /jobs               every job's status, id order
+ *   GET    /jobs/<id>          one job's status + progress
+ *   GET    /jobs/<id>/results  finished run records as chunked
+ *                              JSONL, streamed in matrix order
+ *                              while the job still runs —
+ *                              byte-identical to offline
+ *                              vsnoopsweep of the same matrix
+ *   DELETE /jobs/<id>          request cancellation
+ *
+ * Unknown ids answer 404; body/route errors answer 400 with an
+ * {"error": ...} JSON body.  Handlers run on the server's worker
+ * threads and only touch the JobQueue's locked API, so they follow
+ * the server's "thread-safe state only" handler contract.
+ */
+
+#ifndef VSNOOP_SERVICE_JOB_API_HH_
+#define VSNOOP_SERVICE_JOB_API_HH_
+
+namespace vsnoop
+{
+
+class StatsServer;
+class JobQueue;
+
+/**
+ * Register the routes above.  @p queue must outlive the server's
+ * serving threads (destroy the server, or shut the queue down,
+ * before the queue).
+ */
+void registerJobRoutes(StatsServer &server, JobQueue &queue);
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SERVICE_JOB_API_HH_

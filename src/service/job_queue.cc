@@ -1,0 +1,367 @@
+#include "service/job_queue.hh"
+
+#include <exception>
+
+#include "service/sweep_wire.hh"
+#include "sim/logging.hh"
+#include "system/heartbeat.hh"
+#include "system/run_result.hh"
+#include "workload/app_profile.hh"
+
+namespace vsnoop
+{
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
+    }
+    vsnoop_panic("unknown JobState ", static_cast<int>(state));
+}
+
+bool
+jobStateTerminal(JobState state)
+{
+    return state == JobState::Done || state == JobState::Failed ||
+           state == JobState::Cancelled;
+}
+
+JobQueue::JobQueue(ResultStore *store, unsigned runJobs)
+    : store_(store), runJobs_(runJobs)
+{
+    dispatcher_ = std::thread(&JobQueue::dispatchLoop, this);
+}
+
+JobQueue::~JobQueue()
+{
+    shutdown();
+}
+
+std::uint64_t
+JobQueue::submit(const SweepMatrix &matrix, const std::string &label,
+                 std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return std::uint64_t(0);
+    };
+    if (matrix.apps.empty() || matrix.policies.empty() ||
+        matrix.relocations.empty() || matrix.roPolicies.empty() ||
+        matrix.seeds.empty())
+        return fail("every sweep axis must be non-empty");
+    if (!matrix.traceDir.empty())
+        return fail("per-run trace capture is not served; submit "
+                    "without a trace directory");
+
+    auto job = std::make_unique<Job>();
+    job->matrix = matrix;
+    job->points = matrix.expand();
+    job->profiles.reserve(job->points.size());
+    job->configs.reserve(job->points.size());
+    job->cacheKeys.reserve(job->points.size());
+    for (const SweepPoint &point : job->points) {
+        const AppProfile *profile = tryFindApp(point.app);
+        if (profile == nullptr)
+            return fail("unknown app '" + point.app + "'");
+        job->profiles.push_back(profile);
+        job->configs.push_back(matrix.configFor(point));
+        job->cacheKeys.push_back(
+            runCacheKey(job->configs.back(), point.app));
+    }
+    job->label = label;
+    job->lines.resize(job->points.size());
+    job->ready.assign(job->points.size(), 0);
+    job->submittedMs =
+        static_cast<std::int64_t>(steadyNowMs());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load())
+        return fail("the service is shutting down");
+    job->id = nextId_++;
+    std::uint64_t id = job->id;
+    fifo_.push_back(id);
+    jobs_.emplace(id, std::move(job));
+    jobsSubmitted_.fetch_add(1);
+    dispatchCv_.notify_one();
+    return id;
+}
+
+JobStatus
+JobQueue::statusLocked(const Job &job) const
+{
+    JobStatus s;
+    s.id = job.id;
+    s.state = job.state;
+    s.cancelRequested = job.cancelRequested.load();
+    s.runsTotal = job.points.size();
+    s.runsCompleted = job.completed;
+    s.runsFromCache = job.fromCache;
+    s.runsExecuted = job.executed;
+    s.label = job.label;
+    s.error = job.error;
+    s.submittedMs = job.submittedMs;
+    s.startedMs = job.startedMs;
+    s.finishedMs = job.finishedMs;
+    return s;
+}
+
+std::optional<JobStatus>
+JobQueue::status(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    return statusLocked(*it->second);
+}
+
+std::vector<JobStatus>
+JobQueue::list() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<JobStatus> out;
+    out.reserve(jobs_.size());
+    for (const auto &[id, job] : jobs_)
+        out.push_back(statusLocked(*job));
+    return out;
+}
+
+bool
+JobQueue::cancel(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    Job &job = *it->second;
+    if (job.state == JobState::Queued) {
+        // The dispatcher skips non-queued jobs when it pops them.
+        job.state = JobState::Cancelled;
+        job.cancelRequested.store(true);
+        job.finishedMs = static_cast<std::int64_t>(steadyNowMs());
+        jobsCancelled_.fetch_add(1);
+        resultCv_.notify_all();
+        return true;
+    }
+    if (job.state == JobState::Running &&
+        !job.cancelRequested.exchange(true))
+        return true;
+    return false;
+}
+
+bool
+JobQueue::streamResults(
+    std::uint64_t id,
+    const std::function<bool(const std::string &line)> &emit)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    Job &job = *it->second; // jobs are never erased; stays valid
+    for (std::size_t i = 0; i < job.ready.size(); ++i) {
+        resultCv_.wait(lock, [&] {
+            return job.ready[i] != 0 || jobStateTerminal(job.state);
+        });
+        if (job.ready[i] == 0)
+            continue; // terminal with a gap (cancelled mid-sweep)
+        // Emit without the lock: the write can block on a slow
+        // client, and simulation workers must keep publishing.
+        std::string line = job.lines[i];
+        lock.unlock();
+        bool keep_going = emit(line);
+        lock.lock();
+        if (!keep_going)
+            return true;
+    }
+    return true;
+}
+
+void
+JobQueue::dispatchLoop()
+{
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            dispatchCv_.wait(lock, [&] {
+                return !fifo_.empty() || stopping_.load();
+            });
+            if (stopping_.load())
+                return; // queued jobs were marked cancelled
+            std::uint64_t id = fifo_.front();
+            fifo_.pop_front();
+            Job &candidate = *jobs_.at(id);
+            if (candidate.state != JobState::Queued)
+                continue; // cancelled while waiting its turn
+            candidate.state = JobState::Running;
+            candidate.startedMs =
+                static_cast<std::int64_t>(steadyNowMs());
+            job = &candidate;
+        }
+        execute(*job);
+    }
+}
+
+void
+JobQueue::execute(Job &job)
+{
+    std::size_t total = job.points.size();
+    auto finish = [&](JobState state, const std::string &error) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.state = state;
+        job.error = error;
+        job.finishedMs = static_cast<std::int64_t>(steadyNowMs());
+        switch (state) {
+          case JobState::Done: jobsCompleted_.fetch_add(1); break;
+          case JobState::Failed: jobsFailed_.fetch_add(1); break;
+          case JobState::Cancelled: jobsCancelled_.fetch_add(1); break;
+          default: vsnoop_panic("non-terminal finish state");
+        }
+        resultCv_.notify_all();
+    };
+
+    try {
+        // Cache pass first: hits complete instantly and never
+        // occupy a worker, so a fully warm matrix finishes without
+        // simulating anything.
+        std::vector<std::size_t> miss_slots;
+        for (std::size_t i = 0; i < total; ++i) {
+            std::optional<std::string> cached =
+                store_ != nullptr
+                    ? store_->get(job.cacheKeys[i])
+                    : std::nullopt;
+            if (cached) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                job.lines[i] = std::move(*cached);
+                job.ready[i] = 1;
+                ++job.completed;
+                ++job.fromCache;
+                runsFromCache_.fetch_add(1);
+                resultCv_.notify_all();
+            } else {
+                miss_slots.push_back(i);
+            }
+        }
+
+        auto cancelled = [&] {
+            return job.cancelRequested.load() || stopping_.load();
+        };
+        runIndexed(
+            miss_slots.size(), runJobs_,
+            [&](std::size_t k) {
+                std::size_t slot = miss_slots[k];
+                RunResult result = collectRun(job.configs[slot],
+                                              *job.profiles[slot]);
+                std::string line = result.toJson();
+                if (store_ != nullptr)
+                    store_->put(job.cacheKeys[slot], line);
+                std::lock_guard<std::mutex> lock(mutex_);
+                job.lines[slot] = std::move(line);
+                job.ready[slot] = 1;
+                ++job.completed;
+                ++job.executed;
+                runsExecuted_.fetch_add(1);
+                resultCv_.notify_all();
+            },
+            cancelled);
+
+        bool complete;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            complete = job.completed == total;
+        }
+        if (!complete && cancelled())
+            finish(JobState::Cancelled, "");
+        else
+            finish(JobState::Done, "");
+    } catch (const std::exception &e) {
+        finish(JobState::Failed, e.what());
+    } catch (...) {
+        finish(JobState::Failed, "unknown execution error");
+    }
+}
+
+void
+JobQueue::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdownDone_)
+            return;
+        shutdownDone_ = true;
+        stopping_.store(true);
+        std::int64_t now = static_cast<std::int64_t>(steadyNowMs());
+        for (std::uint64_t id : fifo_) {
+            Job &job = *jobs_.at(id);
+            if (job.state != JobState::Queued)
+                continue;
+            job.state = JobState::Cancelled;
+            job.cancelRequested.store(true);
+            job.finishedMs = now;
+            jobsCancelled_.fetch_add(1);
+        }
+        fifo_.clear();
+        dispatchCv_.notify_all();
+        resultCv_.notify_all();
+    }
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+void
+JobQueue::registerMetrics(MetricsRegistry &registry)
+{
+    submittedId_ = registry.addCounter("vsnoop_jobs_submitted_total",
+                                       "Sweep jobs accepted");
+    completedId_ = registry.addCounter("vsnoop_jobs_completed_total",
+                                       "Sweep jobs finished (done)");
+    failedId_ = registry.addCounter("vsnoop_jobs_failed_total",
+                                    "Sweep jobs finished (failed)");
+    cancelledId_ = registry.addCounter("vsnoop_jobs_cancelled_total",
+                                       "Sweep jobs cancelled");
+    executedId_ =
+        registry.addCounter("vsnoop_job_runs_executed_total",
+                            "Runs simulated on behalf of jobs");
+    fromCacheId_ =
+        registry.addCounter("vsnoop_job_runs_from_cache_total",
+                            "Runs served from the result store");
+    queuedGaugeId_ = registry.addGauge("vsnoop_jobs_queued",
+                                       "Jobs waiting to run");
+    runningGaugeId_ = registry.addGauge("vsnoop_jobs_running",
+                                        "Jobs currently executing");
+    metricsRegistered_ = true;
+}
+
+void
+JobQueue::stageMetrics(MetricsRegistry &registry) const
+{
+    vsnoop_assert(metricsRegistered_,
+                  "stageMetrics() before registerMetrics()");
+    std::size_t queued = 0, running = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[id, job] : jobs_) {
+            if (job->state == JobState::Queued)
+                ++queued;
+            else if (job->state == JobState::Running)
+                ++running;
+        }
+    }
+    registry.set(submittedId_, static_cast<double>(jobsSubmitted()));
+    registry.set(completedId_, static_cast<double>(jobsCompleted()));
+    registry.set(failedId_, static_cast<double>(jobsFailed()));
+    registry.set(cancelledId_, static_cast<double>(jobsCancelled()));
+    registry.set(executedId_, static_cast<double>(runsExecuted()));
+    registry.set(fromCacheId_, static_cast<double>(runsFromCache()));
+    registry.set(queuedGaugeId_, static_cast<double>(queued));
+    registry.set(runningGaugeId_, static_cast<double>(running));
+}
+
+} // namespace vsnoop

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * On-disk content-addressed cache of finished run records.
+ *
+ * The serving shape the ROADMAP targets — many clients asking
+ * what-if questions against mostly-repeated configurations — only
+ * works if a finished run is never recomputed.  Byte-identical
+ * determinism (PR 1) makes that safe: a run record is a pure
+ * function of its canonical cache key (service/sweep_wire.hh:
+ * full resolved config + app + seed + build provenance), so the
+ * store can hand back cached bytes as if the run had just executed.
+ *
+ * Layout under the store directory:
+ *  - objects/<hash>   one entry: line 1 is the canonical key, the
+ *    rest is the run's JSON record.  Written to a temp file and
+ *    rename()d into place, so readers never observe a torn entry
+ *    and a crash leaves at most an orphaned temp file.
+ *  - index            "<hash> <bytes>" per line, least-recently
+ *    used first; rewritten after every mutation.  Purely an LRU
+ *    ordering hint — open() re-stats every object and adopts
+ *    objects missing from the index, so losing it costs only
+ *    recency information, never entries.
+ *
+ * Eviction is by total object bytes (maxBytes), least-recently-used
+ * first; the entry just inserted is never evicted even when it
+ * alone exceeds the cap.  A get() whose object is missing, torn,
+ * or keyed differently than requested (hash collision or manual
+ * tampering) drops the entry and reports a miss — corruption heals
+ * by recomputation, never by serving wrong bytes.
+ *
+ * All operations are serialized by an internal mutex; the store is
+ * safe to share between HTTP workers and sweep workers.
+ */
+
+#ifndef VSNOOP_SERVICE_RESULT_STORE_HH_
+#define VSNOOP_SERVICE_RESULT_STORE_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/metrics.hh"
+
+namespace vsnoop
+{
+
+class ResultStore
+{
+  public:
+    ResultStore() = default;
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Bind the store to @p dir (created if absent), load the index,
+     * adopt any orphaned objects, and evict down to @p maxBytes.
+     * Returns false with @p error set when the directory cannot be
+     * created or read.  Must be called (successfully) before
+     * get()/put().
+     */
+    bool open(const std::string &dir, std::uint64_t maxBytes,
+              std::string *error = nullptr);
+
+    /**
+     * The record stored under @p key (a canonical runCacheKey()
+     * string, not a hash), or nullopt.  Counts one hit or one miss;
+     * a hit refreshes the entry's recency.
+     */
+    std::optional<std::string> get(const std::string &key);
+
+    /**
+     * Store @p record under @p key; overwrites a hash-colliding
+     * entry, refreshes recency, then evicts LRU entries while over
+     * the byte cap.  Failures to write (disk full, permissions) are
+     * counted and the entry is dropped — the cache stays a cache.
+     */
+    void put(const std::string &key, const std::string &record);
+
+    /** @{ Counters since open(). */
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t insertions() const { return insertions_.load(); }
+    std::uint64_t evictions() const { return evictions_.load(); }
+    /** Entries dropped because their object was missing/torn. */
+    std::uint64_t corruptDropped() const { return corrupt_.load(); }
+    std::uint64_t writeFailures() const
+    {
+        return writeFailures_.load();
+    }
+    /** @} */
+
+    /** @{ Current occupancy. */
+    std::uint64_t entryCount() const;
+    std::uint64_t totalBytes() const;
+    /** @} */
+
+    /**
+     * Register the store's series with @p registry (before its
+     * freeze()).  stageMetrics() then stages current values; the
+     * caller owns publish() (single-publisher seqlock contract).
+     */
+    void registerMetrics(MetricsRegistry &registry);
+    void stageMetrics(MetricsRegistry &registry) const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t bytes = 0;
+        /** Position in lru_ (front = least recently used). */
+        std::list<std::string>::iterator lruPos;
+    };
+
+    std::string objectPath(const std::string &hash) const;
+    void touchLocked(const std::string &hash);
+    void dropLocked(const std::string &hash, bool unlink);
+    void evictLocked(const std::string &keepHash);
+    void rewriteIndexLocked();
+
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::uint64_t maxBytes_ = 0;
+    bool opened_ = false;
+    /** hash -> entry; lru_ holds hashes, least recent first. */
+    std::unordered_map<std::string, Entry> entries_;
+    std::list<std::string> lru_;
+    std::uint64_t bytes_ = 0;
+
+    /** Mutated under mutex_; atomic so accessors can skip it. */
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> insertions_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> corrupt_{0};
+    std::atomic<std::uint64_t> writeFailures_{0};
+
+    /** Metric ids (valid after registerMetrics()). */
+    MetricsRegistry::Id hitsId_ = 0, missesId_ = 0, insertionsId_ = 0,
+                        evictionsId_ = 0, corruptId_ = 0,
+                        writeFailuresId_ = 0, entriesId_ = 0,
+                        bytesId_ = 0;
+    bool metricsRegistered_ = false;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SERVICE_RESULT_STORE_HH_

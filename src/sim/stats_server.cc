@@ -6,7 +6,10 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -16,6 +19,9 @@ namespace vsnoop
 
 namespace
 {
+
+/** Cap on the request-line + header section of a request. */
+constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
 
 /**
  * Split "host:port" and parse both halves.  Only IPv4 dotted quads
@@ -79,6 +85,12 @@ writeAll(int fd, const char *data, std::size_t size)
     return true;
 }
 
+bool
+writeAll(int fd, std::string_view bytes)
+{
+    return writeAll(fd, bytes.data(), bytes.size());
+}
+
 /** recv() that retries EINTR (socket timeouts still return -1). */
 ssize_t
 recvRetry(int fd, char *buf, std::size_t size)
@@ -96,8 +108,13 @@ statusText(int status)
 {
     switch (status) {
       case 200: return "OK";
+      case 400: return "Bad Request";
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 413: return "Payload Too Large";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
       default: return "Error";
     }
 }
@@ -118,6 +135,66 @@ serialize(const HttpResponse &resp)
     return out;
 }
 
+/** Send a buffered (non-streaming) response; best effort. */
+void
+respond(int fd, const HttpResponse &resp)
+{
+    std::string bytes = serialize(resp);
+    writeAll(fd, bytes);
+}
+
+HttpResponse
+textResponse(int status, std::string body)
+{
+    HttpResponse resp;
+    resp.status = status;
+    resp.body = std::move(body);
+    return resp;
+}
+
+bool
+asciiEqualsIgnoreCase(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    return true;
+}
+
+/**
+ * Value of header @p name within the header block (request line
+ * included; it never matches a "name:" pattern).  Empty when
+ * absent.  Leading/trailing blanks of the value are trimmed.
+ */
+std::string
+headerValue(std::string_view headers, std::string_view name)
+{
+    std::size_t pos = 0;
+    while (pos < headers.size()) {
+        std::size_t eol = headers.find("\r\n", pos);
+        if (eol == std::string_view::npos)
+            eol = headers.size();
+        std::string_view line = headers.substr(pos, eol - pos);
+        std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos &&
+            asciiEqualsIgnoreCase(line.substr(0, colon), name)) {
+            std::string_view value = line.substr(colon + 1);
+            while (!value.empty() &&
+                   (value.front() == ' ' || value.front() == '\t'))
+                value.remove_prefix(1);
+            while (!value.empty() &&
+                   (value.back() == ' ' || value.back() == '\r'))
+                value.remove_suffix(1);
+            return std::string(value);
+        }
+        pos = eol + 2;
+    }
+    return "";
+}
+
 } // namespace
 
 StatsServer::~StatsServer()
@@ -133,6 +210,41 @@ StatsServer::route(std::string path, Handler handler)
     vsnoop_assert(!path.empty() && path[0] == '/',
                   "route path must start with '/'");
     routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+void
+StatsServer::routePrefix(std::string method, std::string prefix,
+                         RequestHandler handler)
+{
+    vsnoop_assert(!running(),
+                  "routes must be registered before start()");
+    vsnoop_assert(!prefix.empty() && prefix[0] == '/',
+                  "route prefix must start with '/'");
+    vsnoop_assert(!method.empty(), "route method must be non-empty");
+    prefixRoutes_.push_back(
+        {std::move(method), std::move(prefix), std::move(handler)});
+}
+
+void
+StatsServer::setReadTimeoutMs(int ms)
+{
+    vsnoop_assert(!running(), "set the timeout before start()");
+    vsnoop_assert(ms > 0, "read timeout must be positive");
+    readTimeoutMs_ = ms;
+}
+
+void
+StatsServer::setMaxBodyBytes(std::size_t bytes)
+{
+    vsnoop_assert(!running(), "set the body limit before start()");
+    maxBodyBytes_ = bytes;
+}
+
+void
+StatsServer::setWorkers(unsigned workers)
+{
+    vsnoop_assert(!running(), "set the worker count before start()");
+    numWorkers_ = std::max(1u, workers);
 }
 
 bool
@@ -156,7 +268,7 @@ StatsServer::start(const std::string &addr, std::string *error)
     sin.sin_port = htons(port_);
     inet_pton(AF_INET, host_.c_str(), &sin.sin_addr);
     if (::bind(fd, reinterpret_cast<sockaddr *>(&sin), sizeof sin) < 0 ||
-        ::listen(fd, 16) < 0) {
+        ::listen(fd, 64) < 0) {
         if (error)
             *error = "cannot listen on " + addr + ": " +
                      std::strerror(errno);
@@ -171,7 +283,10 @@ StatsServer::start(const std::string &addr, std::string *error)
 
     listenFd_ = fd;
     stopping_.store(false, std::memory_order_relaxed);
-    thread_ = std::thread(&StatsServer::serveLoop, this);
+    acceptThread_ = std::thread(&StatsServer::acceptLoop, this);
+    workers_.reserve(numWorkers_);
+    for (unsigned w = 0; w < numWorkers_; ++w)
+        workers_.emplace_back(&StatsServer::workerLoop, this);
     return true;
 }
 
@@ -190,14 +305,23 @@ StatsServer::stop()
     // Unblock accept(); on Linux this makes it return with an
     // error, after which the loop observes stopping_ and exits.
     ::shutdown(listenFd_, SHUT_RDWR);
-    if (thread_.joinable())
-        thread_.join();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    queueCv_.notify_all();
+    for (std::thread &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    workers_.clear();
+    // Connections accepted but never picked up by a worker.
+    for (int fd : pending_)
+        ::close(fd);
+    pending_.clear();
     ::close(listenFd_);
     listenFd_ = -1;
 }
 
 void
-StatsServer::serveLoop()
+StatsServer::acceptLoop()
 {
     while (!stopping_.load(std::memory_order_relaxed)) {
         int fd = ::accept(listenFd_, nullptr, nullptr);
@@ -208,6 +332,30 @@ StatsServer::serveLoop()
                 continue;
             break; // listening socket is gone; nothing to serve
         }
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            pending_.push_back(fd);
+        }
+        queueCv_.notify_one();
+    }
+}
+
+void
+StatsServer::workerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [&] {
+                return !pending_.empty() ||
+                       stopping_.load(std::memory_order_relaxed);
+            });
+            if (pending_.empty())
+                return; // stopping, queue drained
+            fd = pending_.front();
+            pending_.pop_front();
+        }
         handleConnection(fd);
         ::close(fd);
     }
@@ -216,65 +364,217 @@ StatsServer::serveLoop()
 void
 StatsServer::handleConnection(int fd)
 {
-    setSocketTimeout(fd, 2000);
+    setSocketTimeout(fd, readTimeoutMs_);
 
-    // Read until the end of the request headers (or a sane cap);
-    // the request body, if any, is ignored.
-    std::string request;
-    char buf[2048];
-    while (request.find("\r\n\r\n") == std::string::npos &&
-           request.size() < 16 * 1024) {
-        ssize_t n = recvRetry(fd, buf, sizeof buf);
-        if (n <= 0)
+    // Read until the end of the request headers (or the cap).  A
+    // client that stalls here is cut off by the socket timeout —
+    // it holds one worker for at most readTimeoutMs_, never the
+    // accept loop.
+    std::string data;
+    char buf[4096];
+    std::size_t header_end;
+    while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
+        if (data.size() >= kMaxHeaderBytes) {
+            respond(fd, textResponse(400, "request headers too large\n"));
             return;
-        request.append(buf, static_cast<std::size_t>(n));
+        }
+        ssize_t n = recvRetry(fd, buf, sizeof buf);
+        if (n == 0 || (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))) {
+            // EOF or stall before a full request: only answer the
+            // stall — an immediate close has nobody listening.
+            if (n < 0 && !data.empty())
+                respond(fd, textResponse(408, "request timed out\n"));
+            return;
+        }
+        if (n < 0)
+            return;
+        data.append(buf, static_cast<std::size_t>(n));
     }
 
     requests_.fetch_add(1, std::memory_order_relaxed);
 
-    // "GET /path HTTP/1.1"
-    std::size_t line_end = request.find("\r\n");
-    std::string line = request.substr(
-        0, line_end == std::string::npos ? request.size() : line_end);
+    // "METHOD /path HTTP/1.1"
+    std::size_t line_end = data.find("\r\n");
+    std::string line = data.substr(0, line_end);
     std::size_t sp1 = line.find(' ');
     std::size_t sp2 =
         sp1 == std::string::npos ? std::string::npos
                                  : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+        respond(fd, textResponse(400, "malformed request line\n"));
+        return;
+    }
 
-    HttpResponse resp;
-    if (sp1 == std::string::npos || sp2 == std::string::npos) {
-        resp = {405, "text/plain; charset=utf-8", "malformed request\n"};
-    } else if (line.substr(0, sp1) != "GET") {
-        resp = {405, "text/plain; charset=utf-8", "GET only\n"};
-    } else {
-        std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-        std::size_t query = path.find('?');
-        if (query != std::string::npos)
-            path.resize(query);
-        const Handler *handler = nullptr;
-        for (const auto &[route, fn] : routes_) {
-            if (route == path) {
-                handler = &fn;
-                break;
-            }
+    HttpRequest request;
+    request.method = line.substr(0, sp1);
+    request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::size_t query = request.path.find('?');
+    if (query != std::string::npos) {
+        request.query = request.path.substr(query + 1);
+        request.path.resize(query);
+    }
+
+    std::string_view headers =
+        std::string_view(data).substr(0, header_end);
+    if (!headerValue(headers, "transfer-encoding").empty()) {
+        respond(fd, textResponse(
+                        400, "chunked request bodies are not supported;"
+                             " send Content-Length\n"));
+        return;
+    }
+    std::size_t content_length = 0;
+    std::string length_str = headerValue(headers, "content-length");
+    if (!length_str.empty()) {
+        char *end = nullptr;
+        unsigned long long parsed =
+            std::strtoull(length_str.c_str(), &end, 10);
+        if (end == length_str.c_str() || *end != '\0') {
+            respond(fd, textResponse(400, "invalid Content-Length\n"));
+            return;
         }
-        if (handler != nullptr) {
-            resp = (*handler)();
+        content_length = static_cast<std::size_t>(parsed);
+    }
+    if (content_length > maxBodyBytes_) {
+        respond(fd, textResponse(
+                        413, "request body exceeds the " +
+                                 std::to_string(maxBodyBytes_) +
+                                 "-byte limit\n"));
+        return;
+    }
+
+    request.body = data.substr(header_end + 4);
+    while (request.body.size() < content_length) {
+        ssize_t n = recvRetry(fd, buf, sizeof buf);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            respond(fd, textResponse(408, "request body timed out\n"));
+            return;
+        }
+        if (n <= 0) {
+            respond(fd, textResponse(400, "truncated request body\n"));
+            return;
+        }
+        request.body.append(buf, static_cast<std::size_t>(n));
+    }
+    request.body.resize(content_length);
+
+    // Dispatch: exact GET routes first, then the longest matching
+    // method + prefix route.  A path known under some other method
+    // answers 405 instead of 404.
+    HttpResponse resp;
+    const Handler *exact = nullptr;
+    bool path_known = false;
+    for (const auto &[route, fn] : routes_) {
+        if (route == request.path) {
+            exact = &fn;
+            path_known = true;
+            break;
+        }
+    }
+    if (exact != nullptr && request.method == "GET") {
+        resp = (*exact)();
+    } else {
+        const PrefixRoute *best = nullptr;
+        for (const PrefixRoute &route : prefixRoutes_) {
+            if (request.path.rfind(route.prefix, 0) != 0)
+                continue;
+            path_known = true;
+            if (route.method != request.method)
+                continue;
+            if (best == nullptr ||
+                route.prefix.size() > best->prefix.size())
+                best = &route;
+        }
+        if (best != nullptr) {
+            resp = best->handler(request);
+        } else if (path_known) {
+            resp = textResponse(405, "method " + request.method +
+                                         " not allowed for " +
+                                         request.path + "\n");
         } else {
             resp.status = 404;
-            resp.body = "unknown path " + path + "; try:\n";
+            resp.body = "unknown path " + request.path + "; try:\n";
             for (const auto &[route, fn] : routes_)
-                resp.body += "  " + route + "\n";
+                resp.body += "  GET " + route + "\n";
+            for (const PrefixRoute &route : prefixRoutes_)
+                resp.body +=
+                    "  " + route.method + " " + route.prefix + "...\n";
         }
     }
 
-    std::string bytes = serialize(resp);
-    writeAll(fd, bytes.data(), bytes.size());
+    if (!resp.stream) {
+        respond(fd, resp);
+        return;
+    }
+
+    // Chunked streaming response: the handler produces pieces on
+    // this thread; each write returns whether the client is still
+    // there so long-running producers can stop early.
+    std::string head = "HTTP/1.1 ";
+    head += std::to_string(resp.status);
+    head += ' ';
+    head += statusText(resp.status);
+    head += "\r\nContent-Type: ";
+    head += resp.contentType;
+    head += "\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    bool alive = writeAll(fd, head);
+    ChunkWriter writer = [fd, &alive](std::string_view piece) {
+        if (!alive || piece.empty())
+            return alive;
+        char size_line[32];
+        std::snprintf(size_line, sizeof size_line, "%zx\r\n",
+                      piece.size());
+        alive = writeAll(fd, size_line) && writeAll(fd, piece) &&
+                writeAll(fd, "\r\n");
+        return alive;
+    };
+    resp.stream(writer);
+    if (alive)
+        writeAll(fd, "0\r\n\r\n");
 }
 
-std::optional<std::string>
-httpGet(const std::string &addr, const std::string &path,
-        std::string *error, int timeoutMs)
+namespace
+{
+
+/** Decode a chunked transfer-encoded payload; false when malformed. */
+bool
+decodeChunked(std::string_view raw, std::string *out)
+{
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t eol = raw.find("\r\n", pos);
+        if (eol == std::string_view::npos)
+            return false;
+        // Chunk extensions (";...") are legal; ignore them.
+        std::string size_str(raw.substr(pos, eol - pos));
+        std::size_t semi = size_str.find(';');
+        if (semi != std::string::npos)
+            size_str.resize(semi);
+        char *end = nullptr;
+        unsigned long long size =
+            std::strtoull(size_str.c_str(), &end, 16);
+        if (end == size_str.c_str())
+            return false;
+        pos = eol + 2;
+        if (size == 0)
+            return true; // trailers, if any, are ignored
+        if (pos + size + 2 > raw.size())
+            return false;
+        out->append(raw.substr(pos, size));
+        pos += size;
+        if (raw.compare(pos, 2, "\r\n") != 0)
+            return false;
+        pos += 2;
+    }
+}
+
+} // namespace
+
+std::optional<HttpReply>
+httpRequest(const std::string &addr, const std::string &method,
+            const std::string &path, const std::string &body,
+            const std::string &contentType, std::string *error,
+            int timeoutMs)
 {
     std::string host;
     std::uint16_t port = 0;
@@ -301,9 +601,16 @@ httpGet(const std::string &addr, const std::string &path,
         return std::nullopt;
     }
 
-    std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + addr +
-                          "\r\nConnection: close\r\n\r\n";
-    if (!writeAll(fd, request.data(), request.size())) {
+    std::string request = method + " " + path + " HTTP/1.1\r\nHost: " +
+                          addr + "\r\nConnection: close\r\n";
+    if (!body.empty()) {
+        request += "Content-Type: " + contentType + "\r\n";
+        request += "Content-Length: " + std::to_string(body.size()) +
+                   "\r\n";
+    }
+    request += "\r\n";
+    request += body;
+    if (!writeAll(fd, request)) {
         if (error)
             *error = "send " + addr + ": " + std::strerror(errno);
         ::close(fd);
@@ -334,18 +641,53 @@ httpGet(const std::string &addr, const std::string &path,
     }
     // "HTTP/1.1 200 OK"
     std::size_t sp = response.find(' ');
-    int status = 0;
-    if (sp != std::string::npos)
-        status = std::atoi(response.c_str() + sp + 1);
-    if (status != 200) {
-        if (error) {
-            std::size_t line_end = response.find("\r\n");
-            *error = "HTTP " + response.substr(0, line_end) + " for " +
-                     path;
-        }
+    if (sp == std::string::npos || sp > header_end) {
+        if (error)
+            *error = "malformed HTTP status line from " + addr;
         return std::nullopt;
     }
-    return response.substr(header_end + 4);
+    HttpReply reply;
+    reply.status = std::atoi(response.c_str() + sp + 1);
+
+    std::string_view headers =
+        std::string_view(response).substr(0, header_end);
+    std::string_view payload =
+        std::string_view(response).substr(header_end + 4);
+    std::string transfer = headerValue(headers, "transfer-encoding");
+    if (asciiEqualsIgnoreCase(transfer, "chunked")) {
+        if (!decodeChunked(payload, &reply.body)) {
+            if (error)
+                *error = "malformed chunked response from " + addr;
+            return std::nullopt;
+        }
+    } else {
+        std::string length_str = headerValue(headers, "content-length");
+        reply.body.assign(payload);
+        if (!length_str.empty()) {
+            std::size_t length = static_cast<std::size_t>(
+                std::strtoull(length_str.c_str(), nullptr, 10));
+            if (reply.body.size() > length)
+                reply.body.resize(length);
+        }
+    }
+    return reply;
+}
+
+std::optional<std::string>
+httpGet(const std::string &addr, const std::string &path,
+        std::string *error, int timeoutMs)
+{
+    std::optional<HttpReply> reply =
+        httpRequest(addr, "GET", path, "", "", error, timeoutMs);
+    if (!reply)
+        return std::nullopt;
+    if (reply->status != 200) {
+        if (error)
+            *error = "HTTP status " + std::to_string(reply->status) +
+                     " for " + path;
+        return std::nullopt;
+    }
+    return std::move(reply->body);
 }
 
 } // namespace vsnoop

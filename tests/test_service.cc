@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Service-layer tests: the content-addressed ResultStore, the
+ * JobQueue state machine (including cache-served resubmission and
+ * cooperative cancellation), and an end-to-end HTTP check that the
+ * job API streams bytes identical to an offline sweep of the same
+ * matrix.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/job_api.hh"
+#include "service/job_queue.hh"
+#include "service/result_store.hh"
+#include "service/sweep_wire.hh"
+#include "sim/json.hh"
+#include "sim/stats_server.hh"
+#include "system/sweep.hh"
+
+namespace vsnoop::test
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A fresh, empty store directory per test. */
+fs::path
+freshDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   ("vsnoop_service_" + name);
+    fs::remove_all(dir);
+    return dir;
+}
+
+/** A fast 2-run matrix (1 app x 2 seeds) for queue tests. */
+SweepMatrix
+tinyMatrix()
+{
+    SweepMatrix m;
+    m.apps = {"ferret"};
+    m.seeds = {1, 2};
+    m.base.mesh.width = 2;
+    m.base.mesh.height = 2;
+    m.base.numVms = 2;
+    m.base.vcpusPerVm = 2;
+    m.base.l2.sizeBytes = 32 * 1024;
+    m.base.accessesPerVcpu = 400;
+    m.base.warmupAccessesPerVcpu = 100;
+    return m;
+}
+
+/** Poll @p queue until @p id reaches a terminal state. */
+JobStatus
+awaitTerminal(JobQueue &queue, std::uint64_t id)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(120);
+    for (;;) {
+        std::optional<JobStatus> status = queue.status(id);
+        EXPECT_TRUE(status.has_value());
+        if (!status || jobStateTerminal(status->state))
+            return status ? *status : JobStatus{};
+        if (std::chrono::steady_clock::now() > deadline) {
+            ADD_FAILURE() << "job " << id << " never finished";
+            return *status;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+// ---------------------------------------------------------------
+// ResultStore
+// ---------------------------------------------------------------
+
+TEST(ResultStore, RoundTripsRecordsAndCountsHitsAndMisses)
+{
+    fs::path dir = freshDir("roundtrip");
+    ResultStore store;
+    std::string error;
+    ASSERT_TRUE(store.open(dir.string(), 1 << 20, &error)) << error;
+
+    EXPECT_FALSE(store.get("no-such-key").has_value());
+    EXPECT_EQ(store.misses(), 1u);
+
+    store.put("key-a", "{\"run\":\"a\"}");
+    store.put("key-b", "{\"run\":\"b\"}");
+    EXPECT_EQ(store.insertions(), 2u);
+    EXPECT_EQ(store.entryCount(), 2u);
+
+    std::optional<std::string> got = store.get("key-a");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "{\"run\":\"a\"}");
+    got = store.get("key-b");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "{\"run\":\"b\"}");
+    EXPECT_EQ(store.hits(), 2u);
+    EXPECT_EQ(store.misses(), 1u);
+    fs::remove_all(dir);
+}
+
+TEST(ResultStore, EvictsLeastRecentlyUsedBeyondTheByteCap)
+{
+    fs::path dir = freshDir("evict");
+    // Each entry is key + '\n' + record + '\n' = 2+1+28+1 = 32
+    // bytes; a 70-byte cap holds two entries, not three.
+    const std::string record(28, 'r');
+    ResultStore store;
+    std::string error;
+    ASSERT_TRUE(store.open(dir.string(), 70, &error)) << error;
+
+    store.put("k1", record);
+    store.put("k2", record);
+    EXPECT_EQ(store.entryCount(), 2u);
+    EXPECT_EQ(store.evictions(), 0u);
+
+    // Touch k1 so k2 becomes least recently used, then overflow.
+    EXPECT_TRUE(store.get("k1").has_value());
+    store.put("k3", record);
+
+    EXPECT_EQ(store.evictions(), 1u);
+    EXPECT_EQ(store.entryCount(), 2u);
+    EXPECT_FALSE(store.get("k2").has_value());
+    EXPECT_TRUE(store.get("k1").has_value());
+    EXPECT_TRUE(store.get("k3").has_value());
+    fs::remove_all(dir);
+}
+
+TEST(ResultStore, NeverEvictsTheEntryJustInserted)
+{
+    fs::path dir = freshDir("keep_newest");
+    ResultStore store;
+    std::string error;
+    ASSERT_TRUE(store.open(dir.string(), 16, &error)) << error;
+
+    // One entry alone exceeds the cap; it must survive anyway.
+    store.put("big", std::string(64, 'x'));
+    EXPECT_EQ(store.entryCount(), 1u);
+    EXPECT_TRUE(store.get("big").has_value());
+    fs::remove_all(dir);
+}
+
+TEST(ResultStore, DropsCorruptedEntriesAndHealsByReinsertion)
+{
+    fs::path dir = freshDir("corrupt");
+    ResultStore store;
+    std::string error;
+    ASSERT_TRUE(store.open(dir.string(), 1 << 20, &error)) << error;
+
+    store.put("key-c", "{\"run\":\"c\"}");
+
+    // Tamper: rewrite the object so its key line no longer matches.
+    fs::path object = dir / "objects" / contentHash("key-c");
+    {
+        std::ofstream os(object, std::ios::binary | std::ios::trunc);
+        os << "some-other-key\n{\"run\":\"evil\"}\n";
+    }
+
+    EXPECT_FALSE(store.get("key-c").has_value());
+    EXPECT_EQ(store.corruptDropped(), 1u);
+    EXPECT_EQ(store.entryCount(), 0u);
+    EXPECT_FALSE(fs::exists(object));
+
+    store.put("key-c", "{\"run\":\"c\"}");
+    std::optional<std::string> got = store.get("key-c");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "{\"run\":\"c\"}");
+    fs::remove_all(dir);
+}
+
+TEST(ResultStore, ReopenRecoversEntriesFromDisk)
+{
+    fs::path dir = freshDir("reopen");
+    std::string error;
+    {
+        ResultStore store;
+        ASSERT_TRUE(store.open(dir.string(), 1 << 20, &error))
+            << error;
+        store.put("key-a", "{\"run\":\"a\"}");
+        store.put("key-b", "{\"run\":\"b\"}");
+    }
+
+    ResultStore reopened;
+    ASSERT_TRUE(reopened.open(dir.string(), 1 << 20, &error)) << error;
+    EXPECT_EQ(reopened.entryCount(), 2u);
+    std::optional<std::string> got = reopened.get("key-a");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "{\"run\":\"a\"}");
+
+    // Even without the index (recency hints), objects are adopted.
+    fs::remove(dir / "index");
+    ResultStore adopted;
+    ASSERT_TRUE(adopted.open(dir.string(), 1 << 20, &error)) << error;
+    EXPECT_EQ(adopted.entryCount(), 2u);
+    got = adopted.get("key-b");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "{\"run\":\"b\"}");
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------
+
+TEST(JobQueue, RunsAJobThroughTheStateMachine)
+{
+    JobQueue queue(nullptr, 2);
+    std::string error;
+    SweepMatrix m = tinyMatrix();
+    std::uint64_t id = queue.submit(m, "smoke", &error);
+    ASSERT_NE(id, 0u) << error;
+
+    JobStatus status = awaitTerminal(queue, id);
+    EXPECT_EQ(status.state, JobState::Done);
+    EXPECT_EQ(status.runsTotal, 2u);
+    EXPECT_EQ(status.runsCompleted, 2u);
+    EXPECT_EQ(status.runsExecuted, 2u);
+    EXPECT_EQ(status.runsFromCache, 0u);
+    EXPECT_EQ(status.label, "smoke");
+    EXPECT_GE(status.submittedMs, 0);
+    EXPECT_GE(status.startedMs, status.submittedMs);
+    EXPECT_GE(status.finishedMs, status.startedMs);
+    EXPECT_EQ(queue.jobsCompleted(), 1u);
+
+    // Streamed lines are the offline sweep's bytes, matrix order.
+    std::vector<std::string> lines;
+    EXPECT_TRUE(queue.streamResults(id, [&](const std::string &line) {
+        lines.push_back(line);
+        return true;
+    }));
+    std::vector<RunResult> offline = runSweep(m, 1);
+    ASSERT_EQ(lines.size(), offline.size());
+    for (std::size_t i = 0; i < lines.size(); ++i)
+        EXPECT_EQ(lines[i], offline[i].toJson()) << "run " << i;
+
+    EXPECT_EQ(queue.list().size(), 1u);
+    EXPECT_FALSE(queue.status(id + 1).has_value());
+    EXPECT_FALSE(queue.streamResults(id + 1,
+                                     [](const std::string &) {
+                                         return true;
+                                     }));
+}
+
+TEST(JobQueue, RejectsInvalidSubmissions)
+{
+    JobQueue queue(nullptr, 1);
+    std::string error;
+
+    SweepMatrix no_apps = tinyMatrix();
+    no_apps.apps.clear();
+    EXPECT_EQ(queue.submit(no_apps, "", &error), 0u);
+    EXPECT_FALSE(error.empty());
+
+    SweepMatrix unknown = tinyMatrix();
+    unknown.apps = {"no-such-app"};
+    error.clear();
+    EXPECT_EQ(queue.submit(unknown, "", &error), 0u);
+    EXPECT_NE(error.find("no-such-app"), std::string::npos) << error;
+
+    EXPECT_EQ(queue.jobsSubmitted(), 0u);
+}
+
+TEST(JobQueue, CancelsQueuedJobsBeforeTheyStart)
+{
+    // One dispatcher, one worker: the second job stays queued while
+    // the first (deliberately long) one runs.
+    JobQueue queue(nullptr, 1);
+    std::string error;
+    SweepMatrix slow = tinyMatrix();
+    slow.seeds = {1, 2, 3, 4};
+    slow.base.accessesPerVcpu = 30000;
+    slow.base.warmupAccessesPerVcpu = 1000;
+    std::uint64_t first = queue.submit(slow, "long", &error);
+    ASSERT_NE(first, 0u) << error;
+    std::uint64_t second = queue.submit(tinyMatrix(), "victim", &error);
+    ASSERT_NE(second, 0u) << error;
+
+    EXPECT_TRUE(queue.cancel(second));
+    std::optional<JobStatus> status = queue.status(second);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, JobState::Cancelled);
+    EXPECT_EQ(status->runsCompleted, 0u);
+    EXPECT_EQ(status->startedMs, -1);
+
+    // Terminal jobs cannot be cancelled again; unknown ids never.
+    EXPECT_FALSE(queue.cancel(second));
+    EXPECT_FALSE(queue.cancel(second + 100));
+
+    EXPECT_TRUE(queue.cancel(first));
+    JobStatus done = awaitTerminal(queue, first);
+    EXPECT_EQ(done.state, JobState::Cancelled);
+    EXPECT_EQ(queue.jobsCancelled(), 2u);
+}
+
+TEST(JobQueue, CancelMidSweepKeepsFinishedRunsAndSkipsTheRest)
+{
+    JobQueue queue(nullptr, 1);
+    std::string error;
+    SweepMatrix m = tinyMatrix();
+    m.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+    m.base.accessesPerVcpu = 30000;
+    m.base.warmupAccessesPerVcpu = 1000;
+    std::uint64_t id = queue.submit(m, "", &error);
+    ASSERT_NE(id, 0u) << error;
+
+    // Wait for the first run to land, then cancel: in-flight runs
+    // finish, undispatched ones never start.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(120);
+    for (;;) {
+        std::optional<JobStatus> status = queue.status(id);
+        ASSERT_TRUE(status.has_value());
+        if (status->runsCompleted >= 1)
+            break;
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "first run never completed";
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(queue.cancel(id));
+
+    JobStatus status = awaitTerminal(queue, id);
+    EXPECT_EQ(status.state, JobState::Cancelled);
+    EXPECT_TRUE(status.cancelRequested);
+    EXPECT_GE(status.runsCompleted, 1u);
+    EXPECT_LT(status.runsCompleted, status.runsTotal);
+
+    // The stream yields exactly the finished runs, then ends.
+    std::size_t streamed = 0;
+    EXPECT_TRUE(queue.streamResults(id, [&](const std::string &) {
+        ++streamed;
+        return true;
+    }));
+    EXPECT_EQ(streamed, status.runsCompleted);
+}
+
+TEST(JobQueue, ResubmissionIsServedEntirelyFromTheCache)
+{
+    fs::path dir = freshDir("queue_cache");
+    ResultStore store;
+    std::string error;
+    ASSERT_TRUE(store.open(dir.string(), 1 << 20, &error)) << error;
+
+    JobQueue queue(&store, 2);
+    SweepMatrix m = tinyMatrix();
+    std::uint64_t first = queue.submit(m, "", &error);
+    ASSERT_NE(first, 0u) << error;
+    JobStatus cold = awaitTerminal(queue, first);
+    EXPECT_EQ(cold.state, JobState::Done);
+    EXPECT_EQ(cold.runsExecuted, 2u);
+    EXPECT_EQ(cold.runsFromCache, 0u);
+
+    std::uint64_t second = queue.submit(m, "", &error);
+    ASSERT_NE(second, 0u) << error;
+    JobStatus warm = awaitTerminal(queue, second);
+    EXPECT_EQ(warm.state, JobState::Done);
+    EXPECT_EQ(warm.runsExecuted, 0u);
+    EXPECT_EQ(warm.runsFromCache, 2u);
+    EXPECT_GE(store.hits(), 2u);
+
+    // Cached bytes are the executed bytes.
+    std::vector<std::string> first_lines, second_lines;
+    queue.streamResults(first, [&](const std::string &line) {
+        first_lines.push_back(line);
+        return true;
+    });
+    queue.streamResults(second, [&](const std::string &line) {
+        second_lines.push_back(line);
+        return true;
+    });
+    EXPECT_EQ(first_lines, second_lines);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// End-to-end over HTTP
+// ---------------------------------------------------------------
+
+TEST(JobApi, StreamedResultsAreByteIdenticalToOfflineSweep)
+{
+    // The ISSUE acceptance criterion: a 16-run matrix submitted
+    // over HTTP streams exactly the bytes offline vsnoopsweep
+    // produces, and resubmission executes zero new runs.
+    SweepMatrix m = tinyMatrix();
+    m.apps = {"ferret", "blackscholes"};
+    m.policies = {PolicyKind::TokenB, PolicyKind::VirtualSnoop};
+    m.relocations = {RelocationMode::Base, RelocationMode::Counter};
+    m.seeds = {1, 2};
+    m.base.accessesPerVcpu = 200;
+    m.base.warmupAccessesPerVcpu = 50;
+    ASSERT_EQ(m.runCount(), 16u);
+
+    std::string offline;
+    for (const RunResult &r : runSweep(m, 4))
+        offline += r.toJson() + "\n";
+
+    fs::path dir = freshDir("e2e");
+    ResultStore store;
+    std::string error;
+    ASSERT_TRUE(store.open(dir.string(), 1 << 20, &error)) << error;
+    JobQueue queue(&store, 2);
+    StatsServer server;
+    registerJobRoutes(server, queue);
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    auto submit_and_fetch = [&](std::uint64_t *cached,
+                                std::uint64_t *executed) {
+        std::optional<HttpReply> reply = httpRequest(
+            server.address(), "POST", "/jobs",
+            writeSweepRequestJson(m, "e2e"), "application/json",
+            &error);
+        EXPECT_TRUE(reply.has_value()) << error;
+        if (!reply)
+            return std::string();
+        EXPECT_EQ(reply->status, 200) << reply->body;
+        std::optional<JsonValue> accepted = parseJson(reply->body);
+        EXPECT_TRUE(accepted.has_value());
+        if (!accepted)
+            return std::string();
+        EXPECT_EQ(accepted->numberAt("runs_total"), 16.0);
+        std::string id = std::to_string(
+            static_cast<std::uint64_t>(accepted->numberAt("job")));
+
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(120);
+        for (;;) {
+            std::optional<std::string> body =
+                httpGet(server.address(), "/jobs/" + id, &error);
+            EXPECT_TRUE(body.has_value()) << error;
+            if (!body)
+                return std::string();
+            std::optional<JsonValue> status = parseJson(*body);
+            EXPECT_TRUE(status.has_value());
+            if (!status)
+                return std::string();
+            std::string state = status->stringAt("state");
+            if (state == "done") {
+                *cached = static_cast<std::uint64_t>(
+                    status->numberAt("runs_from_cache"));
+                *executed = static_cast<std::uint64_t>(
+                    status->numberAt("runs_executed"));
+                break;
+            }
+            EXPECT_NE(state, "failed") << *body;
+            EXPECT_NE(state, "cancelled") << *body;
+            if (std::chrono::steady_clock::now() > deadline) {
+                ADD_FAILURE() << "job " << id << " never finished";
+                return std::string();
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        std::optional<std::string> results = httpGet(
+            server.address(), "/jobs/" + id + "/results", &error);
+        EXPECT_TRUE(results.has_value()) << error;
+        return results ? *results : std::string();
+    };
+
+    std::uint64_t cached = 0, executed = 0;
+    std::string first = submit_and_fetch(&cached, &executed);
+    EXPECT_EQ(first, offline);
+    EXPECT_EQ(executed, 16u);
+    EXPECT_EQ(cached, 0u);
+
+    std::string second = submit_and_fetch(&cached, &executed);
+    EXPECT_EQ(second, offline);
+    EXPECT_EQ(executed, 0u);
+    EXPECT_EQ(cached, 16u);
+
+    queue.shutdown();
+    server.stop();
+    fs::remove_all(dir);
+}
+
+TEST(JobApi, RejectsMalformedSubmissionsWithActionableErrors)
+{
+    JobQueue queue(nullptr, 1);
+    StatsServer server;
+    registerJobRoutes(server, queue);
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    std::optional<HttpReply> reply = httpRequest(
+        server.address(), "POST", "/jobs", "not json",
+        "application/json", &error);
+    ASSERT_TRUE(reply.has_value()) << error;
+    EXPECT_EQ(reply->status, 400);
+    EXPECT_NE(reply->body.find("invalid JSON"), std::string::npos)
+        << reply->body;
+
+    reply = httpRequest(server.address(), "POST", "/jobs",
+                        "{\"apps\":[\"ferret\"],"
+                        "\"config\":{\"acceses\":1}}",
+                        "application/json", &error);
+    ASSERT_TRUE(reply.has_value()) << error;
+    EXPECT_EQ(reply->status, 400);
+    EXPECT_NE(reply->body.find("acceses"), std::string::npos)
+        << reply->body;
+
+    reply = httpRequest(server.address(), "GET", "/jobs/999", "", "",
+                        &error);
+    ASSERT_TRUE(reply.has_value()) << error;
+    EXPECT_EQ(reply->status, 404);
+
+    queue.shutdown();
+    server.stop();
+}
+
+} // namespace
+} // namespace vsnoop::test

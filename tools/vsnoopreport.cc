@@ -97,12 +97,32 @@ die(const std::string &msg)
     std::exit(2);
 }
 
+/**
+ * How to fix a broken --diff input, by role.  Diff runs in CI gates
+ * where "cannot open" alone sends people hunting through scripts,
+ * so the message says which side is broken and how to rebuild it.
+ */
 std::string
-readFile(const std::string &path)
+repairHint(const std::string &role, const std::string &path)
+{
+    if (role == "baseline")
+        return "; regenerate it with 'vsnoopsweep --out " + path +
+               " ...' (or bench_selfperf --out) from a known-good "
+               "checkout, or point --diff at an existing results "
+               "file";
+    if (role == "current")
+        return "; rerun the sweep that produces it, e.g. "
+               "'vsnoopsweep --out " + path + " ...'";
+    return "";
+}
+
+std::string
+readFile(const std::string &path, const std::string &role)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        die("cannot open '" + path + "'");
+        die("cannot open " + (role.empty() ? "" : role + " ") + "'" +
+            path + "'" + repairHint(role, path));
     std::ostringstream buf;
     buf << is.rdbuf();
     return buf.str();
@@ -111,18 +131,23 @@ readFile(const std::string &path)
 /**
  * Load a result file: one JSON object per line (sweep output), or
  * a single JSON object spanning the whole file (vsnoopsim --json).
+ * @p role names the file's part in a diff ("baseline", "current")
+ * so errors identify the broken side; empty outside diff mode.
  */
 std::vector<JsonValue>
-loadRecords(const std::string &path)
+loadRecords(const std::string &path, const std::string &role = "")
 {
-    std::string text = readFile(path);
+    std::string text = readFile(path, role);
     std::string error;
+    std::string described =
+        (role.empty() ? "" : role + " ") + "'" + path + "'";
     // Whole-file parse first: vsnoopsim output is one object and
     // must not be split on embedded newlines.
     if (auto whole = parseJson(text, &error)) {
         if (whole->isObject())
             return {std::move(*whole)};
-        die("'" + path + "' is valid JSON but not an object");
+        die(described + " is valid JSON but not an object" +
+            repairHint(role, path));
     }
     std::vector<JsonValue> records;
     std::istringstream lines(text);
@@ -134,12 +159,14 @@ loadRecords(const std::string &path)
             continue;
         auto rec = parseJson(line, &error);
         if (!rec || !rec->isObject())
-            die("'" + path + "' line " + std::to_string(lineno) +
-                ": " + (rec ? "not a JSON object" : error));
+            die(described + " line " + std::to_string(lineno) + ": " +
+                (rec ? "not a JSON object" : error) +
+                repairHint(role, path));
         records.push_back(std::move(*rec));
     }
     if (records.empty())
-        die("'" + path + "' contains no result records");
+        die(described + " contains no result records" +
+            repairHint(role, path));
     return records;
 }
 
@@ -345,8 +372,10 @@ int
 runDiff(const std::string &baseline_path, const std::string &current_path,
         double threshold)
 {
-    std::vector<JsonValue> baseline = loadRecords(baseline_path);
-    std::vector<JsonValue> current = loadRecords(current_path);
+    std::vector<JsonValue> baseline =
+        loadRecords(baseline_path, "baseline");
+    std::vector<JsonValue> current =
+        loadRecords(current_path, "current");
     // bench_selfperf output gates host throughput, not model
     // results; it gets its own phase-keyed, one-sided comparison.
     if (isSelfperf(baseline)) {

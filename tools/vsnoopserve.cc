@@ -1,0 +1,267 @@
+/**
+ * @file
+ * vsnoopserve — persistent simulation-as-a-service sweep server.
+ *
+ * Serves the job API (service/job_api.hh) over the embedded HTTP
+ * server: clients POST sweep matrices, poll job status, and stream
+ * byte-identical JSONL results; every run is cached on disk in a
+ * content-addressed ResultStore so repeated what-if questions are
+ * answered without simulating.  /metrics exposes queue and cache
+ * counters in Prometheus text format.
+ *
+ *   vsnoopserve --addr 127.0.0.1:8100 --cache-dir vsnoop-cache &
+ *   curl -d @matrix.json http://127.0.0.1:8100/jobs
+ *   curl http://127.0.0.1:8100/jobs/1/results
+ *
+ * SIGINT/SIGTERM drains in-flight runs, cancels queued jobs, and
+ * exits 0 after a summary.  A second signal kills immediately.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/job_api.hh"
+#include "service/job_queue.hh"
+#include "service/result_store.hh"
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/stats_server.hh"
+
+using namespace vsnoop;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "vsnoopserve — persistent sweep server with a job queue and\n"
+        "an on-disk content-addressed result cache\n"
+        "\n"
+        "usage: vsnoopserve [flags]\n"
+        "\n"
+        "  --addr H:P            listen address (default\n"
+        "                        127.0.0.1:8100; port 0 picks a free\n"
+        "                        port — the bound address is printed\n"
+        "                        to stderr)\n"
+        "  --cache-dir DIR       result-store directory, created if\n"
+        "                        absent (default vsnoop-cache)\n"
+        "  --cache-max-mb N      evict least-recently-used cached\n"
+        "                        runs beyond N MB (default 512)\n"
+        "  --jobs N              simulation worker threads per job\n"
+        "                        (default hardware concurrency)\n"
+        "  --http-threads N      HTTP connection workers (default 8)\n"
+        "  --max-body-kb N       reject request bodies over N KB\n"
+        "                        with 413 (default 1024)\n"
+        "  --read-timeout-ms N   drop clients stalled longer than N\n"
+        "                        ms mid-request (default 5000)\n"
+        "  --help                this text\n"
+        "\n"
+        "HTTP API:\n"
+        "  POST   /jobs               submit a sweep matrix (JSON)\n"
+        "  GET    /jobs               list jobs\n"
+        "  GET    /jobs/<id>          status + progress\n"
+        "  GET    /jobs/<id>/results  stream results (JSONL,\n"
+        "                             chunked, matrix order)\n"
+        "  DELETE /jobs/<id>          cancel\n"
+        "  GET    /metrics            Prometheus text format\n"
+        "\n"
+        "Results are byte-identical to offline vsnoopsweep output\n"
+        "for the same matrix; identical submissions are served from\n"
+        "the cache without executing any run.\n"
+        "\n"
+        "Flags accept both \"--flag value\" and \"--flag=value\".\n";
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::cerr << "vsnoopserve: " << msg << "\n";
+    std::exit(2);
+}
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+onSignal(int sig)
+{
+    g_signal = sig;
+    static const char msg[] =
+        "\nvsnoopserve: shutting down; draining in-flight runs"
+        " (repeat the signal to kill)\n";
+    ssize_t rc = write(2, msg, sizeof msg - 1);
+    (void)rc;
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction action;
+    std::memset(&action, 0, sizeof action);
+    action.sa_handler = onSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESETHAND;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+std::uint64_t
+parseUint(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    std::uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        die(flag + " expects a non-negative integer, got '" + value +
+            "'");
+    return parsed;
+}
+
+std::vector<std::string>
+normalizeArgs(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::size_t eq;
+        if (arg.rfind("--", 0) == 0 &&
+            (eq = arg.find('=')) != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(std::move(arg));
+        }
+    }
+    return args;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string addr = "127.0.0.1:8100";
+    std::string cache_dir = "vsnoop-cache";
+    std::uint64_t cache_max_mb = 512;
+    unsigned jobs = 0;
+    unsigned http_threads = 8;
+    std::uint64_t max_body_kb = 1024;
+    std::uint64_t read_timeout_ms = 5000;
+
+    std::vector<std::string> args = normalizeArgs(argc, argv);
+    auto next_value = [&](std::size_t &i, const std::string &flag) {
+        if (i + 1 >= args.size())
+            die(flag + " requires a value");
+        return args[++i];
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        if (flag == "--help" || flag == "-h") {
+            usage();
+            return 0;
+        } else if (flag == "--addr") {
+            addr = next_value(i, flag);
+        } else if (flag == "--cache-dir") {
+            cache_dir = next_value(i, flag);
+        } else if (flag == "--cache-max-mb") {
+            cache_max_mb = parseUint(flag, next_value(i, flag));
+        } else if (flag == "--jobs") {
+            jobs = static_cast<unsigned>(
+                parseUint(flag, next_value(i, flag)));
+        } else if (flag == "--http-threads") {
+            http_threads = static_cast<unsigned>(
+                parseUint(flag, next_value(i, flag)));
+            if (http_threads == 0)
+                die("--http-threads must be at least 1");
+        } else if (flag == "--max-body-kb") {
+            max_body_kb = parseUint(flag, next_value(i, flag));
+            if (max_body_kb == 0)
+                die("--max-body-kb must be at least 1");
+        } else if (flag == "--read-timeout-ms") {
+            read_timeout_ms = parseUint(flag, next_value(i, flag));
+            if (read_timeout_ms == 0)
+                die("--read-timeout-ms must be at least 1");
+        } else {
+            die("unknown flag '" + flag + "' (try --help)");
+        }
+    }
+
+    quietLogging(true);
+
+    ResultStore store;
+    std::string error;
+    if (!store.open(cache_dir, cache_max_mb * 1024 * 1024, &error))
+        die("--cache-dir " + cache_dir + ": " + error);
+
+    MetricsRegistry registry;
+    store.registerMetrics(registry);
+    // Handlers reference the queue, so it must outlive the server's
+    // worker threads: constructed before the server, destroyed
+    // after it on every exit path.
+    JobQueue queue(&store, jobs);
+    queue.registerMetrics(registry);
+    registry.freeze();
+
+    StatsServer server;
+    server.setWorkers(http_threads);
+    server.setMaxBodyBytes(max_body_kb * 1024);
+    server.setReadTimeoutMs(static_cast<int>(read_timeout_ms));
+    server.route("/", [] {
+        HttpResponse resp;
+        resp.body =
+            "vsnoopserve\n"
+            "  POST   /jobs               submit a sweep matrix\n"
+            "  GET    /jobs               list jobs\n"
+            "  GET    /jobs/<id>          status\n"
+            "  GET    /jobs/<id>/results  stream results (JSONL)\n"
+            "  DELETE /jobs/<id>          cancel\n"
+            "  GET    /metrics            Prometheus text format\n";
+        return resp;
+    });
+    server.route("/metrics", [&registry] {
+        HttpResponse resp;
+        resp.contentType = kPrometheusContentType;
+        resp.body = registry.renderPrometheus();
+        return resp;
+    });
+    registerJobRoutes(server, queue);
+
+    if (!server.start(addr, &error))
+        die("--addr " + addr + ": " + error);
+    std::cerr << "vsnoopserve: serving on http://" << server.address()
+              << " (cache " << cache_dir << ", cap " << cache_max_mb
+              << " MB, " << store.entryCount()
+              << " cached runs)\n";
+
+    installSignalHandlers();
+
+    // Main thread doubles as the registry's single publisher.
+    while (g_signal == 0) {
+        store.stageMetrics(registry);
+        queue.stageMetrics(registry);
+        registry.publish();
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+
+    // Queue first so blocked result streams terminate, then the
+    // server so workers drain, then a final summary.
+    queue.shutdown();
+    server.stop();
+    std::cerr << "vsnoopserve: " << queue.jobsSubmitted()
+              << " jobs submitted, " << queue.jobsCompleted()
+              << " done, " << queue.jobsFailed() << " failed, "
+              << queue.jobsCancelled() << " cancelled; "
+              << queue.runsExecuted() << " runs executed, "
+              << queue.runsFromCache() << " from cache ("
+              << store.entryCount() << " cached, "
+              << store.totalBytes() << " bytes)\n";
+    return 0;
+}

@@ -32,6 +32,7 @@
 
 #include <unistd.h>
 
+#include "service/sweep_wire.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
@@ -124,6 +125,15 @@ usage()
         "waits for in-flight runs, writes every completed record\n"
         "plus a summary line marked \"interrupted\", and exits with\n"
         "status 128+signal.  A second signal kills immediately.\n"
+        "\n"
+        "remote execution:\n"
+        "  --submit H:P          do not run locally: POST the matrix\n"
+        "                        to a vsnoopserve instance, poll the\n"
+        "                        job, and write the streamed JSONL\n"
+        "                        results (byte-identical to a local\n"
+        "                        run of the same matrix).  SIGINT\n"
+        "                        cancels the remote job and exits\n"
+        "                        130 after writing completed runs.\n"
         "\n"
         "execution:\n"
         "  --jobs N              worker threads (default hardware\n"
@@ -280,6 +290,119 @@ joinNames(const std::vector<std::string> &names)
     return out;
 }
 
+/** "message" from a JSON error body, or the raw body as fallback. */
+std::string
+serverError(const std::string &body)
+{
+    if (std::optional<JsonValue> doc = parseJson(body)) {
+        std::string message = doc->stringAt("error");
+        if (!message.empty())
+            return message;
+    }
+    std::string trimmed = body;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\n' || trimmed.back() == '\r'))
+        trimmed.pop_back();
+    return trimmed;
+}
+
+/**
+ * --submit mode: POST the matrix to a vsnoopserve instance, poll
+ * the job to a terminal state (cancelling it on SIGINT), then
+ * fetch and write the JSONL results — byte-identical to running
+ * the same matrix locally, since both sides share collectRun().
+ */
+int
+runSubmit(const SweepMatrix &matrix, const std::string &addr,
+          const std::string &out_path)
+{
+    std::string error;
+    std::string body = writeSweepRequestJson(matrix, "vsnoopsweep");
+    std::optional<HttpReply> reply = httpRequest(
+        addr, "POST", "/jobs", body, "application/json", &error);
+    if (!reply)
+        die("--submit " + addr + ": " + error);
+    if (reply->status != 200)
+        die("server rejected the submission: " +
+            serverError(reply->body));
+    std::optional<JsonValue> accepted = parseJson(reply->body);
+    if (!accepted)
+        die("malformed submission response from " + addr);
+    std::uint64_t id =
+        static_cast<std::uint64_t>(accepted->numberAt("job"));
+    std::uint64_t total =
+        static_cast<std::uint64_t>(accepted->numberAt("runs_total"));
+    std::cerr << "vsnoopsweep: submitted job " << id << " (" << total
+              << " runs) to http://" << addr << "\n";
+
+    bool cancel_sent = false;
+    std::string state = "queued";
+    std::uint64_t last_reported = std::uint64_t(-1);
+    for (;;) {
+        if (g_signal != 0 && !cancel_sent) {
+            cancel_sent = true;
+            std::cerr << "vsnoopsweep: cancelling job " << id << "\n";
+            httpRequest(addr, "DELETE",
+                        "/jobs/" + std::to_string(id), "", "",
+                        &error);
+        }
+        std::optional<HttpReply> poll = httpRequest(
+            addr, "GET", "/jobs/" + std::to_string(id), "", "",
+            &error);
+        if (!poll)
+            die("lost the server while polling job " +
+                std::to_string(id) + ": " + error);
+        if (poll->status != 200)
+            die("polling job " + std::to_string(id) + ": " +
+                serverError(poll->body));
+        std::optional<JsonValue> status = parseJson(poll->body);
+        if (!status)
+            die("malformed status response from " + addr);
+        state = status->stringAt("state");
+        std::uint64_t completed = static_cast<std::uint64_t>(
+            status->numberAt("runs_completed"));
+        std::uint64_t cached = static_cast<std::uint64_t>(
+            status->numberAt("runs_from_cache"));
+        if (completed != last_reported) {
+            last_reported = completed;
+            std::cerr << "vsnoopsweep: job " << id << ": " << state
+                      << " " << completed << "/" << total;
+            if (cached > 0)
+                std::cerr << " (" << cached << " cached)";
+            std::cerr << "\n";
+        }
+        if (state == "done" || state == "failed" ||
+            state == "cancelled")
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+
+    if (state == "failed")
+        die("job " + std::to_string(id) + " failed on the server");
+
+    std::optional<HttpReply> results = httpRequest(
+        addr, "GET", "/jobs/" + std::to_string(id) + "/results", "",
+        "", &error);
+    if (!results || results->status != 200)
+        die("fetching results for job " + std::to_string(id) + ": " +
+            (results ? serverError(results->body) : error));
+
+    std::ofstream file;
+    if (!out_path.empty()) {
+        file.open(out_path);
+        if (!file)
+            die("cannot open --out file '" + out_path + "'");
+    }
+    std::ostream &out = out_path.empty() ? std::cout : file;
+    out << results->body;
+    out.flush();
+
+    std::cerr << "vsnoopsweep: job " << id << " " << state << "\n";
+    if (state == "cancelled")
+        return cancel_sent ? 130 : 1;
+    return 0;
+}
+
 } // namespace
 
 int
@@ -293,6 +416,7 @@ main(int argc, char **argv)
     bool want_profile = false;
     unsigned jobs = 0;
     std::string out_path;
+    std::string submit_addr;
     std::string stats_addr;
     std::uint64_t heartbeat_secs = 0;
     std::uint64_t stall_secs = 30;
@@ -397,6 +521,8 @@ main(int argc, char **argv)
             heartbeat_secs = parseUint(flag, next_value(i, flag));
         } else if (flag == "--stall-timeout") {
             stall_secs = parseUint(flag, next_value(i, flag));
+        } else if (flag == "--submit") {
+            submit_addr = next_value(i, flag);
         } else if (flag == "--jobs") {
             jobs = static_cast<unsigned>(
                 parseUint(flag, next_value(i, flag)));
@@ -429,6 +555,16 @@ main(int argc, char **argv)
         }
         std::cerr << "vsnoopsweep: " << points.size() << " runs\n";
         return 0;
+    }
+
+    if (!submit_addr.empty()) {
+        if (!matrix.traceDir.empty())
+            die("--submit cannot capture traces; drop --trace-dir");
+        if (want_profile || !stats_addr.empty())
+            die("--submit runs remotely; drop --profile and "
+                "--stats-addr");
+        installSignalHandlers();
+        return runSubmit(matrix, submit_addr, out_path);
     }
 
     quietLogging(true);

@@ -10,6 +10,12 @@
  *   vsnoopsweep --apps coherence --stats-addr 127.0.0.1:9090 ... &
  *   vsnooptop --addr 127.0.0.1:9090
  *
+ * Pointed at a vsnoopserve endpoint (which has no /progress), it
+ * falls back to the job API and renders the job queue instead: one
+ * row per job with state, run progress, and cache counts.  A server
+ * is never "done", so that mode only exits when the endpoint goes
+ * away.
+ *
  * The dashboard is a pure observer: it shares nothing with the
  * simulator but the HTTP socket.  It exits 0 when the watched
  * process finishes (every run done, or the endpoint goes away after
@@ -48,6 +54,9 @@ usage()
         "vsnoopsim or vsnoopsweep and redraws a live dashboard:\n"
         "sweep progress, per-run progress bars, filter-rate and\n"
         "traffic sparklines, and no-progress watchdog state.\n"
+        "Pointed at a vsnoopserve address it renders the job queue\n"
+        "instead: one row per job with state, run progress, and\n"
+        "cache counts.\n"
         "\n"
         "flags:\n"
         "  --addr HOST:PORT      endpoint to poll (required; the\n"
@@ -201,6 +210,102 @@ struct DashboardState
     }
 };
 
+/** Rows shown in the job-queue frame before older jobs are elided. */
+constexpr std::size_t kMaxJobRows = 20;
+
+/**
+ * The vsnoopserve fallback: render the job queue when the endpoint
+ * serves /jobs instead of /progress.  Returns nullopt when /jobs is
+ * also missing or unparseable.
+ */
+std::optional<std::string>
+renderJobsFrame(const std::string &addr)
+{
+    std::string error;
+    std::optional<std::string> jobs_body =
+        httpGet(addr, "/jobs", &error);
+    if (!jobs_body)
+        return std::nullopt;
+    std::optional<JsonValue> doc = parseJson(*jobs_body);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    const JsonValue *jobs = doc->find("jobs");
+    if (!jobs || !jobs->isArray())
+        return std::nullopt;
+
+    std::size_t queued = 0, running = 0, done = 0, failed = 0,
+                cancelled = 0;
+    for (const JsonValue &job : jobs->items()) {
+        std::string job_state = job.stringAt("state");
+        if (job_state == "queued")
+            ++queued;
+        else if (job_state == "running")
+            ++running;
+        else if (job_state == "done")
+            ++done;
+        else if (job_state == "failed")
+            ++failed;
+        else if (job_state == "cancelled")
+            ++cancelled;
+    }
+
+    std::string frame;
+    frame += kBold;
+    frame += "vsnooptop";
+    frame += kReset;
+    frame += "  ";
+    frame += addr;
+    frame += "  (vsnoopserve job queue)\n\n";
+
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "jobs    %zu total: %zu queued, %zu running, "
+                  "%zu done, %zu failed, %zu cancelled\n\n",
+                  jobs->items().size(), queued, running, done,
+                  failed, cancelled);
+    frame += line;
+
+    // Newest jobs are the interesting ones; elide the old tail.
+    std::size_t total = jobs->items().size();
+    std::size_t first = total > kMaxJobRows ? total - kMaxJobRows : 0;
+    if (first > 0) {
+        std::snprintf(line, sizeof line, "%s... %zu older job(s)%s\n",
+                      kDim, first, kReset);
+        frame += line;
+    }
+    for (std::size_t i = first; i < total; ++i) {
+        const JsonValue &job = jobs->items()[i];
+        std::string job_state = job.stringAt("state");
+        double runs_total = job.numberAt("runs_total");
+        double runs_done = job.numberAt("runs_completed");
+        double cached = job.numberAt("runs_from_cache");
+        const char *color = kDim;
+        if (job_state == "running")
+            color = kYellow;
+        else if (job_state == "done")
+            color = kGreen;
+        else if (job_state == "failed" || job_state == "cancelled")
+            color = kRed;
+        std::string label = job.stringAt("label");
+        std::snprintf(
+            line, sizeof line,
+            "%s#%-5.0f %-9s %s %4.0f/%-4.0f runs, %.0f cached%s"
+            "  %s\n",
+            color, job.numberAt("job"), job_state.c_str(),
+            bar(runs_total > 0 ? runs_done / runs_total : 0.0, 20)
+                .c_str(),
+            runs_done, runs_total, cached, kReset, label.c_str());
+        frame += line;
+        std::string job_error = job.stringAt("error");
+        if (!job_error.empty()) {
+            std::snprintf(line, sizeof line, "      %s%s%s\n", kRed,
+                          job_error.c_str(), kReset);
+            frame += line;
+        }
+    }
+    return frame;
+}
+
 /** One rendered frame, or nullopt when a fetch/parse failed. */
 std::optional<std::string>
 renderFrame(const std::string &addr, DashboardState &state,
@@ -210,7 +315,7 @@ renderFrame(const std::string &addr, DashboardState &state,
     std::optional<std::string> progress_body =
         httpGet(addr, "/progress", &error);
     if (!progress_body)
-        return std::nullopt;
+        return renderJobsFrame(addr);
     std::optional<std::string> runs_body =
         httpGet(addr, "/runs", &error);
     if (!runs_body)
@@ -393,7 +498,7 @@ main(int argc, char **argv)
         if (!frame) {
             if (!connected) {
                 std::cerr << "vsnooptop: cannot fetch http://" << addr
-                          << "/progress\n";
+                          << "/progress or /jobs\n";
                 return 1;
             }
             // The watched process exited between polls: a normal
