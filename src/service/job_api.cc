@@ -50,6 +50,7 @@ writeStatus(JsonWriter &json, const JobStatus &s)
         .value(static_cast<std::uint64_t>(s.runsExecuted));
     json.key("label").value(s.label);
     json.key("error").value(s.error);
+    json.key("request_id").value(s.requestId);
     json.key("submitted_ms").value(s.submittedMs);
     json.key("started_ms").value(s.startedMs);
     json.key("finished_ms").value(s.finishedMs);
@@ -100,7 +101,8 @@ registerJobRoutes(StatsServer &server, JobQueue &queue)
                 return errorResponse(400, parse_error);
             std::string submit_error;
             std::uint64_t id =
-                queue.submit(req.matrix, req.label, &submit_error);
+                queue.submit(req.matrix, req.label, &submit_error,
+                             request.requestId);
             if (id == 0)
                 return errorResponse(400, submit_error);
             JsonWriter json;
@@ -110,6 +112,7 @@ registerJobRoutes(StatsServer &server, JobQueue &queue)
             json.key("runs_total")
                 .value(static_cast<std::uint64_t>(
                     req.matrix.runCount()));
+            json.key("request_id").value(request.requestId);
             json.endObject();
             return jsonResponse(200, json.str() + "\n");
         });

@@ -4,6 +4,7 @@
 
 #include "service/sweep_wire.hh"
 #include "sim/logging.hh"
+#include "sim/slog.hh"
 #include "system/heartbeat.hh"
 #include "system/run_result.hh"
 #include "workload/app_profile.hh"
@@ -31,8 +32,9 @@ jobStateTerminal(JobState state)
            state == JobState::Cancelled;
 }
 
-JobQueue::JobQueue(ResultStore *store, unsigned runJobs)
-    : store_(store), runJobs_(runJobs)
+JobQueue::JobQueue(ResultStore *store, unsigned runJobs,
+                   JobTraceRecorder *trace)
+    : store_(store), runJobs_(runJobs), trace_(trace)
 {
     dispatcher_ = std::thread(&JobQueue::dispatchLoop, this);
 }
@@ -44,7 +46,7 @@ JobQueue::~JobQueue()
 
 std::uint64_t
 JobQueue::submit(const SweepMatrix &matrix, const std::string &label,
-                 std::string *error)
+                 std::string *error, const std::string &requestId)
 {
     auto fail = [&](const std::string &msg) {
         if (error)
@@ -75,20 +77,30 @@ JobQueue::submit(const SweepMatrix &matrix, const std::string &label,
             runCacheKey(job->configs.back(), point.app));
     }
     job->label = label;
+    job->requestId = requestId;
     job->lines.resize(job->points.size());
     job->ready.assign(job->points.size(), 0);
     job->submittedMs =
         static_cast<std::int64_t>(steadyNowMs());
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_.load())
-        return fail("the service is shutting down");
-    job->id = nextId_++;
-    std::uint64_t id = job->id;
-    fifo_.push_back(id);
-    jobs_.emplace(id, std::move(job));
-    jobsSubmitted_.fetch_add(1);
-    dispatchCv_.notify_one();
+    std::size_t runs = job->points.size();
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_.load())
+            return fail("the service is shutting down");
+        job->id = nextId_++;
+        id = job->id;
+        fifo_.push_back(id);
+        jobs_.emplace(id, std::move(job));
+        jobsSubmitted_.fetch_add(1);
+        dispatchCv_.notify_one();
+    }
+    slog().log(LogLevel::Info, "job_submitted",
+               {LogField("job", id),
+                LogField("runs", static_cast<std::uint64_t>(runs)),
+                LogField("label", label),
+                LogField("request_id", requestId)});
     return id;
 }
 
@@ -105,6 +117,7 @@ JobQueue::statusLocked(const Job &job) const
     s.runsExecuted = job.executed;
     s.label = job.label;
     s.error = job.error;
+    s.requestId = job.requestId;
     s.submittedMs = job.submittedMs;
     s.startedMs = job.startedMs;
     s.finishedMs = job.finishedMs;
@@ -132,6 +145,17 @@ JobQueue::list() const
     return out;
 }
 
+void
+JobQueue::leaveQueuedLocked(const Job &job, std::int64_t endMs)
+{
+    std::int64_t wait = endMs - job.submittedMs;
+    queueWaitHist_.sample(
+        static_cast<std::uint64_t>(wait < 0 ? 0 : wait));
+    if (trace_ != nullptr)
+        trace_->record(JobSpan{job.id, "queue-wait", job.submittedMs,
+                               endMs, job.requestId, -1, ""});
+}
+
 bool
 JobQueue::cancel(std::uint64_t id)
 {
@@ -146,12 +170,23 @@ JobQueue::cancel(std::uint64_t id)
         job.cancelRequested.store(true);
         job.finishedMs = static_cast<std::int64_t>(steadyNowMs());
         jobsCancelled_.fetch_add(1);
+        leaveQueuedLocked(job, job.finishedMs);
+        if (trace_ != nullptr)
+            trace_->record(JobInstant{job.id, "cancel",
+                                      job.finishedMs, job.requestId,
+                                      -1});
         resultCv_.notify_all();
         return true;
     }
     if (job.state == JobState::Running &&
-        !job.cancelRequested.exchange(true))
+        !job.cancelRequested.exchange(true)) {
+        if (trace_ != nullptr)
+            trace_->record(JobInstant{
+                job.id, "cancel",
+                static_cast<std::int64_t>(steadyNowMs()),
+                job.requestId, -1});
         return true;
+    }
     return false;
 }
 
@@ -165,6 +200,21 @@ JobQueue::streamResults(
     if (it == jobs_.end())
         return false;
     Job &job = *it->second; // jobs are never erased; stays valid
+    struct StreamSpan
+    {
+        JobTraceRecorder *trace;
+        JobSpan span;
+        ~StreamSpan()
+        {
+            if (trace == nullptr)
+                return;
+            span.endMs = static_cast<std::int64_t>(steadyNowMs());
+            trace->record(std::move(span));
+        }
+    } streamSpan{trace_,
+                 JobSpan{job.id, "stream",
+                         static_cast<std::int64_t>(steadyNowMs()), 0,
+                         job.requestId, -1, ""}};
     for (std::size_t i = 0; i < job.ready.size(); ++i) {
         resultCv_.wait(lock, [&] {
             return job.ready[i] != 0 || jobStateTerminal(job.state);
@@ -203,6 +253,7 @@ JobQueue::dispatchLoop()
             candidate.state = JobState::Running;
             candidate.startedMs =
                 static_cast<std::int64_t>(steadyNowMs());
+            leaveQueuedLocked(candidate, candidate.startedMs);
             job = &candidate;
         }
         execute(*job);
@@ -214,17 +265,40 @@ JobQueue::execute(Job &job)
 {
     std::size_t total = job.points.size();
     auto finish = [&](JobState state, const std::string &error) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        job.state = state;
-        job.error = error;
-        job.finishedMs = static_cast<std::int64_t>(steadyNowMs());
-        switch (state) {
-          case JobState::Done: jobsCompleted_.fetch_add(1); break;
-          case JobState::Failed: jobsFailed_.fetch_add(1); break;
-          case JobState::Cancelled: jobsCancelled_.fetch_add(1); break;
-          default: vsnoop_panic("non-terminal finish state");
+        std::size_t completed;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job.state = state;
+            job.error = error;
+            job.finishedMs = static_cast<std::int64_t>(steadyNowMs());
+            completed = job.completed;
+            switch (state) {
+              case JobState::Done: jobsCompleted_.fetch_add(1); break;
+              case JobState::Failed: jobsFailed_.fetch_add(1); break;
+              case JobState::Cancelled:
+                jobsCancelled_.fetch_add(1);
+                break;
+              default: vsnoop_panic("non-terminal finish state");
+            }
+            resultCv_.notify_all();
         }
-        resultCv_.notify_all();
+        // The execute span starts exactly where queue-wait ended,
+        // so the two tile [submitted, finished]: per-job spans sum
+        // to the job's submit-to-done latency by construction.
+        if (trace_ != nullptr)
+            trace_->record(JobSpan{job.id, "execute", job.startedMs,
+                                   job.finishedMs, job.requestId, -1,
+                                   jobStateName(state)});
+        slog().log(
+            state == JobState::Failed ? LogLevel::Warn
+                                      : LogLevel::Info,
+            "job_finished",
+            {LogField("job", job.id),
+             LogField("state", jobStateName(state)),
+             LogField("runs_completed",
+                      static_cast<std::uint64_t>(completed)),
+             LogField("error", error),
+             LogField("request_id", job.requestId)});
     };
 
     try {
@@ -237,6 +311,11 @@ JobQueue::execute(Job &job)
                 store_ != nullptr
                     ? store_->get(job.cacheKeys[i])
                     : std::nullopt;
+            if (trace_ != nullptr)
+                trace_->record(JobInstant{
+                    job.id, cached ? "cache-hit" : "cache-miss",
+                    static_cast<std::int64_t>(steadyNowMs()),
+                    job.requestId, static_cast<std::int64_t>(i)});
             if (cached) {
                 std::lock_guard<std::mutex> lock(mutex_);
                 job.lines[i] = std::move(*cached);
@@ -257,12 +336,23 @@ JobQueue::execute(Job &job)
             miss_slots.size(), runJobs_,
             [&](std::size_t k) {
                 std::size_t slot = miss_slots[k];
+                std::int64_t begin =
+                    static_cast<std::int64_t>(steadyNowMs());
                 RunResult result = collectRun(job.configs[slot],
                                               *job.profiles[slot]);
                 std::string line = result.toJson();
                 if (store_ != nullptr)
                     store_->put(job.cacheKeys[slot], line);
+                std::int64_t end =
+                    static_cast<std::int64_t>(steadyNowMs());
+                if (trace_ != nullptr)
+                    trace_->record(JobSpan{
+                        job.id, "run", begin, end, job.requestId,
+                        static_cast<std::int64_t>(slot),
+                        job.points[slot].app});
                 std::lock_guard<std::mutex> lock(mutex_);
+                runExecuteHist_.sample(
+                    static_cast<std::uint64_t>(end - begin));
                 job.lines[slot] = std::move(line);
                 job.ready[slot] = 1;
                 ++job.completed;
@@ -306,6 +396,7 @@ JobQueue::shutdown()
             job.cancelRequested.store(true);
             job.finishedMs = now;
             jobsCancelled_.fetch_add(1);
+            leaveQueuedLocked(job, now);
         }
         fifo_.clear();
         dispatchCv_.notify_all();
@@ -336,6 +427,19 @@ JobQueue::registerMetrics(MetricsRegistry &registry)
                                        "Jobs waiting to run");
     runningGaugeId_ = registry.addGauge("vsnoop_jobs_running",
                                         "Jobs currently executing");
+    // Sampled whenever a job leaves Queued, so once every job is
+    // terminal this histogram's _count equals
+    // vsnoop_jobs_submitted_total.
+    queueWaitHistId_ = registry.addHistogram(
+        "vsnoop_job_queue_wait_ms",
+        "Milliseconds jobs spent queued before dispatch "
+        "(or cancellation)");
+    // One sample per simulated run; _count equals
+    // vsnoop_job_runs_executed_total.
+    runExecuteHistId_ = registry.addHistogram(
+        "vsnoop_job_run_execute_ms",
+        "Milliseconds per executed run, simulation plus store "
+        "insert");
     metricsRegistered_ = true;
 }
 
@@ -345,6 +449,7 @@ JobQueue::stageMetrics(MetricsRegistry &registry) const
     vsnoop_assert(metricsRegistered_,
                   "stageMetrics() before registerMetrics()");
     std::size_t queued = 0, running = 0;
+    LatencyHistogram queueWait, runExecute;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (const auto &[id, job] : jobs_) {
@@ -353,6 +458,8 @@ JobQueue::stageMetrics(MetricsRegistry &registry) const
             else if (job->state == JobState::Running)
                 ++running;
         }
+        queueWait = queueWaitHist_;
+        runExecute = runExecuteHist_;
     }
     registry.set(submittedId_, static_cast<double>(jobsSubmitted()));
     registry.set(completedId_, static_cast<double>(jobsCompleted()));
@@ -362,6 +469,8 @@ JobQueue::stageMetrics(MetricsRegistry &registry) const
     registry.set(fromCacheId_, static_cast<double>(runsFromCache()));
     registry.set(queuedGaugeId_, static_cast<double>(queued));
     registry.set(runningGaugeId_, static_cast<double>(running));
+    registry.setHistogram(queueWaitHistId_, queueWait);
+    registry.setHistogram(runExecuteHistId_, runExecute);
 }
 
 } // namespace vsnoop

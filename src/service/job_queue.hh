@@ -25,6 +25,19 @@
  * kept, undispatched runs never start.  Jobs are retained after
  * completion so status and results stay queryable for the server's
  * lifetime.
+ *
+ * Observability: each job carries the request id of the HTTP
+ * request that submitted it (surfaced in JobStatus and every span).
+ * With a JobTraceRecorder attached, the queue records the
+ * lifecycle as spans — queue-wait [submitted, started] and execute
+ * [started, finished] tile the job's wall time exactly (a job
+ * cancelled while queued gets queue-wait [submitted, finished]
+ * alone), runs and cache hits/misses are recorded per slot, and
+ * streamResults() brackets each consumer.  registerMetrics() also
+ * exports queue-wait and per-run execute latency histograms; the
+ * queue-wait histogram is sampled whenever a job leaves the queued
+ * state, so its _count reconciles with vsnoop_jobs_submitted_total
+ * once every job is terminal.
  */
 
 #ifndef VSNOOP_SERVICE_JOB_QUEUE_HH_
@@ -43,7 +56,9 @@
 #include <vector>
 
 #include "service/result_store.hh"
+#include "sim/stats.hh"
 #include "system/sweep.hh"
+#include "trace/job_trace.hh"
 
 namespace vsnoop
 {
@@ -76,6 +91,8 @@ struct JobStatus
     std::string label;
     /** Failure description (state == Failed). */
     std::string error;
+    /** X-Request-Id of the submitting HTTP request (may be ""). */
+    std::string requestId;
     /** steadyNowMs() stamps; -1 while unset. */
     std::int64_t submittedMs = -1;
     std::int64_t startedMs = -1;
@@ -88,9 +105,12 @@ class JobQueue
     /**
      * @p store may be null (every run executes); @p runJobs is the
      * per-job worker count handed to runIndexed() (0 = hardware
-     * concurrency).  The dispatcher thread starts immediately.
+     * concurrency); @p trace, when non-null, receives lifecycle
+     * spans (the recorder must outlive the queue).  The dispatcher
+     * thread starts immediately.
      */
-    explicit JobQueue(ResultStore *store, unsigned runJobs = 0);
+    explicit JobQueue(ResultStore *store, unsigned runJobs = 0,
+                      JobTraceRecorder *trace = nullptr);
     ~JobQueue();
 
     JobQueue(const JobQueue &) = delete;
@@ -104,7 +124,8 @@ class JobQueue
      */
     std::uint64_t submit(const SweepMatrix &matrix,
                          const std::string &label = "",
-                         std::string *error = nullptr);
+                         std::string *error = nullptr,
+                         const std::string &requestId = "");
 
     /** Status copy, or nullopt for an unknown id. */
     std::optional<JobStatus> status(std::uint64_t id) const;
@@ -161,6 +182,7 @@ class JobQueue
         std::vector<SystemConfig> configs;
         std::vector<std::string> cacheKeys;
         std::string label;
+        std::string requestId;
 
         JobState state = JobState::Queued;
         std::atomic<bool> cancelRequested{false};
@@ -179,9 +201,13 @@ class JobQueue
     void dispatchLoop();
     void execute(Job &job);
     JobStatus statusLocked(const Job &job) const;
+    /** Sample the queue-wait histogram + span as a job leaves
+     * Queued (mutex_ held; @p endMs is startedMs or finishedMs). */
+    void leaveQueuedLocked(const Job &job, std::int64_t endMs);
 
     ResultStore *store_;
     unsigned runJobs_;
+    JobTraceRecorder *trace_;
 
     mutable std::mutex mutex_;
     /** Dispatcher wakeup (new job / shutdown). */
@@ -202,10 +228,16 @@ class JobQueue
     std::atomic<std::uint64_t> runsExecuted_{0};
     std::atomic<std::uint64_t> runsFromCache_{0};
 
+    /** Latency histograms, guarded by mutex_ (sampled on the
+     * dispatcher and run workers, staged by the publisher). */
+    LatencyHistogram queueWaitHist_;
+    LatencyHistogram runExecuteHist_;
+
     MetricsRegistry::Id submittedId_ = 0, completedId_ = 0,
                         failedId_ = 0, cancelledId_ = 0,
                         executedId_ = 0, fromCacheId_ = 0,
-                        queuedGaugeId_ = 0, runningGaugeId_ = 0;
+                        queuedGaugeId_ = 0, runningGaugeId_ = 0,
+                        queueWaitHistId_ = 0, runExecuteHistId_ = 0;
     bool metricsRegistered_ = false;
 };
 

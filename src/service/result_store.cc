@@ -1,12 +1,15 @@
 #include "service/result_store.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <vector>
 
 #include "service/sweep_wire.hh"
 #include "sim/logging.hh"
+#include "sim/slog.hh"
 
 namespace fs = std::filesystem;
 
@@ -94,8 +97,66 @@ ResultStore::open(const std::string &dir, std::uint64_t maxBytes,
 
     opened_ = true;
     evictLocked("");
+    evictExpiredLocked();
     rewriteIndexLocked();
     return true;
+}
+
+void
+ResultStore::setMaxAge(std::int64_t seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    maxAgeSeconds_ = seconds < 0 ? 0 : seconds;
+}
+
+std::int64_t
+ResultStore::maxAgeSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return maxAgeSeconds_;
+}
+
+std::size_t
+ResultStore::evictExpired()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    vsnoop_assert(opened_, "result store used before open()");
+    std::size_t evicted = evictExpiredLocked();
+    if (evicted > 0)
+        rewriteIndexLocked();
+    return evicted;
+}
+
+std::size_t
+ResultStore::evictExpiredLocked()
+{
+    if (maxAgeSeconds_ <= 0)
+        return 0;
+    auto now = fs::file_time_type::clock::now();
+    // Collect first: dropLocked() mutates entries_ mid-iteration.
+    std::vector<std::pair<std::string, std::int64_t>> victims;
+    for (const auto &[hash, entry] : entries_) {
+        std::error_code ec;
+        fs::file_time_type mtime =
+            fs::last_write_time(objectPath(hash), ec);
+        // An unstattable object is gone anyway; age it out too.
+        std::int64_t age =
+            ec ? -1
+               : std::chrono::duration_cast<std::chrono::seconds>(
+                     now - mtime)
+                     .count();
+        if (ec || age > maxAgeSeconds_)
+            victims.emplace_back(hash, age);
+    }
+    for (const auto &[hash, age] : victims) {
+        dropLocked(hash, true);
+        ++expired_;
+        slog().log(LogLevel::Info, "store_expired",
+                   {LogField("object", hash),
+                    LogField("age_s", age),
+                    LogField("max_age_s", maxAgeSeconds_)});
+    }
+    return victims.size();
 }
 
 std::string
@@ -270,6 +331,10 @@ ResultStore::registerMetrics(MetricsRegistry &registry)
     writeFailuresId_ =
         registry.addCounter("vsnoop_store_write_failures_total",
                             "Failed object or index writes");
+    expiredId_ =
+        registry.addCounter("vsnoop_store_expired_total",
+                            "Records evicted for exceeding the age "
+                            "cutoff");
     entriesId_ = registry.addGauge("vsnoop_store_entries",
                                    "Records currently cached");
     bytesId_ = registry.addGauge("vsnoop_store_bytes",
@@ -289,6 +354,7 @@ ResultStore::stageMetrics(MetricsRegistry &registry) const
     registry.set(evictionsId_, static_cast<double>(evictions_));
     registry.set(corruptId_, static_cast<double>(corrupt_));
     registry.set(writeFailuresId_, static_cast<double>(writeFailures_));
+    registry.set(expiredId_, static_cast<double>(expired_));
     registry.set(entriesId_, static_cast<double>(entries_.size()));
     registry.set(bytesId_, static_cast<double>(bytes_));
 }

@@ -23,7 +23,12 @@
  *
  * Eviction is by total object bytes (maxBytes), least-recently-used
  * first; the entry just inserted is never evicted even when it
- * alone exceeds the cap.  A get() whose object is missing, torn,
+ * alone exceeds the cap.  Independently, setMaxAge() bounds how
+ * long an object may live since it was written: evictExpired()
+ * (run at open() and periodically by the serving loop) drops every
+ * object whose file mtime is older than the cutoff, regardless of
+ * recency of use — a sweep result computed by a stale build ages
+ * out even while it keeps getting hits.  A get() whose object is missing, torn,
  * or keyed differently than requested (hash collision or manual
  * tampering) drops the entry and reports a miss — corruption heals
  * by recomputation, never by serving wrong bytes.
@@ -81,6 +86,24 @@ class ResultStore
      */
     void put(const std::string &key, const std::string &record);
 
+    /**
+     * Age cutoff for evictExpired(), in seconds since the object
+     * file was written; 0 (the default) disables age GC.  Set
+     * before open() so the opening scan already applies it.
+     */
+    void setMaxAge(std::int64_t seconds);
+    std::int64_t maxAgeSeconds() const;
+
+    /**
+     * Drop every object older than the cutoff (one structured
+     * "store_expired" log line each).  Returns how many were
+     * evicted; 0 when age GC is disabled.
+     */
+    std::size_t evictExpired();
+
+    /** Entries evicted by age (evictExpired()) since open(). */
+    std::uint64_t expired() const { return expired_.load(); }
+
     /** @{ Counters since open(). */
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
@@ -116,6 +139,7 @@ class ResultStore
     };
 
     std::string objectPath(const std::string &hash) const;
+    std::size_t evictExpiredLocked();
     void touchLocked(const std::string &hash);
     void dropLocked(const std::string &hash, bool unlink);
     void evictLocked(const std::string &keepHash);
@@ -124,6 +148,7 @@ class ResultStore
     mutable std::mutex mutex_;
     std::string dir_;
     std::uint64_t maxBytes_ = 0;
+    std::int64_t maxAgeSeconds_ = 0;
     bool opened_ = false;
     /** hash -> entry; lru_ holds hashes, least recent first. */
     std::unordered_map<std::string, Entry> entries_;
@@ -137,12 +162,13 @@ class ResultStore
     std::atomic<std::uint64_t> evictions_{0};
     std::atomic<std::uint64_t> corrupt_{0};
     std::atomic<std::uint64_t> writeFailures_{0};
+    std::atomic<std::uint64_t> expired_{0};
 
     /** Metric ids (valid after registerMetrics()). */
     MetricsRegistry::Id hitsId_ = 0, missesId_ = 0, insertionsId_ = 0,
                         evictionsId_ = 0, corruptId_ = 0,
                         writeFailuresId_ = 0, entriesId_ = 0,
-                        bytesId_ = 0;
+                        bytesId_ = 0, expiredId_ = 0;
     bool metricsRegistered_ = false;
 };
 

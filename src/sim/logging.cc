@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "sim/slog.hh"
+
 namespace vsnoop
 {
 
@@ -32,36 +34,51 @@ namespace detail
 // Each message is composed into one string and written with a
 // single stream insertion: stderr writes from concurrent sweep
 // workers may interleave between messages but never inside one.
+// warn()/inform() also record a structured copy in slog()'s ring
+// (always — quiet mode only silences stderr), and when JSON stderr
+// mode is on (vsnoopserve) the structured line replaces the banner.
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << ("panic: " + msg + "\n  at " + file + ":" +
-                  std::to_string(line) + "\n")
-              << std::flush;
+    slog().log(LogLevel::Error, msg,
+               {LogField("at", std::string(file) + ":" +
+                                   std::to_string(line)),
+                LogField("panic", true)});
+    if (!slog().jsonStderr())
+        std::cerr << ("panic: " + msg + "\n  at " + file + ":" +
+                      std::to_string(line) + "\n")
+                  << std::flush;
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << ("fatal: " + msg + "\n  at " + file + ":" +
-                  std::to_string(line) + "\n")
-              << std::flush;
+    slog().log(LogLevel::Error, msg,
+               {LogField("at", std::string(file) + ":" +
+                                   std::to_string(line)),
+                LogField("fatal", true)});
+    if (!slog().jsonStderr())
+        std::cerr << ("fatal: " + msg + "\n  at " + file + ":" +
+                      std::to_string(line) + "\n")
+                  << std::flush;
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!loggingQuiet())
+    slog().log(LogLevel::Warn, msg);
+    if (!slog().jsonStderr() && !loggingQuiet())
         std::cerr << ("warn: " + msg + "\n") << std::flush;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!loggingQuiet())
+    slog().log(LogLevel::Info, msg);
+    if (!slog().jsonStderr() && !loggingQuiet())
         std::cerr << ("info: " + msg + "\n") << std::flush;
 }
 

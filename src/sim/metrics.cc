@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/version.hh"
 
 namespace vsnoop
 {
@@ -80,7 +82,21 @@ formatValue(double value)
 const char *
 kindName(MetricKind kind)
 {
-    return kind == MetricKind::Counter ? "counter" : "gauge";
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "untyped";
+}
+
+/** Slots a series occupies: [buckets..][sum][count] for histograms. */
+std::size_t
+slotsFor(MetricKind kind)
+{
+    return kind == MetricKind::Histogram
+               ? LatencyHistogram::kNumBuckets + 2
+               : 1;
 }
 
 } // namespace
@@ -112,7 +128,8 @@ MetricsRegistry::add(MetricKind kind, std::string name, std::string help,
                       "' must be registered contiguously");
     }
     meta_.push_back({kind, std::move(name), std::move(help),
-                     std::move(labels)});
+                     std::move(labels), totalSlots_, slotsFor(kind)});
+    totalSlots_ += meta_.back().slots;
     return meta_.size() - 1;
 }
 
@@ -123,22 +140,47 @@ MetricsRegistry::freeze()
     frozen_ = true;
     // vector<atomic<double>> cannot grow, so both arrays are sized
     // exactly once here; C++20 value-initializes the atomics to 0.
-    staging_ = std::vector<std::atomic<double>>(meta_.size());
-    published_ = std::vector<std::atomic<double>>(meta_.size());
+    staging_ = std::vector<std::atomic<double>>(totalSlots_);
+    published_ = std::vector<std::atomic<double>>(totalSlots_);
 }
 
 void
 MetricsRegistry::set(Id id, double value)
 {
     vsnoop_assert(frozen_, "set() before freeze()");
-    staging_.at(id).store(value, std::memory_order_relaxed);
+    const SeriesMeta &m = meta_.at(id);
+    vsnoop_assert(m.kind != MetricKind::Histogram,
+                  "set() on histogram '", m.name,
+                  "'; use setHistogram()");
+    staging_[m.slotBase].store(value, std::memory_order_relaxed);
 }
 
 double
 MetricsRegistry::value(Id id) const
 {
     vsnoop_assert(frozen_, "value() before freeze()");
-    return staging_.at(id).load(std::memory_order_relaxed);
+    const SeriesMeta &m = meta_.at(id);
+    vsnoop_assert(m.kind != MetricKind::Histogram,
+                  "value() on histogram '", m.name, "'");
+    return staging_[m.slotBase].load(std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::setHistogram(Id id, const LatencyHistogram &hist)
+{
+    vsnoop_assert(frozen_, "setHistogram() before freeze()");
+    const SeriesMeta &m = meta_.at(id);
+    vsnoop_assert(m.kind == MetricKind::Histogram,
+                  "setHistogram() on non-histogram '", m.name, "'");
+    std::size_t base = m.slotBase;
+    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i)
+        staging_[base + i].store(
+            static_cast<double>(hist.bucketHits(i)),
+            std::memory_order_relaxed);
+    staging_[base + LatencyHistogram::kNumBuckets].store(
+        static_cast<double>(hist.sum()), std::memory_order_relaxed);
+    staging_[base + LatencyHistogram::kNumBuckets + 1].store(
+        static_cast<double>(hist.count()), std::memory_order_relaxed);
 }
 
 void
@@ -189,10 +231,38 @@ MetricsRegistry::snapshot() const
 std::string
 MetricsRegistry::renderPrometheus(const Snapshot &snap) const
 {
-    vsnoop_assert(snap.values.size() == meta_.size(),
+    vsnoop_assert(snap.values.size() == totalSlots_,
                   "snapshot size does not match the registry");
     std::string out;
-    out.reserve(meta_.size() * 64);
+    out.reserve(totalSlots_ * 32);
+
+    // Append "{a="x",b="y"}" (or nothing), with an optional extra
+    // label appended after the registered ones (the le bound).
+    auto labelBlock = [&out](const std::vector<MetricLabel> &labels,
+                             const char *extraKey,
+                             const std::string &extraValue) {
+        if (labels.empty() && extraKey == nullptr)
+            return;
+        out += '{';
+        for (std::size_t l = 0; l < labels.size(); ++l) {
+            if (l > 0)
+                out += ',';
+            out += labels[l].first;
+            out += "=\"";
+            out += escapeLabelValue(labels[l].second);
+            out += '"';
+        }
+        if (extraKey != nullptr) {
+            if (!labels.empty())
+                out += ',';
+            out += extraKey;
+            out += "=\"";
+            out += extraValue;
+            out += '"';
+        }
+        out += '}';
+    };
+
     const std::string *family = nullptr;
     for (std::size_t i = 0; i < meta_.size(); ++i) {
         const SeriesMeta &m = meta_[i];
@@ -208,24 +278,67 @@ MetricsRegistry::renderPrometheus(const Snapshot &snap) const
             out += kindName(m.kind);
             out += '\n';
         }
-        out += m.name;
-        if (!m.labels.empty()) {
-            out += '{';
-            for (std::size_t l = 0; l < m.labels.size(); ++l) {
-                if (l > 0)
-                    out += ',';
-                out += m.labels[l].first;
-                out += "=\"";
-                out += escapeLabelValue(m.labels[l].second);
-                out += '"';
-            }
-            out += '}';
+        if (m.kind != MetricKind::Histogram) {
+            out += m.name;
+            labelBlock(m.labels, nullptr, std::string());
+            out += ' ';
+            out += formatValue(snap.values[m.slotBase]);
+            out += '\n';
+            continue;
         }
+
+        // Histogram: cumulative _bucket lines over the log2 edges,
+        // then _sum and _count.  The top LatencyHistogram bucket
+        // clamps, so its nominal edge is not a true upper bound —
+        // it is folded into le="+Inf" (== _count) instead of
+        // claiming a finite bound it does not honor.
+        constexpr std::size_t buckets = LatencyHistogram::kNumBuckets;
+        double sum = snap.values[m.slotBase + buckets];
+        double count = snap.values[m.slotBase + buckets + 1];
+        double cumulative = 0.0;
+        for (std::size_t b = 0; b + 1 < buckets; ++b) {
+            cumulative += snap.values[m.slotBase + b];
+            out += m.name;
+            out += "_bucket";
+            labelBlock(m.labels, "le",
+                       formatValue(static_cast<double>(
+                           LatencyHistogram::bucketUpperEdge(b))));
+            out += ' ';
+            out += formatValue(cumulative);
+            out += '\n';
+        }
+        out += m.name;
+        out += "_bucket";
+        labelBlock(m.labels, "le", "+Inf");
         out += ' ';
-        out += formatValue(snap.values[i]);
+        out += formatValue(count);
+        out += '\n';
+        out += m.name;
+        out += "_sum";
+        labelBlock(m.labels, nullptr, std::string());
+        out += ' ';
+        out += formatValue(sum);
+        out += '\n';
+        out += m.name;
+        out += "_count";
+        labelBlock(m.labels, nullptr, std::string());
+        out += ' ';
+        out += formatValue(count);
         out += '\n';
     }
     return out;
+}
+
+MetricsRegistry::Id
+registerBuildInfo(MetricsRegistry &registry)
+{
+    return registry.addGauge(
+        "vsnoop_build_info",
+        "Build provenance; the value is always 1.",
+        {{"version", toolVersion()},
+         {"git", gitDescribe()},
+         {"compiler", compilerId()},
+         {"build_type", buildType()}});
 }
 
 } // namespace vsnoop

@@ -34,9 +34,21 @@
  * quantity (counts, ticks, ratios) fits exactly up to 2^53, and
  * trivially-copyable values are what make the seqlock sound.
  *
+ * Histogram series reuse the same machinery with more slots: one
+ * registered histogram occupies LatencyHistogram::kNumBuckets + 2
+ * consecutive value slots ([buckets..][sum][count]) in both arrays,
+ * staged as one unit by setHistogram() from a caller-locked
+ * LatencyHistogram copy.  Because the staging stores and the
+ * publish() copy both happen on single threads (the publisher), a
+ * snapshot always carries an internally consistent histogram: the
+ * finite buckets sum to at most the count and the +Inf bucket
+ * equals it exactly.
+ *
  * renderPrometheus() emits the Prometheus text exposition format
  * (version 0.0.4) for scraping via the embedded stats server's
- * /metrics endpoint.
+ * /metrics endpoint; histograms render the conventional
+ * `_bucket{le=...}` / `_sum` / `_count` triple with cumulative
+ * log2 bucket edges.
  */
 
 #ifndef VSNOOP_SIM_METRICS_HH_
@@ -56,7 +68,10 @@ enum class MetricKind : std::uint8_t
 {
     Counter,
     Gauge,
+    Histogram,
 };
+
+class LatencyHistogram;
 
 /** One name="value" pair attached to a series. */
 using MetricLabel = std::pair<std::string, std::string>;
@@ -71,10 +86,12 @@ class MetricsRegistry
     using Id = std::size_t;
 
     /**
-     * A consistent point-in-time copy of every series value.
-     * sequence increases by 2 per publish() (seqlock convention:
-     * odd means a write was in flight), so pollers can detect
-     * fresh data cheaply.
+     * A consistent point-in-time copy of every value slot.
+     * Counter/Gauge series own one slot at values[slotBase(id)];
+     * a histogram owns slotCount(id) consecutive slots laid out
+     * [buckets..][sum][count].  sequence increases by 2 per
+     * publish() (seqlock convention: odd means a write was in
+     * flight), so pollers can detect fresh data cheaply.
      */
     struct Snapshot
     {
@@ -111,6 +128,18 @@ class MetricsRegistry
                    std::move(help), std::move(labels));
     }
 
+    /**
+     * Register a histogram family member.  The name is the family
+     * base name; exposition appends _bucket/_sum/_count.  Stage
+     * values with setHistogram(), not set().
+     */
+    Id addHistogram(std::string name, std::string help,
+                    std::vector<MetricLabel> labels = {})
+    {
+        return add(MetricKind::Histogram, std::move(name),
+                   std::move(help), std::move(labels));
+    }
+
     /** End registration; set()/publish()/snapshot() become legal. */
     void freeze();
     bool frozen() const { return frozen_; }
@@ -118,15 +147,30 @@ class MetricsRegistry
     std::size_t size() const { return meta_.size(); }
     const std::string &name(Id id) const { return meta_.at(id).name; }
 
+    /** First value slot of a series (== id while no histogram
+     * precedes it, since Counter/Gauge series take one slot). */
+    std::size_t slotBase(Id id) const { return meta_.at(id).slotBase; }
+    /** Value slots a series occupies (1, or kNumBuckets + 2). */
+    std::size_t slotCount(Id id) const { return meta_.at(id).slots; }
+
     /**
-     * Stage a new value for one series (relaxed atomic store; any
-     * thread, one writer per series).  Not visible to readers until
-     * the next publish().
+     * Stage a new value for one Counter/Gauge series (relaxed
+     * atomic store; any thread, one writer per series).  Not
+     * visible to readers until the next publish().  Asserts on a
+     * histogram id — use setHistogram().
      */
     void set(Id id, double value);
 
-    /** Staged value of one series (relaxed load). */
+    /** Staged value of one Counter/Gauge series (relaxed load). */
     double value(Id id) const;
+
+    /**
+     * Stage every slot of one histogram series from @p hist
+     * (bucket hit counts, sum, count).  Same writer contract as
+     * set(): one staging thread per series.  Pass a copy taken
+     * under the owner's lock for a consistent snapshot.
+     */
+    void setHistogram(Id id, const LatencyHistogram &hist);
 
     /**
      * Copy the staging array into the published snapshot under the
@@ -162,9 +206,14 @@ class MetricsRegistry
         std::string name;
         std::string help;
         std::vector<MetricLabel> labels;
+        /** First value slot; slots are assigned in add() order. */
+        std::size_t slotBase = 0;
+        /** Slots occupied: 1, or kNumBuckets + 2 for histograms. */
+        std::size_t slots = 1;
     };
 
     std::vector<SeriesMeta> meta_;
+    std::size_t totalSlots_ = 0;
     bool frozen_ = false;
     /** Writer-facing values; relaxed stores from update threads. */
     std::vector<std::atomic<double>> staging_;
@@ -176,6 +225,14 @@ class MetricsRegistry
 
 /** The /metrics Content-Type for the text exposition format. */
 extern const char *const kPrometheusContentType;
+
+/**
+ * Register the conventional build-provenance gauge: a
+ * `vsnoop_build_info` series whose value is always 1 with
+ * version/git/compiler/build_type labels from sim/version.hh.
+ * Call before freeze(); the caller must set(id, 1.0) after.
+ */
+MetricsRegistry::Id registerBuildInfo(MetricsRegistry &registry);
 
 } // namespace vsnoop
 

@@ -1,0 +1,163 @@
+#include "sim/slog.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace vsnoop
+{
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "info";
+}
+
+std::optional<LogLevel>
+parseLogLevel(std::string_view token)
+{
+    if (token == "debug")
+        return LogLevel::Debug;
+    if (token == "info")
+        return LogLevel::Info;
+    if (token == "warn")
+        return LogLevel::Warn;
+    if (token == "error")
+        return LogLevel::Error;
+    return std::nullopt;
+}
+
+std::uint64_t
+wallClockMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+StructuredLog::log(LogLevel level, std::string_view msg,
+                   const std::vector<LogField> &fields)
+{
+    // panic() inside the logger (a JsonWriter assertion, an OOM)
+    // would re-enter log() on the same thread with mutex_ held;
+    // dropping the nested record beats deadlocking the abort path.
+    static thread_local bool inLog = false;
+    if (inLog)
+        return;
+    inLog = true;
+    struct Reset
+    {
+        ~Reset() { inLog = false; }
+    } reset;
+
+    LogRecord record;
+    record.tsMs = wallClockMs();
+    record.level = level;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    record.seq = recorded_.load(std::memory_order_relaxed) + 1;
+    recorded_.store(record.seq, std::memory_order_relaxed);
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("seq").value(record.seq);
+    json.key("ts_ms").value(record.tsMs);
+    json.key("level").value(logLevelName(level));
+    json.key("msg").value(std::string(msg));
+    for (const LogField &field : fields) {
+        json.key(field.key);
+        switch (field.type) {
+          case LogField::Type::String: json.value(field.str); break;
+          case LogField::Type::Int: json.value(field.i64); break;
+          case LogField::Type::Uint: json.value(field.u64); break;
+          case LogField::Type::Double: json.value(field.f64); break;
+          case LogField::Type::Bool: json.value(field.flag); break;
+        }
+    }
+    json.endObject();
+    record.json = json.str();
+
+    // One fwrite per line: concurrent writers may interleave
+    // between lines (and do not even do that while this mutex is
+    // held) but never inside one.  Error records bypass quiet mode
+    // so a broken service is never silent.
+    if (jsonStderr_.load(std::memory_order_relaxed) &&
+        (level == LogLevel::Error || !loggingQuiet())) {
+        std::string line = record.json + "\n";
+        std::fwrite(line.data(), 1, line.size(), stderr);
+        std::fflush(stderr);
+    }
+
+    ring_.push_back(std::move(record));
+    while (ring_.size() > capacity_) {
+        ring_.pop_front();
+        overflowed_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+StructuredLog::setRingCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+    while (ring_.size() > capacity_) {
+        ring_.pop_front();
+        overflowed_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+std::size_t
+StructuredLog::ringCapacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+std::vector<LogRecord>
+StructuredLog::tail(LogLevel minLevel, std::size_t maxCount) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<LogRecord> out;
+    // Walk newest-to-oldest so the newest maxCount matches win,
+    // then restore oldest-first order.
+    for (auto it = ring_.rbegin();
+         it != ring_.rend() && out.size() < maxCount; ++it) {
+        if (static_cast<int>(it->level) >= static_cast<int>(minLevel))
+            out.push_back(*it);
+    }
+    std::vector<LogRecord> ordered(out.rbegin(), out.rend());
+    return ordered;
+}
+
+std::string
+StructuredLog::renderJsonl(LogLevel minLevel,
+                           std::size_t maxCount) const
+{
+    std::string out;
+    for (const LogRecord &record : tail(minLevel, maxCount)) {
+        out += record.json;
+        out += '\n';
+    }
+    return out;
+}
+
+StructuredLog &
+slog()
+{
+    // Leaked on purpose: loggers are used from detached contexts
+    // during shutdown, so destruction order must never matter.
+    static StructuredLog *instance = new StructuredLog();
+    return *instance;
+}
+
+} // namespace vsnoop

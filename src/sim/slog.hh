@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Structured logging: one JSON object per log line.
+ *
+ * The seed-era logging (sim/logging.hh) prints human-oriented
+ * banners; operating the sweep service (tools/vsnoopserve) needs
+ * machine-readable logs — access lines per HTTP request, cache
+ * evictions, job transitions — that fleet tooling can parse, filter
+ * and correlate by request id.  StructuredLog provides that surface
+ * without changing a single simulation byte: log records go to
+ * stderr and to an in-memory ring, never to run output.
+ *
+ * Every record carries a monotonic sequence number (gap-free, so a
+ * consumer can detect loss), a wall-clock timestamp in epoch
+ * milliseconds, a level, a message, and typed key/value fields,
+ * rendered through the deterministic JsonWriter:
+ *
+ *   {"seq":17,"ts_ms":1754650000123,"level":"info",
+ *    "msg":"http_access","method":"GET","path":"/metrics",
+ *    "status":200,"bytes":4113,"dur_us":182,
+ *    "request_id":"r1a2b3-4"}
+ *
+ * Sinks:
+ *  - A bounded ring of the most recent records (default 1024; the
+ *    oldest record is displaced and counted in overflowed()).  The
+ *    ring backs GET /logs, which replays records as JSONL with an
+ *    optional minimum-level filter.
+ *  - Optionally stderr, one JSON line per record, enabled with
+ *    setJsonStderr(true) (vsnoopserve does).  quietLogging()
+ *    semantics are preserved: while quiet, only Error records reach
+ *    stderr; the ring always captures everything.
+ *
+ * The legacy macros route through here: vsnoop_warn()/
+ * vsnoop_inform() record a Warn/Info record in the ring and keep
+ * their original "warn:"/"info:" stderr banners unless JSON stderr
+ * mode replaces them.  All operations are thread-safe; records are
+ * rendered and emitted under one mutex so concurrent writers never
+ * interleave within a line.
+ */
+
+#ifndef VSNOOP_SIM_SLOG_HH_
+#define VSNOOP_SIM_SLOG_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsnoop
+{
+
+enum class LogLevel : std::uint8_t
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Wire token for a level ("debug", "info", "warn", "error"). */
+const char *logLevelName(LogLevel level);
+
+/** Parse a wire token back into a level; nullopt when unknown. */
+std::optional<LogLevel> parseLogLevel(std::string_view token);
+
+/**
+ * One typed key/value pair attached to a record.  The constructors
+ * cover every type the JSON writer renders distinctly, so a field
+ * round-trips through a JSON parser with its type intact.
+ */
+struct LogField
+{
+    enum class Type : std::uint8_t
+    {
+        String,
+        Int,
+        Uint,
+        Double,
+        Bool,
+    };
+
+    std::string key;
+    Type type = Type::String;
+    std::string str;
+    std::int64_t i64 = 0;
+    std::uint64_t u64 = 0;
+    double f64 = 0.0;
+    bool flag = false;
+
+    LogField(std::string k, std::string v)
+        : key(std::move(k)), type(Type::String), str(std::move(v)) {}
+    LogField(std::string k, const char *v)
+        : key(std::move(k)), type(Type::String), str(v) {}
+    LogField(std::string k, std::int64_t v)
+        : key(std::move(k)), type(Type::Int), i64(v) {}
+    LogField(std::string k, int v)
+        : key(std::move(k)), type(Type::Int), i64(v) {}
+    LogField(std::string k, std::uint64_t v)
+        : key(std::move(k)), type(Type::Uint), u64(v) {}
+    LogField(std::string k, std::uint32_t v)
+        : key(std::move(k)), type(Type::Uint), u64(v) {}
+    LogField(std::string k, double v)
+        : key(std::move(k)), type(Type::Double), f64(v) {}
+    LogField(std::string k, bool v)
+        : key(std::move(k)), type(Type::Bool), flag(v) {}
+};
+
+/** One captured record: metadata plus the rendered JSON line. */
+struct LogRecord
+{
+    std::uint64_t seq = 0;
+    std::uint64_t tsMs = 0;
+    LogLevel level = LogLevel::Info;
+    /** The full rendered JSON object, without a trailing newline. */
+    std::string json;
+};
+
+/**
+ * The thread-safe leveled JSON logger.  See the file comment for
+ * the sink and quiet-mode semantics.  Instantiable for tests; the
+ * process-wide instance is slog().
+ */
+class StructuredLog
+{
+  public:
+    explicit StructuredLog(std::size_t ringCapacity = 1024)
+        : capacity_(ringCapacity == 0 ? 1 : ringCapacity) {}
+
+    StructuredLog(const StructuredLog &) = delete;
+    StructuredLog &operator=(const StructuredLog &) = delete;
+
+    /** Record one message with optional typed fields. */
+    void log(LogLevel level, std::string_view msg,
+             std::initializer_list<LogField> fields)
+    {
+        log(level, msg,
+            std::vector<LogField>(fields.begin(), fields.end()));
+    }
+    void log(LogLevel level, std::string_view msg,
+             const std::vector<LogField> &fields = {});
+
+    /**
+     * Emit every record as one JSON line on stderr.  While off
+     * (the default) records are only captured in the ring and the
+     * legacy banners keep stderr.  quietLogging() still suppresses
+     * sub-Error lines in either mode.
+     */
+    void setJsonStderr(bool on)
+    {
+        jsonStderr_.store(on, std::memory_order_relaxed);
+    }
+    bool jsonStderr() const
+    {
+        return jsonStderr_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Resize the ring (existing oldest records are displaced and
+     * counted as overflowed when shrinking).  Capacity 0 clamps
+     * to 1 — the ring always holds the latest record.
+     */
+    void setRingCapacity(std::size_t capacity);
+    std::size_t ringCapacity() const;
+
+    /** Records ever logged (monotonic; equals the last seq). */
+    std::uint64_t recorded() const
+    {
+        return recorded_.load(std::memory_order_relaxed);
+    }
+
+    /** Records displaced from the ring by newer ones. */
+    std::uint64_t overflowed() const
+    {
+        return overflowed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The most recent records at or above @p minLevel, oldest
+     * first, at most @p maxCount of the newest matches.
+     */
+    std::vector<LogRecord> tail(LogLevel minLevel = LogLevel::Debug,
+                                std::size_t maxCount =
+                                    std::size_t(-1)) const;
+
+    /**
+     * tail() rendered as JSONL: one record per line, newline after
+     * each — the GET /logs payload.
+     */
+    std::string renderJsonl(LogLevel minLevel = LogLevel::Debug,
+                            std::size_t maxCount =
+                                std::size_t(-1)) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<LogRecord> ring_;
+    std::size_t capacity_;
+    std::atomic<std::uint64_t> recorded_{0};
+    std::atomic<std::uint64_t> overflowed_{0};
+    std::atomic<bool> jsonStderr_{false};
+};
+
+/** The process-wide logger every component shares. */
+StructuredLog &slog();
+
+/** Wall-clock milliseconds since the Unix epoch (system clock). */
+std::uint64_t wallClockMs();
+
+} // namespace vsnoop
+
+#endif // VSNOOP_SIM_SLOG_HH_

@@ -9,10 +9,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/slog.hh"
 
 namespace vsnoop
 {
@@ -120,7 +122,7 @@ statusText(int status)
 }
 
 std::string
-serialize(const HttpResponse &resp)
+serialize(const HttpResponse &resp, const std::string &requestId)
 {
     std::string out = "HTTP/1.1 ";
     out += std::to_string(resp.status);
@@ -128,6 +130,10 @@ serialize(const HttpResponse &resp)
     out += statusText(resp.status);
     out += "\r\nContent-Type: ";
     out += resp.contentType;
+    if (!requestId.empty()) {
+        out += "\r\nX-Request-Id: ";
+        out += requestId;
+    }
     out += "\r\nContent-Length: ";
     out += std::to_string(resp.body.size());
     out += "\r\nConnection: close\r\n\r\n";
@@ -135,12 +141,20 @@ serialize(const HttpResponse &resp)
     return out;
 }
 
-/** Send a buffered (non-streaming) response; best effort. */
-void
-respond(int fd, const HttpResponse &resp)
+/**
+ * Clamp a client-supplied request id to something safe to echo in
+ * a header and embed in a JSON log line: printable ASCII, bounded
+ * length.  headerValue() already stripped the line breaks.
+ */
+std::string
+sanitizeRequestId(std::string id)
 {
-    std::string bytes = serialize(resp);
-    writeAll(fd, bytes);
+    if (id.size() > 128)
+        id.resize(128);
+    for (char &c : id)
+        if (c < 0x21 || c > 0x7e)
+            c = '_';
+    return id;
 }
 
 HttpResponse
@@ -207,6 +221,8 @@ StatsServer::route(std::string path, Handler handler)
 {
     vsnoop_assert(!running(),
                   "routes must be registered before start()");
+    vsnoop_assert(!metricsRegistered_,
+                  "routes must be registered before registerMetrics()");
     vsnoop_assert(!path.empty() && path[0] == '/',
                   "route path must start with '/'");
     routes_.emplace_back(std::move(path), std::move(handler));
@@ -218,11 +234,121 @@ StatsServer::routePrefix(std::string method, std::string prefix,
 {
     vsnoop_assert(!running(),
                   "routes must be registered before start()");
+    vsnoop_assert(!metricsRegistered_,
+                  "routes must be registered before registerMetrics()");
     vsnoop_assert(!prefix.empty() && prefix[0] == '/',
                   "route prefix must start with '/'");
     vsnoop_assert(!method.empty(), "route method must be non-empty");
     prefixRoutes_.push_back(
         {std::move(method), std::move(prefix), std::move(handler)});
+}
+
+std::uint64_t
+StatsServer::clientErrors(int status) const
+{
+    switch (status) {
+      case 400: return resp400_.load(std::memory_order_relaxed);
+      case 408: return resp408_.load(std::memory_order_relaxed);
+      case 413: return resp413_.load(std::memory_order_relaxed);
+      default: return 0;
+    }
+}
+
+void
+StatsServer::registerMetrics(MetricsRegistry &registry)
+{
+    vsnoop_assert(!metricsRegistered_,
+                  "server metrics registered twice");
+    requestsTotalId_ = registry.addCounter(
+        "vsnoop_http_requests_total",
+        "HTTP requests whose headers were fully received.");
+    const char *errHelp =
+        "Client-error responses sent, by status code.";
+    resp400Id_ = registry.addCounter("vsnoop_http_responses_total",
+                                     errHelp, {{"code", "400"}});
+    resp408Id_ = registry.addCounter("vsnoop_http_responses_total",
+                                     errHelp, {{"code", "408"}});
+    resp413Id_ = registry.addCounter("vsnoop_http_responses_total",
+                                     errHelp, {{"code", "413"}});
+
+    auto addRoute = [this](std::string key) {
+        auto rl = std::make_unique<RouteLatency>();
+        rl->key = std::move(key);
+        routeLatency_.push_back(std::move(rl));
+    };
+    for (const auto &[route, fn] : routes_)
+        addRoute("GET " + route);
+    for (const PrefixRoute &route : prefixRoutes_)
+        addRoute(route.method + " " + route.prefix);
+    // Requests that never reach a handler: 404s, 405s, malformed
+    // or over-limit requests cut off before dispatch.
+    addRoute("other");
+    for (const auto &rl : routeLatency_)
+        routeLatencyIds_.push_back(registry.addHistogram(
+            "vsnoop_http_request_duration_us",
+            "Wall time from first byte read to response written, "
+            "microseconds.",
+            {{"route", rl->key}}));
+    metricsRegistered_ = true;
+}
+
+void
+StatsServer::stageMetrics(MetricsRegistry &registry) const
+{
+    if (!metricsRegistered_)
+        return;
+    registry.set(requestsTotalId_, static_cast<double>(
+                                       requestsServed()));
+    registry.set(resp400Id_, static_cast<double>(clientErrors(400)));
+    registry.set(resp408Id_, static_cast<double>(clientErrors(408)));
+    registry.set(resp413Id_, static_cast<double>(clientErrors(413)));
+    for (std::size_t i = 0; i < routeLatency_.size(); ++i) {
+        const RouteLatency &rl = *routeLatency_[i];
+        LatencyHistogram copy;
+        {
+            std::lock_guard<std::mutex> lock(rl.mutex);
+            copy = rl.hist;
+        }
+        registry.setHistogram(routeLatencyIds_[i], copy);
+    }
+}
+
+std::string
+StatsServer::nextRequestId()
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "r%llx-%llu",
+                  static_cast<unsigned long long>(idEpochMs_),
+                  static_cast<unsigned long long>(
+                      idCounter_.fetch_add(
+                          1, std::memory_order_relaxed) + 1));
+    return buf;
+}
+
+void
+StatsServer::recordAccess(const std::string &method,
+                          const std::string &path,
+                          const std::string &requestId, int status,
+                          std::size_t bytes, std::uint64_t durUs,
+                          std::size_t routeIndex)
+{
+    if (status == 400)
+        resp400_.fetch_add(1, std::memory_order_relaxed);
+    else if (status == 408)
+        resp408_.fetch_add(1, std::memory_order_relaxed);
+    else if (status == 413)
+        resp413_.fetch_add(1, std::memory_order_relaxed);
+    slog().log(LogLevel::Info, "http_access",
+               {LogField("method", method), LogField("path", path),
+                LogField("status", status),
+                LogField("bytes", static_cast<std::uint64_t>(bytes)),
+                LogField("dur_us", durUs),
+                LogField("request_id", requestId)});
+    if (metricsRegistered_ && routeIndex < routeLatency_.size()) {
+        RouteLatency &rl = *routeLatency_[routeIndex];
+        std::lock_guard<std::mutex> lock(rl.mutex);
+        rl.hist.sample(durUs);
+    }
 }
 
 void
@@ -282,6 +408,7 @@ StatsServer::start(const std::string &addr, std::string *error)
         port_ = ntohs(sin.sin_port);
 
     listenFd_ = fd;
+    idEpochMs_ = wallClockMs();
     stopping_.store(false, std::memory_order_relaxed);
     acceptThread_ = std::thread(&StatsServer::acceptLoop, this);
     workers_.reserve(numWorkers_);
@@ -364,7 +491,32 @@ StatsServer::workerLoop()
 void
 StatsServer::handleConnection(int fd)
 {
+    auto t0 = std::chrono::steady_clock::now();
     setSocketTimeout(fd, readTimeoutMs_);
+
+    std::string method = "-";
+    std::string path = "-";
+    std::string requestId;
+    // Until dispatch picks a real route, latency accrues to the
+    // trailing "other" bucket (when metrics are registered at all).
+    std::size_t routeIndex =
+        routeLatency_.empty() ? 0 : routeLatency_.size() - 1;
+
+    auto elapsedUs = [&t0] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    };
+    // Send one buffered response and account for it: access log
+    // line, error counters, route latency sample.
+    auto reply = [&](const HttpResponse &resp) {
+        if (requestId.empty())
+            requestId = nextRequestId();
+        writeAll(fd, serialize(resp, requestId));
+        recordAccess(method, path, requestId, resp.status,
+                     resp.body.size(), elapsedUs(), routeIndex);
+    };
 
     // Read until the end of the request headers (or the cap).  A
     // client that stalls here is cut off by the socket timeout —
@@ -375,7 +527,7 @@ StatsServer::handleConnection(int fd)
     std::size_t header_end;
     while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
         if (data.size() >= kMaxHeaderBytes) {
-            respond(fd, textResponse(400, "request headers too large\n"));
+            reply(textResponse(400, "request headers too large\n"));
             return;
         }
         ssize_t n = recvRetry(fd, buf, sizeof buf);
@@ -383,7 +535,7 @@ StatsServer::handleConnection(int fd)
             // EOF or stall before a full request: only answer the
             // stall — an immediate close has nobody listening.
             if (n < 0 && !data.empty())
-                respond(fd, textResponse(408, "request timed out\n"));
+                reply(textResponse(408, "request timed out\n"));
             return;
         }
         if (n < 0)
@@ -392,6 +544,15 @@ StatsServer::handleConnection(int fd)
     }
 
     requests_.fetch_add(1, std::memory_order_relaxed);
+
+    // The client's correlation id, or a generated one — known from
+    // here on, so every later error response echoes it.
+    std::string_view headers =
+        std::string_view(data).substr(0, header_end);
+    requestId =
+        sanitizeRequestId(headerValue(headers, "x-request-id"));
+    if (requestId.empty())
+        requestId = nextRequestId();
 
     // "METHOD /path HTTP/1.1"
     std::size_t line_end = data.find("\r\n");
@@ -402,7 +563,7 @@ StatsServer::handleConnection(int fd)
                                  : line.find(' ', sp1 + 1);
     if (sp1 == std::string::npos || sp2 == std::string::npos ||
         line.compare(sp2 + 1, 5, "HTTP/") != 0) {
-        respond(fd, textResponse(400, "malformed request line\n"));
+        reply(textResponse(400, "malformed request line\n"));
         return;
     }
 
@@ -414,13 +575,14 @@ StatsServer::handleConnection(int fd)
         request.query = request.path.substr(query + 1);
         request.path.resize(query);
     }
+    request.requestId = requestId;
+    method = request.method;
+    path = request.path;
 
-    std::string_view headers =
-        std::string_view(data).substr(0, header_end);
     if (!headerValue(headers, "transfer-encoding").empty()) {
-        respond(fd, textResponse(
-                        400, "chunked request bodies are not supported;"
-                             " send Content-Length\n"));
+        reply(textResponse(
+                  400, "chunked request bodies are not supported;"
+                       " send Content-Length\n"));
         return;
     }
     std::size_t content_length = 0;
@@ -430,16 +592,15 @@ StatsServer::handleConnection(int fd)
         unsigned long long parsed =
             std::strtoull(length_str.c_str(), &end, 10);
         if (end == length_str.c_str() || *end != '\0') {
-            respond(fd, textResponse(400, "invalid Content-Length\n"));
+            reply(textResponse(400, "invalid Content-Length\n"));
             return;
         }
         content_length = static_cast<std::size_t>(parsed);
     }
     if (content_length > maxBodyBytes_) {
-        respond(fd, textResponse(
-                        413, "request body exceeds the " +
-                                 std::to_string(maxBodyBytes_) +
-                                 "-byte limit\n"));
+        reply(textResponse(413, "request body exceeds the " +
+                                    std::to_string(maxBodyBytes_) +
+                                    "-byte limit\n"));
         return;
     }
 
@@ -447,11 +608,11 @@ StatsServer::handleConnection(int fd)
     while (request.body.size() < content_length) {
         ssize_t n = recvRetry(fd, buf, sizeof buf);
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            respond(fd, textResponse(408, "request body timed out\n"));
+            reply(textResponse(408, "request body timed out\n"));
             return;
         }
         if (n <= 0) {
-            respond(fd, textResponse(400, "truncated request body\n"));
+            reply(textResponse(400, "truncated request body\n"));
             return;
         }
         request.body.append(buf, static_cast<std::size_t>(n));
@@ -464,10 +625,12 @@ StatsServer::handleConnection(int fd)
     HttpResponse resp;
     const Handler *exact = nullptr;
     bool path_known = false;
-    for (const auto &[route, fn] : routes_) {
-        if (route == request.path) {
-            exact = &fn;
+    for (std::size_t i = 0; i < routes_.size(); ++i) {
+        if (routes_[i].first == request.path) {
+            exact = &routes_[i].second;
             path_known = true;
+            if (request.method == "GET")
+                routeIndex = i;
             break;
         }
     }
@@ -475,19 +638,24 @@ StatsServer::handleConnection(int fd)
         resp = (*exact)();
     } else {
         const PrefixRoute *best = nullptr;
-        for (const PrefixRoute &route : prefixRoutes_) {
+        for (std::size_t i = 0; i < prefixRoutes_.size(); ++i) {
+            const PrefixRoute &route = prefixRoutes_[i];
             if (request.path.rfind(route.prefix, 0) != 0)
                 continue;
             path_known = true;
             if (route.method != request.method)
                 continue;
             if (best == nullptr ||
-                route.prefix.size() > best->prefix.size())
+                route.prefix.size() > best->prefix.size()) {
                 best = &route;
+                routeIndex = routes_.size() + i;
+            }
         }
         if (best != nullptr) {
             resp = best->handler(request);
         } else if (path_known) {
+            routeIndex =
+                routeLatency_.empty() ? 0 : routeLatency_.size() - 1;
             resp = textResponse(405, "method " + request.method +
                                          " not allowed for " +
                                          request.path + "\n");
@@ -503,7 +671,7 @@ StatsServer::handleConnection(int fd)
     }
 
     if (!resp.stream) {
-        respond(fd, resp);
+        reply(resp);
         return;
     }
 
@@ -516,9 +684,12 @@ StatsServer::handleConnection(int fd)
     head += statusText(resp.status);
     head += "\r\nContent-Type: ";
     head += resp.contentType;
+    head += "\r\nX-Request-Id: ";
+    head += requestId;
     head += "\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
     bool alive = writeAll(fd, head);
-    ChunkWriter writer = [fd, &alive](std::string_view piece) {
+    std::size_t streamed = 0;
+    ChunkWriter writer = [fd, &alive, &streamed](std::string_view piece) {
         if (!alive || piece.empty())
             return alive;
         char size_line[32];
@@ -526,11 +697,15 @@ StatsServer::handleConnection(int fd)
                       piece.size());
         alive = writeAll(fd, size_line) && writeAll(fd, piece) &&
                 writeAll(fd, "\r\n");
+        if (alive)
+            streamed += piece.size();
         return alive;
     };
     resp.stream(writer);
     if (alive)
         writeAll(fd, "0\r\n\r\n");
+    recordAccess(method, path, requestId, resp.status, streamed,
+                 elapsedUs(), routeIndex);
 }
 
 namespace
@@ -574,7 +749,7 @@ std::optional<HttpReply>
 httpRequest(const std::string &addr, const std::string &method,
             const std::string &path, const std::string &body,
             const std::string &contentType, std::string *error,
-            int timeoutMs)
+            int timeoutMs, const std::string &requestId)
 {
     std::string host;
     std::uint16_t port = 0;
@@ -603,6 +778,9 @@ httpRequest(const std::string &addr, const std::string &method,
 
     std::string request = method + " " + path + " HTTP/1.1\r\nHost: " +
                           addr + "\r\nConnection: close\r\n";
+    if (!requestId.empty())
+        request += "X-Request-Id: " + sanitizeRequestId(requestId) +
+                   "\r\n";
     if (!body.empty()) {
         request += "Content-Type: " + contentType + "\r\n";
         request += "Content-Length: " + std::to_string(body.size()) +
@@ -651,6 +829,7 @@ httpRequest(const std::string &addr, const std::string &method,
 
     std::string_view headers =
         std::string_view(response).substr(0, header_end);
+    reply.requestId = headerValue(headers, "x-request-id");
     std::string_view payload =
         std::string_view(response).substr(header_end + 4);
     std::string transfer = headerValue(headers, "transfer-encoding");

@@ -36,6 +36,17 @@
  * (IPv4 dotted quad; port 0 picks an ephemeral port — read the
  * result back with port()/address()).  stop() shuts the listening
  * socket down and joins every thread; the destructor calls it.
+ *
+ * Observability: every request carries a request id — the client's
+ * X-Request-Id header when present, otherwise server-generated —
+ * which is echoed back as an X-Request-Id response header, handed
+ * to prefix handlers via HttpRequest::requestId, and stamped on
+ * the structured access log record (sim/slog.hh) the server emits
+ * per response: {"msg":"http_access","method","path","status",
+ * "bytes","dur_us","request_id"}.  The error paths (400/408/413)
+ * log and echo ids too.  registerMetrics()/stageMetrics() export
+ * per-route request-latency histograms and client-error counters
+ * through a MetricsRegistry (see those methods).
  */
 
 #ifndef VSNOOP_SIM_STATS_SERVER_HH_
@@ -46,6 +57,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -53,6 +65,9 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/stats.hh"
 
 namespace vsnoop
 {
@@ -66,6 +81,13 @@ struct HttpRequest
     /** Query string after '?' (possibly empty). */
     std::string query;
     std::string body;
+    /**
+     * The request's correlation id: the client's X-Request-Id
+     * header when sent, a server-generated one otherwise.  Echoed
+     * in the response headers and the access log; handlers thread
+     * it into whatever work the request starts.
+     */
+    std::string requestId;
 };
 
 /**
@@ -151,6 +173,27 @@ class StatsServer
         return requests_.load(std::memory_order_relaxed);
     }
 
+    /** Responses sent with one of the client-error statuses. */
+    std::uint64_t clientErrors(int status) const;
+
+    /**
+     * Register the server's telemetry with @p registry (call after
+     * every route is registered, before registry.freeze()):
+     * vsnoop_http_requests_total, vsnoop_http_responses_total
+     * {code="400"|"408"|"413"}, and one
+     * vsnoop_http_request_duration_us histogram per route (labeled
+     * route="GET /metrics"-style; unmatched/early-error requests
+     * land in route="other").
+     */
+    void registerMetrics(MetricsRegistry &registry);
+
+    /**
+     * Stage current values into @p registry (publisher thread only,
+     * paired with registry.publish()).  No-op until
+     * registerMetrics() ran.
+     */
+    void stageMetrics(MetricsRegistry &registry) const;
+
     /** Stop accepting, join every thread, close the socket. */
     void stop();
 
@@ -162,9 +205,23 @@ class StatsServer
         RequestHandler handler;
     };
 
+    /** Latency sink for one route; sampled by serving workers. */
+    struct RouteLatency
+    {
+        std::string key;
+        mutable std::mutex mutex;
+        LatencyHistogram hist;
+    };
+
     void acceptLoop();
     void workerLoop();
     void handleConnection(int fd);
+    std::string nextRequestId();
+    void recordAccess(const std::string &method,
+                      const std::string &path,
+                      const std::string &requestId, int status,
+                      std::size_t bytes, std::uint64_t durUs,
+                      std::size_t routeIndex);
 
     std::vector<std::pair<std::string, Handler>> routes_;
     std::vector<PrefixRoute> prefixRoutes_;
@@ -182,6 +239,25 @@ class StatsServer
     std::condition_variable queueCv_;
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> requests_{0};
+
+    /** Request-id generation: process-start epoch ms + a counter. */
+    std::uint64_t idEpochMs_ = 0;
+    std::atomic<std::uint64_t> idCounter_{0};
+
+    /** Client-error response counts (tracked even unregistered). */
+    std::atomic<std::uint64_t> resp400_{0};
+    std::atomic<std::uint64_t> resp408_{0};
+    std::atomic<std::uint64_t> resp413_{0};
+
+    /** Per-route latency: [exact routes][prefix routes]["other"].
+     * Built by registerMetrics(); empty means metrics are off. */
+    std::vector<std::unique_ptr<RouteLatency>> routeLatency_;
+    std::vector<MetricsRegistry::Id> routeLatencyIds_;
+    MetricsRegistry::Id requestsTotalId_ = 0;
+    MetricsRegistry::Id resp400Id_ = 0;
+    MetricsRegistry::Id resp408Id_ = 0;
+    MetricsRegistry::Id resp413Id_ = 0;
+    bool metricsRegistered_ = false;
 };
 
 /** Status line and decoded body of one client-side HTTP exchange. */
@@ -189,6 +265,8 @@ struct HttpReply
 {
     int status = 0;
     std::string body;
+    /** The server-echoed X-Request-Id header (empty if absent). */
+    std::string requestId;
 };
 
 /**
@@ -198,7 +276,11 @@ struct HttpReply
  * (Content-Length framed) and returns the status and the decoded
  * response body — chunked transfer encoding is reassembled.
  * Returns nullopt with @p error set only on transport or protocol
- * failure; HTTP error statuses are returned to the caller.
+ * failure; HTTP error statuses are returned to the caller.  A
+ * non-empty @p requestId is sent as X-Request-Id so the exchange
+ * can be correlated with the server's access log and job spans;
+ * the server's echoed id comes back in HttpReply::requestId either
+ * way.
  */
 std::optional<HttpReply> httpRequest(const std::string &addr,
                                      const std::string &method,
@@ -207,7 +289,8 @@ std::optional<HttpReply> httpRequest(const std::string &addr,
                                      const std::string &contentType =
                                          "application/json",
                                      std::string *error = nullptr,
-                                     int timeoutMs = 5000);
+                                     int timeoutMs = 5000,
+                                     const std::string &requestId = "");
 
 /**
  * Convenience GET: body on a 200, nullopt with @p error set on any

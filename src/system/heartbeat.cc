@@ -5,6 +5,7 @@
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/slog.hh"
 #include "sim/stats_server.hh"
 #include "system/run_result.hh"
 
@@ -482,12 +483,20 @@ registerTelemetryRoutes(StatsServer &server,
         resp.body = heartbeat.runsJson(steadyNowMs(), stallMs) + "\n";
         return resp;
     });
+    server.route("/logs", [] {
+        HttpResponse resp;
+        resp.contentType = "application/x-ndjson";
+        resp.body = slog().renderJsonl(LogLevel::Debug,
+                                       std::size_t(-1));
+        return resp;
+    });
     server.route("/", [] {
         HttpResponse resp;
         resp.body = "vsnoop live telemetry\n"
                     "  /metrics  Prometheus text exposition\n"
                     "  /progress sweep-level progress JSON\n"
-                    "  /runs     per-run progress JSON\n";
+                    "  /runs     per-run progress JSON\n"
+                    "  /logs     recent log records (JSONL)\n";
         return resp;
     });
 }

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/metrics.hh"
+#include "sim/stats.hh"
 #include "trace/trace.hh"
 
 namespace vsnoop
@@ -199,6 +200,179 @@ TEST(TraceSinkMetrics, StagingWithoutRegistrationIsANoOp)
     registry.publish();
     EXPECT_NE(registry.renderPrometheus().find("vsnoop_unrelated 0\n"),
               std::string::npos);
+}
+
+/**
+ * Split @p text into the cumulative _bucket counts of @p name, in
+ * exposition order, plus its _sum and _count lines.
+ */
+void
+parseHistogram(const std::string &text, const std::string &name,
+               std::vector<double> *bucketCounts, double *sum,
+               double *count)
+{
+    bucketCounts->clear();
+    *sum = -1.0;
+    *count = -1.0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.rfind(name + "_bucket{", 0) == 0) {
+            std::size_t space = line.rfind(' ');
+            ASSERT_NE(space, std::string::npos);
+            bucketCounts->push_back(
+                std::stod(line.substr(space + 1)));
+        } else if (line.rfind(name + "_sum ", 0) == 0) {
+            *sum = std::stod(line.substr(name.size() + 5));
+        } else if (line.rfind(name + "_count ", 0) == 0) {
+            *count = std::stod(line.substr(name.size() + 7));
+        }
+    }
+}
+
+TEST(MetricsRegistry, HistogramExpositionIsCumulativeAndConsistent)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Id id = registry.addHistogram(
+        "vsnoop_test_latency_us", "Test latencies.");
+    registry.freeze();
+    EXPECT_EQ(registry.slotCount(id),
+              LatencyHistogram::kNumBuckets + 2);
+
+    LatencyHistogram hist;
+    hist.sample(0.0);
+    hist.sample(1.0);
+    hist.sample(100.0);
+    hist.sample(1e18); // lands in the clamping top bucket
+    registry.setHistogram(id, hist);
+    registry.publish();
+
+    std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("# TYPE vsnoop_test_latency_us histogram"),
+              std::string::npos)
+        << text;
+
+    std::vector<double> buckets;
+    double sum = 0.0, count = 0.0;
+    parseHistogram(text, "vsnoop_test_latency_us", &buckets, &sum,
+                   &count);
+    // Finite buckets plus the +Inf bucket.
+    ASSERT_EQ(buckets.size(), LatencyHistogram::kNumBuckets);
+    // Cumulative counts never decrease, and +Inf equals _count.
+    for (std::size_t i = 1; i < buckets.size(); ++i)
+        EXPECT_GE(buckets[i], buckets[i - 1]) << i;
+    EXPECT_EQ(buckets.back(), 4.0);
+    EXPECT_EQ(count, 4.0);
+    EXPECT_EQ(sum, hist.sum());
+    // The clamped sample is only in +Inf, not any finite bucket.
+    EXPECT_EQ(buckets[buckets.size() - 2], 3.0);
+}
+
+TEST(MetricsRegistry, HistogramSnapshotsAreConsistentUnderWriter)
+{
+    // One thread samples and stages/publishes (the single-publisher
+    // contract); a reader renders concurrently and checks every
+    // snapshot for internal consistency: monotone buckets, +Inf ==
+    // _count, and _sum exactly the sum of a prefix of the sampled
+    // values (every published snapshot is some consistent prefix).
+    MetricsRegistry registry;
+    MetricsRegistry::Id id = registry.addHistogram(
+        "vsnoop_test_hist", "Concurrency probe.");
+    registry.freeze();
+
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> torn{0};
+    std::thread reader([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            std::string text = registry.renderPrometheus();
+            std::vector<double> buckets;
+            double sum = 0.0, count = 0.0;
+            parseHistogram(text, "vsnoop_test_hist", &buckets, &sum,
+                           &count);
+            if (buckets.empty())
+                continue;
+            for (std::size_t i = 1; i < buckets.size(); ++i)
+                if (buckets[i] < buckets[i - 1])
+                    ++torn;
+            if (buckets.back() != count)
+                ++torn;
+            // Every sample below is 3.0, so _sum must be 3*_count.
+            if (sum != 3.0 * count)
+                ++torn;
+        }
+    });
+
+    LatencyHistogram hist;
+    for (int i = 0; i < 2000; ++i) {
+        hist.sample(3.0);
+        registry.setHistogram(id, hist);
+        registry.publish();
+    }
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(torn.load(), 0u);
+    std::string text = registry.renderPrometheus();
+    std::vector<double> buckets;
+    double sum = 0.0, count = 0.0;
+    parseHistogram(text, "vsnoop_test_hist", &buckets, &sum, &count);
+    EXPECT_EQ(count, 2000.0);
+    EXPECT_EQ(sum, 6000.0);
+}
+
+TEST(MetricsRegistry, HistogramsCoexistWithScalarSeries)
+{
+    // Histograms occupy a slot range; scalar series registered
+    // around one must keep reading their own values.
+    MetricsRegistry registry;
+    MetricsRegistry::Id before =
+        registry.addCounter("vsnoop_test_before_total", "Before.");
+    MetricsRegistry::Id hist_id =
+        registry.addHistogram("vsnoop_test_mid", "Middle.");
+    MetricsRegistry::Id after =
+        registry.addGauge("vsnoop_test_after", "After.");
+    registry.freeze();
+
+    EXPECT_EQ(registry.slotBase(after),
+              registry.slotBase(hist_id) +
+                  LatencyHistogram::kNumBuckets + 2);
+
+    LatencyHistogram hist;
+    hist.sample(5.0);
+    registry.set(before, 7.0);
+    registry.setHistogram(hist_id, hist);
+    registry.set(after, 9.0);
+    registry.publish();
+
+    std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("vsnoop_test_before_total 7\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vsnoop_test_after 9\n"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vsnoop_test_mid_count 1\n"),
+              std::string::npos)
+        << text;
+}
+
+TEST(MetricsRegistry, BuildInfoGaugeCarriesProvenanceLabels)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Id id = registerBuildInfo(registry);
+    registry.freeze();
+    registry.set(id, 1.0);
+    registry.publish();
+
+    std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("vsnoop_build_info{"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("version="), std::string::npos) << text;
+    EXPECT_NE(text.find("compiler="), std::string::npos) << text;
+    EXPECT_NE(text.find("} 1\n"), std::string::npos) << text;
 }
 
 } // namespace

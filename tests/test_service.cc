@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,8 +23,11 @@
 #include "service/result_store.hh"
 #include "service/sweep_wire.hh"
 #include "sim/json.hh"
+#include "sim/metrics.hh"
+#include "sim/slog.hh"
 #include "sim/stats_server.hh"
 #include "system/sweep.hh"
+#include "trace/job_trace.hh"
 
 namespace vsnoop::test
 {
@@ -509,6 +513,207 @@ TEST(JobApi, RejectsMalformedSubmissionsWithActionableErrors)
                         &error);
     ASSERT_TRUE(reply.has_value()) << error;
     EXPECT_EQ(reply->status, 404);
+
+    queue.shutdown();
+    server.stop();
+}
+
+// ---------------------------------------------------------------
+// Observability: age GC, lifecycle spans, request-id threading
+// ---------------------------------------------------------------
+
+TEST(ResultStore, AgeGcEvictsOldObjectsAndCountsThem)
+{
+    fs::path dir = freshDir("age_gc");
+    ResultStore store;
+    store.setMaxAge(3600);
+    std::string error;
+    ASSERT_TRUE(store.open(dir.string(), 1 << 20, &error)) << error;
+
+    store.put("fresh", "{\"run\":\"f\"}");
+    store.put("stale", "{\"run\":\"s\"}");
+    // Nothing is over an hour old yet.
+    EXPECT_EQ(store.evictExpired(), 0u);
+
+    // Backdate the stale object two hours.
+    fs::path object = dir / "objects" / contentHash("stale");
+    fs::last_write_time(object, fs::last_write_time(object) -
+                                    std::chrono::hours(2));
+
+    EXPECT_EQ(store.evictExpired(), 1u);
+    EXPECT_EQ(store.expired(), 1u);
+    EXPECT_EQ(store.entryCount(), 1u);
+    EXPECT_FALSE(store.get("stale").has_value());
+    EXPECT_TRUE(store.get("fresh").has_value());
+    EXPECT_FALSE(fs::exists(object));
+
+    // open() applies the cutoff too: backdate the survivor and
+    // reopen — the entry must not be adopted.
+    fs::path fresh_object = dir / "objects" / contentHash("fresh");
+    fs::last_write_time(fresh_object,
+                        fs::last_write_time(fresh_object) -
+                            std::chrono::hours(2));
+    ResultStore reopened;
+    reopened.setMaxAge(3600);
+    ASSERT_TRUE(reopened.open(dir.string(), 1 << 20, &error))
+        << error;
+    EXPECT_EQ(reopened.entryCount(), 0u);
+    EXPECT_EQ(reopened.expired(), 1u);
+
+    // maxAge 0 (the default) disables age GC entirely.
+    ResultStore unaged;
+    ASSERT_TRUE(unaged.open(dir.string(), 1 << 20, &error)) << error;
+    EXPECT_EQ(unaged.evictExpired(), 0u);
+    fs::remove_all(dir);
+}
+
+TEST(JobQueue, LifecycleSpansTileSubmitToDone)
+{
+    JobTraceRecorder trace;
+    JobQueue queue(nullptr, 2, &trace);
+    std::string error;
+    std::uint64_t id =
+        queue.submit(tinyMatrix(), "spans", &error, "span-req-1");
+    ASSERT_NE(id, 0u) << error;
+    JobStatus status = awaitTerminal(queue, id);
+    EXPECT_EQ(status.state, JobState::Done);
+    EXPECT_EQ(status.requestId, "span-req-1");
+
+    const JobSpan *queue_wait = nullptr;
+    const JobSpan *execute = nullptr;
+    std::size_t runs = 0;
+    std::vector<JobSpan> spans = trace.spans();
+    for (const JobSpan &span : spans) {
+        if (span.job != id)
+            continue;
+        EXPECT_EQ(span.requestId, "span-req-1") << span.name;
+        if (span.name == "queue-wait")
+            queue_wait = &span;
+        else if (span.name == "execute")
+            execute = &span;
+        else if (span.name == "run") {
+            ++runs;
+            EXPECT_GE(span.slot, 0);
+        }
+    }
+    ASSERT_NE(queue_wait, nullptr);
+    ASSERT_NE(execute, nullptr);
+    EXPECT_EQ(runs, 2u);
+
+    // The two job-level spans tile [submitted, finished] exactly,
+    // so their durations sum to the job's submit-to-done latency.
+    EXPECT_EQ(queue_wait->beginMs, status.submittedMs);
+    EXPECT_EQ(queue_wait->endMs, status.startedMs);
+    EXPECT_EQ(execute->beginMs, status.startedMs);
+    EXPECT_EQ(execute->endMs, status.finishedMs);
+    EXPECT_EQ((queue_wait->endMs - queue_wait->beginMs) +
+                  (execute->endMs - execute->beginMs),
+              status.finishedMs - status.submittedMs);
+
+    // Every uncached slot left a cache-miss instant.
+    std::size_t misses = 0;
+    for (const JobInstant &instant : trace.instants())
+        if (instant.job == id && instant.name == "cache-miss")
+            ++misses;
+    EXPECT_EQ(misses, 2u);
+
+    // The Chrome-trace export is one JSON document with an event
+    // per span/instant plus per-track metadata.
+    std::ostringstream out;
+    trace.writeChromeTrace(out);
+    std::optional<JsonValue> doc = parseJson(out.str());
+    ASSERT_TRUE(doc.has_value());
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    EXPECT_GE(events->items().size(),
+              spans.size() + trace.instants().size());
+}
+
+TEST(JobQueue, QueueWaitHistogramReconcilesWithSubmissions)
+{
+    MetricsRegistry registry;
+    JobQueue queue(nullptr, 2);
+    queue.registerMetrics(registry);
+    registry.freeze();
+
+    std::string error;
+    std::uint64_t first =
+        queue.submit(tinyMatrix(), "one", &error);
+    ASSERT_NE(first, 0u) << error;
+    awaitTerminal(queue, first);
+    std::uint64_t second =
+        queue.submit(tinyMatrix(), "two", &error);
+    ASSERT_NE(second, 0u) << error;
+    awaitTerminal(queue, second);
+
+    queue.stageMetrics(registry);
+    registry.publish();
+    std::string text = registry.renderPrometheus();
+    // Every submitted job left Queued exactly once, and every
+    // executed run was timed: the histogram counts reconcile with
+    // the job counters.
+    EXPECT_NE(text.find("vsnoop_job_queue_wait_ms_count 2\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vsnoop_job_run_execute_ms_count 4\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vsnoop_jobs_submitted_total 2\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vsnoop_job_runs_executed_total 4\n"),
+              std::string::npos)
+        << text;
+}
+
+TEST(JobApi, RequestIdsThreadFromSubmissionToStatus)
+{
+    JobQueue queue(nullptr, 2);
+    StatsServer server;
+    registerJobRoutes(server, queue);
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    std::string body =
+        writeSweepRequestJson(tinyMatrix(), "rid-e2e");
+    std::optional<HttpReply> reply =
+        httpRequest(server.address(), "POST", "/jobs", body,
+                    "application/json", &error, 5000, "client-rid-7");
+    ASSERT_TRUE(reply.has_value()) << error;
+    ASSERT_EQ(reply->status, 200) << reply->body;
+    // Echoed on the wire and in the acceptance body.
+    EXPECT_EQ(reply->requestId, "client-rid-7");
+    std::optional<JsonValue> accepted = parseJson(reply->body);
+    ASSERT_TRUE(accepted.has_value());
+    EXPECT_EQ(accepted->stringAt("request_id"), "client-rid-7");
+    std::uint64_t id =
+        static_cast<std::uint64_t>(accepted->numberAt("job"));
+
+    // The id sticks to the job for its whole life: the status JSON
+    // reports the submitting request's id on every later poll.
+    awaitTerminal(queue, id);
+    reply = httpRequest(server.address(), "GET",
+                        "/jobs/" + std::to_string(id), "", "",
+                        &error);
+    ASSERT_TRUE(reply.has_value()) << error;
+    ASSERT_EQ(reply->status, 200);
+    std::optional<JsonValue> status = parseJson(reply->body);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->stringAt("request_id"), "client-rid-7");
+    // The poll itself got its own server-generated id.
+    EXPECT_FALSE(reply->requestId.empty());
+    EXPECT_NE(reply->requestId, "client-rid-7");
+
+    // The submission left a correlatable structured log record.
+    bool logged = false;
+    for (const LogRecord &r : slog().tail())
+        if (r.json.find("\"msg\":\"job_submitted\"") !=
+                std::string::npos &&
+            r.json.find("\"request_id\":\"client-rid-7\"") !=
+                std::string::npos)
+            logged = true;
+    EXPECT_TRUE(logged);
 
     queue.shutdown();
     server.stop();

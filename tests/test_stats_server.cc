@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/metrics.hh"
+#include "sim/slog.hh"
 #include "sim/stats_server.hh"
 
 namespace vsnoop
@@ -294,6 +295,151 @@ TEST(StatsServer, StalledClientsAreDroppedNotWedged)
         httpGet(server.address(), "/ok", &error);
     ASSERT_TRUE(body.has_value()) << error;
     EXPECT_EQ(*body, "ok\n");
+}
+
+TEST(StatsServer, ResponsesEchoOrGenerateRequestIds)
+{
+    StatsServer server;
+    server.route("/hello", [] {
+        HttpResponse resp;
+        resp.body = "hi\n";
+        return resp;
+    });
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    // A client-supplied id is echoed verbatim...
+    std::optional<HttpReply> reply =
+        httpRequest(server.address(), "GET", "/hello", "", "",
+                    &error, 5000, "my-id-123");
+    ASSERT_TRUE(reply.has_value()) << error;
+    EXPECT_EQ(reply->requestId, "my-id-123");
+
+    // ...and a request without one gets a server-generated id.
+    reply = httpRequest(server.address(), "GET", "/hello", "", "",
+                        &error);
+    ASSERT_TRUE(reply.has_value()) << error;
+    EXPECT_FALSE(reply->requestId.empty());
+    EXPECT_EQ(reply->requestId[0], 'r');
+
+    // The header is on the raw wire too, error responses included.
+    std::string raw = rawExchange(server.port(),
+                                  "GET /hello HTTP/1.1\r\n"
+                                  "X-Request-Id: wire-id\r\n\r\n");
+    EXPECT_NE(raw.find("X-Request-Id: wire-id"), std::string::npos)
+        << raw;
+    raw = rawExchange(server.port(), "GARBAGE\r\n\r\n");
+    EXPECT_NE(raw.find("X-Request-Id: "), std::string::npos) << raw;
+}
+
+/** http_access records logged past @p sinceSeq with @p status. */
+std::size_t
+accessLogCount(std::uint64_t sinceSeq, int status)
+{
+    std::size_t matches = 0;
+    std::string needle =
+        "\"status\":" + std::to_string(status) + ",";
+    for (const LogRecord &r : slog().tail()) {
+        if (r.seq <= sinceSeq)
+            continue;
+        if (r.json.find("\"msg\":\"http_access\"") ==
+            std::string::npos)
+            continue;
+        if (r.json.find(needle) != std::string::npos)
+            ++matches;
+    }
+    return matches;
+}
+
+TEST(StatsServer, ClientErrorsAreCountedAndAccessLogged)
+{
+    StatsServer server;
+    server.routePrefix("POST", "/sink", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    server.setMaxBodyBytes(64);
+    server.setReadTimeoutMs(100);
+    MetricsRegistry registry;
+    server.registerMetrics(registry);
+    registry.freeze();
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    std::uint64_t seq0 = slog().recorded();
+    std::string raw = rawExchange(server.port(), "GARBAGE\r\n\r\n");
+    EXPECT_NE(raw.find("400"), std::string::npos);
+    raw = rawExchange(server.port(),
+                      "POST /sink HTTP/1.1\r\nContent-Length: "
+                      "1000\r\n\r\n" + std::string(1000, 'x'));
+    EXPECT_NE(raw.find("413"), std::string::npos);
+    raw = rawExchange(server.port(), "GET /sink HTTP/1.1\r\nX: ",
+                      false);
+    EXPECT_NE(raw.find("408"), std::string::npos);
+
+    EXPECT_EQ(server.clientErrors(400), 1u);
+    EXPECT_EQ(server.clientErrors(413), 1u);
+    EXPECT_EQ(server.clientErrors(408), 1u);
+
+    // Every rejected request still produced one access-log record.
+    EXPECT_EQ(accessLogCount(seq0, 400), 1u);
+    EXPECT_EQ(accessLogCount(seq0, 413), 1u);
+    EXPECT_EQ(accessLogCount(seq0, 408), 1u);
+
+    server.stageMetrics(registry);
+    registry.publish();
+    std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find(
+                  "vsnoop_http_responses_total{code=\"400\"} 1\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find(
+                  "vsnoop_http_responses_total{code=\"408\"} 1\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find(
+                  "vsnoop_http_responses_total{code=\"413\"} 1\n"),
+              std::string::npos)
+        << text;
+}
+
+TEST(StatsServer, PerRouteLatencyHistogramsCountRequests)
+{
+    StatsServer server;
+    server.route("/hello", [] {
+        HttpResponse resp;
+        resp.body = "hi\n";
+        return resp;
+    });
+    MetricsRegistry registry;
+    server.registerMetrics(registry);
+    registry.freeze();
+    std::string error;
+    ASSERT_TRUE(server.start("127.0.0.1:0", &error)) << error;
+
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(
+            httpGet(server.address(), "/hello", &error).has_value())
+            << error;
+    // A 404 never reaches a handler: it lands in the "other"
+    // bucket, not a route's.
+    httpGet(server.address(), "/missing", &error);
+
+    server.stageMetrics(registry);
+    registry.publish();
+    std::string text = registry.renderPrometheus();
+    EXPECT_NE(
+        text.find("vsnoop_http_request_duration_us_count"
+                  "{route=\"GET /hello\"} 3\n"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vsnoop_http_request_duration_us_count"
+                        "{route=\"other\"} 1\n"),
+              std::string::npos)
+        << text;
+    // _count reconciles with the request counter.
+    EXPECT_NE(text.find("vsnoop_http_requests_total 4\n"),
+              std::string::npos)
+        << text;
 }
 
 TEST(StatsServer, ServesALiveRegistrySnapshot)

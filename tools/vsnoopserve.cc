@@ -13,6 +13,13 @@
  *   curl -d @matrix.json http://127.0.0.1:8100/jobs
  *   curl http://127.0.0.1:8100/jobs/1/results
  *
+ * Observability: stderr carries one JSON object per log line
+ * (structured access logs, job transitions, cache evictions);
+ * GET /logs replays the most recent records with an optional
+ * ?level= filter; /metrics includes latency histograms, build
+ * info, and uptime; --trace-jobs exports every job's lifecycle
+ * spans as a Perfetto-loadable Chrome trace on shutdown.
+ *
  * SIGINT/SIGTERM drains in-flight runs, cancels queued jobs, and
  * exits 0 after a summary.  A second signal kills immediately.
  */
@@ -21,6 +28,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -33,7 +41,9 @@
 #include "service/result_store.hh"
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
+#include "sim/slog.hh"
 #include "sim/stats_server.hh"
+#include "trace/job_trace.hh"
 
 using namespace vsnoop;
 
@@ -64,6 +74,15 @@ usage()
         "                        with 413 (default 1024)\n"
         "  --read-timeout-ms N   drop clients stalled longer than N\n"
         "                        ms mid-request (default 5000)\n"
+        "  --store-max-age DUR   evict cached runs older than DUR\n"
+        "                        (<N>[s|m|h|d], e.g. 7d; checked at\n"
+        "                        startup and periodically; default\n"
+        "                        off)\n"
+        "  --trace-jobs FILE     write every job's lifecycle spans\n"
+        "                        as a Chrome trace (Perfetto) to\n"
+        "                        FILE on shutdown\n"
+        "  --log-ring N          keep the last N log records for\n"
+        "                        GET /logs (default 1024)\n"
         "  --help                this text\n"
         "\n"
         "HTTP API:\n"
@@ -74,6 +93,8 @@ usage()
         "                             chunked, matrix order)\n"
         "  DELETE /jobs/<id>          cancel\n"
         "  GET    /metrics            Prometheus text format\n"
+        "  GET    /logs               recent log records (JSONL;\n"
+        "                             ?level=warn&n=100 filters)\n"
         "\n"
         "Results are byte-identical to offline vsnoopsweep output\n"
         "for the same matrix; identical submissions are served from\n"
@@ -125,6 +146,29 @@ parseUint(const std::string &flag, const std::string &value)
     return parsed;
 }
 
+/** "<N>[s|m|h|d]" (bare N = seconds) -> seconds. */
+std::int64_t
+parseDuration(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str())
+        die(flag + " expects <N>[s|m|h|d], got '" + value + "'");
+    std::string suffix(end);
+    std::uint64_t mult = 0;
+    if (suffix.empty() || suffix == "s")
+        mult = 1;
+    else if (suffix == "m")
+        mult = 60;
+    else if (suffix == "h")
+        mult = 3600;
+    else if (suffix == "d")
+        mult = 86400;
+    else
+        die(flag + " expects <N>[s|m|h|d], got '" + value + "'");
+    return static_cast<std::int64_t>(n * mult);
+}
+
 std::vector<std::string>
 normalizeArgs(int argc, char **argv)
 {
@@ -155,6 +199,9 @@ main(int argc, char **argv)
     unsigned http_threads = 8;
     std::uint64_t max_body_kb = 1024;
     std::uint64_t read_timeout_ms = 5000;
+    std::int64_t store_max_age_s = 0;
+    std::string trace_jobs_path;
+    std::uint64_t log_ring = 1024;
 
     std::vector<std::string> args = normalizeArgs(argc, argv);
     auto next_value = [&](std::size_t &i, const std::string &flag) {
@@ -189,27 +236,43 @@ main(int argc, char **argv)
             read_timeout_ms = parseUint(flag, next_value(i, flag));
             if (read_timeout_ms == 0)
                 die("--read-timeout-ms must be at least 1");
+        } else if (flag == "--store-max-age") {
+            store_max_age_s = parseDuration(flag, next_value(i, flag));
+        } else if (flag == "--trace-jobs") {
+            trace_jobs_path = next_value(i, flag);
+        } else if (flag == "--log-ring") {
+            log_ring = parseUint(flag, next_value(i, flag));
+            if (log_ring == 0)
+                die("--log-ring must be at least 1");
         } else {
             die("unknown flag '" + flag + "' (try --help)");
         }
     }
 
-    quietLogging(true);
+    // Every log line on stderr is one JSON object (structured
+    // access/job/eviction records); the plain-text banner and final
+    // summary below are the only exceptions.
+    quietLogging(false);
+    slog().setRingCapacity(static_cast<std::size_t>(log_ring));
+    slog().setJsonStderr(true);
 
     ResultStore store;
+    store.setMaxAge(store_max_age_s);
     std::string error;
     if (!store.open(cache_dir, cache_max_mb * 1024 * 1024, &error))
         die("--cache-dir " + cache_dir + ": " + error);
 
-    MetricsRegistry registry;
-    store.registerMetrics(registry);
+    // Lifecycle spans are recorded only when they will be written
+    // out — the recorder keeps every span until shutdown.
+    JobTraceRecorder trace;
+    JobTraceRecorder *tracePtr =
+        trace_jobs_path.empty() ? nullptr : &trace;
     // Handlers reference the queue, so it must outlive the server's
     // worker threads: constructed before the server, destroyed
     // after it on every exit path.
-    JobQueue queue(&store, jobs);
-    queue.registerMetrics(registry);
-    registry.freeze();
+    JobQueue queue(&store, jobs, tracePtr);
 
+    MetricsRegistry registry;
     StatsServer server;
     server.setWorkers(http_threads);
     server.setMaxBodyBytes(max_body_kb * 1024);
@@ -223,7 +286,8 @@ main(int argc, char **argv)
             "  GET    /jobs/<id>          status\n"
             "  GET    /jobs/<id>/results  stream results (JSONL)\n"
             "  DELETE /jobs/<id>          cancel\n"
-            "  GET    /metrics            Prometheus text format\n";
+            "  GET    /metrics            Prometheus text format\n"
+            "  GET    /logs               recent log records (JSONL)\n";
         return resp;
     });
     server.route("/metrics", [&registry] {
@@ -233,6 +297,66 @@ main(int argc, char **argv)
         return resp;
     });
     registerJobRoutes(server, queue);
+    server.routePrefix("GET", "/logs", [](const HttpRequest &request) {
+        HttpResponse resp;
+        if (request.path != "/logs") {
+            resp.status = 404;
+            resp.body = "not found\n";
+            return resp;
+        }
+        LogLevel min_level = LogLevel::Debug;
+        std::size_t max_count = std::size_t(-1);
+        // Query is "k=v&k=v"; unknown keys are ignored, a bad
+        // level or count is a client error.
+        const std::string &q = request.query;
+        for (std::size_t pos = 0; pos < q.size();) {
+            std::size_t amp = q.find('&', pos);
+            if (amp == std::string::npos)
+                amp = q.size();
+            std::string pair = q.substr(pos, amp - pos);
+            pos = amp + 1;
+            std::size_t eq = pair.find('=');
+            if (eq == std::string::npos)
+                continue;
+            std::string key = pair.substr(0, eq);
+            std::string value = pair.substr(eq + 1);
+            if (key == "level") {
+                std::optional<LogLevel> parsed =
+                    parseLogLevel(value);
+                if (!parsed) {
+                    resp.status = 400;
+                    resp.body = "unknown level '" + value +
+                                "' (debug|info|warn|error)\n";
+                    return resp;
+                }
+                min_level = *parsed;
+            } else if (key == "n") {
+                char *end = nullptr;
+                std::uint64_t n =
+                    std::strtoull(value.c_str(), &end, 10);
+                if (end == value.c_str() || *end != '\0' || n == 0) {
+                    resp.status = 400;
+                    resp.body = "n expects a positive integer\n";
+                    return resp;
+                }
+                max_count = static_cast<std::size_t>(n);
+            }
+        }
+        resp.contentType = "application/x-ndjson";
+        resp.body = slog().renderJsonl(min_level, max_count);
+        return resp;
+    });
+
+    // All routes are known now; register their series, then the
+    // store's and the queue's, and freeze the layout.
+    store.registerMetrics(registry);
+    queue.registerMetrics(registry);
+    server.registerMetrics(registry);
+    MetricsRegistry::Id build_info_id = registerBuildInfo(registry);
+    MetricsRegistry::Id uptime_id = registry.addGauge(
+        "vsnoop_uptime_seconds", "Seconds since the server started");
+    registry.freeze();
+    registry.set(build_info_id, 1.0);
 
     if (!server.start(addr, &error))
         die("--addr " + addr + ": " + error);
@@ -244,10 +368,21 @@ main(int argc, char **argv)
     installSignalHandlers();
 
     // Main thread doubles as the registry's single publisher.
+    const auto started = std::chrono::steady_clock::now();
+    std::uint64_t cycles = 0;
     while (g_signal == 0) {
         store.stageMetrics(registry);
         queue.stageMetrics(registry);
+        server.stageMetrics(registry);
+        registry.set(
+            uptime_id,
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - started)
+                .count());
         registry.publish();
+        // Age out stale cache objects roughly once a minute.
+        if (store_max_age_s > 0 && ++cycles % 240 == 0)
+            store.evictExpired();
         std::this_thread::sleep_for(std::chrono::milliseconds(250));
     }
 
@@ -255,6 +390,16 @@ main(int argc, char **argv)
     // server so workers drain, then a final summary.
     queue.shutdown();
     server.stop();
+
+    if (!trace_jobs_path.empty()) {
+        std::ofstream out(trace_jobs_path,
+                          std::ios::binary | std::ios::trunc);
+        if (out)
+            trace.writeChromeTrace(out);
+        if (!out.good())
+            std::cerr << "vsnoopserve: cannot write --trace-jobs "
+                      << trace_jobs_path << "\n";
+    }
     std::cerr << "vsnoopserve: " << queue.jobsSubmitted()
               << " jobs submitted, " << queue.jobsCompleted()
               << " done, " << queue.jobsFailed() << " failed, "

@@ -318,8 +318,21 @@ runSubmit(const SweepMatrix &matrix, const std::string &addr,
 {
     std::string error;
     std::string body = writeSweepRequestJson(matrix, "vsnoopsweep");
-    std::optional<HttpReply> reply = httpRequest(
-        addr, "POST", "/jobs", body, "application/json", &error);
+    // A client-chosen correlation id: the server echoes it in the
+    // X-Request-Id response header, its access log, and the job's
+    // status JSON, so one grep ties this submission to its whole
+    // server-side lifecycle.
+    char request_id[64];
+    std::snprintf(
+        request_id, sizeof request_id, "sweep-%ld-%llx",
+        static_cast<long>(getpid()),
+        static_cast<unsigned long long>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count()));
+    std::optional<HttpReply> reply =
+        httpRequest(addr, "POST", "/jobs", body, "application/json",
+                    &error, 5000, request_id);
     if (!reply)
         die("--submit " + addr + ": " + error);
     if (reply->status != 200)
@@ -333,7 +346,10 @@ runSubmit(const SweepMatrix &matrix, const std::string &addr,
     std::uint64_t total =
         static_cast<std::uint64_t>(accepted->numberAt("runs_total"));
     std::cerr << "vsnoopsweep: submitted job " << id << " (" << total
-              << " runs) to http://" << addr << "\n";
+              << " runs) to http://" << addr << ", request id "
+              << (reply->requestId.empty() ? request_id
+                                           : reply->requestId.c_str())
+              << "\n";
 
     bool cancel_sent = false;
     std::string state = "queued";

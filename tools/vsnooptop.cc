@@ -213,6 +213,60 @@ struct DashboardState
 /** Rows shown in the job-queue frame before older jobs are elided. */
 constexpr std::size_t kMaxJobRows = 20;
 
+/** Warn/error rows of the log tail appended below the dashboard. */
+constexpr std::size_t kLogTailRows = 8;
+
+/**
+ * A "recent warnings" panel built from the endpoint's GET /logs
+ * ring (structured JSONL): the newest kLogTailRows warn/error
+ * records.  Empty when the endpoint has no /logs (older build) or
+ * nothing has gone wrong.
+ */
+std::string
+renderLogTail(const std::string &addr)
+{
+    std::string error;
+    std::optional<std::string> body =
+        httpGet(addr, "/logs?level=warn&n=64", &error);
+    if (!body || body->empty())
+        return "";
+    // Filter client-side too: exact-route /logs endpoints ignore
+    // the query and return the whole ring.
+    std::deque<std::string> rows;
+    std::size_t pos = 0;
+    while (pos < body->size()) {
+        std::size_t eol = body->find('\n', pos);
+        if (eol == std::string::npos)
+            eol = body->size();
+        std::string line = body->substr(pos, eol - pos);
+        pos = eol + 1;
+        std::optional<JsonValue> rec = parseJson(line);
+        if (!rec || !rec->isObject())
+            continue;
+        std::string level = rec->stringAt("level");
+        if (level != "warn" && level != "error")
+            continue;
+        char row[256];
+        std::snprintf(row, sizeof row, "%s%-5s%s #%-6.0f %s\n",
+                      level == "error" ? kRed : kYellow,
+                      level.c_str(), kReset, rec->numberAt("seq"),
+                      rec->stringAt("msg").c_str());
+        rows.push_back(row);
+        while (rows.size() > kLogTailRows)
+            rows.pop_front();
+    }
+    if (rows.empty())
+        return "";
+    std::string panel = "\n";
+    panel += kBold;
+    panel += "recent warnings";
+    panel += kReset;
+    panel += '\n';
+    for (const std::string &row : rows)
+        panel += row;
+    return panel;
+}
+
 /**
  * The vsnoopserve fallback: render the job queue when the endpoint
  * serves /jobs instead of /progress.  Returns nullopt when /jobs is
@@ -508,6 +562,7 @@ main(int argc, char **argv)
             return 0;
         }
         connected = true;
+        *frame += renderLogTail(addr);
         if (once) {
             std::cout << *frame;
             return 0;
