@@ -39,15 +39,24 @@
  * Like bench_baseline, this deliberately ignores
  * VSNOOP_BENCH_SCALE: the matrix must be identical across
  * regenerations to be comparable.
+ *
+ * Perf-as-time-series: --append-history FILE appends one
+ * provenance-stamped JSONL record (git describe, compiler, wall
+ * timestamp, per-phase rates) per invocation, building the history
+ * that vsnoopreport --trend charts.  A binary configured from a
+ * dirty checkout refuses to append (its numbers would be pinned to
+ * no commit) unless --allow-dirty explicitly marks the record.
  */
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "sim/json.hh"
 #include "sim/profiler.hh"
+#include "sim/version.hh"
 #include "system/run_result.hh"
 #include "system/sweep.hh"
 
@@ -111,11 +120,98 @@ writePhase(JsonWriter &json, const PhaseResult &p)
     json.endObject();
 }
 
+/** One history record: provenance + per-phase rates, one line. */
+std::string
+historyRecord(const std::vector<PhaseResult> &phases,
+              const PhaseResult &total, bool dirty)
+{
+    auto now_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    JsonWriter json;
+    json.beginObject();
+    json.key("timestamp_ms").value(now_ms);
+    writeBuildMeta(json);
+    json.key("dirty").value(dirty);
+    json.key("phases").beginArray();
+    for (const PhaseResult &p : phases)
+        writePhase(json, p);
+    json.endArray();
+    json.key("total");
+    writePhase(json, total);
+    json.endObject();
+    return json.str();
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string history_path;
+    bool allow_dirty = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value;
+        std::size_t eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        }
+        if (arg == "--append-history") {
+            if (value.empty()) {
+                if (i + 1 >= argc) {
+                    std::cerr << "bench_selfperf: --append-history "
+                                 "requires a file path\n";
+                    return 2;
+                }
+                value = argv[++i];
+            }
+            history_path = value;
+        } else if (arg == "--allow-dirty") {
+            allow_dirty = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout <<
+                "bench_selfperf — simulator self-performance "
+                "benchmark\n"
+                "\n"
+                "usage: bench_selfperf [--append-history FILE "
+                "[--allow-dirty]]\n"
+                "\n"
+                "Writes the BENCH_selfperf.json record to stdout.\n"
+                "  --append-history FILE  also append one JSONL\n"
+                "                         history record (for\n"
+                "                         vsnoopreport --trend);\n"
+                "                         refused from a -dirty\n"
+                "                         build unless --allow-dirty\n"
+                "  --allow-dirty          append anyway, with\n"
+                "                         \"dirty\": true in the\n"
+                "                         record\n";
+            return 0;
+        } else {
+            std::cerr << "bench_selfperf: unknown flag '" << arg
+                      << "' (try --help)\n";
+            return 2;
+        }
+    }
+
+    bool dirty =
+        std::string(gitDescribe()).find("-dirty") != std::string::npos;
+    if (dirty) {
+        std::cerr
+            << "bench_selfperf: WARNING: built from a dirty checkout "
+               "(" << gitDescribe() << ");\n"
+            << "bench_selfperf: WARNING: these numbers are pinned to "
+               "no commit — do not archive them\n";
+    }
+    if (!history_path.empty() && dirty && !allow_dirty) {
+        std::cerr << "bench_selfperf: refusing --append-history from "
+                     "a dirty build; commit first or pass "
+                     "--allow-dirty\n";
+        return 2;
+    }
+
     // The shared base: the bench-standard scaled-down system (see
     // bench_util.hh), sized so the full matrix finishes in tens of
     // seconds even on the slowest CI host.
@@ -179,8 +275,29 @@ main()
     writePhase(json, total);
     json.endObject();
     writeBuildMeta(json);
+    // Flagged only when set, so a clean regeneration's bytes match
+    // the historical schema exactly.
+    if (dirty)
+        json.key("dirty").value(true);
     json.endObject();
     std::cout << json.str() << "\n";
+
+    if (!history_path.empty()) {
+        std::ofstream history(history_path, std::ios::app);
+        if (!history) {
+            std::cerr << "bench_selfperf: cannot open history file '"
+                      << history_path << "'\n";
+            return 2;
+        }
+        history << historyRecord(phases, total, dirty) << "\n";
+        if (!history.flush()) {
+            std::cerr << "bench_selfperf: write to '" << history_path
+                      << "' failed\n";
+            return 2;
+        }
+        std::cerr << "bench_selfperf: appended history record ("
+                  << gitDescribe() << ") to " << history_path << "\n";
+    }
 
     // Human-readable summary on stderr so redirecting stdout to
     // BENCH_selfperf.json still shows the headline number.

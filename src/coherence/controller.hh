@@ -96,6 +96,17 @@ class CoherenceController
     /** Number of outstanding transactions. */
     std::size_t mshrCount() const { return mshrs_.size(); }
 
+    /** Allocated MSHR table slots. */
+    std::size_t mshrCapacity() const { return mshrs_.capacity(); }
+
+    /**
+     * Attach an internals counter block to the MSHR table
+     * (sim/perfmon.hh); nullptr detaches.  All controllers of one
+     * system share a single block, so it aggregates the chip's MSHR
+     * probe behavior.
+     */
+    void setMshrPerf(FlatTablePerf *perf) { mshrs_.setPerf(perf); }
+
     /**
      * Sum of tokens (and owner count) currently parked in full-miss
      * MSHRs, for the system-wide conservation check.

@@ -179,6 +179,51 @@ class CoherenceSystem
     CritPathAccountant *critpath() const { return critpath_; }
 
     /**
+     * Attach (or detach, with nullptr) the perfmon counter blocks
+     * (sim/perfmon.hh) to the protocol's FlatMap tables: every
+     * controller's MSHR table (one shared block — chip-aggregate
+     * probe behavior), the in-flight token ledger, and main
+     * memory's token ledger.  The block must outlive the system.
+     */
+    void
+    setPerf(PerfMon *perf)
+    {
+        FlatTablePerf *mshr_perf = perf ? &perf->mshrs : nullptr;
+        for (auto &controller : controllers_)
+            controller->setMshrPerf(mshr_perf);
+        inflight_.setPerf(perf ? &perf->inflight : nullptr);
+        memory_.setLedgerPerf(perf ? &perf->memoryLedger : nullptr);
+    }
+
+    /** Interval-sampled table occupancy (perfmon sampler hook). */
+    void
+    samplePerfOccupancy(PerfMon &perf) const
+    {
+        std::uint64_t mshr_entries = 0;
+        for (const auto &controller : controllers_)
+            mshr_entries += controller->mshrCount();
+        perf.mshrs.occupancy.sample(mshr_entries);
+        perf.inflight.occupancy.sample(inflight_.size());
+        perf.memoryLedger.occupancy.sample(memory_.ledgerSize());
+    }
+
+    /** End-of-run table size/capacity snapshot (perfmon results). */
+    void
+    capturePerfSizes(PerfMon &perf) const
+    {
+        perf.mshrs.endSize = 0;
+        perf.mshrs.endCapacity = 0;
+        for (const auto &controller : controllers_) {
+            perf.mshrs.endSize += controller->mshrCount();
+            perf.mshrs.endCapacity += controller->mshrCapacity();
+        }
+        perf.inflight.endSize = inflight_.size();
+        perf.inflight.endCapacity = inflight_.capacity();
+        perf.memoryLedger.endSize = memory_.ledgerSize();
+        perf.memoryLedger.endCapacity = memory_.ledgerCapacity();
+    }
+
+    /**
      * Verify token conservation and owner uniqueness across caches,
      * memory, MSHRs and in-flight messages.  Panics on violation.
      */

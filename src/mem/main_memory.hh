@@ -96,6 +96,15 @@ class MainMemory
     /** Number of lines whose tokens are (partially) cached. */
     std::size_t ledgerSize() const { return ledger_.size(); }
 
+    /** Allocated ledger table slots. */
+    std::size_t ledgerCapacity() const { return ledger_.capacity(); }
+
+    /**
+     * Attach an internals counter block to the token ledger
+     * (sim/perfmon.hh); nullptr detaches.
+     */
+    void setLedgerPerf(FlatTablePerf *perf) { ledger_.setPerf(perf); }
+
     /**
      * Pre-size the ledger for @p lines deviating entries (the
      * system reserves aggregate L2 capacity plus headroom up front

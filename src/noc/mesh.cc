@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/perfmon.hh"
 
 namespace vsnoop
 {
@@ -122,6 +123,8 @@ Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, MsgClass cls,
     Tick head = now;
     auto walkLeg = [&](std::size_t idx, std::ptrdiff_t stride,
                        std::uint32_t steps) {
+        if (perf_ != nullptr)
+            perf_->legLength.sample(steps);
         for (std::uint32_t s = 0; s < steps; ++s) {
             LinkState &link = links_[idx];
             Tick ready = head + routerPipeline_;
@@ -130,6 +133,11 @@ Mesh::send(NodeId src, NodeId dst, std::uint32_t bytes, MsgClass cls,
                 if (info != nullptr)
                     info->queueWait += link.free - ready;
             }
+            // Zero-wait hops land in bucket 0, so the histogram is
+            // the full backlog distribution, not just its tail.
+            if (perf_ != nullptr)
+                perf_->sendBacklog.sample(
+                    link.free > ready ? link.free - ready : 0);
             Tick start = std::max(ready, link.free);
             link.free = start + occupancy;
             link.byteHops[ci] += linkBytesCarried;

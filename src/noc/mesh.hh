@@ -26,6 +26,8 @@
 namespace vsnoop
 {
 
+struct MeshPerf;
+
 /**
  * Mesh configuration knobs.
  */
@@ -78,6 +80,13 @@ class Mesh : public Network
      * analytic checks.
      */
     Tick unloadedLatency(NodeId src, NodeId dst, std::uint32_t bytes) const;
+
+    /**
+     * Attach an internals counter block (sim/perfmon.hh); nullptr
+     * detaches.  Branch-on-null: send() pays one predictable branch
+     * per leg and per hop when detached.
+     */
+    void setPerf(MeshPerf *perf) { perf_ = perf; }
 
   private:
     /**
@@ -139,6 +148,7 @@ class Mesh : public Network
     Tick localLatency_;
     /** Per-link contention + accounting, node-major by direction. */
     std::vector<LinkState> links_;
+    MeshPerf *perf_ = nullptr;
 };
 
 /**

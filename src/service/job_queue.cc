@@ -340,6 +340,8 @@ JobQueue::execute(Job &job)
                     static_cast<std::int64_t>(steadyNowMs());
                 RunResult result = collectRun(job.configs[slot],
                                               *job.profiles[slot]);
+                if (result.results.perf.enabled)
+                    perf_.add(result.results.perf);
                 std::string line = result.toJson();
                 if (store_ != nullptr)
                     store_->put(job.cacheKeys[slot], line);
@@ -440,6 +442,7 @@ JobQueue::registerMetrics(MetricsRegistry &registry)
         "vsnoop_job_run_execute_ms",
         "Milliseconds per executed run, simulation plus store "
         "insert");
+    perf_.registerMetrics(registry);
     metricsRegistered_ = true;
 }
 
@@ -471,6 +474,7 @@ JobQueue::stageMetrics(MetricsRegistry &registry) const
     registry.set(runningGaugeId_, static_cast<double>(running));
     registry.setHistogram(queueWaitHistId_, queueWait);
     registry.setHistogram(runExecuteHistId_, runExecute);
+    perf_.stageMetrics(registry);
 }
 
 } // namespace vsnoop

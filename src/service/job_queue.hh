@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "service/result_store.hh"
+#include "sim/perfmon.hh"
 #include "sim/stats.hh"
 #include "system/sweep.hh"
 #include "trace/job_trace.hh"
@@ -232,6 +233,10 @@ class JobQueue
      * dispatcher and run workers, staged by the publisher). */
     LatencyHistogram queueWaitHist_;
     LatencyHistogram runExecuteHist_;
+
+    /** Simulator-internals aggregate over executed runs that were
+     * submitted with "perf": true (own lock; see sim/perfmon.hh). */
+    PerfExport perf_;
 
     MetricsRegistry::Id submittedId_ = 0, completedId_ = 0,
                         failedId_ = 0, cancelledId_ = 0,

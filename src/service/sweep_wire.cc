@@ -101,6 +101,8 @@ writeWireConfig(JsonWriter &json, const SystemConfig &c)
     json.key("content_scan_period").value(c.contentScanPeriod);
     json.key("timeseries_interval").value(c.timeseriesInterval);
     json.key("tag_lookup_cycles").value(c.protocol.tagLookupCycles);
+    json.key("perf").value(c.perf);
+    json.key("perf_sample_interval").value(c.perfSampleInterval);
     json.endObject();
 }
 
@@ -184,6 +186,9 @@ applyConfigMember(const std::string &key, const JsonValue &v,
         return toU64(v, &c->timeseriesInterval);
     if (key == "tag_lookup_cycles")
         return toU64(v, &c->protocol.tagLookupCycles);
+    if (key == "perf") return toBool(v, &c->perf);
+    if (key == "perf_sample_interval")
+        return toU64(v, &c->perfSampleInterval);
     return false;
 }
 
@@ -203,7 +208,7 @@ isKnownConfigKey(const std::string &key)
         "max_transient_attempts", "persistent_window",
         "broadcast_attempt", "map_sync_bytes", "ro_token_bundle",
         "content_scan", "content_scan_period", "timeseries_interval",
-        "tag_lookup_cycles",
+        "tag_lookup_cycles", "perf", "perf_sample_interval",
     };
     for (const char *known : kKeys)
         if (key == known)

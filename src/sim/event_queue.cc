@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/perfmon.hh"
 
 namespace vsnoop
 {
@@ -12,6 +13,8 @@ EventQueue::schedule(Event &event, Tick when)
 {
     vsnoop_assert(when >= now_,
                   "scheduling into the past: when=", when, " now=", now_);
+    if (perf_ != nullptr)
+        perf_->schedules++;
     if (event.scheduled_) {
         // Invalidate the previous entry; it will be skipped on pop
         // because the tokens no longer match.
@@ -36,6 +39,14 @@ EventQueue::wheelAppend(const HeapEntry &entry)
     wheelCount_++;
     if (entry.when < peekCursor_)
         peekCursor_ = entry.when;
+    if (perf_ != nullptr) {
+        perf_->wheelInserts++;
+        if (wheelCount_ > perf_->maxWheelEntries)
+            perf_->maxWheelEntries = wheelCount_;
+        std::uint64_t depth = bucket.entries.size() - bucket.head;
+        if (depth > perf_->maxBucketDepth)
+            perf_->maxBucketDepth = depth;
+    }
 }
 
 void
@@ -68,6 +79,8 @@ EventQueue::deschedule(Event &event)
 {
     if (!event.scheduled_)
         return;
+    if (perf_ != nullptr)
+        perf_->deschedules++;
     event.scheduled_ = false;
     event.token_ = 0;
     live_--;
@@ -80,10 +93,16 @@ EventQueue::scheduleFn(Tick when, Callback fn)
     if (!freeSlots_.empty()) {
         slot = pool_[freeSlots_.back()].get();
         freeSlots_.pop_back();
+        if (perf_ != nullptr)
+            perf_->poolReuses++;
     } else {
         pool_.push_back(std::make_unique<OwnedEvent>(
             *this, static_cast<std::uint32_t>(pool_.size())));
         slot = pool_.back().get();
+        if (perf_ != nullptr) {
+            perf_->poolRefills++;
+            perf_->poolHighWater = pool_.size();
+        }
     }
     slot->fn = std::move(fn);
     schedule(*slot, when);
@@ -113,6 +132,11 @@ EventQueue::heapPush(const HeapEntry &entry)
         i = parent;
     }
     overflow_[i] = entry;
+    if (perf_ != nullptr) {
+        perf_->overflowInserts++;
+        if (overflow_.size() > perf_->maxOverflowEntries)
+            perf_->maxOverflowEntries = overflow_.size();
+    }
 }
 
 void

@@ -46,6 +46,7 @@ namespace vsnoop
 {
 
 class EventQueue;
+struct EventQueuePerf;
 
 /**
  * Base class for anything that can be scheduled on an EventQueue.
@@ -160,6 +161,22 @@ class EventQueue
     /** Dispatch exactly one event if any is pending. */
     bool step();
 
+    /**
+     * Attach an internals counter block (sim/perfmon.hh); nullptr
+     * detaches.  Branch-on-null like setDispatchProfile(): every
+     * hook costs one predictable branch when detached.
+     */
+    void setPerf(EventQueuePerf *perf) { perf_ = perf; }
+
+    /** @{
+     * Live structure occupancy, read by the perfmon interval
+     * sampler (and anyone else curious).
+     */
+    std::uint64_t wheelEntries() const { return wheelCount_; }
+    std::uint64_t overflowEntries() const { return overflow_.size(); }
+    std::uint64_t poolSlots() const { return pool_.size(); }
+    /** @} */
+
   private:
     struct HeapEntry
     {
@@ -262,6 +279,7 @@ class EventQueue
     std::vector<HeapEntry> overflow_;
     HostProfiler *profiler_ = nullptr;
     HostProfiler::Phase profilePhase_ = HostProfiler::Phase::Coherence;
+    EventQueuePerf *perf_ = nullptr;
     std::vector<std::unique_ptr<OwnedEvent>> pool_;
     std::vector<std::uint32_t> freeSlots_;
     Tick now_ = 0;

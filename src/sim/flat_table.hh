@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/perfmon.hh"
 
 namespace vsnoop
 {
@@ -70,6 +71,15 @@ class FlatMap
 
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
+    /** Allocated slots (power of two). */
+    std::size_t capacity() const { return keys_.size(); }
+
+    /**
+     * Attach an internals counter block (sim/perfmon.hh); nullptr
+     * detaches.  Branch-on-null: probe loops keep a local counter
+     * and pay one predictable branch per operation when detached.
+     */
+    void setPerf(FlatTablePerf *perf) { perf_ = perf; }
 
     /** Pointer to the value for @p key, or nullptr. */
     V *
@@ -175,14 +185,22 @@ class FlatMap
     {
         std::size_t mask = keys_.size() - 1;
         std::size_t i = hash(key) & mask;
+        std::size_t slot = kNoSlot;
+        std::uint64_t probes = 1;
         while (true) {
             Key k = keys_[i];
-            if (k == key)
-                return i;
+            if (k == key) {
+                slot = i;
+                break;
+            }
             if (k == kEmpty)
-                return kNoSlot;
+                break;
             i = (i + 1) & mask;
+            probes++;
         }
+        if (perf_ != nullptr)
+            perf_->probeLength.sample(probes);
+        return slot;
     }
 
     /**
@@ -195,16 +213,26 @@ class FlatMap
         std::size_t mask = keys_.size() - 1;
         std::size_t i = hash(key) & mask;
         std::size_t reuse = kNoSlot;
+        std::pair<std::size_t, bool> found;
+        std::uint64_t probes = 1;
         while (true) {
             Key k = keys_[i];
-            if (k == key)
-                return {i, true};
-            if (k == kEmpty)
-                return {reuse != kNoSlot ? reuse : i, false};
+            if (k == key) {
+                found = {i, true};
+                break;
+            }
+            if (k == kEmpty) {
+                found = {reuse != kNoSlot ? reuse : i, false};
+                break;
+            }
             if (k == kTombstone && reuse == kNoSlot)
                 reuse = i;
             i = (i + 1) & mask;
+            probes++;
         }
+        if (perf_ != nullptr)
+            perf_->probeLength.sample(probes);
+        return found;
     }
 
     void
@@ -214,6 +242,8 @@ class FlatMap
             tombstones_--;
         keys_[slot] = key;
         size_++;
+        if (perf_ != nullptr && size_ > perf_->maxEntries)
+            perf_->maxEntries = size_;
     }
 
     void
@@ -225,7 +255,14 @@ class FlatMap
         std::size_t cap = keys_.size();
         if ((size_ + tombstones_ + 1) * 8 <= cap * 7)
             return;
-        rehash(size_ + 1 > cap / 2 ? cap * 2 : cap);
+        bool grow = size_ + 1 > cap / 2;
+        if (perf_ != nullptr) {
+            if (grow)
+                perf_->growthRehashes++;
+            else
+                perf_->tombstoneCleanups++;
+        }
+        rehash(grow ? cap * 2 : cap);
     }
 
     void
@@ -253,6 +290,7 @@ class FlatMap
     std::vector<V> vals_;
     std::size_t size_ = 0;
     std::size_t tombstones_ = 0;
+    FlatTablePerf *perf_ = nullptr;
 };
 
 } // namespace vsnoop

@@ -74,6 +74,13 @@ HostProfiler::end(std::uint64_t events_processed)
                 static_cast<double>(raw_[i]) /
                 static_cast<double>(raw_total) *
                 static_cast<double>(interval));
+            // A phase that was entered must keep a visible (>= 1 ns)
+            // share per interval: a short drain's sub-ns fraction
+            // otherwise truncates to zero in every window and the
+            // phase never surfaces in --profile output, no matter
+            // how many windows accumulate.
+            if (share == 0 && raw_[i] > 0)
+                share = 1;
             share = std::min(share, interval - assigned);
             nanos_[i] += share;
             assigned += share;

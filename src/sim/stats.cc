@@ -189,6 +189,19 @@ LatencyHistogram::reset()
     *this = LatencyHistogram();
 }
 
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < kNumBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double
 LatencyHistogram::mean() const
 {

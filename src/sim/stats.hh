@@ -164,6 +164,10 @@ class LatencyHistogram
     void sample(std::uint64_t value);
     void reset();
 
+    /** Fold another histogram in, as if its samples were recorded
+     *  here (buckets and moments add, min/max combine). */
+    void merge(const LatencyHistogram &other);
+
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return count_ ? min_ : 0; }

@@ -53,6 +53,7 @@ RunProgress::update(const ProgressSample &sample, std::uint64_t nowMs)
     broadcast_.store(sample.broadcastRequests,
                      std::memory_order_relaxed);
     byteHops_.store(sample.trafficByteHops, std::memory_order_relaxed);
+    events_.store(sample.eventsProcessed, std::memory_order_relaxed);
     lastUpdateMs_.store(nowMs, std::memory_order_relaxed);
 }
 
@@ -233,6 +234,12 @@ SweepHeartbeat::registerMetrics(MetricsRegistry &registry)
     sweepIds_.interrupted = registry.addGauge(
         "vsnoop_sweep_interrupted",
         "1 after SIGINT/SIGTERM stopped dispatch, else 0.");
+    sweepIds_.eventsTotal = registry.addCounter(
+        "vsnoop_sweep_events_total",
+        "Simulator events processed across all runs.");
+    sweepIds_.simTicksTotal = registry.addCounter(
+        "vsnoop_sweep_sim_ticks_total",
+        "Simulated ticks advanced across all runs.");
 
     runIds_.resize(runs_.size());
     auto labelsFor = [this](std::size_t i) {
@@ -284,6 +291,10 @@ SweepHeartbeat::registerMetrics(MetricsRegistry &registry)
         runIds_[i].tick = registry.addGauge(
             "vsnoop_run_sim_tick", "Current simulated tick.",
             labelsFor(i));
+    for (std::size_t i = 0; i < runs_.size(); ++i)
+        runIds_[i].events = registry.addCounter(
+            "vsnoop_run_events_total",
+            "Simulator events processed by the run.", labelsFor(i));
 }
 
 void
@@ -309,6 +320,16 @@ SweepHeartbeat::publishMetrics(MetricsRegistry &registry,
     registry.set(sweepIds_.stalledRuns,
                  static_cast<double>(stalledRuns(nowMs, stallMs).size()));
     registry.set(sweepIds_.interrupted, interrupted() ? 1.0 : 0.0);
+    std::uint64_t events_total = 0;
+    std::uint64_t ticks_total = 0;
+    for (const RunProgress &run : runs_) {
+        events_total += run.eventsProcessed();
+        ticks_total += run.tick();
+    }
+    registry.set(sweepIds_.eventsTotal,
+                 static_cast<double>(events_total));
+    registry.set(sweepIds_.simTicksTotal,
+                 static_cast<double>(ticks_total));
 
     for (std::size_t i = 0; i < runs_.size(); ++i) {
         const RunProgress &run = runs_[i];
@@ -327,6 +348,8 @@ SweepHeartbeat::publishMetrics(MetricsRegistry &registry,
         registry.set(ids.byteHops,
                      static_cast<double>(run.trafficByteHops()));
         registry.set(ids.tick, static_cast<double>(run.tick()));
+        registry.set(ids.events,
+                     static_cast<double>(run.eventsProcessed()));
     }
     registry.publish();
 }

@@ -80,6 +80,7 @@ class RunProgress
     std::uint64_t filteredRequests() const { return load(filtered_); }
     std::uint64_t broadcastRequests() const { return load(broadcast_); }
     std::uint64_t trafficByteHops() const { return load(byteHops_); }
+    std::uint64_t eventsProcessed() const { return load(events_); }
     std::uint64_t startedMs() const { return load(startedMs_); }
     std::uint64_t finishedMs() const { return load(finishedMs_); }
     std::uint64_t lastUpdateMs() const { return load(lastUpdateMs_); }
@@ -116,6 +117,7 @@ class RunProgress
     std::atomic<std::uint64_t> filtered_{0};
     std::atomic<std::uint64_t> broadcast_{0};
     std::atomic<std::uint64_t> byteHops_{0};
+    std::atomic<std::uint64_t> events_{0};
     std::atomic<std::uint64_t> startedMs_{0};
     std::atomic<std::uint64_t> finishedMs_{0};
     std::atomic<std::uint64_t> lastUpdateMs_{0};
@@ -218,6 +220,8 @@ class SweepHeartbeat
         MetricsRegistry::Id elapsedSeconds = 0;
         MetricsRegistry::Id stalledRuns = 0;
         MetricsRegistry::Id interrupted = 0;
+        MetricsRegistry::Id eventsTotal = 0;
+        MetricsRegistry::Id simTicksTotal = 0;
     };
     struct RunIds
     {
@@ -229,6 +233,7 @@ class SweepHeartbeat
         MetricsRegistry::Id filterRate = 0;
         MetricsRegistry::Id byteHops = 0;
         MetricsRegistry::Id tick = 0;
+        MetricsRegistry::Id events = 0;
     };
     SweepIds sweepIds_;
     std::vector<RunIds> runIds_;

@@ -105,6 +105,12 @@ RunResult::writeJson(JsonWriter &json) const
     json.key("content_scan_period").value(config.contentScanPeriod);
     json.key("timeseries_interval").value(config.timeseriesInterval);
     json.key("tag_lookup_cycles").value(config.protocol.tagLookupCycles);
+    // Emitted only when on, so perf-off records keep their exact
+    // historical bytes (the sweep byte-identity contract).
+    if (config.perf) {
+        json.key("perf").value(true);
+        json.key("perf_sample_interval").value(config.perfSampleInterval);
+    }
     json.endObject();
 
     const SystemResults &r = results;
@@ -245,6 +251,10 @@ RunResult::writeJson(JsonWriter &json) const
             json.endObject();
         }
         json.endArray();
+    }
+    if (r.perf.enabled) {
+        json.key("perf");
+        r.perf.writeJson(json);
     }
     json.endObject();
 

@@ -39,7 +39,9 @@ SimSystem::build(const std::vector<AppProfile> &apps)
         network_ = std::make_unique<IdealCrossbar>(
             cores, config_.crossbarLatency, config_.mesh.linkBytes);
     } else {
-        network_ = std::make_unique<Mesh>(config_.mesh);
+        auto mesh = std::make_unique<Mesh>(config_.mesh);
+        mesh_ = mesh.get();
+        network_ = std::move(mesh);
     }
 
     ProtocolConfig protocol = config_.protocol;
@@ -137,9 +139,32 @@ SimSystem::build(const std::vector<AppProfile> &apps)
     critpath_->setCoreVmTable(mapping_.vmAtTable());
     coherence_->setCritPath(critpath_.get());
 
-    if (config_.timeseriesInterval > 0) {
+    // Simulator-internals counters: one block per system, attached
+    // branch-on-null to the event queue, the protocol tables and
+    // the mesh.  Deliberately not reset at the warmup boundary —
+    // perfmon measures the simulator's data structures, whose
+    // warmup behavior (pool growth, table rehashes) is exactly what
+    // a tuner needs to see.
+    if (config_.perf) {
+        perfmon_ = std::make_unique<PerfMon>();
+        perfmon_->enabled = true;
+        eq_.setPerf(&perfmon_->eventQueue);
+        coherence_->setPerf(perfmon_.get());
+        if (mesh_ != nullptr)
+            mesh_->setPerf(&perfmon_->mesh);
+    }
+
+    bool perf_sampling = perfmon_ != nullptr &&
+                         config_.perfSampleInterval > 0;
+    if (config_.timeseriesInterval > 0 || perf_sampling) {
+        // One shared sampling chain: the time-series interval wins
+        // when both are on, so enabling perf never changes the
+        // series a run already emits.
+        Tick interval = config_.timeseriesInterval > 0
+                            ? config_.timeseriesInterval
+                            : config_.perfSampleInterval;
         sampler_ = std::make_unique<IntervalSampler>(
-            eq_, config_.timeseriesInterval,
+            eq_, interval,
             [this, cores](TimeSeriesSample &s) {
                 const CoherenceStats &cs = coherence_->stats;
                 s.transactions = cs.transactions.value();
@@ -162,6 +187,12 @@ SimSystem::build(const std::vector<AppProfile> &apps)
                         coherence_->controller(c).residence();
                     for (VmId vm = 0; vm < config_.numVms; ++vm)
                         s.residencePerCore[c] += res.count(vm);
+                }
+                if (perfmon_ != nullptr) {
+                    EventQueuePerf &eqp = perfmon_->eventQueue;
+                    eqp.wheelOccupancy.sample(eq_.wheelEntries());
+                    eqp.overflowOccupancy.sample(eq_.overflowEntries());
+                    coherence_->samplePerfOccupancy(*perfmon_);
                 }
             });
     }
@@ -242,6 +273,7 @@ SimSystem::reportProgress(bool finished)
         s.broadcastRequests = vsnoopPolicy_->broadcastRequests.value();
     }
     s.trafficByteHops = network_->stats().totalByteHops();
+    s.eventsProcessed = eq_.eventsProcessed();
     s.finished = finished;
     progress_(s);
 }
@@ -408,10 +440,18 @@ SimSystem::results() const
         r.migrations = migrator_->migrations.value();
     if (traceMigrator_)
         r.migrations = traceMigrator_->migrations.value();
-    if (sampler_)
+    // The sampler may exist for perf-only occupancy sampling; the
+    // time series is emitted only when explicitly requested.
+    if (sampler_ && config_.timeseriesInterval > 0)
         r.series = sampler_->series();
     r.critpath = critpath_->critSnapshot();
     r.interference = critpath_->interferenceSnapshot();
+    if (perfmon_ != nullptr) {
+        r.perf = *perfmon_;
+        r.perf.eventQueue.poolHighWater = std::max(
+            r.perf.eventQueue.poolHighWater, eq_.poolSlots());
+        coherence_->capturePerfSizes(r.perf);
+    }
     return r;
 }
 

@@ -114,6 +114,18 @@ struct SystemConfig
     std::string tracePath;
     Tick timeseriesInterval = 0;
     /** @} */
+    /**
+     * @{ Simulator-internals perfmon (sim/perfmon.hh).  perf
+     * attaches counter blocks to the event queue, the protocol
+     * FlatMaps and the mesh, and emits a results.perf block; off by
+     * default so run JSON stays byte-identical.  Occupancy
+     * histograms sample every perfSampleInterval ticks (or at
+     * timeseriesInterval when a time series is also on, so the two
+     * samplers share one event chain).
+     */
+    bool perf = false;
+    Tick perfSampleInterval = 10000;
+    /** @} */
     std::uint64_t seed = 1;
 
     std::uint32_t numCores() const { return mesh.width * mesh.height; }
@@ -169,6 +181,8 @@ struct SystemResults
     CritPathSnapshot critpath;
     InterferenceSnapshot interference;
     /** @} */
+    /** Simulator-internals counters (perf.enabled iff --perf). */
+    PerfMon perf;
 };
 
 /**
@@ -194,6 +208,8 @@ struct ProgressSample
     std::uint64_t broadcastRequests = 0;
     /** @} */
     std::uint64_t trafficByteHops = 0;
+    /** Events dispatched by the simulation kernel so far. */
+    std::uint64_t eventsProcessed = 0;
     /** True for the final sample, after the drain. */
     bool finished = false;
 };
@@ -293,6 +309,9 @@ class SimSystem
     std::unique_ptr<TraceSink> trace_;
     std::unique_ptr<CritPathAccountant> critpath_;
     std::unique_ptr<IntervalSampler> sampler_;
+    std::unique_ptr<PerfMon> perfmon_;
+    /** The mesh when !idealNetwork (perf hooks); else nullptr. */
+    Mesh *mesh_ = nullptr;
     HostProfiler *profiler_ = nullptr;
     ProgressFn progress_;
     /** Stops auxiliary event chains (periodic scans) at run end. */

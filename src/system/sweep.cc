@@ -126,7 +126,9 @@ SweepExecution::completedCount() const
 SweepExecution
 runSweepMonitored(const SweepMatrix &matrix, unsigned jobs,
                   HostProfiler *profile, SweepHeartbeat *heartbeat,
-                  const std::function<bool()> &cancel)
+                  const std::function<bool()> &cancel,
+                  const std::function<void(std::size_t, const RunResult &)>
+                      &onRunDone)
 {
     std::vector<SweepPoint> points = matrix.expand();
     vsnoop_assert(heartbeat == nullptr ||
@@ -169,6 +171,8 @@ runSweepMonitored(const SweepMatrix &matrix, unsigned jobs,
             std::lock_guard<std::mutex> lock(profile_mutex);
             profile->merge(local);
         }
+        if (onRunDone)
+            onRunDone(i, exec.results[i]);
         if (heartbeat != nullptr)
             heartbeat->run(i).finish(steadyNowMs());
         exec.completed[i] = 1;

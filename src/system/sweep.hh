@@ -149,12 +149,20 @@ struct SweepExecution
  * Observation is read-only with respect to simulation state: for a
  * given matrix and seeds, each completed RunResult is byte-for-byte
  * identical with or without a heartbeat, at any job count.
+ *
+ * A non-empty @p onRunDone is invoked on the worker thread for each
+ * completed run, after its result slot is filled, with the run's
+ * index and result.  It may be called concurrently for distinct
+ * indices and must synchronize any shared state it touches (the
+ * perfmon aggregator does so under its own lock).
  */
-SweepExecution runSweepMonitored(const SweepMatrix &matrix,
-                                 unsigned jobs = 0,
-                                 HostProfiler *profile = nullptr,
-                                 SweepHeartbeat *heartbeat = nullptr,
-                                 const std::function<bool()> &cancel = {});
+SweepExecution runSweepMonitored(
+    const SweepMatrix &matrix, unsigned jobs = 0,
+    HostProfiler *profile = nullptr,
+    SweepHeartbeat *heartbeat = nullptr,
+    const std::function<bool()> &cancel = {},
+    const std::function<void(std::size_t, const RunResult &)>
+        &onRunDone = {});
 
 } // namespace vsnoop
 

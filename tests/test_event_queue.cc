@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/perfmon.hh"
 
 namespace vsnoop::test
 {
@@ -249,6 +250,77 @@ TEST(EventQueue, SameTickFifoSurvivesWheelWrap)
     eq.schedule(b, 5100);
     eq.run();
     EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, PerfCountsWheelAndOverflowAcrossWrap)
+{
+    EventQueue eq;
+    EventQueuePerf perf;
+    eq.setPerf(&perf);
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2), c(log, 3), d(log, 4);
+    eq.schedule(a, 10);
+    eq.schedule(b, 10);     // same tick: bucket depth 2
+    eq.schedule(c, 100000); // beyond the wheel span: overflow heap
+    eq.schedule(d, 100010); // also overflow; lands within c's window
+    EXPECT_EQ(perf.schedules, 4u);
+    EXPECT_EQ(perf.overflowInserts, 2u);
+    EXPECT_EQ(perf.maxOverflowEntries, 2u);
+    EXPECT_GE(perf.maxBucketDepth, 2u);
+    EXPECT_GE(perf.maxWheelEntries, 2u);
+    std::uint64_t wheel_before = perf.wheelInserts;
+    EXPECT_GE(wheel_before, 2u);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+    // When c dispatches the clock lands within kWheelSize of d, so
+    // advanceTo migrates d from the overflow heap into the wheel.
+    // That migration is wheel pressure and must count too.
+    EXPECT_EQ(perf.wheelInserts, wheel_before + 1);
+}
+
+TEST(EventQueue, PerfCountsDeschedulesAndPoolChurn)
+{
+    EventQueue eq;
+    EventQueuePerf perf;
+    eq.setPerf(&perf);
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    eq.schedule(a, 5);
+    eq.deschedule(a);
+    EXPECT_EQ(perf.deschedules, 1u);
+    // Descheduling an unscheduled event is a no-op, not a count.
+    eq.deschedule(a);
+    EXPECT_EQ(perf.deschedules, 1u);
+
+    int hits = 0;
+    eq.scheduleFn(10, [&] { hits++; });
+    EXPECT_EQ(perf.poolRefills, 1u);
+    EXPECT_EQ(perf.poolHighWater, 1u);
+    EXPECT_EQ(perf.poolReuses, 0u);
+    eq.run();
+    // The freed slot is reused: high water stays at one.
+    eq.scheduleFn(20, [&] { hits++; });
+    EXPECT_EQ(perf.poolReuses, 1u);
+    EXPECT_EQ(perf.poolRefills, 1u);
+    EXPECT_EQ(perf.poolHighWater, 1u);
+    eq.run();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventQueue, PerfDetachStopsCounting)
+{
+    EventQueue eq;
+    EventQueuePerf perf;
+    eq.setPerf(&perf);
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    eq.schedule(a, 5);
+    EXPECT_EQ(perf.schedules, 1u);
+    eq.setPerf(nullptr);
+    eq.schedule(a, 7);
+    eq.run();
+    EXPECT_EQ(perf.schedules, 1u);
+    EXPECT_EQ(log, (std::vector<int>{1}));
 }
 
 TEST(EventQueueDeath, SchedulingIntoThePastPanics)

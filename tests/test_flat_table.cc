@@ -108,4 +108,61 @@ TEST(FlatMap, EraseMissingKeyIsNoOp)
     EXPECT_FALSE(map.contains(2));
 }
 
+TEST(FlatMap, PerfRecordsProbeLengthsUnderTombstoneChurn)
+{
+    // MSHR-style churn with the perf hook attached: every lookup
+    // and insert probe must land in the histogram, and the
+    // tombstone re-packs it provokes must be classified as
+    // cleanups, not growth.
+    FlatMap<std::uint64_t> map;
+    FlatTablePerf perf;
+    map.setPerf(&perf);
+    map.reserve(16);
+    for (std::uint64_t round = 0; round < 2000; ++round) {
+        map.getOrInsert(round) = round;
+        ASSERT_NE(map.find(round), nullptr);
+        if (round >= 4)
+            map.erase(round - 4);
+    }
+    // One probe per getOrInsert, find, and erase-hit at minimum.
+    EXPECT_GE(perf.probeLength.count(), 3u * 1996u);
+    // Every probe touches at least the home slot.
+    EXPECT_GE(perf.probeLength.min(), 1u);
+    // A live set of 4 in a 32-slot table never doubles: any rehash
+    // this workload triggered must be a tombstone cleanup.
+    EXPECT_EQ(perf.growthRehashes, 0u);
+    EXPECT_GT(perf.tombstoneCleanups, 0u);
+    EXPECT_EQ(perf.maxEntries, 5u);
+}
+
+TEST(FlatMap, PerfClassifiesGrowthRehashes)
+{
+    FlatMap<std::uint64_t> map;
+    FlatTablePerf perf;
+    map.setPerf(&perf);
+    map.reserve(8);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map.getOrInsert(k * 0x10001) = k;
+    // 1000 monotone inserts from 16 slots force doublings and no
+    // tombstone pressure at all.
+    EXPECT_GT(perf.growthRehashes, 0u);
+    EXPECT_EQ(perf.tombstoneCleanups, 0u);
+    EXPECT_EQ(perf.maxEntries, 1000u);
+    EXPECT_GT(perf.probeLength.count(), 0u);
+}
+
+TEST(FlatMap, PerfDetachStopsRecording)
+{
+    FlatMap<std::uint64_t> map;
+    FlatTablePerf perf;
+    map.setPerf(&perf);
+    map.getOrInsert(1) = 1;
+    std::uint64_t recorded = perf.probeLength.count();
+    EXPECT_GT(recorded, 0u);
+    map.setPerf(nullptr);
+    map.getOrInsert(2) = 2;
+    map.find(1);
+    EXPECT_EQ(perf.probeLength.count(), recorded);
+}
+
 } // namespace vsnoop::test

@@ -53,6 +53,7 @@ sampleAt(std::uint64_t issued)
     s.filteredRequests = issued / 8;
     s.broadcastRequests = issued / 8;
     s.trafficByteHops = issued * 64;
+    s.eventsProcessed = issued * 3;
     return s;
 }
 
@@ -229,6 +230,37 @@ TEST(SweepHeartbeat, PublishesMetricsWithRunLabels)
         << text;
     EXPECT_NE(text.find("# TYPE vsnoop_run_accesses_total counter\n"),
               std::string::npos);
+}
+
+TEST(SweepHeartbeat, PublishesEventAndTickThroughputSeries)
+{
+    // vsnooptop derives events/s and sim-cycles/s from successive
+    // scrapes of these two counters; they must aggregate every
+    // cell's latest sample.
+    SweepMatrix m = smallMatrix();
+    SweepHeartbeat hb(m);
+    MetricsRegistry registry;
+    hb.registerMetrics(registry);
+    registry.freeze();
+
+    hb.markLaunched(0);
+    hb.run(0).start(0);
+    hb.run(0).update(sampleAt(1000), 100); // 3000 events, tick 10000
+    hb.run(1).start(0);
+    hb.run(1).update(sampleAt(200), 100); // 600 events, tick 2000
+    EXPECT_EQ(hb.run(0).eventsProcessed(), 3000u);
+    hb.publishMetrics(registry, 1000, 30000);
+
+    std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("vsnoop_sweep_events_total 3600\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vsnoop_sweep_sim_ticks_total 12000\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vsnoop_run_events_total{run=\"0\","),
+              std::string::npos)
+        << text;
 }
 
 TEST(RunIndexed, CancelStopsDispatchingNewIndices)

@@ -120,6 +120,30 @@ TEST(HostProfiler, ReentrantBeginAccumulates)
     EXPECT_EQ(p.events(), 15u);
 }
 
+TEST(HostProfiler, EnteredPhaseKeepsVisibleShareHoweverShort)
+{
+    // A drain scope that does almost nothing: its raw-tick share of
+    // the interval truncates to 0 ns, which used to hide the phase
+    // from --profile output entirely.  An entered phase must keep a
+    // visible (>= 1 ns) share, and conservation must still hold.
+    HostProfiler p;
+    p.begin();
+    {
+        ProfileScope coh(&p, HostProfiler::Phase::Coherence);
+        spin();
+        ProfileScope drain(&p, HostProfiler::Phase::Drain);
+    }
+    p.end(1);
+    EXPECT_GT(p.phaseNanos(HostProfiler::Phase::Drain), 0u);
+    std::uint64_t sum = 0;
+    sum += p.phaseNanos(HostProfiler::Phase::Generate);
+    sum += p.phaseNanos(HostProfiler::Phase::Coherence);
+    sum += p.phaseNanos(HostProfiler::Phase::Network);
+    sum += p.phaseNanos(HostProfiler::Phase::Drain);
+    sum += p.phaseNanos(HostProfiler::Phase::Other);
+    EXPECT_EQ(sum, p.totalNanos());
+}
+
 TEST(HostProfiler, PhaseNamesAreStable)
 {
     EXPECT_STREQ(profilePhaseName(HostProfiler::Phase::Generate),

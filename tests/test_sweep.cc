@@ -122,6 +122,46 @@ TEST(RunSweep, ParallelOutputMatchesSerialByteForByte)
         EXPECT_EQ(serial[i], parallel[i]) << "run " << i;
 }
 
+TEST(RunSweep, PerfOffLeavesJsonFreeOfPerfKeysAtAnyJobCount)
+{
+    // The core observability contract: with --perf off the output
+    // carries no perf keys at all, and stays byte-identical across
+    // worker counts (i.e. perfmon is invisible, not just zeroed).
+    SweepMatrix m = smallMatrix();
+    auto serial = jsonLines(runSweep(m, 1));
+    auto parallel = jsonLines(runSweep(m, 4));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], parallel[i]) << "run " << i;
+        EXPECT_EQ(serial[i].find("\"perf\""), std::string::npos)
+            << "run " << i;
+    }
+}
+
+TEST(RunSweep, PerfOnIsDeterministicAndCountsAreLive)
+{
+    SweepMatrix m = smallMatrix();
+    m.base.perf = true;
+    auto serial = jsonLines(runSweep(m, 1));
+    auto parallel = jsonLines(runSweep(m, 4));
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "run " << i;
+
+    // Every run carries the block with live event-queue and table
+    // counters: a coherence run cannot complete without scheduling
+    // events or probing the MSHR table.
+    for (const std::string &line : serial) {
+        ASSERT_NE(line.find("\"perf\":{"), std::string::npos);
+        std::size_t eq = line.find("\"event_queue\":{");
+        ASSERT_NE(eq, std::string::npos);
+        EXPECT_EQ(line.find("\"schedules\":0,", eq), std::string::npos);
+        EXPECT_NE(line.find("\"tables\":{\"mshrs\":{"),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"mesh\":{"), std::string::npos);
+    }
+}
+
 TEST(RunSweep, RecordsCarryTheirPointIdentity)
 {
     SweepMatrix m = smallMatrix();

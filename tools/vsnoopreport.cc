@@ -11,11 +11,24 @@
  * stacked means from "results.critpath"), the requester-VM x
  * target-VM interference heatmap from "results.interference", and
  * — when the record carries a "timeseries" key — the
- * filtered-vs-broadcast request time series.  The output is a
- * single HTML file with inline SVG and no external assets, so it
- * can be attached as a CI artifact and opened anywhere.
+ * filtered-vs-broadcast request time series.  Records produced
+ * with --perf additionally get a "Simulator internals" section:
+ * event-queue counters and occupancy, per-table probe-length
+ * histograms with rehash/cleanup counts, pool watermarks, and the
+ * mesh send-backlog and XY-leg histograms from "results.perf".
+ * The output is a single HTML file with inline SVG and no external
+ * assets, so it can be attached as a CI artifact and opened
+ * anywhere.
  *
  *   vsnoopreport --out report.html sweep.jsonl
+ *
+ * Trend mode charts a bench_selfperf history (one JSONL record per
+ * `bench_selfperf --append-history` invocation) as per-phase
+ * runs/s, events/s, and sim-cycles/s line charts across commits,
+ * so a slow drift that never trips the one-shot --diff gate is
+ * still visible:
+ *
+ *   vsnoopreport --trend BENCH_history.jsonl --out trend.html
  *
  * Diff mode compares two result sets (JSON-lines or single-object
  * files) by run identity (app, policy, relocation, ro_policy,
@@ -70,6 +83,15 @@ usage()
         "    Render an HTML report (default report.html) from one or\n"
         "    more result files.  Files may be a single JSON object\n"
         "    (vsnoopsim --json) or JSON lines (vsnoopsweep).\n"
+        "    Records from --perf runs get a \"Simulator internals\"\n"
+        "    section (event-queue occupancy, probe-length\n"
+        "    histograms, pool watermarks, mesh backlog).\n"
+        "\n"
+        "trend mode:\n"
+        "  vsnoopreport --trend HISTORY.jsonl [--out FILE]\n"
+        "    Chart a bench_selfperf --append-history file (default\n"
+        "    trend.html): per-phase runs/s, events/s and\n"
+        "    sim-cycles/s across records, labeled by commit.\n"
         "\n"
         "diff mode:\n"
         "  vsnoopreport --diff BASELINE CURRENT [--threshold F]\n"
@@ -636,9 +658,14 @@ bucketLabel(std::size_t i)
 /**
  * One latency histogram as an SVG bar chart over its populated
  * log2 buckets, with the summary line underneath the title.
+ * @p unit names the bucketed quantity and @p noun the counted
+ * samples, so the perf histograms (probes per lookup, entries per
+ * sample) read correctly in tooltips.
  */
 std::string
-histogramSvg(const JsonValue &hist, const std::string &title)
+histogramSvg(const JsonValue &hist, const std::string &title,
+             const std::string &unit = "ticks",
+             const std::string &noun = "transactions")
 {
     std::vector<double> buckets;
     if (const JsonValue *arr = hist.find("buckets")) {
@@ -697,8 +724,9 @@ histogramSvg(const JsonValue &hist, const std::string &title)
                 << "\" rx=\"2\" class=\"bar\"><title>["
                 << (i == 0 ? "0" : human(std::pow(
                                        2.0, static_cast<double>(i - 1))))
-                << " .. " << bucketLabel(i) << "] ticks: " << human(v)
-                << " transactions</title></rect>\n";
+                << " .. " << bucketLabel(i) << "] " << htmlEscape(unit)
+                << ": " << human(v) << " " << htmlEscape(noun)
+                << "</title></rect>\n";
         }
         // Sparse tick labels: first, last, and every fourth bucket.
         if (i == first || i == last ||
@@ -1098,6 +1126,82 @@ statTile(const std::string &label, const std::string &value)
            "</div></div>\n";
 }
 
+/**
+ * Simulator-internals section from "results.perf" (--perf runs):
+ * event-queue counters and sampled occupancy, per-table
+ * probe-length histograms with rehash/cleanup/load summaries, pool
+ * watermarks, and mesh backlog / XY-leg histograms.  Runs without
+ * --perf lack the key entirely and skip the section.
+ */
+void
+renderPerfSection(std::ostream &os, const JsonValue &perf)
+{
+    os << "<h2>Simulator internals (--perf)</h2>\n";
+    if (const JsonValue *eq = perf.find("event_queue")) {
+        os << "<div class=\"tiles\">\n";
+        os << statTile("events scheduled",
+                       human(eq->numberAt("schedules")));
+        os << statTile("descheduled",
+                       human(eq->numberAt("deschedules")));
+        os << statTile("overflow-heap inserts",
+                       human(eq->numberAt("overflow_inserts")));
+        os << statTile("max wheel entries",
+                       human(eq->numberAt("max_wheel_entries")));
+        os << statTile("max same-tick depth",
+                       human(eq->numberAt("max_bucket_depth")));
+        os << statTile("event-pool high water",
+                       human(eq->numberAt("pool_high_water")));
+        os << statTile("pool refills",
+                       human(eq->numberAt("pool_refills")));
+        os << "</div>\n";
+        os << "<div class=\"charts\">\n";
+        if (const JsonValue *wo = eq->find("wheel_occupancy"))
+            os << histogramSvg(*wo, "event-wheel occupancy (sampled)",
+                               "entries", "samples");
+        if (const JsonValue *oo = eq->find("overflow_occupancy"))
+            os << histogramSvg(*oo,
+                               "overflow-heap occupancy (sampled)",
+                               "entries", "samples");
+        os << "</div>\n";
+    }
+    if (const JsonValue *tables = perf.find("tables")) {
+        os << "<div class=\"charts\">\n";
+        for (const auto &member : tables->members()) {
+            if (const JsonValue *pl = member.second.find("probe_length"))
+                os << histogramSvg(*pl,
+                                   member.first + " probe length",
+                                   "probes", "lookups");
+        }
+        os << "</div>\n";
+        os << "<p class=\"meta\">";
+        bool first = true;
+        for (const auto &member : tables->members()) {
+            if (!first)
+                os << " &middot; ";
+            first = false;
+            os << htmlEscape(member.first) << ": "
+               << human(member.second.numberAt("growth_rehashes"))
+               << " rehashes, "
+               << human(member.second.numberAt("tombstone_cleanups"))
+               << " cleanups, peak "
+               << human(member.second.numberAt("max_entries"))
+               << " entries, load "
+               << fmt(member.second.numberAt("load_factor"), 3);
+        }
+        os << "</p>\n";
+    }
+    if (const JsonValue *mesh = perf.find("mesh")) {
+        os << "<div class=\"charts\">\n";
+        if (const JsonValue *sb = mesh->find("send_backlog"))
+            os << histogramSvg(*sb, "mesh send backlog (per hop)",
+                               "flits", "hops");
+        if (const JsonValue *ll = mesh->find("leg_length"))
+            os << histogramSvg(*ll, "XY route leg length", "hops",
+                               "legs");
+        os << "</div>\n";
+    }
+}
+
 void
 renderRecord(std::ostream &os, const JsonValue &rec)
 {
@@ -1184,6 +1288,10 @@ renderRecord(std::ostream &os, const JsonValue &rec)
         os << "<div class=\"charts\">\n"
            << timeseriesSvg(*series) << "</div>\n";
     }
+
+    // Simulator internals, when the run was measured with --perf.
+    if (const JsonValue *perf = results ? results->find("perf") : nullptr)
+        renderPerfSection(os, *perf);
     os << "</section>\n";
 }
 
@@ -1284,6 +1392,206 @@ runReport(const std::vector<std::string> &inputs,
     return 0;
 }
 
+// ---------------------------------------------------------------------
+// Trend mode (bench_selfperf --append-history output)
+// ---------------------------------------------------------------------
+
+/** Per-phase throughput rates charted across history records. */
+constexpr const char *kTrendMetrics[] = {
+    "runs_per_sec",
+    "events_per_sec",
+    "sim_cycles_per_sec",
+};
+
+/** One line on a trend chart: a phase's rate per history record. */
+struct TrendSeries
+{
+    std::string phase;
+    std::vector<double> values;
+};
+
+/**
+ * Multi-series line chart over history records: one line per phase,
+ * x advancing one step per record, hover labels carrying the commit
+ * each record was measured at.  Phase colors reuse the segment
+ * palette so the same phase wears the same color on every metric's
+ * chart.
+ */
+std::string
+trendSvg(const std::string &title,
+         const std::vector<std::string> &xlabels,
+         const std::vector<TrendSeries> &series)
+{
+    constexpr int kW = 640, kPlotH = 150;
+    int legend_lines =
+        static_cast<int>((series.size() + 3) / 4);
+    int top = 22 + 16 * legend_lines + 6;
+    int h = top + kPlotH + 26;
+    std::size_t n = xlabels.size();
+
+    double max_v = 0.0;
+    for (const TrendSeries &s : series)
+        for (double v : s.values)
+            max_v = std::max(max_v, v);
+    if (max_v <= 0.0)
+        max_v = 1.0;
+
+    auto px = [&](std::size_t i) {
+        if (n <= 1)
+            return static_cast<double>(kW) / 2.0;
+        return 10.0 + static_cast<double>(i) /
+                          static_cast<double>(n - 1) * (kW - 20);
+    };
+    auto py = [&](double v) {
+        return static_cast<double>(top + kPlotH) - v / max_v * kPlotH;
+    };
+
+    std::ostringstream svg;
+    svg << "<svg class=\"trend\" width=\"" << kW << "\" height=\"" << h
+        << "\" viewBox=\"0 0 " << kW << " " << h
+        << "\" role=\"img\" aria-label=\"" << htmlEscape(title)
+        << "\">\n";
+    svg << "<text x=\"0\" y=\"12\" class=\"charttitle\">"
+        << htmlEscape(title) << "</text>\n";
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        int lx = 10 + static_cast<int>(s % 4) * 156;
+        int ly = 22 + static_cast<int>(s / 4) * 16;
+        svg << "<rect x=\"" << lx << "\" y=\"" << ly
+            << "\" width=\"10\" height=\"10\" rx=\"2\" fill=\""
+            << kSegColors[s % kNumSegColors] << "\"/>"
+            << "<text x=\"" << lx + 14 << "\" y=\"" << ly + 9 << "\">"
+            << htmlEscape(series[s].phase) << "</text>\n";
+    }
+    for (int g = 0; g <= 2; ++g) {
+        int gy = top + kPlotH * g / 2;
+        svg << "<line x1=\"10\" y1=\"" << gy << "\" x2=\"" << kW - 10
+            << "\" y2=\"" << gy << "\" class=\"gridline\"/>\n";
+    }
+    svg << "<text x=\"10\" y=\"" << top - 4 << "\">" << human(max_v)
+        << "</text>\n";
+    if (n > 0) {
+        svg << "<text x=\"10\" y=\"" << top + kPlotH + 14 << "\">"
+            << htmlEscape(xlabels.front()) << "</text>\n";
+        if (n > 1)
+            svg << "<text x=\"" << kW - 10 << "\" y=\""
+                << top + kPlotH + 14 << "\" text-anchor=\"end\">"
+                << htmlEscape(xlabels.back()) << "</text>\n";
+    }
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        const TrendSeries &ts = series[s];
+        const char *color = kSegColors[s % kNumSegColors];
+        std::ostringstream pts;
+        for (std::size_t i = 0; i < ts.values.size() && i < n; ++i)
+            pts << fmt(px(i), 1) << "," << fmt(py(ts.values[i]), 1)
+                << " ";
+        svg << "<polyline points=\"" << pts.str()
+            << "\" fill=\"none\" stroke=\"" << color
+            << "\" stroke-width=\"2\"/>\n";
+        for (std::size_t i = 0; i < ts.values.size() && i < n; ++i) {
+            svg << "<circle cx=\"" << fmt(px(i), 1) << "\" cy=\""
+                << fmt(py(ts.values[i]), 1)
+                << "\" r=\"5\" class=\"hit\"><title>"
+                << htmlEscape(xlabels[i]) << " "
+                << htmlEscape(ts.phase) << ": "
+                << human(ts.values[i]) << "</title></circle>\n";
+        }
+    }
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+/**
+ * Chart a bench_selfperf history file: one card per throughput
+ * metric, one line per phase (plus the matrix total), x stepping
+ * through the records in file order.  A record's commit label gets
+ * a trailing * when it was measured from a dirty build
+ * (--allow-dirty), so suspect points are visible on the chart.
+ */
+int
+runTrend(const std::string &path, const std::string &out_path)
+{
+    std::vector<JsonValue> records = loadRecords(path, "history");
+
+    std::vector<std::string> phase_names;
+    std::vector<std::string> xlabels;
+    // rates[metric][phase] -> one value per record.
+    std::map<std::string, std::map<std::string, std::vector<double>>>
+        rates;
+    auto notePhase = [&](const std::string &name) {
+        if (std::find(phase_names.begin(), phase_names.end(), name) ==
+            phase_names.end())
+            phase_names.push_back(name);
+    };
+    for (std::size_t r = 0; r < records.size(); ++r) {
+        const JsonValue &rec = records[r];
+        const JsonValue *phases = rec.find("phases");
+        if (phases == nullptr || !phases->isArray())
+            die("'" + path + "' record " + std::to_string(r + 1) +
+                " has no phases array; is this a bench_selfperf "
+                "--append-history file?");
+        const JsonValue *meta = rec.find("meta");
+        std::string label =
+            meta ? meta->stringAt("git", "?") : std::string("?");
+        if (rec.numberAt("dirty", 0) != 0.0 &&
+            label.find("-dirty") == std::string::npos)
+            label += "*";
+        xlabels.push_back(label);
+
+        auto record_phase = [&](const JsonValue &p) {
+            std::string name = p.stringAt("phase", "?");
+            notePhase(name);
+            for (const char *metric : kTrendMetrics) {
+                std::vector<double> &vals = rates[metric][name];
+                // Pad phases absent from earlier records so every
+                // series stays index-aligned with xlabels.
+                vals.resize(r, 0.0);
+                vals.push_back(p.numberAt(metric, 0));
+            }
+        };
+        for (const JsonValue &p : phases->items())
+            record_phase(p);
+        if (const JsonValue *total = rec.find("total"))
+            record_phase(*total);
+    }
+    for (auto &metric : rates)
+        for (auto &phase : metric.second)
+            phase.second.resize(records.size(), 0.0);
+
+    std::ofstream os(out_path, std::ios::binary);
+    if (!os)
+        die("cannot open --out file '" + out_path + "'");
+    os << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+          "<meta charset=\"utf-8\">\n"
+          "<meta name=\"viewport\" content=\"width=device-width, "
+          "initial-scale=1\">\n"
+          "<title>vsnoop selfperf trend</title>\n<style>"
+       << kCss << "</style>\n</head>\n<body class=\"viz\">\n"
+       << "<div class=\"page\">\n<h1>selfperf throughput trend</h1>\n"
+       << "<p class=\"meta\">" << records.size() << " record(s) from "
+       << htmlEscape(path)
+       << "; * marks records measured from a dirty build; hover any "
+          "point for exact values.</p>\n";
+    for (const char *metric : kTrendMetrics) {
+        std::vector<TrendSeries> series;
+        for (const std::string &name : phase_names)
+            series.push_back({name, rates[metric][name]});
+        os << "<section class=\"card\">\n";
+        os << "<h2>" << htmlEscape(metric) << "</h2>\n";
+        os << "<div class=\"charts\">\n"
+           << trendSvg(std::string(metric) + " per phase", xlabels,
+                       series)
+           << "</div>\n";
+        os << "</section>\n";
+    }
+    os << "</div>\n</body>\n</html>\n";
+    if (!os)
+        die("write to '" + out_path + "' failed");
+    std::cerr << "vsnoopreport: wrote " << out_path << " ("
+              << records.size() << " history record(s), "
+              << phase_names.size() << " phase(s))\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1303,8 +1611,9 @@ main(int argc, char **argv)
     }
 
     bool diff_mode = false;
+    bool trend_mode = false;
     double threshold = 0.05;
-    std::string out_path = "report.html";
+    std::string out_path;
     std::vector<std::string> inputs;
 
     auto next_value = [&](std::size_t &i, const std::string &flag) {
@@ -1319,6 +1628,8 @@ main(int argc, char **argv)
             return 0;
         } else if (flag == "--diff") {
             diff_mode = true;
+        } else if (flag == "--trend") {
+            trend_mode = true;
         } else if (flag == "--threshold") {
             std::string value = next_value(i, flag);
             char *end = nullptr;
@@ -1335,12 +1646,21 @@ main(int argc, char **argv)
         }
     }
 
+    if (diff_mode && trend_mode)
+        die("--diff and --trend are mutually exclusive");
     if (diff_mode) {
         if (inputs.size() != 2)
             die("--diff expects exactly two files: baseline current");
         return runDiff(inputs[0], inputs[1], threshold);
     }
+    if (trend_mode) {
+        if (inputs.size() != 1)
+            die("--trend expects exactly one history file");
+        return runTrend(inputs[0],
+                        out_path.empty() ? "trend.html" : out_path);
+    }
     if (inputs.empty())
         die("no input files (try --help)");
-    return runReport(inputs, out_path);
+    return runReport(inputs,
+                     out_path.empty() ? "report.html" : out_path);
 }

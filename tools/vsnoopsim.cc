@@ -99,6 +99,20 @@ usage()
         "  --profile             profile the simulator itself: print\n"
         "                        a per-phase host time breakdown and\n"
         "                        events/s to stderr after the run\n"
+        "  --perf                collect simulator-internals counters\n"
+        "                        (event-queue occupancy, hash-table\n"
+        "                        probe lengths, pool watermarks, mesh\n"
+        "                        backlog) into results.perf of the\n"
+        "                        JSON record; deterministic, off by\n"
+        "                        default, and the record is\n"
+        "                        byte-identical to a non---perf run\n"
+        "                        when off\n"
+        "  --perf-sample-interval T\n"
+        "                        sample perf occupancy histograms\n"
+        "                        every T ticks (default 10000; a\n"
+        "                        nonzero --timeseries-interval takes\n"
+        "                        precedence for the shared sampling\n"
+        "                        chain)\n"
         "  --stats-addr H:P      serve live telemetry over HTTP while\n"
         "                        the run executes: /metrics\n"
         "                        (Prometheus text format, including\n"
@@ -283,6 +297,11 @@ main(int argc, char **argv)
                 parseUint(flag, next_value(i, flag));
         } else if (flag == "--profile") {
             want_profile = true;
+        } else if (flag == "--perf") {
+            cfg.perf = true;
+        } else if (flag == "--perf-sample-interval") {
+            cfg.perfSampleInterval =
+                parseUint(flag, next_value(i, flag));
         } else if (flag == "--stats-addr") {
             stats_addr = next_value(i, flag);
         } else if (flag == "--energy") {
@@ -469,6 +488,59 @@ main(int argc, char **argv)
         std::cout << "\nInter-VM interference: " << share
                   << "% of snoop lookups hit another VM's (or the "
                      "host's) cache tags\n";
+    }
+
+    if (r.perf.enabled) {
+        const PerfMon &p = r.perf;
+        std::cout << "\nSimulator internals (--perf):\n";
+        TextTable perf({"counter", "value"});
+        perf.row().cell("events scheduled")
+            .cell(p.eventQueue.schedules);
+        perf.row().cell("events descheduled")
+            .cell(p.eventQueue.deschedules);
+        perf.row().cell("wheel inserts").cell(p.eventQueue.wheelInserts);
+        perf.row().cell("overflow-heap inserts")
+            .cell(p.eventQueue.overflowInserts);
+        perf.row().cell("max wheel entries")
+            .cell(p.eventQueue.maxWheelEntries);
+        perf.row().cell("max overflow entries")
+            .cell(p.eventQueue.maxOverflowEntries);
+        perf.row().cell("max same-tick bucket depth")
+            .cell(p.eventQueue.maxBucketDepth);
+        perf.row().cell("event pool high water")
+            .cell(p.eventQueue.poolHighWater);
+        perf.row().cell("event pool refills / reuses")
+            .cell(std::to_string(p.eventQueue.poolRefills) + " / " +
+                  std::to_string(p.eventQueue.poolReuses));
+        perf.print();
+
+        std::cout << "\nHash tables (--perf):\n";
+        TextTable tables({"table", "mean probe", "p99 probe",
+                          "rehashes", "cleanups", "load"});
+        auto table_row = [&](const char *name,
+                             const FlatTablePerf &t) {
+            tables.row()
+                .cell(name)
+                .cell(t.probeLength.mean(), 2)
+                .cell(t.probeLength.quantile(0.99))
+                .cell(t.growthRehashes)
+                .cell(t.tombstoneCleanups)
+                .cell(t.loadFactor(), 3);
+        };
+        table_row("mshrs", p.mshrs);
+        table_row("inflight", p.inflight);
+        table_row("memory ledger", p.memoryLedger);
+        tables.print();
+
+        if (p.mesh.sendBacklog.count() > 0) {
+            std::cout << "\nMesh (--perf): mean send backlog "
+                      << formatFixed(p.mesh.sendBacklog.mean(), 2)
+                      << " cycles (p99 "
+                      << p.mesh.sendBacklog.quantile(0.99)
+                      << "), mean XY leg "
+                      << formatFixed(p.mesh.legLength.mean(), 2)
+                      << " hops\n";
+        }
     }
 
     if (want_energy) {

@@ -105,6 +105,19 @@ usage()
         "                        an aggregated per-phase host time\n"
         "                        breakdown (CPU time summed across\n"
         "                        workers) to stderr after the sweep\n"
+        "  --perf                collect simulator-internals counters\n"
+        "                        (event-queue occupancy, hash-table\n"
+        "                        probe lengths, pool watermarks, mesh\n"
+        "                        backlog) into each record's\n"
+        "                        results.perf and, with --stats-addr,\n"
+        "                        aggregated vsnoop_perf_* series on\n"
+        "                        /metrics.  Off by default; output is\n"
+        "                        byte-identical to a non---perf sweep\n"
+        "                        when off.  Rides the wire config, so\n"
+        "                        it composes with --submit.\n"
+        "  --perf-sample-interval T\n"
+        "                        sample perf occupancy histograms\n"
+        "                        every T ticks (default 10000)\n"
         "\n"
         "live monitoring (JSON output stays byte-identical):\n"
         "  --stats-addr H:P      serve live telemetry over HTTP while\n"
@@ -531,6 +544,11 @@ main(int argc, char **argv)
                 parseUint(flag, next_value(i, flag));
         } else if (flag == "--profile") {
             want_profile = true;
+        } else if (flag == "--perf") {
+            matrix.base.perf = true;
+        } else if (flag == "--perf-sample-interval") {
+            matrix.base.perfSampleInterval =
+                parseUint(flag, next_value(i, flag));
         } else if (flag == "--stats-addr") {
             stats_addr = next_value(i, flag);
         } else if (flag == "--heartbeat") {
@@ -590,6 +608,13 @@ main(int argc, char **argv)
     SweepHeartbeat heartbeat(matrix);
     MetricsRegistry registry;
     heartbeat.registerMetrics(registry);
+    // With --perf, each completed run's internals counters fold
+    // into an aggregate the monitor thread exports as
+    // vsnoop_perf_* series; the add happens on worker threads
+    // under the exporter's own lock, never touching simulation.
+    PerfExport perf_export;
+    if (matrix.base.perf)
+        perf_export.registerMetrics(registry);
     registry.freeze();
 
     StatsServer server;
@@ -621,6 +646,8 @@ main(int argc, char **argv)
                     break;
             }
             std::uint64_t now = steadyNowMs();
+            if (matrix.base.perf)
+                perf_export.stageMetrics(registry);
             heartbeat.publishMetrics(registry, now, stall_ms);
             if (stall_ms > 0) {
                 for (std::size_t i = 0; i < heartbeat.runCount(); ++i) {
@@ -646,6 +673,8 @@ main(int argc, char **argv)
         }
         // Final publish so a post-completion scrape sees the end
         // state (every run done, rate and ETA settled).
+        if (matrix.base.perf)
+            perf_export.stageMetrics(registry);
         heartbeat.publishMetrics(registry, steadyNowMs(), stall_ms);
     });
 
@@ -653,7 +682,11 @@ main(int argc, char **argv)
     HostProfiler profiler;
     SweepExecution exec = runSweepMonitored(
         matrix, jobs, want_profile ? &profiler : nullptr, &heartbeat,
-        [] { return g_signal != 0; });
+        [] { return g_signal != 0; },
+        [&](std::size_t, const RunResult &result) {
+            if (result.results.perf.enabled)
+                perf_export.add(result.results.perf);
+        });
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();

@@ -199,8 +199,13 @@ struct DashboardState
 {
     std::deque<double> filterRate;
     std::deque<double> byteHopRate;
+    std::deque<double> eventRate;
     double lastByteHops = -1.0;
     std::uint64_t lastSampleMs = 0;
+    /** Last /metrics scrape for the simulator-throughput line. */
+    double lastEvents = -1.0;
+    double lastTicks = -1.0;
+    std::uint64_t lastMetricsMs = 0;
 
     void push(std::deque<double> &hist, double v)
     {
@@ -209,6 +214,28 @@ struct DashboardState
             hist.pop_front();
     }
 };
+
+/**
+ * Value of an unlabeled series in a Prometheus text exposition, or
+ * nullopt when the series is absent (an older endpoint).
+ */
+std::optional<double>
+scrapeSeries(const std::string &body, const std::string &name)
+{
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        std::size_t eol = body.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = body.size();
+        if (body.compare(pos, name.size(), name) == 0 &&
+            pos + name.size() < eol &&
+            body[pos + name.size()] == ' ')
+            return std::strtod(body.c_str() + pos + name.size() + 1,
+                               nullptr);
+        pos = eol + 1;
+    }
+    return std::nullopt;
+}
 
 /** Rows shown in the job-queue frame before older jobs are elided. */
 constexpr std::size_t kMaxJobRows = 20;
@@ -454,6 +481,43 @@ renderFrame(const std::string &addr, DashboardState &state,
                       : formatCount(state.byteHopRate.back()).c_str(),
                   sparkline(state.byteHopRate).c_str());
     frame += line;
+
+    // Simulator throughput from successive /metrics scrapes: the
+    // wall-clock deltas of vsnoop_sweep_events_total and
+    // vsnoop_sweep_sim_ticks_total.  Skipped silently on endpoints
+    // without the series.
+    std::optional<std::string> metrics_body =
+        httpGet(addr, "/metrics", &error);
+    if (metrics_body) {
+        std::optional<double> events =
+            scrapeSeries(*metrics_body, "vsnoop_sweep_events_total");
+        std::optional<double> ticks = scrapeSeries(
+            *metrics_body, "vsnoop_sweep_sim_ticks_total");
+        if (events && ticks) {
+            if (state.lastEvents >= 0.0 &&
+                nowMs > state.lastMetricsMs) {
+                double secs = static_cast<double>(
+                                  nowMs - state.lastMetricsMs) /
+                              1000.0;
+                double ev_rate = (*events - state.lastEvents) / secs;
+                double cyc_rate = (*ticks - state.lastTicks) / secs;
+                state.push(state.eventRate,
+                           ev_rate < 0.0 ? 0.0 : ev_rate);
+                std::snprintf(
+                    line, sizeof line,
+                    "sim     %s ev/s, %s cyc/s  %s\n",
+                    formatCount(ev_rate < 0.0 ? 0.0 : ev_rate)
+                        .c_str(),
+                    formatCount(cyc_rate < 0.0 ? 0.0 : cyc_rate)
+                        .c_str(),
+                    sparkline(state.eventRate).c_str());
+                frame += line;
+            }
+            state.lastEvents = *events;
+            state.lastTicks = *ticks;
+            state.lastMetricsMs = nowMs;
+        }
+    }
     frame += '\n';
 
     // Watchdog summary straight from the endpoint's stalled list.
