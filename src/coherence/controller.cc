@@ -4,6 +4,7 @@
 
 #include "coherence/system.hh"
 #include "sim/logging.hh"
+#include "trace/pagemon.hh"
 #include "trace/trace.hh"
 
 namespace vsnoop
@@ -185,6 +186,11 @@ CoherenceController::access(const MemAccess &access,
     system_.stats.snoopLookups.inc();
     if (CritPathAccountant *cp = system_.critpath())
         cp->snoopLookupLocal(access.vm);
+    // The page monitor charges at the same two sites as the
+    // interference matrix (here and at remote delivery) so its
+    // per-page lookup sum reconciles with both.
+    if (PageMon *pm = system_.pagemon())
+        pm->miss(line_addr, access.vm);
 
     Mshr mshr;
     mshr.access = access;
@@ -203,7 +209,7 @@ CoherenceController::access(const MemAccess &access,
         line->pinned = true;
         cache_.touch(*line);
     }
-    if (TraceSink *t = system_.trace()) {
+    if (TraceSink *t = system_.traceFor(mshr.access.addr)) {
         t->record(traceBase(TraceEventKind::RequestIssue, eq.now(),
                             core_, mshr.access, mshr.kind));
     }
@@ -251,7 +257,12 @@ CoherenceController::issueAttempt(Mshr &mshr)
     if (!mshr.persistent && mshr.attempt == 1)
         mshr.reason = targets.reason;
 
-    if (TraceSink *t = system_.trace()) {
+    // Per-page reason attribution covers every attempt (persistent
+    // re-broadcasts included), mirroring the FilterDecision record.
+    if (PageMon *pm = system_.pagemon())
+        pm->filterReasonCharge(line_addr, targets.reason);
+
+    if (TraceSink *t = system_.traceFor(mshr.access.addr)) {
         TraceRecord r = traceBase(TraceEventKind::FilterDecision,
                                   eq.now(), core_, mshr.access,
                                   mshr.kind);
@@ -316,7 +327,7 @@ CoherenceController::onTimeout(std::uint64_t line_num, std::uint64_t gen)
                     CritSegment::RetryBackoff);
         mshr.waitingGrant = true;
         system_.stats.persistentRequests.inc();
-        if (TraceSink *t = system_.trace()) {
+        if (TraceSink *t = system_.traceFor(mshr.access.addr)) {
             TraceRecord r =
                 traceBase(TraceEventKind::PersistentEscalation,
                           system_.eventQueue().now(), core_,
@@ -329,7 +340,7 @@ CoherenceController::onTimeout(std::uint64_t line_num, std::uint64_t gen)
         system_.requestPersistent(mshr.access.addr, core_);
         return;
     }
-    if (TraceSink *t = system_.trace()) {
+    if (TraceSink *t = system_.traceFor(mshr.access.addr)) {
         TraceRecord r = traceBase(TraceEventKind::Retry,
                                   system_.eventQueue().now(), core_,
                                   mshr.access, mshr.kind);
@@ -563,7 +574,7 @@ CoherenceController::handleResponse(const ResponseMsg &msg)
         if (msg.makeProvider)
             mshr.makeProvider = true;
     }
-    if (TraceSink *t = system_.trace()) {
+    if (TraceSink *t = system_.traceFor(mshr.access.addr)) {
         TraceRecord r = traceBase(TraceEventKind::TokenCollect,
                                   system_.eventQueue().now(), core_,
                                   mshr.access, mshr.kind);
@@ -631,7 +642,7 @@ CoherenceController::tryComplete(Mshr &mshr)
             .roDataFrom[static_cast<std::size_t>(mshr.dataSource)].inc();
     }
 
-    if (TraceSink *t = system_.trace()) {
+    if (TraceSink *t = system_.traceFor(mshr.access.addr)) {
         TraceRecord r = traceBase(TraceEventKind::Completion, done,
                                   core_, mshr.access, mshr.kind);
         r.dataSource = mshr.dataSource;

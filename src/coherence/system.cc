@@ -7,6 +7,7 @@
 #include "sim/logging.hh"
 #include "sim/profiler.hh"
 #include "trace/critpath.hh"
+#include "trace/pagemon.hh"
 
 namespace vsnoop
 {
@@ -105,6 +106,18 @@ CoherenceSystem::memNodeFor(HostAddr line) const
     return memNodes_[memory_.controllerFor(line)];
 }
 
+TraceSink *
+CoherenceSystem::traceFor(HostAddr addr) const
+{
+    if (trace_ == nullptr)
+        return nullptr;
+    if (pagemon_ != nullptr && pagemon_->watchActive() &&
+        !pagemon_->watches(addr)) {
+        return nullptr;
+    }
+    return trace_;
+}
+
 void
 CoherenceSystem::sendSnoops(CoreId from, const SnoopMsg &msg,
                             const SnoopTargets &targets)
@@ -118,9 +131,12 @@ CoherenceSystem::sendSnoops(CoreId from, const SnoopMsg &msg,
         stats.snoopLookups.inc();
         // Charged at send (next to snoopLookups) so the interference
         // matrix total reconciles with the counter at any instant,
-        // warmup reset included.
+        // warmup reset included.  The page monitor charges here for
+        // the same reason: its per-page lookup sum must match too.
         if (critpath_ != nullptr)
             critpath_->snoopLookupRemote(msg.requesterVm, target);
+        if (pagemon_ != nullptr)
+            pagemon_->snoopDelivery(msg.line, msg.requesterVm, target);
         eq_.scheduleFn(arrive, [this, target, msg] {
             controller(target).handleSnoop(msg);
         });
@@ -187,6 +203,8 @@ CoherenceSystem::resetStats()
     // keeping matrix total == snoopLookups exactly.
     if (critpath_ != nullptr)
         critpath_->resetStats();
+    if (pagemon_ != nullptr)
+        pagemon_->resetStats();
     memory_.reads.reset();
     memory_.writebacks.reset();
     memory_.dataProvided.reset();

@@ -30,6 +30,7 @@ namespace vsnoop
 
 class CritPathAccountant;
 class HostProfiler;
+class PageMon;
 class TraceSink;
 
 /**
@@ -150,6 +151,30 @@ class CoherenceSystem
     TraceSink *trace() const { return trace_; }
 
     /**
+     * The trace sink for records about @p addr, or nullptr.  With
+     * page watchpoints active (trace/pagemon.hh), transaction
+     * records are suppressed for lines outside the watched pages so
+     * a --watch-page run traces exactly the pages it asked for;
+     * without watchpoints this is trace().  Lifecycle records
+     * (vCPU-map and page events) keep using trace() unfiltered.
+     */
+    TraceSink *traceFor(HostAddr addr) const;
+
+    /**
+     * Attach (or detach, with nullptr) the page-level monitor
+     * (trace/pagemon.hh).  The controllers charge its per-page
+     * counters at exactly the stats.snoopLookups charge sites
+     * behind a branch-on-null, so the top-K page totals reconcile
+     * with the counter and the interference-matrix total at any
+     * instant; resetStats() resets it alongside both.  The monitor
+     * must outlive the system.
+     */
+    void setPagemon(PageMon *pagemon) { pagemon_ = pagemon; }
+
+    /** The active page monitor, or nullptr when detached. */
+    PageMon *pagemon() const { return pagemon_; }
+
+    /**
      * Attach (or detach, with nullptr) a host self-profiler.
      * Protocol work and network sends are bracketed with
      * ProfileScope guards that branch on the pointer, mirroring
@@ -265,6 +290,7 @@ class CoherenceSystem
     TraceSink *trace_ = nullptr;
     HostProfiler *profiler_ = nullptr;
     CritPathAccountant *critpath_ = nullptr;
+    PageMon *pagemon_ = nullptr;
     SnoopTargetPolicy &policy_;
     ProtocolConfig config_;
     MainMemory memory_;

@@ -2,6 +2,7 @@
 
 #include "coherence/system.hh"
 #include "sim/logging.hh"
+#include "trace/pagemon.hh"
 #include "trace/trace.hh"
 
 namespace vsnoop
@@ -202,8 +203,16 @@ VirtualSnoopPolicy::targets(CoreId requester, const MemAccess &access,
     }
     SnoopTargets t = tmpl->targets;
     t.cores.remove(requester);
-    if (attempt == 1)
+    if (attempt == 1) {
         tmpl->firstAttempt->inc();
+        // Filtered means the destination set was narrowed below a
+        // broadcast: multicast within a map or memory-direct.
+        if (pagemon_ != nullptr) {
+            pagemon_->policyDecision(
+                access.addr,
+                tmpl->firstAttempt != &broadcastRequests);
+        }
+    }
     return t;
 }
 

@@ -56,6 +56,9 @@ enum class PageType : std::uint8_t
     RoShared,
 };
 
+/** Number of PageType values. */
+constexpr std::size_t kNumPageTypes = 3;
+
 /** Human-readable name for a PageType. */
 const char *pageTypeName(PageType type);
 

@@ -342,6 +342,8 @@ JobQueue::execute(Job &job)
                                               *job.profiles[slot]);
                 if (result.results.perf.enabled)
                     perf_.add(result.results.perf);
+                if (result.results.pages.enabled)
+                    pages_.add(result.results.pages);
                 std::string line = result.toJson();
                 if (store_ != nullptr)
                     store_->put(job.cacheKeys[slot], line);
@@ -443,6 +445,7 @@ JobQueue::registerMetrics(MetricsRegistry &registry)
         "Milliseconds per executed run, simulation plus store "
         "insert");
     perf_.registerMetrics(registry);
+    pages_.registerMetrics(registry);
     metricsRegistered_ = true;
 }
 
@@ -475,6 +478,7 @@ JobQueue::stageMetrics(MetricsRegistry &registry) const
     registry.setHistogram(queueWaitHistId_, queueWait);
     registry.setHistogram(runExecuteHistId_, runExecute);
     perf_.stageMetrics(registry);
+    pages_.stageMetrics(registry);
 }
 
 } // namespace vsnoop

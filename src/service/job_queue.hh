@@ -60,6 +60,7 @@
 #include "sim/stats.hh"
 #include "system/sweep.hh"
 #include "trace/job_trace.hh"
+#include "trace/pagemon.hh"
 
 namespace vsnoop
 {
@@ -237,6 +238,10 @@ class JobQueue
     /** Simulator-internals aggregate over executed runs that were
      * submitted with "perf": true (own lock; see sim/perfmon.hh). */
     PerfExport perf_;
+
+    /** Page-attribution aggregate over executed runs submitted with
+     * "pages": true (own lock; see trace/pagemon.hh). */
+    PagesExport pages_;
 
     MetricsRegistry::Id submittedId_ = 0, completedId_ = 0,
                         failedId_ = 0, cancelledId_ = 0,

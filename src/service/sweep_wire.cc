@@ -103,6 +103,8 @@ writeWireConfig(JsonWriter &json, const SystemConfig &c)
     json.key("tag_lookup_cycles").value(c.protocol.tagLookupCycles);
     json.key("perf").value(c.perf);
     json.key("perf_sample_interval").value(c.perfSampleInterval);
+    json.key("pages").value(c.pages);
+    json.key("pages_top").value(c.pagesTop);
     json.endObject();
 }
 
@@ -189,6 +191,12 @@ applyConfigMember(const std::string &key, const JsonValue &v,
     if (key == "perf") return toBool(v, &c->perf);
     if (key == "perf_sample_interval")
         return toU64(v, &c->perfSampleInterval);
+    if (key == "pages") return toBool(v, &c->pages);
+    if (key == "pages_top") {
+        if (!toU32(v, &c->pagesTop) || c->pagesTop == 0)
+            return false;
+        return true;
+    }
     return false;
 }
 
@@ -209,6 +217,7 @@ isKnownConfigKey(const std::string &key)
         "broadcast_attempt", "map_sync_bytes", "ro_token_bundle",
         "content_scan", "content_scan_period", "timeseries_interval",
         "tag_lookup_cycles", "perf", "perf_sample_interval",
+        "pages", "pages_top",
     };
     for (const char *known : kKeys)
         if (key == known)
@@ -439,6 +448,14 @@ runCacheKey(const SystemConfig &config, const std::string &app)
     json.key("capture_trace").value(config.captureTrace);
     json.key("trace_limit")
         .value(static_cast<std::uint64_t>(config.traceLimit));
+    // Watchpoints filter the trace (and are API-only), so two runs
+    // differing only in watch set must not share a cache entry.
+    if (!config.watchPages.empty()) {
+        json.key("watch_pages").beginArray();
+        for (std::uint64_t page : config.watchPages)
+            json.value(page);
+        json.endArray();
+    }
     // A placement trace changes run behavior; hash its contents so
     // two different traces never alias one key.
     if (config.placementTrace != nullptr) {

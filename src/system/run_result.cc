@@ -111,6 +111,16 @@ RunResult::writeJson(JsonWriter &json) const
         json.key("perf").value(true);
         json.key("perf_sample_interval").value(config.perfSampleInterval);
     }
+    if (config.pages) {
+        json.key("pages").value(true);
+        json.key("pages_top").value(config.pagesTop);
+    }
+    if (!config.watchPages.empty()) {
+        json.key("watch_pages").beginArray();
+        for (std::uint64_t page : config.watchPages)
+            json.value(page);
+        json.endArray();
+    }
     json.endObject();
 
     const SystemResults &r = results;
@@ -255,6 +265,55 @@ RunResult::writeJson(JsonWriter &json) const
     if (r.perf.enabled) {
         json.key("perf");
         r.perf.writeJson(json);
+    }
+    if (r.pages.enabled) {
+        const PagesSnapshot &pg = r.pages;
+        json.key("pages").beginObject();
+        json.key("top_k").value(pg.topK);
+        json.key("tracked").value(pg.cells.size());
+        json.key("total_lookups").value(pg.totalLookups);
+        json.key("truncated_lookups").value(pg.truncatedLookups);
+        json.key("truncated_pages").value(pg.truncatedPages);
+        json.key("census").beginObject();
+        for (std::size_t t = 0; t < kNumPageTypes; ++t)
+            json.key(pageTypeName(static_cast<PageType>(t)))
+                .value(pg.censusByType[t]);
+        json.endObject();
+        json.key("transitions").beginObject();
+        json.key("maps").value(pg.mapEvents);
+        json.key("unmaps").value(pg.unmapEvents);
+        json.key("type_changes").value(pg.typeChanges);
+        json.key("cow_breaks").value(pg.cowBreaks);
+        json.key("remaps").value(pg.remaps);
+        json.endObject();
+        // Cells arrive pre-sorted (lookups desc, page asc) from
+        // PageMon::snapshot(), so this array is byte-identical
+        // across --jobs values.
+        json.key("top").beginArray();
+        for (const PageCell &cell : pg.cells) {
+            json.beginObject();
+            json.key("page").value(cell.pageNum);
+            json.key("lookups").value(cell.lookups);
+            json.key("misses").value(cell.misses);
+            json.key("cross_vm").value(cell.crossVm);
+            json.key("filtered").value(cell.filtered);
+            json.key("broadcast").value(cell.broadcast);
+            json.key("sharers").value(cell.sharerMask);
+            json.key("type").value(pageTypeName(cell.lastType));
+            json.key("by_reason").beginObject();
+            for (std::size_t i = 0; i < kNumFilterReasons; ++i)
+                json.key(filterReasonName(static_cast<FilterReason>(i)))
+                    .value(cell.byReason[i]);
+            json.endObject();
+            json.key("by_vm").beginObject();
+            for (std::uint32_t row = 0; row < pg.vmRows; ++row)
+                json.key(vmRowLabel(row, pg.vmRows))
+                    .value(cell.byVm[row]);
+            json.endObject();
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
     }
     json.endObject();
 

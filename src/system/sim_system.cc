@@ -1,6 +1,7 @@
 #include "system/sim_system.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "sim/logging.hh"
 #include "sim/profiler.hh"
@@ -83,6 +84,36 @@ SimSystem::build(const std::vector<AppProfile> &apps)
         }
     }
 
+    // Watch-page runs get their trace sink before the guest VMs so
+    // the watched pages' build-time lifecycle records (first-touch
+    // maps, the initial content scan's merges) are captured.  Plain
+    // --trace runs keep the sink attachment below, after the build,
+    // so their record stream (and run JSON) is unchanged.
+    if (!config_.watchPages.empty()) {
+        trace_ = std::make_unique<TraceSink>(
+            std::max<std::size_t>(1, config_.traceLimit));
+        coherence_->setTrace(trace_.get());
+    }
+
+    // Page-level forensics: the monitor observes the hypervisor's
+    // lifecycle events from the very first mapping, charges per-page
+    // lookups at the coherence layer's snoopLookups sites, and
+    // filters transaction tracing down to watched pages.
+    if (config_.pages || !config_.watchPages.empty()) {
+        pagemon_ = std::make_unique<PageMon>(
+            config_.numVms,
+            std::max<std::uint32_t>(1, config_.pagesTop));
+        pagemon_->setClock(&eq_);
+        pagemon_->setCoreVmTable(mapping_.vmAtTable());
+        pagemon_->setTrace(trace_.get());
+        for (std::uint64_t page : config_.watchPages)
+            pagemon_->addWatch(page);
+        hypervisor_.setPageListener(pagemon_.get());
+        coherence_->setPagemon(pagemon_.get());
+        if (vsnoopPolicy_ != nullptr)
+            vsnoopPolicy_->setPagemon(pagemon_.get());
+    }
+
     // Guest VMs, content declarations and the ideal dedup scan.
     for (VmId vm = 0; vm < config_.numVms; ++vm) {
         VmId id = hypervisor_.createVm(config_.vcpusPerVm);
@@ -124,10 +155,16 @@ SimSystem::build(const std::vector<AppProfile> &apps)
             eq_, mapping_, config_.migrationPeriod, config_.seed);
     }
 
-    if (config_.captureTrace || !config_.tracePath.empty()) {
+    if ((config_.captureTrace || !config_.tracePath.empty()) &&
+        trace_ == nullptr) {
         trace_ = std::make_unique<TraceSink>(
             std::max<std::size_t>(1, config_.traceLimit));
         coherence_->setTrace(trace_.get());
+        // Lifecycle records start flowing from here (measurement
+        // setup is done); build-time events were still counted in
+        // the monitor's transition totals.
+        if (pagemon_ != nullptr)
+            pagemon_->setTrace(trace_.get());
     }
 
     // Critical-path attribution is always on: the hooks are a few
@@ -250,6 +287,17 @@ SimSystem::registerStats(StatSet &set) const
                 vsnoopPolicy_->broadcastRequests);
         set.add("vsnoop.map_adds", vsnoopPolicy_->mapAdds);
         set.add("vsnoop.map_removals", vsnoopPolicy_->mapRemovals);
+    }
+    if (pagemon_ != nullptr) {
+        set.add("pages.lookups", pagemon_->lookupsCharged);
+        set.add("pages.cross_vm_lookups", pagemon_->crossVmLookups);
+        set.add("pages.truncated_lookups", pagemon_->truncatedLookups);
+        set.add("pages.cow_breaks",
+                pagemon_->eventsByKind[static_cast<std::size_t>(
+                    PageEventKind::CowBreak)]);
+        set.add("pages.remaps",
+                pagemon_->eventsByKind[static_cast<std::size_t>(
+                    PageEventKind::Remap)]);
     }
 }
 
@@ -446,6 +494,31 @@ SimSystem::results() const
         r.series = sampler_->series();
     r.critpath = critpath_->critSnapshot();
     r.interference = critpath_->interferenceSnapshot();
+    if (pagemon_ != nullptr && config_.pages) {
+        r.pages = pagemon_->snapshot();
+        // Page-type census: distinct mapped host pages by current
+        // sharing type, read off the hypervisor's tables.  Counting
+        // is order-independent, so the unordered walk is fine.
+        std::unordered_map<std::uint64_t, PageType> host_type;
+        for (VmId vm = 0; vm < config_.numVms; ++vm) {
+            hypervisor_.pageTable(vm).forEach(
+                [&host_type](std::uint64_t,
+                             const PageTableEntry &entry) {
+                    host_type[entry.hostPage] = entry.type;
+                });
+        }
+        for (const auto &[page, type] : host_type)
+            r.pages.censusByType[static_cast<std::size_t>(type)]++;
+        // Tracked cells created after the last lifecycle event on
+        // their page (e.g. post-warmup re-allocation) would otherwise
+        // report the default type; the live tables are authoritative
+        // for pages still mapped.
+        for (PageCell &cell : r.pages.cells) {
+            auto it = host_type.find(cell.pageNum);
+            if (it != host_type.end())
+                cell.lastType = it->second;
+        }
+    }
     if (perfmon_ != nullptr) {
         r.perf = *perfmon_;
         r.perf.eventQueue.poolHighWater = std::max(

@@ -35,6 +35,7 @@
 #include "noc/mesh.hh"
 #include "system/driver.hh"
 #include "trace/critpath.hh"
+#include "trace/pagemon.hh"
 #include "trace/timeseries.hh"
 #include "trace/trace.hh"
 #include "virt/hypervisor.hh"
@@ -126,6 +127,19 @@ struct SystemConfig
     bool perf = false;
     Tick perfSampleInterval = 10000;
     /** @} */
+    /**
+     * @{ Page-level snoop forensics (trace/pagemon.hh).  pages
+     * attaches a PageMon charging per-host-page attribution at the
+     * snoopLookups sites and emits a results.pages block; off by
+     * default so run JSON stays byte-identical.  pagesTop bounds the
+     * heavy-hitter table.  watchPages promotes transactions touching
+     * the listed host pages to full lifecycle tracing (implies a
+     * trace sink, and filters transaction records to those pages).
+     */
+    bool pages = false;
+    std::uint32_t pagesTop = 64;
+    std::vector<std::uint64_t> watchPages;
+    /** @} */
     std::uint64_t seed = 1;
 
     std::uint32_t numCores() const { return mesh.width * mesh.height; }
@@ -183,6 +197,8 @@ struct SystemResults
     /** @} */
     /** Simulator-internals counters (perf.enabled iff --perf). */
     PerfMon perf;
+    /** Per-page attribution (pages.enabled iff --pages). */
+    PagesSnapshot pages;
 };
 
 /**
@@ -255,6 +271,9 @@ class SimSystem
     /** The always-attached critical-path accountant. */
     CritPathAccountant &critpath() { return *critpath_; }
     const CritPathAccountant &critpath() const { return *critpath_; }
+    /** Null unless pages / watchPages requested a monitor. */
+    PageMon *pagemon() { return pagemon_.get(); }
+    const PageMon *pagemon() const { return pagemon_.get(); }
     /**
      * Attach a host self-profiler (sim/profiler.hh) before run().
      * The caller owns it and must keep it alive for the run; run()
@@ -308,6 +327,7 @@ class SimSystem
     std::unique_ptr<TraceMigrator> traceMigrator_;
     std::unique_ptr<TraceSink> trace_;
     std::unique_ptr<CritPathAccountant> critpath_;
+    std::unique_ptr<PageMon> pagemon_;
     std::unique_ptr<IntervalSampler> sampler_;
     std::unique_ptr<PerfMon> perfmon_;
     /** The mesh when !idealNetwork (perf hooks); else nullptr. */

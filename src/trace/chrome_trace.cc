@@ -135,6 +135,20 @@ instant(JsonWriter &json, const char *name, const TraceRecord &r,
         json.key("core").value(static_cast<std::uint64_t>(r.core));
         json.key("residence").value(r.value);
         break;
+      case TraceEventKind::PageMap:
+      case TraceEventKind::PageUnmap:
+      case TraceEventKind::PageTypeChange:
+      case TraceEventKind::PageCow:
+      case TraceEventKind::PageRemap:
+        json.key("guest_page").value(r.value);
+        json.key("host_page").value(r.line >>
+                                    (kPageShift - kLineShift));
+        json.key("page_type").value(pageTypeName(r.pageType));
+        json.key("prev_type").value(
+            pageTypeName(static_cast<PageType>(r.tokens)));
+        if (r.targets != 0)
+            json.key("prev_host_page").value(r.targets);
+        break;
       default:
         break;
     }
@@ -165,6 +179,19 @@ writeChromeTrace(std::ostream &out, const TraceSink &sink,
     for (std::uint32_t v = 0; v < meta.numVms; ++v)
         metadataEvent(json, "thread_name", kVmPid, v,
                       "vm " + std::to_string(v));
+    // Page-lifecycle events for shared-region pages (and any event
+    // without a guest VM owner) land on a host track.  The track is
+    // named only when such records exist, so traces from runs
+    // without page events keep their exact historical bytes.
+    bool host_row = false;
+    sink.forEach([&](const TraceRecord &r) {
+        host_row = host_row ||
+                   (r.kind >= TraceEventKind::PageMap &&
+                    r.kind <= TraceEventKind::PageRemap &&
+                    r.vm >= meta.numVms);
+    });
+    if (host_row)
+        metadataEvent(json, "thread_name", kVmPid, meta.numVms, "host");
 
     // Fold lifecycle records into one slice per transaction.  At
     // most one transaction per (core, line) is outstanding, so that
@@ -239,6 +266,14 @@ writeChromeTrace(std::ostream &out, const TraceSink &sink,
             break;
           case TraceEventKind::MapRemove:
             instant(json, "map-remove", r, kVmPid, r.vm);
+            break;
+          case TraceEventKind::PageMap:
+          case TraceEventKind::PageUnmap:
+          case TraceEventKind::PageTypeChange:
+          case TraceEventKind::PageCow:
+          case TraceEventKind::PageRemap:
+            instant(json, traceEventKindName(r.kind), r, kVmPid,
+                    r.vm < meta.numVms ? r.vm : meta.numVms);
             break;
         }
     });

@@ -19,6 +19,11 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::Completion: return "complete";
       case TraceEventKind::MapAdd: return "map-add";
       case TraceEventKind::MapRemove: return "map-remove";
+      case TraceEventKind::PageMap: return "page-map";
+      case TraceEventKind::PageUnmap: return "page-unmap";
+      case TraceEventKind::PageTypeChange: return "page-type";
+      case TraceEventKind::PageCow: return "page-cow";
+      case TraceEventKind::PageRemap: return "page-remap";
     }
     vsnoop_panic("unknown TraceEventKind ", static_cast<int>(kind));
 }

@@ -63,10 +63,28 @@ enum class TraceEventKind : std::uint8_t
     MapAdd,
     /** A core was removed from a VM's vCPU map. */
     MapRemove,
+    /**
+     * @{ Page-lifecycle records (virt/page_event.hh, emitted by
+     * trace/pagemon.hh).  `vm` is the owning VM, `line` the first
+     * line of the host page, `value` the guest page number,
+     * `targets` the previous host page (cow/remap), `pageType` the
+     * sharing type after the event and `tokens` the type before it.
+     */
+    /** A page got its first host mapping. */
+    PageMap,
+    /** A mapping was removed. */
+    PageUnmap,
+    /** Only the sharing type changed (same host page). */
+    PageTypeChange,
+    /** A copy-on-write break gave the writer a private copy. */
+    PageCow,
+    /** The content scan merged the page onto a canonical copy. */
+    PageRemap,
+    /** @} */
 };
 
 /** Number of TraceEventKind values. */
-constexpr std::size_t kNumTraceEventKinds = 8;
+constexpr std::size_t kNumTraceEventKinds = 13;
 
 /** Short machine name ("issue", "filter", ...). */
 const char *traceEventKindName(TraceEventKind kind);

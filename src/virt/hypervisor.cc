@@ -59,6 +59,13 @@ Hypervisor::allocHostPage()
     return nextHostPage_++;
 }
 
+void
+Hypervisor::emitPageEvent(const PageEvent &event)
+{
+    if (pageListener_ != nullptr)
+        pageListener_->onPageEvent(event);
+}
+
 Translation
 Hypervisor::translateData(VmId vm, GuestAddr addr, bool is_write)
 {
@@ -71,6 +78,8 @@ Hypervisor::translateData(VmId vm, GuestAddr addr, bool is_write)
         std::uint64_t host_page = allocHostPage();
         state.table.map(guest_page, host_page, PageType::VmPrivate);
         generation_++;
+        emitPageEvent({PageEventKind::Map, vm, guest_page, host_page,
+                       0, PageType::VmPrivate, PageType::VmPrivate});
         entry = state.table.lookup(guest_page);
     }
 
@@ -88,12 +97,16 @@ Hypervisor::translateData(VmId vm, GuestAddr addr, bool is_write)
             if (mappers.empty())
                 shared_.erase(shared_it);
         }
+        std::uint64_t shared_page = entry->hostPage;
         state.table.map(guest_page, host_page, PageType::VmPrivate);
         // The page's content diverged: it no longer belongs to its
         // declared content class.
         state.contentClass.erase(guest_page);
         generation_++;
         cowBreaks.inc();
+        emitPageEvent({PageEventKind::CowBreak, vm, guest_page,
+                       host_page, shared_page, PageType::VmPrivate,
+                       PageType::RoShared});
         t.type = PageType::VmPrivate;
         t.cowBroke = true;
         t.addr = HostAddr((host_page << kPageShift) | addr.pageOffset());
@@ -133,6 +146,8 @@ Hypervisor::vmSharedAddr(VmId vm, std::uint64_t page_idx,
     if (it == vmShared_.end()) {
         host_page = allocHostPage();
         vmShared_.emplace(key, host_page);
+        emitPageEvent({PageEventKind::Map, vm, page_idx, host_page, 0,
+                       PageType::RwShared, PageType::RwShared});
     } else {
         host_page = it->second;
     }
@@ -162,6 +177,9 @@ Hypervisor::channelAddr(VmId a, VmId b, std::uint64_t page_idx,
     if (it == channels_.end()) {
         host_page = allocHostPage();
         channels_.emplace(key, host_page);
+        // Channel pages are attributed to the lower-numbered VM.
+        emitPageEvent({PageEventKind::Map, lo, page_idx, host_page, 0,
+                       PageType::RwShared, PageType::RwShared});
     } else {
         host_page = it->second;
     }
@@ -231,6 +249,21 @@ Hypervisor::runContentScan()
                 entry->type != PageType::RoShared) {
                 state.table.map(guest_page, canon, PageType::RoShared);
                 generation_++;
+                if (had_own_page) {
+                    // Relocation remap: the VM's own copy merged
+                    // onto the canonical shared page.
+                    emitPageEvent({PageEventKind::Remap, vm,
+                                   guest_page, canon, entry->hostPage,
+                                   PageType::RoShared, entry->type});
+                } else if (!entry) {
+                    emitPageEvent({PageEventKind::Map, vm, guest_page,
+                                   canon, 0, PageType::RoShared,
+                                   PageType::RoShared});
+                } else {
+                    emitPageEvent({PageEventKind::TypeChange, vm,
+                                   guest_page, canon, canon,
+                                   PageType::RoShared, entry->type});
+                }
             }
             auto pair = std::make_pair(vm, guest_page);
             if (std::find(info.mappers.begin(), info.mappers.end(),

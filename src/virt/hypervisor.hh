@@ -33,6 +33,7 @@
 #include "mem/addr.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "virt/page_event.hh"
 #include "virt/page_table.hh"
 
 namespace vsnoop
@@ -135,6 +136,22 @@ class Hypervisor
     /** Combined mapping generation over all VMs (TLB revalidation). */
     std::uint64_t mappingGeneration() const { return generation_; }
 
+    /**
+     * Attach (or detach, with nullptr) a page-lifecycle observer
+     * (virt/page_event.hh).  Every mapping change — first-touch
+     * allocation, shared-region allocation, COW break, content-scan
+     * merge — emits one event through the pointer behind a
+     * branch-on-null, so runs without an observer pay one pointer
+     * test per site.  The listener must outlive the hypervisor.
+     */
+    void setPageListener(PageEventListener *listener)
+    {
+        pageListener_ = listener;
+    }
+
+    /** The active listener, or nullptr when none is attached. */
+    PageEventListener *pageListener() const { return pageListener_; }
+
     /** @{ Statistics. */
     Counter pagesAllocated;
     Counter pagesDeduplicated;
@@ -160,8 +177,10 @@ class Hypervisor
     std::uint64_t allocHostPage();
     VmState &vmState(VmId vm);
     const VmState &vmState(VmId vm) const;
+    void emitPageEvent(const PageEvent &event);
 
     HypervisorConfig config_;
+    PageEventListener *pageListener_ = nullptr;
     std::vector<VmState> vms_;
     std::uint64_t nextHostPage_ = 1; // page 0 reserved
     std::uint64_t hypervisorBase_ = 0;

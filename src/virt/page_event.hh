@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Page-lifecycle event interface between the hypervisor and
+ * observers (trace/pagemon.hh).
+ *
+ * The hypervisor's mapping decisions — first-touch allocation,
+ * content-scan merges, copy-on-write breaks — are exactly the
+ * classification history virtual snooping's filtering argument
+ * rests on (Sections IV and VI of the paper), yet they happen far
+ * below the coherence layer where the aggregate counters live.
+ * A PageEventListener receives one call per mapping change, behind
+ * the repository's branch-on-null convention: the hypervisor holds
+ * a nullable listener pointer and pays one pointer test per
+ * lifecycle site when nothing is attached.
+ *
+ * The interface is header-only and references only mem/sim types,
+ * so observers in higher layers (the trace library) can implement
+ * it without creating a link cycle back into vsnoop_virt.
+ */
+
+#ifndef VSNOOP_VIRT_PAGE_EVENT_HH_
+#define VSNOOP_VIRT_PAGE_EVENT_HH_
+
+#include <cstdint>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace vsnoop
+{
+
+/** What happened to a mapping. */
+enum class PageEventKind : std::uint8_t
+{
+    /** A guest (or shared-region) page got its first host page. */
+    Map,
+    /** A mapping was removed. */
+    Unmap,
+    /** Only the sharing type changed (same host page). */
+    TypeChange,
+    /** A write to an RO-shared page gave the writer a fresh
+     *  private copy (copy-on-write break). */
+    CowBreak,
+    /** The content scan relocated a mapping onto the canonical
+     *  shared host page (dedup merge / relocation remap). */
+    Remap,
+};
+
+/** Number of PageEventKind values. */
+constexpr std::size_t kNumPageEventKinds = 5;
+
+/**
+ * One page-lifecycle event.  A flat struct holds the union of all
+ * kinds' fields; unused fields keep their defaults.
+ */
+struct PageEvent
+{
+    PageEventKind kind = PageEventKind::Map;
+    /** Owning VM (shared-region pages are attributed to the VM, or
+     *  the lower-numbered VM for inter-VM channels). */
+    VmId vm = kInvalidVm;
+    /** Guest page number, or the region page index for pages
+     *  outside any guest page table. */
+    std::uint64_t guestPage = 0;
+    /** Host page number after the event. */
+    std::uint64_t hostPage = 0;
+    /** Host page number before the event (CowBreak / Remap). */
+    std::uint64_t prevHostPage = 0;
+    /** Sharing type after the event. */
+    PageType type = PageType::VmPrivate;
+    /** Sharing type before the event (TypeChange / Remap / CowBreak). */
+    PageType prevType = PageType::VmPrivate;
+};
+
+/**
+ * Observer of hypervisor mapping changes.  Implementations follow
+ * the one-system-per-thread contract (system/sim_system.hh): events
+ * arrive on the owning simulation thread only.
+ */
+class PageEventListener
+{
+  public:
+    virtual ~PageEventListener() = default;
+
+    /** One mapping change.  Called after the tables were updated. */
+    virtual void onPageEvent(const PageEvent &event) = 0;
+};
+
+} // namespace vsnoop
+
+#endif // VSNOOP_VIRT_PAGE_EVENT_HH_

@@ -1,5 +1,8 @@
 #include "virt/page_table.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/logging.hh"
 
 namespace vsnoop
@@ -44,7 +47,20 @@ PageTable::forEach(const std::function<void(std::uint64_t,
                                             const PageTableEntry &)> &fn)
     const
 {
-    entries_.forEach(fn);
+    // FlatMap iterates in table (hash-slot) order, which depends on
+    // the capacity the table happens to have grown to.  JSON and
+    // report consumers walk mappings straight into output bytes, so
+    // emission is sorted by guest page: iteration-order differences
+    // across capacities must never leak into output.
+    std::vector<std::uint64_t> pages;
+    pages.reserve(entries_.size());
+    entries_.forEach(
+        [&pages](std::uint64_t guest_page, const PageTableEntry &) {
+            pages.push_back(guest_page);
+        });
+    std::sort(pages.begin(), pages.end());
+    for (std::uint64_t guest_page : pages)
+        fn(guest_page, *entries_.find(guest_page));
 }
 
 } // namespace vsnoop

@@ -55,7 +55,8 @@ class PageTable
     /** Number of mapped pages. */
     std::size_t size() const { return entries_.size(); }
 
-    /** Visit every (guest_page, entry) pair. */
+    /** Visit every (guest_page, entry) pair in ascending guest-page
+     *  order (deterministic regardless of table capacity). */
     void forEach(const std::function<void(std::uint64_t,
                                           const PageTableEntry &)> &fn) const;
 

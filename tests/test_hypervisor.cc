@@ -6,10 +6,32 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "virt/hypervisor.hh"
+#include "virt/page_event.hh"
 
 namespace vsnoop::test
 {
+
+/** Records every lifecycle event the hypervisor emits. */
+struct RecordingListener : public PageEventListener
+{
+    std::vector<PageEvent> events;
+    void onPageEvent(const PageEvent &event) override
+    {
+        events.push_back(event);
+    }
+    std::size_t
+    count(PageEventKind kind) const
+    {
+        std::size_t n = 0;
+        for (const PageEvent &e : events)
+            if (e.kind == kind)
+                n++;
+        return n;
+    }
+};
 
 TEST(Hypervisor, CreateVmsAssignsSequentialIds)
 {
@@ -187,6 +209,93 @@ TEST(Hypervisor, ThreeWaySharing)
                   canonical);
     }
     EXPECT_EQ(hv.pagesDeduplicated.value(), 2u);
+}
+
+TEST(Hypervisor, FirstTouchEmitsOneMapEvent)
+{
+    Hypervisor hv;
+    RecordingListener listener;
+    hv.setPageListener(&listener);
+    VmId a = hv.createVm(1);
+    hv.translateData(a, makeGuestAddr(10), false);
+    hv.translateData(a, makeGuestAddr(10), true); // reuse: no event
+    ASSERT_EQ(listener.events.size(), 1u);
+    const PageEvent &e = listener.events[0];
+    EXPECT_EQ(e.kind, PageEventKind::Map);
+    EXPECT_EQ(e.vm, a);
+    EXPECT_EQ(e.guestPage, 10u);
+    EXPECT_EQ(e.type, PageType::VmPrivate);
+}
+
+TEST(Hypervisor, CowBreakEmitsExactlyOneLifecycleRecord)
+{
+    Hypervisor hv;
+    RecordingListener listener;
+    hv.setPageListener(&listener);
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    hv.translateData(a, makeGuestAddr(10), false);
+    hv.translateData(b, makeGuestAddr(10), false);
+    hv.declareContent(a, 10, 777);
+    hv.declareContent(b, 10, 777);
+    hv.runContentScan();
+    std::uint64_t shared_page =
+        hv.translateData(b, makeGuestAddr(10), false).addr.pageNum();
+
+    listener.events.clear();
+    Translation tw = hv.translateData(a, makeGuestAddr(10, 0x8), true);
+    ASSERT_TRUE(tw.cowBroke);
+    ASSERT_EQ(listener.events.size(), 1u);
+    const PageEvent &e = listener.events[0];
+    EXPECT_EQ(e.kind, PageEventKind::CowBreak);
+    EXPECT_EQ(e.vm, a);
+    EXPECT_EQ(e.guestPage, 10u);
+    // The record carries both sides of the break: the writer's new
+    // private page and the shared page it diverged from.
+    EXPECT_EQ(e.hostPage, tw.addr.pageNum());
+    EXPECT_EQ(e.prevHostPage, shared_page);
+    EXPECT_EQ(e.type, PageType::VmPrivate);
+    EXPECT_EQ(e.prevType, PageType::RoShared);
+
+    // A later private write emits nothing further.
+    listener.events.clear();
+    hv.translateData(a, makeGuestAddr(10), true);
+    EXPECT_TRUE(listener.events.empty());
+}
+
+TEST(Hypervisor, ContentMergeEmitsExactlyOneRemapRecord)
+{
+    Hypervisor hv;
+    RecordingListener listener;
+    hv.setPageListener(&listener);
+    VmId a = hv.createVm(1);
+    VmId b = hv.createVm(1);
+    std::uint64_t own_a =
+        hv.translateData(a, makeGuestAddr(10), false).addr.pageNum();
+    std::uint64_t own_b =
+        hv.translateData(b, makeGuestAddr(10), false).addr.pageNum();
+    hv.declareContent(a, 10, 777);
+    hv.declareContent(b, 10, 777);
+
+    listener.events.clear();
+    EXPECT_EQ(hv.runContentScan(), 1u);
+    // One VM keeps its page as the canonical copy (a type change);
+    // exactly one relocation remap moves the other VM's mapping.
+    EXPECT_EQ(listener.count(PageEventKind::Remap), 1u);
+    EXPECT_EQ(listener.count(PageEventKind::TypeChange), 1u);
+    EXPECT_EQ(listener.events.size(), 2u);
+    for (const PageEvent &e : listener.events) {
+        if (e.kind != PageEventKind::Remap)
+            continue;
+        EXPECT_EQ(e.prevHostPage, e.vm == a ? own_a : own_b);
+        EXPECT_EQ(e.type, PageType::RoShared);
+        EXPECT_EQ(e.prevType, PageType::VmPrivate);
+    }
+
+    // A rescan with nothing new to merge is silent.
+    listener.events.clear();
+    hv.runContentScan();
+    EXPECT_TRUE(listener.events.empty());
 }
 
 TEST(HypervisorDeath, BadVmPanics)

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "virt/page_table.hh"
 
 namespace vsnoop::test
@@ -84,6 +87,54 @@ TEST(PageTable, ForEachVisitsAll)
     });
     EXPECT_EQ(count, 2);
     EXPECT_EQ(host_sum, 30u);
+}
+
+TEST(PageTable, ForEachEmitsAscendingGuestPageOrder)
+{
+    // Insertion order deliberately scrambled; emission must sort.
+    PageTable pt;
+    const std::uint64_t keys[] = {900, 3, 512, 77, 1, 4096};
+    for (std::uint64_t k : keys)
+        pt.map(k, k * 10, PageType::VmPrivate);
+    std::vector<std::uint64_t> seen;
+    pt.forEach([&](std::uint64_t guest, const PageTableEntry &e) {
+        EXPECT_EQ(e.hostPage, guest * 10);
+        seen.push_back(guest);
+    });
+    std::vector<std::uint64_t> sorted = seen;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(seen, sorted);
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(PageTable, ForEachOrderIndependentOfTableHistory)
+{
+    // Two tables with identical final mappings but different
+    // capacities and probe layouts (one grown through hundreds of
+    // inserts and unmaps, one built directly) must emit the same
+    // sequence: consumers (the pagemon census, lifecycle replays)
+    // rely on iteration being a function of the mapping alone.
+    PageTable grown;
+    for (std::uint64_t k = 0; k < 400; ++k)
+        grown.map(k, k + 1, PageType::VmPrivate);
+    for (std::uint64_t k = 0; k < 400; ++k) {
+        if (k % 7 != 0)
+            grown.unmap(k);
+    }
+    PageTable direct;
+    for (std::uint64_t k = 0; k < 400; k += 7)
+        direct.map(k, k + 1, PageType::VmPrivate);
+
+    std::vector<std::uint64_t> from_grown, from_direct;
+    grown.forEach([&](std::uint64_t guest, const PageTableEntry &) {
+        from_grown.push_back(guest);
+    });
+    direct.forEach([&](std::uint64_t guest, const PageTableEntry &) {
+        from_direct.push_back(guest);
+    });
+    EXPECT_EQ(from_grown, from_direct);
+    ASSERT_FALSE(from_grown.empty());
+    EXPECT_TRUE(std::is_sorted(from_grown.begin(), from_grown.end()));
 }
 
 TEST(PageTableDeath, SetTypeOnUnmappedPanics)

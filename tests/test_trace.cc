@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -192,9 +193,10 @@ TEST(TracedRun, LifecycleRecordsAreConsistent)
             // The vsnoop policy always attributes its decision.
             EXPECT_NE(r.reason, FilterReason::Baseline);
             // A broadcast decision covers every other core.
-            if (r.broadcast)
+            if (r.broadcast) {
                 EXPECT_EQ(CoreSet::fromMask(r.targets).count() + 1,
                           cfg.numCores());
+            }
             break;
           case TraceEventKind::Completion:
             completions++;
@@ -388,6 +390,48 @@ TEST(TraceDeterminism, SeriesAndTraceBytesIdenticalAcrossJobs)
         ASSERT_FALSE(t1.empty()) << name;
         EXPECT_EQ(t1, t4) << name;
     }
+}
+
+TEST(TraceNames, FilterReasonNamesRoundTripExhaustively)
+{
+    // Every FilterReason value must produce a distinct, non-empty
+    // name, and the name must map back to exactly the value that
+    // produced it.  JSON consumers (run records, the report tool,
+    // the pagemon by_reason breakdown) key on these strings, so a
+    // renamed or aliased reason is a silent data-corruption bug.
+    std::map<std::string, FilterReason> by_name;
+    for (std::size_t i = 0; i < kNumFilterReasons; ++i) {
+        auto reason = static_cast<FilterReason>(i);
+        const char *name = filterReasonName(reason);
+        ASSERT_NE(name, nullptr);
+        ASSERT_STRNE(name, "");
+        auto [it, inserted] = by_name.emplace(name, reason);
+        EXPECT_TRUE(inserted)
+            << "duplicate reason name '" << name << "'";
+    }
+    EXPECT_EQ(by_name.size(), kNumFilterReasons);
+    for (const auto &[name, reason] : by_name)
+        EXPECT_STREQ(filterReasonName(reason), name.c_str());
+}
+
+TEST(TraceNames, TraceEventKindNamesAreExhaustiveAndDistinct)
+{
+    std::map<std::string, TraceEventKind> by_name;
+    for (std::size_t i = 0; i < kNumTraceEventKinds; ++i) {
+        auto kind = static_cast<TraceEventKind>(i);
+        const char *name = traceEventKindName(kind);
+        ASSERT_NE(name, nullptr);
+        ASSERT_STRNE(name, "");
+        auto [it, inserted] = by_name.emplace(name, kind);
+        EXPECT_TRUE(inserted)
+            << "duplicate trace-kind name '" << name << "'";
+    }
+    EXPECT_EQ(by_name.size(), kNumTraceEventKinds);
+    // The page-lifecycle block must stay contiguous: the Chrome
+    // exporter and the host-track gate test kind ranges.
+    EXPECT_EQ(static_cast<std::size_t>(TraceEventKind::PageRemap) -
+                  static_cast<std::size_t>(TraceEventKind::PageMap),
+              4u);
 }
 
 } // namespace vsnoop::test

@@ -1202,6 +1202,190 @@ renderPerfSection(std::ostream &os, const JsonValue &perf)
     }
 }
 
+/**
+ * Address-space section from "results.pages" (--pages runs): a
+ * host-address-range snoop heatmap strip, the top-offender table
+ * with per-FilterReason stacked bars, and lifecycle-transition
+ * tiles.  Runs without --pages lack the key and skip the section.
+ */
+void
+renderPagesSection(std::ostream &os, const JsonValue &pages)
+{
+    os << "<h2>Address space (--pages)</h2>\n";
+    os << "<div class=\"tiles\">\n";
+    os << statTile("snoop lookups",
+                   human(pages.numberAt("total_lookups")));
+    os << statTile("tracked pages", human(pages.numberAt("tracked")));
+    os << statTile("folded (evicted)",
+                   human(pages.numberAt("truncated_lookups")));
+    if (const JsonValue *tr = pages.find("transitions")) {
+        os << statTile("page maps", human(tr->numberAt("maps")));
+        os << statTile("type changes",
+                       human(tr->numberAt("type_changes")));
+        os << statTile("COW breaks", human(tr->numberAt("cow_breaks")));
+        os << statTile("remaps", human(tr->numberAt("remaps")));
+    }
+    os << "</div>\n";
+    if (const JsonValue *census = pages.find("census")) {
+        os << "<p class=\"meta\">mapped-page census:";
+        for (const auto &member : census->members())
+            os << " " << htmlEscape(member.first) << " "
+               << human(member.second.number());
+        os << "</p>\n";
+    }
+
+    const JsonValue *top = pages.find("top");
+    if (top == nullptr || !top->isArray() || top->items().empty())
+        return;
+
+    // Address-range heatmap strip: tracked-page lookups bucketed
+    // over the spanned host address range.
+    double min_page = 0.0, max_page = 0.0;
+    bool have_span = false;
+    for (const JsonValue &cell : top->items()) {
+        double page = cell.numberAt("page");
+        if (!have_span || page < min_page)
+            min_page = page;
+        if (!have_span || page > max_page)
+            max_page = page;
+        have_span = true;
+    }
+    if (have_span) {
+        constexpr std::size_t kBuckets = 48;
+        constexpr int kBw = 12, kBh = 18, kPadL = 8, kPadT = 24;
+        double span = std::max(1.0, max_page - min_page + 1.0);
+        std::vector<double> buckets(kBuckets, 0.0);
+        for (const JsonValue &cell : top->items()) {
+            double page = cell.numberAt("page");
+            std::size_t b = std::min(
+                kBuckets - 1,
+                static_cast<std::size_t>((page - min_page) / span *
+                                         static_cast<double>(kBuckets)));
+            buckets[b] += cell.numberAt("lookups");
+        }
+        double max_b = 0.0;
+        for (double v : buckets)
+            max_b = std::max(max_b, v);
+        int w = kPadL + kBw * static_cast<int>(kBuckets) + 8;
+        int h = kPadT + kBh + 26;
+        os << "<div class=\"charts\">\n";
+        os << "<svg class=\"pageheat\" width=\"" << w
+           << "\" height=\"" << h << "\" viewBox=\"0 0 " << w << " "
+           << h << "\" role=\"img\" aria-label=\"host address-range "
+           << "snoop heatmap\">\n";
+        os << "<text x=\"0\" y=\"12\" class=\"charttitle\">snoop "
+              "lookups by host address range (tracked pages)</text>\n";
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            double lo = min_page +
+                        span * static_cast<double>(b) /
+                            static_cast<double>(kBuckets);
+            double hi = min_page +
+                        span * static_cast<double>(b + 1) /
+                            static_cast<double>(kBuckets);
+            char range[64];
+            std::snprintf(range, sizeof(range), "0x%llx-0x%llx",
+                          static_cast<unsigned long long>(lo) << 12,
+                          static_cast<unsigned long long>(hi) << 12);
+            const char *color =
+                (max_b > 0.0 && buckets[b] > 0.0)
+                    ? rampColor(buckets[b] / max_b)
+                    : "var(--grid)";
+            os << "<rect x=\""
+               << kPadL + static_cast<int>(b) * kBw << "\" y=\""
+               << kPadT << "\" width=\"" << kBw - 1 << "\" height=\""
+               << kBh << "\" fill=\"" << color << "\"><title>" << range
+               << ": " << human(buckets[b])
+               << " lookups</title></rect>\n";
+        }
+        char lo_lbl[32], hi_lbl[32];
+        std::snprintf(lo_lbl, sizeof(lo_lbl), "0x%llx",
+                      static_cast<unsigned long long>(min_page) << 12);
+        std::snprintf(hi_lbl, sizeof(hi_lbl), "0x%llx",
+                      static_cast<unsigned long long>(max_page + 1)
+                          << 12);
+        os << "<text x=\"" << kPadL << "\" y=\"" << kPadT + kBh + 14
+           << "\">" << lo_lbl << "</text>\n";
+        os << "<text x=\"" << kPadL + kBw * static_cast<int>(kBuckets)
+           << "\" y=\"" << kPadT + kBh + 14
+           << "\" text-anchor=\"end\">" << hi_lbl << "</text>\n";
+        os << "</svg>\n";
+        os << "</div>\n";
+    }
+
+    // Top-offender table: hottest pages with a per-FilterReason
+    // stacked bar (colors shared with the waterfall legend).
+    std::vector<std::string> reason_names;
+    for (const JsonValue &cell : top->items()) {
+        if (const JsonValue *by_reason = cell.find("by_reason")) {
+            for (const auto &member : by_reason->members())
+                reason_names.push_back(member.first);
+        }
+        break;
+    }
+    os << "<table class=\"pagetable\">\n<tr><th>page</th><th>type</th>"
+          "<th>lookups</th><th>misses</th><th>cross-VM</th>"
+          "<th>sharers</th><th>snoop attempts by reason</th></tr>\n";
+    std::size_t shown = 0;
+    for (const JsonValue &cell : top->items()) {
+        if (shown++ == 20)
+            break;
+        char page_hex[32];
+        std::snprintf(page_hex, sizeof(page_hex), "0x%llx",
+                      static_cast<unsigned long long>(
+                          cell.numberAt("page")) << 12);
+        double sharer_mask = cell.numberAt("sharers");
+        unsigned sharers = 0;
+        for (unsigned long long m =
+                 static_cast<unsigned long long>(sharer_mask);
+             m != 0; m >>= 1)
+            sharers += m & 1;
+        os << "<tr><td>" << page_hex << "</td><td>"
+           << htmlEscape(cell.stringAt("type")) << "</td><td>"
+           << human(cell.numberAt("lookups")) << "</td><td>"
+           << human(cell.numberAt("misses")) << "</td><td>"
+           << human(cell.numberAt("cross_vm")) << "</td><td>"
+           << sharers << "</td><td>";
+        if (const JsonValue *by_reason = cell.find("by_reason")) {
+            double total = 0.0;
+            for (const auto &member : by_reason->members())
+                total += member.second.number();
+            constexpr int kBarW = 180, kBarH = 12;
+            os << "<svg width=\"" << kBarW << "\" height=\"" << kBarH
+               << "\" viewBox=\"0 0 " << kBarW << " " << kBarH
+               << "\">";
+            double x = 0.0;
+            std::size_t s = 0;
+            for (const auto &member : by_reason->members()) {
+                double v = member.second.number();
+                std::size_t color = s++;
+                if (total <= 0.0 || v <= 0.0)
+                    continue;
+                double bw = v / total * kBarW;
+                os << "<rect x=\"" << fmt(x, 1)
+                   << "\" y=\"0\" width=\""
+                   << fmt(std::max(bw, 1.0), 1) << "\" height=\""
+                   << kBarH << "\" fill=\""
+                   << kSegColors[color % kNumSegColors] << "\"><title>"
+                   << htmlEscape(member.first) << ": " << human(v)
+                   << " (" << fmt(100.0 * v / total, 1)
+                   << "%)</title></rect>";
+                x += bw;
+            }
+            os << "</svg>";
+        }
+        os << "</td></tr>\n";
+    }
+    os << "</table>\n";
+    if (!reason_names.empty()) {
+        os << "<p class=\"meta\">reason colors:";
+        for (std::size_t s = 0; s < reason_names.size(); ++s)
+            os << " <span style=\"color:"
+               << kSegColors[s % kNumSegColors] << "\">&#9632;</span> "
+               << htmlEscape(reason_names[s]);
+        os << "</p>\n";
+    }
+}
+
 void
 renderRecord(std::ostream &os, const JsonValue &rec)
 {
@@ -1292,6 +1476,10 @@ renderRecord(std::ostream &os, const JsonValue &rec)
     // Simulator internals, when the run was measured with --perf.
     if (const JsonValue *perf = results ? results->find("perf") : nullptr)
         renderPerfSection(os, *perf);
+    // Address-space forensics, when the run attributed with --pages.
+    if (const JsonValue *pages =
+            results ? results->find("pages") : nullptr)
+        renderPagesSection(os, *pages);
     os << "</section>\n";
 }
 
@@ -1350,6 +1538,12 @@ svg .swatch1 { fill: var(--series-1); }
 svg .swatch2 { fill: var(--series-2); }
 svg .hit { fill: transparent; }
 svg .hit:hover { fill: var(--series-1); fill-opacity: 0.25; }
+table.pagetable { border-collapse: collapse; font-size: 12.5px;
+                  margin: 10px 0; }
+table.pagetable th { text-align: left; color: var(--ink-2);
+                     font-weight: 600; }
+table.pagetable th, table.pagetable td {
+  padding: 3px 14px 3px 0; border-bottom: 1px solid var(--grid); }
 )css";
 
 int

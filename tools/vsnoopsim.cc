@@ -113,6 +113,22 @@ usage()
         "                        nonzero --timeseries-interval takes\n"
         "                        precedence for the shared sampling\n"
         "                        chain)\n"
+        "  --pages               attribute snoop activity to host\n"
+        "                        pages: per-page lookup/miss/cross-VM\n"
+        "                        counters in a bounded top-K table,\n"
+        "                        sharing-lifecycle transition counts,\n"
+        "                        and a mapped-page census, emitted as\n"
+        "                        results.pages; the top-K lookup total\n"
+        "                        plus the truncated remainder equals\n"
+        "                        snoop_lookups exactly\n"
+        "  --pages-top K         heavy-hitter capacity for --pages\n"
+        "                        (default 64)\n"
+        "  --watch-page ADDR     watch one host page (byte address,\n"
+        "                        decimal or 0x-hex; repeatable):\n"
+        "                        transaction trace records are kept\n"
+        "                        only for watched pages, and page\n"
+        "                        lifecycle events are traced; implies\n"
+        "                        trace capture\n"
         "  --stats-addr H:P      serve live telemetry over HTTP while\n"
         "                        the run executes: /metrics\n"
         "                        (Prometheus text format, including\n"
@@ -302,6 +318,24 @@ main(int argc, char **argv)
         } else if (flag == "--perf-sample-interval") {
             cfg.perfSampleInterval =
                 parseUint(flag, next_value(i, flag));
+        } else if (flag == "--pages") {
+            cfg.pages = true;
+        } else if (flag == "--pages-top") {
+            cfg.pagesTop = static_cast<std::uint32_t>(
+                parseUint(flag, next_value(i, flag)));
+            if (cfg.pagesTop == 0)
+                die("--pages-top must be at least 1");
+        } else if (flag == "--watch-page") {
+            // Byte address, decimal or 0x-hex; stored as a host page
+            // number.
+            std::string value = next_value(i, flag);
+            char *end = nullptr;
+            std::uint64_t addr =
+                std::strtoull(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0')
+                die("--watch-page expects an address, got '" +
+                    value + "'");
+            cfg.watchPages.push_back(addr >> kPageShift);
         } else if (flag == "--stats-addr") {
             stats_addr = next_value(i, flag);
         } else if (flag == "--energy") {
@@ -541,6 +575,53 @@ main(int argc, char **argv)
                       << formatFixed(p.mesh.legLength.mean(), 2)
                       << " hops\n";
         }
+    }
+
+    if (r.pages.enabled) {
+        const PagesSnapshot &pg = r.pages;
+        std::cout << "\nAddress space (--pages): "
+                  << pg.totalLookups << " snoop lookups over "
+                  << pg.cells.size() << " tracked pages";
+        if (pg.truncatedLookups > 0)
+            std::cout << " (+" << pg.truncatedLookups
+                      << " folded from " << pg.truncatedPages
+                      << " evicted pages)";
+        std::cout << "\nMapped-page census:";
+        for (std::size_t t = 0; t < kNumPageTypes; ++t)
+            std::cout << " " << pageTypeName(static_cast<PageType>(t))
+                      << "=" << pg.censusByType[t];
+        std::cout << "\nLifecycle: " << pg.mapEvents << " maps, "
+                  << pg.unmapEvents << " unmaps, " << pg.typeChanges
+                  << " type changes, " << pg.cowBreaks
+                  << " COW breaks, " << pg.remaps << " remaps\n";
+        TextTable pages({"page", "type", "lookups", "misses",
+                         "cross-VM", "filtered %", "sharers"});
+        std::size_t shown = 0;
+        for (const PageCell &cell : pg.cells) {
+            if (shown++ == 10)
+                break;
+            std::uint64_t decisions = cell.filtered + cell.broadcast;
+            std::uint32_t sharers = 0;
+            for (std::uint32_t m = cell.sharerMask; m != 0; m >>= 1)
+                sharers += m & 1;
+            char page_hex[32];
+            std::snprintf(page_hex, sizeof(page_hex), "0x%llx",
+                          static_cast<unsigned long long>(
+                              cell.pageNum << kPageShift));
+            pages.row()
+                .cell(page_hex)
+                .cell(pageTypeName(cell.lastType))
+                .cell(cell.lookups)
+                .cell(cell.misses)
+                .cell(cell.crossVm)
+                .cell(decisions > 0
+                          ? 100.0 * static_cast<double>(cell.filtered) /
+                                static_cast<double>(decisions)
+                          : 0.0,
+                      1)
+                .cell(static_cast<std::uint64_t>(sharers));
+        }
+        pages.print();
     }
 
     if (want_energy) {

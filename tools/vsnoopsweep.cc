@@ -118,6 +118,20 @@ usage()
         "  --perf-sample-interval T\n"
         "                        sample perf occupancy histograms\n"
         "                        every T ticks (default 10000)\n"
+        "  --pages               attribute snoop activity to host\n"
+        "                        pages in every run: results.pages\n"
+        "                        (bounded top-K per-page counters,\n"
+        "                        lifecycle transitions, census) and,\n"
+        "                        with --stats-addr, aggregated\n"
+        "                        vsnoop_pages_* series on /metrics.\n"
+        "                        Off by default; output is\n"
+        "                        byte-identical to a non---pages\n"
+        "                        sweep when off, and byte-identical\n"
+        "                        across --jobs when on.  Rides the\n"
+        "                        wire config, so it composes with\n"
+        "                        --submit.\n"
+        "  --pages-top K         heavy-hitter capacity for --pages\n"
+        "                        (default 64)\n"
         "\n"
         "live monitoring (JSON output stays byte-identical):\n"
         "  --stats-addr H:P      serve live telemetry over HTTP while\n"
@@ -549,6 +563,13 @@ main(int argc, char **argv)
         } else if (flag == "--perf-sample-interval") {
             matrix.base.perfSampleInterval =
                 parseUint(flag, next_value(i, flag));
+        } else if (flag == "--pages") {
+            matrix.base.pages = true;
+        } else if (flag == "--pages-top") {
+            matrix.base.pagesTop = static_cast<std::uint32_t>(
+                parseUint(flag, next_value(i, flag)));
+            if (matrix.base.pagesTop == 0)
+                die("--pages-top must be at least 1");
         } else if (flag == "--stats-addr") {
             stats_addr = next_value(i, flag);
         } else if (flag == "--heartbeat") {
@@ -615,6 +636,11 @@ main(int argc, char **argv)
     PerfExport perf_export;
     if (matrix.base.perf)
         perf_export.registerMetrics(registry);
+    // Same pattern for --pages: per-run page-attribution snapshots
+    // aggregate into vsnoop_pages_* series.
+    PagesExport pages_export;
+    if (matrix.base.pages)
+        pages_export.registerMetrics(registry);
     registry.freeze();
 
     StatsServer server;
@@ -648,6 +674,8 @@ main(int argc, char **argv)
             std::uint64_t now = steadyNowMs();
             if (matrix.base.perf)
                 perf_export.stageMetrics(registry);
+            if (matrix.base.pages)
+                pages_export.stageMetrics(registry);
             heartbeat.publishMetrics(registry, now, stall_ms);
             if (stall_ms > 0) {
                 for (std::size_t i = 0; i < heartbeat.runCount(); ++i) {
@@ -675,6 +703,8 @@ main(int argc, char **argv)
         // state (every run done, rate and ETA settled).
         if (matrix.base.perf)
             perf_export.stageMetrics(registry);
+        if (matrix.base.pages)
+            pages_export.stageMetrics(registry);
         heartbeat.publishMetrics(registry, steadyNowMs(), stall_ms);
     });
 
@@ -686,6 +716,8 @@ main(int argc, char **argv)
         [&](std::size_t, const RunResult &result) {
             if (result.results.perf.enabled)
                 perf_export.add(result.results.perf);
+            if (result.results.pages.enabled)
+                pages_export.add(result.results.pages);
         });
     auto elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
